@@ -1,0 +1,57 @@
+//! **Ablation**: BiST dissemination topology — all-to-all broadcast vs.
+//! the k-ary aggregation tree the paper mentions (§IV-B, "partitions
+//! within a DC are organized as a tree to reduce communication costs").
+//!
+//! Expectation: the tree cuts stabilization traffic from O(N²) to O(N)
+//! messages per round at the cost of `depth` extra rounds of stabilization
+//! lag, which shows up as slightly higher local update visibility. Both
+//! topologies must leave throughput/latency and correctness untouched.
+
+use wren_bench::{banner, spec, Scale};
+use wren_harness::{run, SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.thread_levels[scale.thread_levels.len() / 2];
+
+    banner(
+        "Ablation",
+        "BiST topology: broadcast vs aggregation tree (3 DCs, 16 partitions, 95:5)",
+    );
+    println!(
+        "    {:>10}  {:>12}  {:>17}  {:>14}  {:>12}",
+        "fanout", "ktx/s", "stab bytes/s", "local vis ms", "mean lat ms"
+    );
+    for fanout in [0u16, 2, 4] {
+        let mut topology = Topology::aws(3, 16);
+        topology.gossip_fanout = fanout;
+        topology.visibility_sample_every = 8;
+        let workload = WorkloadSpec::default();
+        let r = run(
+            SystemKind::Wren,
+            &spec(scale, topology, workload, threads, 50),
+        );
+        let local_vis = if r.visibility_local.is_empty() {
+            0.0
+        } else {
+            r.visibility_local.iter().sum::<u64>() as f64
+                / r.visibility_local.len() as f64
+                / 1_000.0
+        };
+        println!(
+            "    {:>10}  {:>12.2}  {:>17.0}  {:>14.2}  {:>12.2}",
+            if fanout == 0 { "broadcast".to_string() } else { format!("tree-{fanout}") },
+            r.throughput / 1000.0,
+            r.bytes.stabilization as f64 / r.duration_secs,
+            local_vis,
+            r.latency.mean_ms,
+        );
+        assert_eq!(r.blocking.blocked_txs, 0, "Wren never blocks, any topology");
+    }
+    println!();
+    println!(
+        "  tree mode trades a few ms of extra snapshot lag for an order of magnitude\n  \
+         less stabilization traffic at 16 partitions."
+    );
+}

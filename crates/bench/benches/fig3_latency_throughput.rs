@@ -1,0 +1,54 @@
+//! **Fig. 3a/3b**: throughput vs. average transaction latency and mean
+//! blocking time, default workload — 3 DCs, 8 partitions/DC, 4 partitions
+//! per transaction, 95:5 r:w ratio.
+//!
+//! Paper result: Wren achieves up to 2.33× lower response times and up to
+//! 25% higher throughput than Cure; H-Cure lands in between; Cure/H-Cure
+//! mean blocking time is ~2 ms at low load and ~4 ms near saturation,
+//! while Wren never blocks.
+
+use wren_bench::{banner, print_blocking, print_curve, sweep, Scale};
+use wren_harness::{SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let topology = Topology::aws(3, 8);
+    let workload = WorkloadSpec::default(); // 95:5, p = 4
+
+    banner(
+        "Fig. 3a",
+        "throughput vs average TX latency (3 DCs, 8 partitions, p=4, 95:5)",
+    );
+    let mut curves = Vec::new();
+    for system in SystemKind::ALL {
+        let curve = sweep(system, scale, &topology, &workload, 42);
+        print_curve(system.label(), &curve);
+        let points: Vec<_> = curve
+            .iter()
+            .map(|p| (p.threads, p.result.clone()))
+            .collect();
+        if let Ok(path) = wren_harness::csv::write_curve("fig3a", system.label(), &points) {
+            println!("    (csv: {})", path.display());
+        }
+        curves.push((system, curve));
+    }
+
+    banner(
+        "Fig. 3b",
+        "mean blocking time of blocked transactions (Wren never blocks)",
+    );
+    for (system, curve) in &curves {
+        if *system != SystemKind::Wren {
+            print_blocking(system.label(), curve);
+        }
+    }
+    let wren = &curves
+        .iter()
+        .find(|(s, _)| *s == SystemKind::Wren)
+        .expect("wren curve")
+        .1;
+    let blocked: u64 = wren.iter().map(|p| p.result.blocking.blocked_txs).sum();
+    println!("  Wren: blocked transactions across the whole sweep = {blocked}");
+    assert_eq!(blocked, 0, "Wren must never block a read");
+}

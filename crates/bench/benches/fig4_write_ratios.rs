@@ -1,0 +1,35 @@
+//! **Fig. 4a/4b**: throughput vs. average transaction latency under
+//! write-heavier mixes — 90:10 (a) and 50:50 (b), 3 DCs, 8 partitions,
+//! p=4.
+//!
+//! Paper result: Wren outperforms Cure and H-Cure on both mixes (up to
+//! 3.6× lower latency / 1.33× higher throughput vs Cure across Figs.
+//! 4–5); peak throughput of all three systems drops as the write ratio
+//! grows (longer commits, more replication).
+
+use wren_bench::{banner, print_curve, sweep, Scale};
+use wren_harness::{SystemKind, Topology};
+use wren_workload::{TxMix, WorkloadSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let topology = Topology::aws(3, 8);
+
+    for (fig, mix) in [("Fig. 4a", TxMix::R90_W10), ("Fig. 4b", TxMix::R50_W50)] {
+        let workload = WorkloadSpec {
+            mix,
+            ..WorkloadSpec::default()
+        };
+        banner(
+            fig,
+            &format!(
+                "throughput vs average TX latency ({} r:w, 3 DCs, 8 partitions, p=4)",
+                mix.label()
+            ),
+        );
+        for system in SystemKind::ALL {
+            let curve = sweep(system, scale, &topology, &workload, 43);
+            print_curve(system.label(), &curve);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! **Fig. 5a/5b**: throughput vs. average transaction latency when
+//! transactions read from p=2 (a) and p=8 (b) partitions — 95:5 mix,
+//! 3 DCs, 8 partitions.
+//!
+//! Paper result: Wren outperforms Cure and H-Cure with both small and
+//! large transactions; higher p lowers everyone's peak throughput (more
+//! partitions contacted per transaction).
+
+use wren_bench::{banner, print_curve, sweep, Scale};
+use wren_harness::{SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let topology = Topology::aws(3, 8);
+
+    for (fig, p) in [("Fig. 5a", 2usize), ("Fig. 5b", 8usize)] {
+        let workload = WorkloadSpec {
+            partitions_per_tx: p,
+            ..WorkloadSpec::default()
+        };
+        banner(
+            fig,
+            &format!("throughput vs average TX latency (p={p}, 95:5, 3 DCs, 8 partitions)"),
+        );
+        for system in SystemKind::ALL {
+            let curve = sweep(system, scale, &topology, &workload, 44);
+            print_curve(system.label(), &curve);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! **Fig. 6a/6b**: Wren's peak throughput normalized to Cure's, when
+//! scaling partitions per DC (4/8/16, 3 DCs) and DCs (3/5, 16
+//! partitions), for the three transaction mixes.
+//!
+//! Paper result: Wren consistently above 1.0× (up to 1.38× with more
+//! partitions, up to 1.43× with 5 DCs); Wren's own throughput scales
+//! 3.76–3.88× from 4 to 16 partitions (ideal 4×) and ~1.44–1.53× from
+//! 3 to 5 DCs (ideal 1.66×).
+
+use wren_bench::{banner, peak_throughput, sweep, Scale};
+use wren_harness::{SystemKind, Topology};
+use wren_workload::{TxMix, WorkloadSpec};
+
+const MIXES: [TxMix; 3] = [TxMix::R95_W5, TxMix::R90_W10, TxMix::R50_W50];
+
+fn peaks(scale: Scale, topology: &Topology, mix: TxMix, seed: u64) -> (f64, f64) {
+    let workload = WorkloadSpec {
+        mix,
+        ..WorkloadSpec::default()
+    };
+    let wren = peak_throughput(&sweep(SystemKind::Wren, scale, topology, &workload, seed));
+    let cure = peak_throughput(&sweep(SystemKind::Cure, scale, topology, &workload, seed));
+    (wren, cure)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+
+    banner(
+        "Fig. 6a",
+        "Wren peak throughput normalized to Cure, varying partitions/DC (3 DCs)",
+    );
+    println!(
+        "    {:>9} {:>7}  {:>12}  {:>12}  {:>10}",
+        "mix", "parts", "wren ktx/s", "cure ktx/s", "norm"
+    );
+    let mut wren_by_parts: Vec<(u16, TxMix, f64)> = Vec::new();
+    for parts in [4u16, 8, 16] {
+        let topology = Topology::aws(3, parts);
+        for mix in MIXES {
+            let (wren, cure) = peaks(scale, &topology, mix, 45);
+            println!(
+                "    {:>9} {:>7}  {:>12.2}  {:>12.2}  {:>10.2}",
+                mix.label(),
+                parts,
+                wren / 1000.0,
+                cure / 1000.0,
+                wren / cure
+            );
+            wren_by_parts.push((parts, mix, wren));
+        }
+    }
+    // The paper highlights near-ideal scale-out from 4 to 16 partitions.
+    for mix in MIXES {
+        let at = |parts: u16| {
+            wren_by_parts
+                .iter()
+                .find(|(p, m, _)| *p == parts && *m == mix)
+                .map(|(_, _, t)| *t)
+                .unwrap_or(0.0)
+        };
+        if at(4) > 0.0 {
+            println!(
+                "    scale-out {}: 4→16 partitions = {:.2}x (ideal 4x)",
+                mix.label(),
+                at(16) / at(4)
+            );
+        }
+    }
+
+    banner(
+        "Fig. 6b",
+        "Wren peak throughput normalized to Cure, varying DCs (16 partitions/DC)",
+    );
+    println!(
+        "    {:>9} {:>5}  {:>12}  {:>12}  {:>10}",
+        "mix", "DCs", "wren ktx/s", "cure ktx/s", "norm"
+    );
+    let mut wren_by_dcs: Vec<(u8, TxMix, f64)> = Vec::new();
+    for dcs in [3u8, 5] {
+        let topology = Topology::aws(dcs, 16);
+        for mix in MIXES {
+            let (wren, cure) = peaks(scale, &topology, mix, 46);
+            println!(
+                "    {:>9} {:>5}  {:>12.2}  {:>12.2}  {:>10.2}",
+                mix.label(),
+                dcs,
+                wren / 1000.0,
+                cure / 1000.0,
+                wren / cure
+            );
+            wren_by_dcs.push((dcs, mix, wren));
+        }
+    }
+    for mix in MIXES {
+        let at = |dcs: u8| {
+            wren_by_dcs
+                .iter()
+                .find(|(d, m, _)| *d == dcs && *m == mix)
+                .map(|(_, _, t)| *t)
+                .unwrap_or(0.0)
+        };
+        if at(3) > 0.0 {
+            println!(
+                "    scale-out {}: 3→5 DCs = {:.2}x (ideal 1.66x)",
+                mix.label(),
+                at(5) / at(3)
+            );
+        }
+    }
+}

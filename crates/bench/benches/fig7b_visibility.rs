@@ -1,0 +1,66 @@
+//! **Fig. 7b**: CDF of update-visibility latency, 3 DCs.
+//!
+//! Paper result: Cure makes local updates visible immediately; Wren's
+//! local visibility lags by a few ms (the older, fully-installed
+//! snapshot); Wren's remote visibility is slightly higher than Cure's
+//! (68 vs 59 ms worst case, ≈15%) because the RST tracks the minimum over
+//! *all* remote DCs while Cure tracks each origin separately.
+
+use wren_bench::{banner, spec, Scale};
+use wren_harness::{cdf, run, SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let threads = scale.thread_levels[scale.thread_levels.len() / 2];
+
+    let mut topology = Topology::aws(3, 8);
+    topology.visibility_sample_every = 2;
+    let workload = WorkloadSpec::default();
+
+    banner("Fig. 7b", "CDF of update visibility latency (3 DCs)");
+
+    let wren = run(
+        SystemKind::Wren,
+        &spec(scale, topology.clone(), workload.clone(), threads, 48),
+    );
+    let cure = run(
+        SystemKind::Cure,
+        &spec(scale, topology.clone(), workload.clone(), threads, 48),
+    );
+
+    let series: [(&str, &[u64]); 4] = [
+        ("Wren local (L)", &wren.visibility_local),
+        ("Wren remote (R)", &wren.visibility_remote),
+        ("Cure local", &cure.visibility_local),
+        ("Cure remote (R)", &cure.visibility_remote),
+    ];
+
+    for (label, samples) in series {
+        let slug = label
+            .to_lowercase()
+            .replace([' ', '(', ')'], "_");
+        let _ = wren_harness::csv::write_cdf("fig7b", &slug, samples);
+        let curve = cdf(samples, 10);
+        println!("  {label}: {} samples", samples.len());
+        print!("    ");
+        for (value, frac) in &curve {
+            print!("p{:.0}={:.1}ms ", frac * 100.0, *value as f64 / 1000.0);
+        }
+        println!();
+    }
+
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64 / 1000.0;
+    println!();
+    println!(
+        "  means: Wren local {:.1} ms | Wren remote {:.1} ms | Cure local {:.1} ms | Cure remote {:.1} ms",
+        mean(&wren.visibility_local),
+        mean(&wren.visibility_remote),
+        mean(&cure.visibility_local),
+        mean(&cure.visibility_remote),
+    );
+    println!(
+        "  remote visibility overhead of Wren vs Cure: {:.1}%",
+        (mean(&wren.visibility_remote) / mean(&cure.visibility_remote) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the hot paths of every substrate:
+//! clocks, version vectors, version chains, the codec, zipfian sampling
+//! and end-to-end server message handling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wren_clock::{HybridClock, SkewedClock, Timestamp, VersionVector};
+use wren_core::{WrenConfig, WrenServer};
+use wren_protocol::{ClientId, Dest, Key, ServerId, TxId, WrenMsg, WrenVersion};
+use wren_storage::{MvStore, VersionChain};
+use wren_workload::Zipfian;
+
+fn bench_clocks(c: &mut Criterion) {
+    c.bench_function("hlc_tick", |b| {
+        let mut clock = HybridClock::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(clock.tick(now))
+        });
+    });
+    c.bench_function("hlc_tick_at_least", |b| {
+        let mut clock = HybridClock::new();
+        let floor = Timestamp::from_micros(1 << 30);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(clock.tick_at_least(now, floor))
+        });
+    });
+    c.bench_function("vv_join_5", |b| {
+        let mut a = VersionVector::new(5);
+        let other = VersionVector::from_entries(
+            (0..5).map(|i| Timestamp::from_micros(i * 7)).collect(),
+        );
+        b.iter(|| {
+            a.join(black_box(&other));
+        });
+    });
+}
+
+fn sample_version(ct: u64) -> WrenVersion {
+    WrenVersion {
+        value: bytes::Bytes::from_static(b"12345678"),
+        ut: Timestamp::from_micros(ct),
+        rdt: Timestamp::from_micros(ct / 2),
+        tx: TxId::new(ServerId::new(0, 0), ct),
+        sr: wren_protocol::DcId(0),
+    }
+}
+
+fn bench_storage(c: &mut Criterion) {
+    c.bench_function("chain_insert_in_order", |b| {
+        b.iter(|| {
+            let mut chain = VersionChain::new();
+            for ct in 0..64u64 {
+                chain.insert(sample_version(ct));
+            }
+            black_box(chain.len())
+        });
+    });
+    c.bench_function("store_latest_visible", |b| {
+        let mut store: MvStore<Key, WrenVersion> = MvStore::new();
+        for k in 0..1_000u64 {
+            for ct in 0..8 {
+                store.insert(Key(k), sample_version(k * 10 + ct));
+            }
+        }
+        let snapshot = Timestamp::from_micros(5_000);
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1_000;
+            black_box(store.latest_visible(&Key(k), |v| v.ut <= snapshot))
+        });
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = WrenMsg::SliceResp {
+        tx: TxId::new(ServerId::new(0, 3), 77),
+        items: (0..8)
+            .map(|i| (Key(i), Some(sample_version(i * 5))))
+            .collect(),
+    };
+    c.bench_function("codec_encode_slice_resp", |b| {
+        b.iter(|| black_box(msg.encode()));
+    });
+    let bytes = msg.encode();
+    c.bench_function("codec_decode_slice_resp", |b| {
+        b.iter(|| black_box(WrenMsg::decode(&bytes).unwrap()));
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    c.bench_function("zipfian_sample", |b| {
+        let zipf = Zipfian::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+}
+
+fn bench_server(c: &mut Criterion) {
+    c.bench_function("wren_server_start_tx", |b| {
+        let cfg = WrenConfig::new(1, 1);
+        let mut server = WrenServer::new(ServerId::new(0, 0), cfg, SkewedClock::perfect());
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            out.clear();
+            server.handle(
+                Dest::Client(ClientId(0)),
+                WrenMsg::StartTxReq {
+                    lst: Timestamp::ZERO,
+                    rst: Timestamp::ZERO,
+                },
+                now,
+                &mut out,
+            );
+            black_box(&out);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_clocks,
+    bench_storage,
+    bench_codec,
+    bench_workload,
+    bench_server
+);
+criterion_main!(benches);

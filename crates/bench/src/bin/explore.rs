@@ -1,0 +1,167 @@
+//! `explore` — run one custom experiment from the command line.
+//!
+//! A downstream user's entry point for poking at the design space without
+//! writing code:
+//!
+//! ```bash
+//! cargo run --release -p wren-bench --bin explore -- \
+//!     --system wren --dcs 3 --partitions 8 --threads 8 \
+//!     --mix 50:50 --spread 4 --seconds 2 --skew-us 2000 --fanout 0
+//! ```
+//!
+//! Prints throughput, latency percentiles, blocking, wire bytes and (if
+//! `--visibility` is set) update-visibility statistics.
+
+use wren_harness::{run, ExperimentSpec, SystemKind, Topology};
+use wren_workload::{TxMix, WorkloadSpec};
+
+struct Args {
+    system: SystemKind,
+    dcs: u8,
+    partitions: u16,
+    threads: u16,
+    mix: TxMix,
+    spread: usize,
+    seconds: f64,
+    skew_us: i64,
+    fanout: u16,
+    seed: u64,
+    visibility: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            system: SystemKind::Wren,
+            dcs: 3,
+            partitions: 8,
+            threads: 4,
+            mix: TxMix::R95_W5,
+            spread: 4,
+            seconds: 2.0,
+            skew_us: 2_000,
+            fanout: 0,
+            seed: 42,
+            visibility: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: explore [--system wren|cure|hcure] [--dcs M] [--partitions N]\n\
+         \u{20}             [--threads T] [--mix 95:5|90:10|50:50] [--spread P]\n\
+         \u{20}             [--seconds S] [--skew-us U] [--fanout K] [--seed X] [--visibility]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--system" => {
+                args.system = match val().to_lowercase().as_str() {
+                    "wren" => SystemKind::Wren,
+                    "cure" => SystemKind::Cure,
+                    "hcure" | "h-cure" => SystemKind::HCure,
+                    _ => usage(),
+                }
+            }
+            "--dcs" => args.dcs = val().parse().unwrap_or_else(|_| usage()),
+            "--partitions" => args.partitions = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = val().parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                args.mix = match val().as_str() {
+                    "95:5" => TxMix::R95_W5,
+                    "90:10" => TxMix::R90_W10,
+                    "50:50" => TxMix::R50_W50,
+                    _ => usage(),
+                }
+            }
+            "--spread" => args.spread = val().parse().unwrap_or_else(|_| usage()),
+            "--seconds" => args.seconds = val().parse().unwrap_or_else(|_| usage()),
+            "--skew-us" => args.skew_us = val().parse().unwrap_or_else(|_| usage()),
+            "--fanout" => args.fanout = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--visibility" => args.visibility = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse();
+    let mut topology = Topology::aws(a.dcs, a.partitions);
+    topology.skew_max_micros = a.skew_us;
+    topology.gossip_fanout = a.fanout;
+    if a.visibility {
+        topology.visibility_sample_every = 4;
+    }
+    let spec = ExperimentSpec {
+        topology,
+        workload: WorkloadSpec {
+            mix: a.mix,
+            partitions_per_tx: a.spread.min(a.partitions as usize),
+            ..WorkloadSpec::default()
+        },
+        threads_per_client: a.threads,
+        warmup_micros: (a.seconds * 0.25 * 1e6) as u64,
+        measure_micros: (a.seconds * 1e6) as u64,
+        seed: a.seed,
+    };
+
+    eprintln!(
+        "running {} on {} DCs x {} partitions, {} threads/client, {} mix, p={} ...",
+        a.system.label(),
+        a.dcs,
+        a.partitions,
+        a.threads,
+        a.mix.label(),
+        a.spread,
+    );
+    let r = run(a.system, &spec);
+
+    println!("system:            {}", a.system.label());
+    println!("committed:         {}", r.committed);
+    println!("throughput:        {:.1} tx/s", r.throughput);
+    println!(
+        "latency:           mean {:.2} ms | p50 {:.2} | p95 {:.2} | p99 {:.2}",
+        r.latency.mean_ms, r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms
+    );
+    println!(
+        "blocking:          {} txs ({:.1}%), mean {:.3} ms",
+        r.blocking.blocked_txs,
+        r.blocking.blocked_fraction * 100.0,
+        r.blocking.mean_block_ms
+    );
+    println!(
+        "bytes:             repl {} | heartbeat {} | stabilization {} | client {} | intra-DC {}",
+        r.bytes.replication,
+        r.bytes.heartbeat,
+        r.bytes.stabilization,
+        r.bytes.client_server,
+        r.bytes.intra_dc
+    );
+    println!("server CPU:        {:.1}%", r.server_cpu_utilization * 100.0);
+    if a.visibility {
+        let mean = |v: &[u64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<u64>() as f64 / v.len() as f64 / 1000.0
+            }
+        };
+        println!(
+            "visibility:        local {:.1} ms ({} samples) | remote {:.1} ms ({} samples)",
+            mean(&r.visibility_local),
+            r.visibility_local.len(),
+            mean(&r.visibility_remote),
+            r.visibility_remote.len()
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared helpers for the per-figure benchmark harness.
+//!
+//! Every figure of the paper's evaluation (§V) has a bench target under
+//! `benches/` (all `harness = false`). Each prints the same rows/series
+//! the paper plots. Two scales are supported:
+//!
+//! * **quick** (default): shortened windows and fewer thread levels, so
+//!   `cargo bench --workspace` completes in minutes;
+//! * **full** (`WREN_FULL=1`): the paper's deployment sizes and a full
+//!   1/2/4/8/16-thread sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wren_harness::{run, ExperimentSpec, RunResult, SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+/// Scale parameters for a bench invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Warm-up window (µs).
+    pub warmup_micros: u64,
+    /// Measurement window (µs).
+    pub measure_micros: u64,
+    /// Closed-loop sessions per client process, one sweep point each.
+    pub thread_levels: &'static [u16],
+    /// Keys per partition.
+    pub keys_per_partition: u64,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`WREN_FULL=1` for
+    /// paper-scale sweeps).
+    pub fn from_env() -> Self {
+        if std::env::var("WREN_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale {
+                warmup_micros: 2_000_000,
+                measure_micros: 10_000_000,
+                thread_levels: &[1, 2, 4, 8, 16],
+                keys_per_partition: 10_000,
+            }
+        } else {
+            Scale {
+                warmup_micros: 400_000,
+                measure_micros: 1_600_000,
+                thread_levels: &[1, 4, 16],
+                keys_per_partition: 2_000,
+            }
+        }
+    }
+}
+
+/// Builds the experiment spec for a figure: paper defaults with the
+/// figure's overrides applied.
+pub fn spec(
+    scale: Scale,
+    topology: Topology,
+    workload: WorkloadSpec,
+    threads: u16,
+    seed: u64,
+) -> ExperimentSpec {
+    let mut workload = workload;
+    workload.keys_per_partition = scale.keys_per_partition;
+    ExperimentSpec {
+        topology,
+        workload,
+        threads_per_client: threads,
+        warmup_micros: scale.warmup_micros,
+        measure_micros: scale.measure_micros,
+        seed,
+    }
+}
+
+/// One point of a latency-throughput curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Threads per client process at this point.
+    pub threads: u16,
+    /// The run's metrics.
+    pub result: RunResult,
+}
+
+/// Sweeps the closed-loop thread count for one system, producing the
+/// latency-throughput curve of Figs. 3–5.
+pub fn sweep(
+    system: SystemKind,
+    scale: Scale,
+    topology: &Topology,
+    workload: &WorkloadSpec,
+    seed: u64,
+) -> Vec<CurvePoint> {
+    scale
+        .thread_levels
+        .iter()
+        .map(|&threads| CurvePoint {
+            threads,
+            result: run(
+                system,
+                &spec(scale, topology.clone(), workload.clone(), threads, seed),
+            ),
+        })
+        .collect()
+}
+
+/// Prints a latency-throughput curve in the paper's axes (throughput in
+/// 1000×TX/s, mean latency in ms).
+pub fn print_curve(label: &str, curve: &[CurvePoint]) {
+    println!("  {label}:");
+    println!(
+        "    {:>7}  {:>12}  {:>10}  {:>9}  {:>9}",
+        "threads", "ktx/s", "mean ms", "p95 ms", "p99 ms"
+    );
+    for p in curve {
+        println!(
+            "    {:>7}  {:>12.2}  {:>10.2}  {:>9.2}  {:>9.2}",
+            p.threads,
+            p.result.throughput / 1000.0,
+            p.result.latency.mean_ms,
+            p.result.latency.p95_ms,
+            p.result.latency.p99_ms,
+        );
+    }
+}
+
+/// Prints a blocking-time curve (Fig. 3b's axes).
+pub fn print_blocking(label: &str, curve: &[CurvePoint]) {
+    println!("  {label}:");
+    println!(
+        "    {:>7}  {:>12}  {:>14}  {:>12}",
+        "threads", "ktx/s", "mean block ms", "blocked frac"
+    );
+    for p in curve {
+        println!(
+            "    {:>7}  {:>12.2}  {:>14.3}  {:>12.3}",
+            p.threads,
+            p.result.throughput / 1000.0,
+            p.result.blocking.mean_block_ms,
+            p.result.blocking.blocked_fraction,
+        );
+    }
+}
+
+/// Peak throughput over a sweep (TX/s).
+pub fn peak_throughput(curve: &[CurvePoint]) -> f64 {
+    curve
+        .iter()
+        .map(|p| p.result.throughput)
+        .fold(0.0, f64::max)
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!();
+    println!("=== {figure} — {caption} ===");
+}

@@ -1,0 +1,145 @@
+use crate::Timestamp;
+
+/// A hybrid logical clock (HLC).
+///
+/// An HLC produces timestamps that are (a) strictly monotonic per process,
+/// (b) consistent with causality across processes when merged on message
+/// receipt, and (c) close to physical time. Wren servers use one HLC each:
+/// the prepare phase computes `HLC ← max(Clock, ht + 1, HLC + 1)`
+/// (Algorithm 3 line 14) and the commit phase `HLC ← max(HLC, ct, Clock)`
+/// (line 21). The H-Cure baseline exists precisely to show that HLCs alone
+/// (without CANToR snapshots) do not eliminate read blocking.
+///
+/// The clock itself never reads physical time: callers pass the current
+/// physical reading explicitly, which keeps the protocol state machines
+/// deterministic under simulation.
+///
+/// # Example
+///
+/// ```
+/// use wren_clock::HybridClock;
+///
+/// let mut clock = HybridClock::new();
+/// let t1 = clock.tick(100);
+/// let t2 = clock.tick(90); // physical clock went backwards: HLC does not
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HybridClock {
+    current: Timestamp,
+}
+
+impl HybridClock {
+    /// Creates a clock at [`Timestamp::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock whose last emitted timestamp is `at`.
+    pub fn starting_at(at: Timestamp) -> Self {
+        HybridClock { current: at }
+    }
+
+    /// The last timestamp emitted (or merged); the clock will never emit
+    /// anything ≤ this value again.
+    #[inline]
+    pub fn current(&self) -> Timestamp {
+        self.current
+    }
+
+    /// Advances the clock for a local or send event given the physical
+    /// reading `now_micros`, returning a fresh timestamp strictly greater
+    /// than every previously returned one.
+    pub fn tick(&mut self, now_micros: u64) -> Timestamp {
+        let phys = Timestamp::from_micros(now_micros);
+        self.current = phys.max(self.current.successor());
+        self.current
+    }
+
+    /// Advances the clock ensuring the result is strictly greater than
+    /// `floor`: `HLC ← max(Clock, floor + 1, HLC + 1)`.
+    ///
+    /// This is the exact update Wren cohorts perform when proposing a
+    /// commit timestamp, where `floor` is the highest timestamp the client
+    /// has observed (`ht = max(lt, rt, hwt)`).
+    pub fn tick_at_least(&mut self, now_micros: u64, floor: Timestamp) -> Timestamp {
+        let phys = Timestamp::from_micros(now_micros);
+        self.current = phys.max(floor.successor()).max(self.current.successor());
+        self.current
+    }
+
+    /// Merges a remote timestamp without emitting:
+    /// `HLC ← max(HLC, remote, Clock)`.
+    ///
+    /// Used on commit messages (Algorithm 3 line 21) and by H-Cure on read
+    /// requests to absorb snapshot timestamps from the future.
+    pub fn merge(&mut self, now_micros: u64, remote: Timestamp) {
+        let phys = Timestamp::from_micros(now_micros);
+        self.current = self.current.max(remote).max(phys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_is_strictly_monotonic() {
+        let mut c = HybridClock::new();
+        let mut last = Timestamp::ZERO;
+        for now in [10u64, 10, 10, 5, 20, 20, 3] {
+            let t = c.tick(now);
+            assert!(t > last, "tick must be strictly monotonic");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn tick_tracks_physical_time_when_ahead() {
+        let mut c = HybridClock::new();
+        let t = c.tick(1_000);
+        assert_eq!(t.physical_micros(), 1_000);
+        assert_eq!(t.logical(), 0);
+    }
+
+    #[test]
+    fn tick_at_least_exceeds_floor() {
+        let mut c = HybridClock::new();
+        let floor = Timestamp::from_parts(5_000, 3);
+        let t = c.tick_at_least(1_000, floor);
+        assert!(t > floor);
+        assert_eq!(t, floor.successor());
+    }
+
+    #[test]
+    fn tick_at_least_prefers_physical_when_larger() {
+        let mut c = HybridClock::new();
+        let floor = Timestamp::from_parts(10, 0);
+        let t = c.tick_at_least(9_000, floor);
+        assert_eq!(t, Timestamp::from_micros(9_000));
+    }
+
+    #[test]
+    fn merge_absorbs_remote() {
+        let mut c = HybridClock::new();
+        c.merge(50, Timestamp::from_parts(700, 9));
+        assert_eq!(c.current(), Timestamp::from_parts(700, 9));
+        // A later tick stays above the merged value.
+        let t = c.tick(60);
+        assert!(t > Timestamp::from_parts(700, 9));
+    }
+
+    #[test]
+    fn merge_keeps_local_when_remote_old() {
+        let mut c = HybridClock::starting_at(Timestamp::from_parts(900, 0));
+        c.merge(10, Timestamp::from_parts(100, 0));
+        assert_eq!(c.current(), Timestamp::from_parts(900, 0));
+    }
+
+    #[test]
+    fn starting_at_resumes() {
+        let mut c = HybridClock::starting_at(Timestamp::from_parts(42, 42));
+        assert_eq!(c.current(), Timestamp::from_parts(42, 42));
+        assert!(c.tick(0) > Timestamp::from_parts(42, 42));
+    }
+}

@@ -1,0 +1,160 @@
+use std::time::Instant;
+
+/// A source of physical time in microseconds.
+///
+/// Protocol code never calls `Instant::now` directly; it reads whichever
+/// `PhysicalClock` the driver supplies. The simulator injects
+/// [`SkewedClock`]s (deterministic, with per-server offset and drift,
+/// modelling NTP-synchronized machines), while the threaded runtime uses
+/// [`SystemClock`].
+pub trait PhysicalClock {
+    /// Current reading, in microseconds.
+    ///
+    /// `reference_micros` is the driver's notion of true time: the
+    /// simulator passes simulated time; the threaded runtime passes elapsed
+    /// wall-clock time. Implementations map it to this server's (possibly
+    /// skewed) local reading.
+    fn now_micros(&self, reference_micros: u64) -> u64;
+}
+
+/// A physical clock with a constant offset and a linear drift rate,
+/// modelling an NTP-disciplined machine.
+///
+/// The paper's Cure baseline blocks reads while a partition's physical
+/// clock lags a transaction's snapshot timestamp; reproducing that effect
+/// requires clocks that genuinely disagree. Offsets of a few hundred
+/// microseconds to a few milliseconds match the skews the paper attributes
+/// to NTP (§III, footnote on clock skew vs. geo-replication delay).
+///
+/// # Example
+///
+/// ```
+/// use wren_clock::{PhysicalClock, SkewedClock};
+///
+/// let fast = SkewedClock::new(500, 0.0);   // half a millisecond ahead
+/// let slow = SkewedClock::new(-500, 0.0);  // half a millisecond behind
+/// assert_eq!(fast.now_micros(10_000), 10_500);
+/// assert_eq!(slow.now_micros(10_000), 9_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedClock {
+    offset_micros: i64,
+    /// Fractional drift: 1e-5 means the clock gains 10 µs per second.
+    drift: f64,
+}
+
+impl SkewedClock {
+    /// Creates a skewed clock with the given constant offset (µs, may be
+    /// negative) and drift rate (fraction of elapsed time).
+    pub fn new(offset_micros: i64, drift: f64) -> Self {
+        SkewedClock {
+            offset_micros,
+            drift,
+        }
+    }
+
+    /// A perfectly synchronized clock.
+    pub fn perfect() -> Self {
+        SkewedClock::new(0, 0.0)
+    }
+
+    /// The constant offset in microseconds.
+    pub fn offset_micros(&self) -> i64 {
+        self.offset_micros
+    }
+}
+
+impl PhysicalClock for SkewedClock {
+    fn now_micros(&self, reference_micros: u64) -> u64 {
+        let drifted = reference_micros as f64 * self.drift;
+        let raw = reference_micros as i64 + self.offset_micros + drifted as i64;
+        raw.max(0) as u64
+    }
+}
+
+/// Wall-clock time relative to a fixed epoch, for the threaded runtime.
+///
+/// All servers of one in-process cluster share the epoch, so their readings
+/// are mutually consistent up to OS scheduling noise; tests can additionally
+/// wrap this in a [`SkewedClock`]-style offset via
+/// [`SystemClock::with_offset`].
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    epoch: Instant,
+    offset_micros: i64,
+}
+
+impl SystemClock {
+    /// Creates a clock measuring microseconds since `epoch`.
+    pub fn new(epoch: Instant) -> Self {
+        SystemClock {
+            epoch,
+            offset_micros: 0,
+        }
+    }
+
+    /// Adds an artificial offset, for skew-injection tests on the threaded
+    /// runtime.
+    pub fn with_offset(epoch: Instant, offset_micros: i64) -> Self {
+        SystemClock {
+            epoch,
+            offset_micros,
+        }
+    }
+
+    /// Reads the clock now (ignoring any reference).
+    pub fn read(&self) -> u64 {
+        let elapsed = self.epoch.elapsed().as_micros() as i64;
+        (elapsed + self.offset_micros).max(0) as u64
+    }
+}
+
+impl PhysicalClock for SystemClock {
+    fn now_micros(&self, _reference_micros: u64) -> u64 {
+        self.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_clock_applies_offset() {
+        let c = SkewedClock::new(250, 0.0);
+        assert_eq!(c.now_micros(1_000), 1_250);
+    }
+
+    #[test]
+    fn skewed_clock_applies_drift() {
+        // 1e-3 drift: gains 1 ms per second.
+        let c = SkewedClock::new(0, 1e-3);
+        assert_eq!(c.now_micros(1_000_000), 1_001_000);
+    }
+
+    #[test]
+    fn skewed_clock_saturates_at_zero() {
+        let c = SkewedClock::new(-10_000, 0.0);
+        assert_eq!(c.now_micros(5_000), 0);
+    }
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = SkewedClock::perfect();
+        assert_eq!(c.now_micros(123), 123);
+    }
+
+    #[test]
+    fn system_clock_moves_forward() {
+        let c = SystemClock::new(Instant::now());
+        let a = c.read();
+        let b = c.read();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_offset_applies() {
+        let c = SystemClock::with_offset(Instant::now(), 1_000_000);
+        assert!(c.read() >= 1_000_000);
+    }
+}

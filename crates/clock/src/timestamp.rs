@@ -1,0 +1,189 @@
+use std::fmt;
+
+/// Number of low bits reserved for the logical counter of a hybrid
+/// timestamp.
+const LOGICAL_BITS: u32 = 16;
+/// Mask selecting the logical counter.
+const LOGICAL_MASK: u64 = (1 << LOGICAL_BITS) - 1;
+
+/// A 64-bit hybrid timestamp: 48 bits of physical microseconds, 16 bits of
+/// logical counter.
+///
+/// The packing makes hybrid timestamps totally ordered by a plain integer
+/// comparison while staying close to physical time, which is exactly the
+/// property Wren's Binary Dependency Time (BDT) relies on: every item and
+/// snapshot is described by *two* of these scalars (a local and a remote
+/// one), independent of the number of partitions or data centers.
+///
+/// 48 bits of microseconds cover ~8.9 years of uptime, far beyond any
+/// simulated or real run of this repository.
+///
+/// # Example
+///
+/// ```
+/// use wren_clock::Timestamp;
+///
+/// let t = Timestamp::from_parts(42, 7);
+/// assert_eq!(t.physical_micros(), 42);
+/// assert_eq!(t.logical(), 7);
+/// assert!(t > Timestamp::from_parts(42, 6));
+/// assert!(t < Timestamp::from_parts(43, 0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp: smaller than or equal to every other timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Builds a timestamp from raw packed bits.
+    ///
+    /// Use [`Timestamp::from_parts`] unless round-tripping through the wire
+    /// codec.
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+
+    /// Returns the raw packed 64-bit representation.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a timestamp from a physical microsecond reading and a logical
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `micros` does not fit in 48 bits.
+    #[inline]
+    pub fn from_parts(micros: u64, logical: u16) -> Self {
+        debug_assert!(micros < (1 << 48), "physical part overflows 48 bits");
+        Timestamp((micros << LOGICAL_BITS) | logical as u64)
+    }
+
+    /// Builds a timestamp with physical part `micros` and a zero logical
+    /// counter: the smallest timestamp at that physical instant.
+    #[inline]
+    pub fn from_micros(micros: u64) -> Self {
+        Self::from_parts(micros, 0)
+    }
+
+    /// The physical (microsecond) component.
+    #[inline]
+    pub const fn physical_micros(self) -> u64 {
+        self.0 >> LOGICAL_BITS
+    }
+
+    /// The logical counter component.
+    #[inline]
+    pub const fn logical(self) -> u16 {
+        (self.0 & LOGICAL_MASK) as u16
+    }
+
+    /// The immediate successor timestamp (`self + 1` on the logical
+    /// counter, carrying into the physical part on overflow).
+    ///
+    /// Wren's prepare phase uses this to guarantee proposed commit
+    /// timestamps strictly exceed everything a client has observed.
+    #[inline]
+    pub const fn successor(self) -> Self {
+        Timestamp(self.0 + 1)
+    }
+
+    /// The immediate predecessor, saturating at zero.
+    ///
+    /// CANToR assigns a transaction the remote snapshot
+    /// `min(rst, lst.predecessor())` (Algorithm 2, line 5) so that the
+    /// remote snapshot is always strictly below the local one.
+    #[inline]
+    pub const fn predecessor(self) -> Self {
+        Timestamp(self.0.saturating_sub(1))
+    }
+
+    /// Whether this is the zero timestamp.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<u64> for Timestamp {
+    /// Interprets `raw` as packed bits (identical to [`Timestamp::from_raw`]).
+    fn from(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+}
+
+impl From<Timestamp> for u64 {
+    fn from(t: Timestamp) -> Self {
+        t.0
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.physical_micros(), self.logical())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let t = Timestamp::from_parts(123_456_789, 42);
+        assert_eq!(t.physical_micros(), 123_456_789);
+        assert_eq!(t.logical(), 42);
+    }
+
+    #[test]
+    fn ordering_is_physical_then_logical() {
+        let a = Timestamp::from_parts(10, 65_535);
+        let b = Timestamp::from_parts(11, 0);
+        assert!(a < b);
+        let c = Timestamp::from_parts(10, 3);
+        let d = Timestamp::from_parts(10, 4);
+        assert!(c < d);
+    }
+
+    #[test]
+    fn successor_carries_into_physical() {
+        let t = Timestamp::from_parts(5, u16::MAX);
+        let s = t.successor();
+        assert_eq!(s.physical_micros(), 6);
+        assert_eq!(s.logical(), 0);
+    }
+
+    #[test]
+    fn predecessor_saturates_at_zero() {
+        assert_eq!(Timestamp::ZERO.predecessor(), Timestamp::ZERO);
+        let t = Timestamp::from_parts(1, 0);
+        assert_eq!(t.predecessor(), Timestamp::from_parts(0, u16::MAX));
+    }
+
+    #[test]
+    fn zero_is_minimum() {
+        assert!(Timestamp::ZERO.is_zero());
+        assert!(Timestamp::ZERO <= Timestamp::from_parts(0, 1));
+        assert!(Timestamp::MAX > Timestamp::from_parts(1 << 40, 12));
+    }
+
+    #[test]
+    fn display_shows_both_parts() {
+        let t = Timestamp::from_parts(99, 7);
+        assert_eq!(format!("{t}"), "99.7");
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+use crate::Timestamp;
+use std::fmt;
+
+/// A version vector with one [`Timestamp`] entry per data center.
+///
+/// Every Wren partition `p` in DC `m` maintains `VV[i]` = the timestamp of
+/// the latest update received from its sibling replica in DC `i`, with
+/// `VV[m]` acting as the partition's local version clock (the local
+/// snapshot it has installed) — Algorithm 4 of the paper. The BiST
+/// stabilization protocol aggregates these vectors into the two scalars
+/// `LST`/`RST`; the Cure baseline instead ships whole vectors as its
+/// dependency metadata, which is exactly the overhead Fig. 7a measures.
+///
+/// # Example
+///
+/// ```
+/// use wren_clock::{Timestamp, VersionVector};
+///
+/// let mut vv = VersionVector::new(3);
+/// vv.set(1, Timestamp::from_micros(50));
+/// assert_eq!(vv.get(1), Timestamp::from_micros(50));
+/// assert_eq!(vv.min_except(1), Timestamp::ZERO);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VersionVector {
+    entries: Vec<Timestamp>,
+}
+
+impl VersionVector {
+    /// Creates a vector of `len` zero entries (one per DC).
+    pub fn new(len: usize) -> Self {
+        VersionVector {
+            entries: vec![Timestamp::ZERO; len],
+        }
+    }
+
+    /// Builds a vector from explicit entries.
+    pub fn from_entries(entries: Vec<Timestamp>) -> Self {
+        VersionVector { entries }
+    }
+
+    /// Number of entries (= number of DCs).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry for DC `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> Timestamp {
+        self.entries[i]
+    }
+
+    /// Sets the entry for DC `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, t: Timestamp) {
+        self.entries[i] = t;
+    }
+
+    /// Raises the entry for DC `i` to `max(current, t)`.
+    #[inline]
+    pub fn raise(&mut self, i: usize, t: Timestamp) {
+        if t > self.entries[i] {
+            self.entries[i] = t;
+        }
+    }
+
+    /// Entrywise maximum with `other` (join in the vector-clock lattice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn join(&mut self, other: &VersionVector) {
+        assert_eq!(self.len(), other.len(), "version vector length mismatch");
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// Entrywise minimum with `other` (meet in the vector-clock lattice).
+    ///
+    /// Stabilization protocols compute global/local stable snapshots as
+    /// meets across all partitions of a DC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn meet(&mut self, other: &VersionVector) {
+        assert_eq!(self.len(), other.len(), "version vector length mismatch");
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            if *theirs < *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    /// `true` iff every entry of `self` is ≤ the matching entry of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dominated_by(&self, other: &VersionVector) -> bool {
+        assert_eq!(self.len(), other.len(), "version vector length mismatch");
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .all(|(mine, theirs)| mine <= theirs)
+    }
+
+    /// Minimum over all entries.
+    ///
+    /// Returns [`Timestamp::MAX`] for an empty vector.
+    pub fn min(&self) -> Timestamp {
+        self.entries.iter().copied().min().unwrap_or(Timestamp::MAX)
+    }
+
+    /// Minimum over all entries except index `skip` — the aggregate BiST
+    /// sends for the remote stable time (Algorithm 4 line 30).
+    ///
+    /// Returns [`Timestamp::MAX`] if there is no other entry.
+    pub fn min_except(&self, skip: usize) -> Timestamp {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, t)| *t)
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+
+    /// Iterates over the entries in DC order.
+    pub fn iter(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Borrows the entries as a slice.
+    pub fn as_slice(&self) -> &[Timestamp] {
+        &self.entries
+    }
+}
+
+impl FromIterator<Timestamp> for VersionVector {
+    fn from_iter<I: IntoIterator<Item = Timestamp>>(iter: I) -> Self {
+        VersionVector {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for VersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.entries.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(micros: u64) -> Timestamp {
+        Timestamp::from_micros(micros)
+    }
+
+    #[test]
+    fn new_is_all_zero() {
+        let vv = VersionVector::new(4);
+        assert_eq!(vv.len(), 4);
+        assert!(vv.iter().all(|t| t.is_zero()));
+    }
+
+    #[test]
+    fn raise_only_increases() {
+        let mut vv = VersionVector::new(2);
+        vv.raise(0, ts(10));
+        vv.raise(0, ts(5));
+        assert_eq!(vv.get(0), ts(10));
+    }
+
+    #[test]
+    fn join_takes_entrywise_max() {
+        let mut a = VersionVector::from_entries(vec![ts(1), ts(9)]);
+        let b = VersionVector::from_entries(vec![ts(4), ts(2)]);
+        a.join(&b);
+        assert_eq!(a.as_slice(), &[ts(4), ts(9)]);
+    }
+
+    #[test]
+    fn meet_takes_entrywise_min() {
+        let mut a = VersionVector::from_entries(vec![ts(1), ts(9)]);
+        let b = VersionVector::from_entries(vec![ts(4), ts(2)]);
+        a.meet(&b);
+        assert_eq!(a.as_slice(), &[ts(1), ts(2)]);
+    }
+
+    #[test]
+    fn dominated_by_is_componentwise() {
+        let a = VersionVector::from_entries(vec![ts(1), ts(2)]);
+        let b = VersionVector::from_entries(vec![ts(1), ts(3)]);
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        assert!(a.dominated_by(&a));
+    }
+
+    #[test]
+    fn min_except_skips_local_entry() {
+        let vv = VersionVector::from_entries(vec![ts(1), ts(50), ts(20)]);
+        assert_eq!(vv.min_except(0), ts(20));
+        assert_eq!(vv.min_except(2), ts(1));
+        assert_eq!(vv.min(), ts(1));
+    }
+
+    #[test]
+    fn min_of_empty_is_max() {
+        let vv = VersionVector::new(0);
+        assert_eq!(vv.min(), Timestamp::MAX);
+        let single = VersionVector::new(1);
+        assert_eq!(single.min_except(0), Timestamp::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn join_rejects_length_mismatch() {
+        let mut a = VersionVector::new(2);
+        let b = VersionVector::new(3);
+        a.join(&b);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let vv: VersionVector = [ts(1), ts(2)].into_iter().collect();
+        assert_eq!(vv.len(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the clock algebra.
+
+use proptest::prelude::*;
+use wren_clock::{HybridClock, Timestamp, VersionVector};
+
+fn arb_ts() -> impl Strategy<Value = Timestamp> {
+    (0u64..(1 << 40), any::<u16>()).prop_map(|(p, l)| Timestamp::from_parts(p, l))
+}
+
+fn arb_vv(len: usize) -> impl Strategy<Value = VersionVector> {
+    proptest::collection::vec(arb_ts(), len).prop_map(VersionVector::from_entries)
+}
+
+proptest! {
+    /// A hybrid clock never emits a timestamp twice, regardless of the
+    /// physical readings it observes (including readings that go backwards).
+    #[test]
+    fn hlc_strictly_monotonic(readings in proptest::collection::vec(0u64..1 << 40, 1..64)) {
+        let mut clock = HybridClock::new();
+        let mut last = Timestamp::ZERO;
+        for now in readings {
+            let t = clock.tick(now);
+            prop_assert!(t > last);
+            last = t;
+        }
+    }
+
+    /// `tick_at_least` always exceeds both the floor and every earlier tick.
+    #[test]
+    fn hlc_tick_at_least_exceeds_floor(now in 0u64..1 << 40, floor in arb_ts()) {
+        let mut clock = HybridClock::new();
+        let before = clock.current();
+        let t = clock.tick_at_least(now, floor);
+        prop_assert!(t > floor);
+        prop_assert!(t > before);
+    }
+
+    /// Merging never moves the clock backwards and absorbs the remote value.
+    #[test]
+    fn hlc_merge_absorbs(now in 0u64..1 << 40, remote in arb_ts(), start in arb_ts()) {
+        let mut clock = HybridClock::starting_at(start);
+        clock.merge(now, remote);
+        prop_assert!(clock.current() >= remote);
+        prop_assert!(clock.current() >= start);
+    }
+
+    /// Timestamp packing round-trips through its raw representation and
+    /// orders lexicographically by (physical, logical).
+    #[test]
+    fn timestamp_roundtrip_and_order(a in arb_ts(), b in arb_ts()) {
+        prop_assert_eq!(Timestamp::from_raw(a.raw()), a);
+        let key = |t: Timestamp| (t.physical_micros(), t.logical());
+        prop_assert_eq!(a.cmp(&b), key(a).cmp(&key(b)));
+    }
+
+    /// Join is the least upper bound: it dominates both operands, and any
+    /// vector dominating both also dominates the join.
+    #[test]
+    fn vv_join_is_lub((a, b, c) in (arb_vv(4), arb_vv(4), arb_vv(4))) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.dominated_by(&j));
+        prop_assert!(b.dominated_by(&j));
+        let mut upper = c.clone();
+        upper.join(&a);
+        upper.join(&b);
+        prop_assert!(j.dominated_by(&upper));
+    }
+
+    /// Meet is the greatest lower bound, and min/min_except agree with it.
+    #[test]
+    fn vv_meet_is_glb((a, b) in (arb_vv(5), arb_vv(5)), skip in 0usize..5) {
+        let mut m = a.clone();
+        m.meet(&b);
+        prop_assert!(m.dominated_by(&a));
+        prop_assert!(m.dominated_by(&b));
+        let manual_min = a.iter().min().unwrap();
+        prop_assert_eq!(a.min(), manual_min);
+        let manual_skip = a
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, t)| t)
+            .min()
+            .unwrap();
+        prop_assert_eq!(a.min_except(skip), manual_skip);
+    }
+
+    /// Join and meet are commutative and idempotent.
+    #[test]
+    fn vv_lattice_laws((a, b) in (arb_vv(3), arb_vv(3))) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a);
+    }
+}

@@ -1,0 +1,867 @@
+use crate::{VisibilitySampler, WrenConfig};
+use std::collections::{BTreeMap, HashMap};
+use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
+use wren_protocol::{
+    ClientId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId, Value,
+    WrenMsg, WrenVersion,
+};
+use wren_storage::MvStore;
+
+/// Counters exposed by a server for test assertions and reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Transactions this server coordinated to commit.
+    pub txs_coordinated: u64,
+    /// Transactions this server committed as a cohort.
+    pub txs_cohort_committed: u64,
+    /// Slice requests served (local and remote coordinators).
+    pub slices_served: u64,
+    /// Individual keys read.
+    pub keys_read: u64,
+    /// Local versions applied by the replication tick.
+    pub local_versions_applied: u64,
+    /// Remote versions applied from replication batches.
+    pub remote_versions_applied: u64,
+    /// Replication batches shipped to sibling replicas.
+    pub replicate_batches_sent: u64,
+    /// Heartbeats shipped to sibling replicas.
+    pub heartbeats_sent: u64,
+    /// Versions removed by garbage collection.
+    pub gc_versions_removed: u64,
+}
+
+/// Per-transaction coordinator context (the paper's `TX[id_T]`, extended
+/// with the bookkeeping for asynchronous slice/prepare fan-out).
+#[derive(Debug)]
+struct TxCtx {
+    client: ClientId,
+    lt: Timestamp,
+    rt: Timestamp,
+    /// Outstanding slice responses for the in-flight read round.
+    pending_slices: usize,
+    read_acc: Vec<(Key, Option<WrenVersion>)>,
+    /// Outstanding prepare responses for the in-flight commit.
+    pending_prepares: usize,
+    max_pt: Timestamp,
+    cohorts: Vec<PartitionId>,
+}
+
+/// A prepared transaction awaiting its commit message (the paper's
+/// `Prepared` list, Algorithm 3 line 18).
+#[derive(Debug, Clone)]
+struct PreparedTx {
+    pt: Timestamp,
+    rst: Timestamp,
+    writes: Vec<(Key, Value)>,
+}
+
+/// A committed transaction awaiting application (the paper's `Committed`
+/// list).
+#[derive(Debug, Clone)]
+struct CommittedTx {
+    rst: Timestamp,
+    writes: Vec<(Key, Value)>,
+}
+
+/// A Wren partition server: the state machine of Algorithms 2–4.
+///
+/// The server is **sans-io**: [`WrenServer::handle`] consumes one message
+/// plus the current true time and appends outgoing messages to `out`;
+/// the periodic behaviours are explicit methods
+/// ([`on_replication_tick`](WrenServer::on_replication_tick),
+/// [`on_gossip_tick`](WrenServer::on_gossip_tick),
+/// [`on_gc_tick`](WrenServer::on_gc_tick)) that a driver calls on its own
+/// schedule. Physical time is read through a [`SkewedClock`], so clock
+/// skew between servers is part of the model.
+///
+/// Key invariant (the reason reads never block): once the version clock
+/// `VV[m]` is advanced to `ub`, no transaction will ever commit on this
+/// partition with `ct ≤ ub`. The LST (a min over version clocks) therefore
+/// only ever names fully-installed snapshots.
+#[derive(Debug)]
+pub struct WrenServer {
+    id: ServerId,
+    cfg: WrenConfig,
+    clock: SkewedClock,
+    hlc: HybridClock,
+    /// `VV[i]`: latest update applied from DC `i`'s sibling; `VV[m]` is the
+    /// local version clock.
+    vv: VersionVector,
+    lst: Timestamp,
+    rst: Timestamp,
+    store: MvStore<Key, WrenVersion>,
+    prepared: HashMap<TxId, PreparedTx>,
+    committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
+    next_seq: u64,
+    tx_ctx: HashMap<TxId, TxCtx>,
+    /// Latest BiST contribution `(VV[m], min_{i≠m} VV[i])` per partition.
+    gossip_contrib: Vec<(Timestamp, Timestamp)>,
+    /// Latest GC contribution `(oldest lt, oldest rt)` per partition.
+    gc_contrib: Vec<(Timestamp, Timestamp)>,
+    stats: ServerStats,
+    vis: VisibilitySampler,
+}
+
+impl WrenServer {
+    /// Creates the replica of partition `id.partition` in DC `id.dc`.
+    ///
+    /// `clock` is this server's (possibly skewed) physical clock.
+    pub fn new(id: ServerId, cfg: WrenConfig, clock: SkewedClock) -> Self {
+        let n = cfg.n_partitions as usize;
+        WrenServer {
+            id,
+            cfg,
+            clock,
+            hlc: HybridClock::new(),
+            vv: VersionVector::new(cfg.n_dcs as usize),
+            lst: Timestamp::ZERO,
+            rst: Timestamp::ZERO,
+            store: MvStore::new(),
+            prepared: HashMap::new(),
+            committed: BTreeMap::new(),
+            next_seq: 1,
+            tx_ctx: HashMap::new(),
+            gossip_contrib: vec![(Timestamp::ZERO, Timestamp::ZERO); n],
+            gc_contrib: vec![(Timestamp::ZERO, Timestamp::ZERO); n],
+            stats: ServerStats::default(),
+            vis: VisibilitySampler::new(cfg.visibility_sample_every),
+        }
+    }
+
+    /// This server's identity.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Current local stable time (LST) known to this server.
+    pub fn lst(&self) -> Timestamp {
+        self.lst
+    }
+
+    /// Current remote stable time (RST) known to this server.
+    pub fn rst(&self) -> Timestamp {
+        self.rst
+    }
+
+    /// The local version clock `VV[m]` (the snapshot installed locally).
+    pub fn version_clock(&self) -> Timestamp {
+        self.vv.get(self.dc_index())
+    }
+
+    /// Counters for reporting.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The visibility sampler (Fig. 7b data).
+    pub fn visibility(&self) -> &VisibilitySampler {
+        &self.vis
+    }
+
+    /// Mutable access to the visibility sampler (warm-up resets).
+    pub fn visibility_mut(&mut self) -> &mut VisibilitySampler {
+        &mut self.vis
+    }
+
+    /// Read-only access to the store (convergence checks in tests).
+    pub fn store(&self) -> &MvStore<Key, WrenVersion> {
+        &self.store
+    }
+
+    /// Number of transactions currently prepared but not committed.
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Number of transactions committed but not yet applied.
+    pub fn committed_len(&self) -> usize {
+        self.committed.len()
+    }
+
+    fn dc_index(&self) -> usize {
+        self.id.dc.index()
+    }
+
+    fn partition_of(&self, key: Key) -> PartitionId {
+        key.partition(self.cfg.n_partitions)
+    }
+
+    fn server(&self, partition: PartitionId) -> ServerId {
+        ServerId {
+            dc: self.id.dc,
+            partition,
+        }
+    }
+
+    fn raise_stable(&mut self, lst: Timestamp, rst: Timestamp, now_micros: u64) {
+        if lst > self.lst {
+            self.lst = lst;
+        }
+        if rst > self.rst {
+            self.rst = rst;
+        }
+        self.vis.advance(self.lst, self.rst, now_micros);
+    }
+
+    /// Handles one protocol message arriving from `from` at true time
+    /// `now_micros`, appending any responses to `out`.
+    pub fn handle(
+        &mut self,
+        from: Dest,
+        msg: WrenMsg,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        match msg {
+            WrenMsg::StartTxReq { lst, rst } => {
+                let Dest::Client(client) = from else {
+                    debug_assert!(false, "StartTxReq must come from a client");
+                    return;
+                };
+                self.on_start(client, lst, rst, now_micros, out);
+            }
+            WrenMsg::TxReadReq { tx, keys } => self.on_read(tx, keys, now_micros, out),
+            WrenMsg::SliceReq { tx, lt, rt, keys } => {
+                let Dest::Server(coord) = from else {
+                    debug_assert!(false, "SliceReq must come from a server");
+                    return;
+                };
+                self.raise_stable(lt, rt, now_micros);
+                let items = self.read_slice(&keys, lt, rt);
+                out.push(Outgoing::to_server(coord, WrenMsg::SliceResp { tx, items }));
+            }
+            WrenMsg::SliceResp { tx, items } => self.on_slice_resp(tx, items, out),
+            WrenMsg::CommitReq { tx, hwt, writes } => {
+                self.on_commit_req(tx, hwt, writes, now_micros, out)
+            }
+            WrenMsg::PrepareReq {
+                tx,
+                lt,
+                rt,
+                ht,
+                writes,
+            } => {
+                let Dest::Server(coord) = from else {
+                    debug_assert!(false, "PrepareReq must come from a server");
+                    return;
+                };
+                let pt = self.prepare(tx, lt, rt, ht, writes, now_micros);
+                out.push(Outgoing::to_server(coord, WrenMsg::PrepareResp { tx, pt }));
+            }
+            WrenMsg::PrepareResp { tx, pt } => self.on_prepare_resp(tx, pt, now_micros, out),
+            WrenMsg::Commit { tx, ct } => self.commit(tx, ct, now_micros),
+            WrenMsg::Replicate { batch } => {
+                let Dest::Server(sibling) = from else {
+                    debug_assert!(false, "Replicate must come from a server");
+                    return;
+                };
+                self.on_replicate(sibling, batch);
+            }
+            WrenMsg::Heartbeat { t } => {
+                let Dest::Server(sibling) = from else {
+                    debug_assert!(false, "Heartbeat must come from a server");
+                    return;
+                };
+                self.vv.raise(sibling.dc.index(), t);
+            }
+            WrenMsg::StableGossip { local, remote } => {
+                let Dest::Server(peer) = from else {
+                    debug_assert!(false, "StableGossip must come from a server");
+                    return;
+                };
+                self.gossip_contrib[peer.partition.index()] = (local, remote);
+                self.recompute_stable(now_micros);
+            }
+            WrenMsg::GossipUp { local, remote } => {
+                let Dest::Server(child) = from else {
+                    debug_assert!(false, "GossipUp must come from a server");
+                    return;
+                };
+                // A child's subtree minimum; folded in at the next tick.
+                self.gossip_contrib[child.partition.index()] = (local, remote);
+            }
+            WrenMsg::GossipDown { lst, rst } => {
+                // The root's DC-wide stable times: adopt and cascade to
+                // our own children immediately (GentleRain-style).
+                self.raise_stable(lst, rst, now_micros);
+                for child in self.tree_children() {
+                    out.push(Outgoing::to_server(child, WrenMsg::GossipDown { lst, rst }));
+                }
+            }
+            WrenMsg::GcGossip {
+                oldest_lt,
+                oldest_rt,
+            } => {
+                let Dest::Server(peer) = from else {
+                    debug_assert!(false, "GcGossip must come from a server");
+                    return;
+                };
+                self.gc_contrib[peer.partition.index()] = (oldest_lt, oldest_rt);
+            }
+            // Responses flowing to clients never reach a server.
+            WrenMsg::StartTxResp { .. }
+            | WrenMsg::TxReadResp { .. }
+            | WrenMsg::CommitResp { .. } => {
+                debug_assert!(false, "client-bound message delivered to a server");
+            }
+        }
+    }
+
+    /// Algorithm 2 lines 1–6: assign a snapshot and transaction id.
+    fn on_start(
+        &mut self,
+        client: ClientId,
+        lst_c: Timestamp,
+        rst_c: Timestamp,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        self.raise_stable(lst_c, rst_c, now_micros);
+        let tx = TxId::new(self.id, self.next_seq);
+        self.next_seq += 1;
+        let lt = self.lst;
+        // The remote snapshot is forced strictly below the local one so a
+        // client-cache hit is always the freshest visible version under
+        // last-writer-wins (§IV-B "Start").
+        let rt = self.rst.min(lt.predecessor());
+        self.tx_ctx.insert(
+            tx,
+            TxCtx {
+                client,
+                lt,
+                rt,
+                pending_slices: 0,
+                read_acc: Vec::new(),
+                pending_prepares: 0,
+                max_pt: Timestamp::ZERO,
+                cohorts: Vec::new(),
+            },
+        );
+        out.push(Outgoing::to_client(
+            client,
+            WrenMsg::StartTxResp { tx, lst: lt, rst: rt },
+        ));
+    }
+
+    /// Algorithm 2 lines 7–16: fan a read out to the owning partitions.
+    fn on_read(
+        &mut self,
+        tx: TxId,
+        keys: Vec<Key>,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let Some(ctx) = self.tx_ctx.get(&tx) else {
+            debug_assert!(false, "read for unknown transaction");
+            return;
+        };
+        let (lt, rt, client) = (ctx.lt, ctx.rt, ctx.client);
+
+        let mut by_partition: BTreeMap<PartitionId, Vec<Key>> = BTreeMap::new();
+        for k in keys {
+            by_partition.entry(self.partition_of(k)).or_default().push(k);
+        }
+
+        // Serve the coordinator's own slice without a network hop (clients
+        // are collocated with their coordinator, §V-A).
+        let local_items = by_partition
+            .remove(&self.id.partition)
+            .map(|keys| self.read_slice(&keys, lt, rt))
+            .unwrap_or_default();
+
+        let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
+        ctx.read_acc = local_items;
+        ctx.pending_slices = by_partition.len();
+
+        if ctx.pending_slices == 0 {
+            let items = std::mem::take(&mut ctx.read_acc);
+            out.push(Outgoing::to_client(client, WrenMsg::TxReadResp { tx, items }));
+            return;
+        }
+        let _ = now_micros;
+        for (partition, keys) in by_partition {
+            out.push(Outgoing::to_server(
+                self.server(partition),
+                WrenMsg::SliceReq { tx, lt, rt, keys },
+            ));
+        }
+    }
+
+    /// Gathers slice responses; replies to the client when complete.
+    fn on_slice_resp(
+        &mut self,
+        tx: TxId,
+        items: Vec<(Key, Option<WrenVersion>)>,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
+            debug_assert!(false, "slice response for unknown transaction");
+            return;
+        };
+        ctx.read_acc.extend(items);
+        ctx.pending_slices -= 1;
+        if ctx.pending_slices == 0 {
+            let items = std::mem::take(&mut ctx.read_acc);
+            let client = ctx.client;
+            out.push(Outgoing::to_client(client, WrenMsg::TxReadResp { tx, items }));
+        }
+    }
+
+    /// Algorithm 3 lines 1–12: the freshest visible version of each key.
+    ///
+    /// Never blocks: the snapshot `(lt, rt)` only names versions already
+    /// installed on every partition of the DC.
+    fn read_slice(
+        &mut self,
+        keys: &[Key],
+        lt: Timestamp,
+        rt: Timestamp,
+    ) -> Vec<(Key, Option<WrenVersion>)> {
+        self.stats.slices_served += 1;
+        let local_dc = self.id.dc;
+        let mut items = Vec::with_capacity(keys.len());
+        for &k in keys {
+            self.stats.keys_read += 1;
+            let version = self.store.latest_visible(&k, |d| {
+                if d.sr == local_dc {
+                    d.ut <= lt && d.rdt <= rt
+                } else {
+                    d.ut <= rt && d.rdt <= lt
+                }
+            });
+            items.push((k, version.cloned()));
+        }
+        items
+    }
+
+    /// Algorithm 2 lines 17–28 (first half): fan the prepare phase out.
+    fn on_commit_req(
+        &mut self,
+        tx: TxId,
+        hwt: Timestamp,
+        writes: Vec<(Key, Value)>,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let Some(ctx) = self.tx_ctx.get(&tx) else {
+            debug_assert!(false, "commit for unknown transaction");
+            return;
+        };
+        let (lt, rt, client) = (ctx.lt, ctx.rt, ctx.client);
+
+        if writes.is_empty() {
+            // Read-only transaction: nothing to prepare; tear the context
+            // down so GC watermarks can advance. The zero timestamp tells
+            // the client its `hwt` is unchanged.
+            self.tx_ctx.remove(&tx);
+            out.push(Outgoing::to_client(
+                client,
+                WrenMsg::CommitResp {
+                    tx,
+                    ct: Timestamp::ZERO,
+                },
+            ));
+            return;
+        }
+
+        let ht = lt.max(rt).max(hwt);
+        let mut by_partition: BTreeMap<PartitionId, Vec<(Key, Value)>> = BTreeMap::new();
+        for (k, v) in writes {
+            by_partition
+                .entry(self.partition_of(k))
+                .or_default()
+                .push((k, v));
+        }
+
+        let cohorts: Vec<PartitionId> = by_partition.keys().copied().collect();
+        let local_writes = by_partition.remove(&self.id.partition);
+
+        {
+            let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
+            ctx.cohorts = cohorts;
+            ctx.pending_prepares = by_partition.len() + usize::from(local_writes.is_some());
+            ctx.max_pt = Timestamp::ZERO;
+        }
+
+        for (partition, writes) in by_partition {
+            out.push(Outgoing::to_server(
+                self.server(partition),
+                WrenMsg::PrepareReq {
+                    tx,
+                    lt,
+                    rt,
+                    ht,
+                    writes,
+                },
+            ));
+        }
+        if let Some(writes) = local_writes {
+            let pt = self.prepare(tx, lt, rt, ht, writes, now_micros);
+            self.on_prepare_resp(tx, pt, now_micros, out);
+        }
+    }
+
+    /// Algorithm 3 lines 13–19: propose a commit timestamp and append to
+    /// the pending list.
+    fn prepare(
+        &mut self,
+        tx: TxId,
+        lt: Timestamp,
+        rt: Timestamp,
+        ht: Timestamp,
+        writes: Vec<(Key, Value)>,
+        now_micros: u64,
+    ) -> Timestamp {
+        let phys = self.clock.now_micros(now_micros);
+        let pt = self.hlc.tick_at_least(phys, ht);
+        self.raise_stable(lt, rt, now_micros);
+        self.prepared.insert(
+            tx,
+            PreparedTx {
+                pt,
+                rst: rt,
+                writes,
+            },
+        );
+        pt
+    }
+
+    /// Gathers prepare responses; on the last one, commits everywhere and
+    /// answers the client (Algorithm 2 lines 25–28).
+    fn on_prepare_resp(
+        &mut self,
+        tx: TxId,
+        pt: Timestamp,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
+            debug_assert!(false, "prepare response for unknown transaction");
+            return;
+        };
+        ctx.max_pt = ctx.max_pt.max(pt);
+        ctx.pending_prepares -= 1;
+        if ctx.pending_prepares > 0 {
+            return;
+        }
+        let ct = ctx.max_pt;
+        let client = ctx.client;
+        let cohorts = std::mem::take(&mut ctx.cohorts);
+        self.tx_ctx.remove(&tx);
+        for partition in cohorts {
+            if partition == self.id.partition {
+                self.commit(tx, ct, now_micros);
+            } else {
+                out.push(Outgoing::to_server(
+                    self.server(partition),
+                    WrenMsg::Commit { tx, ct },
+                ));
+            }
+        }
+        self.stats.txs_coordinated += 1;
+        out.push(Outgoing::to_client(client, WrenMsg::CommitResp { tx, ct }));
+    }
+
+    /// Algorithm 3 lines 20–24: move a transaction from the pending to the
+    /// commit list.
+    fn commit(&mut self, tx: TxId, ct: Timestamp, now_micros: u64) {
+        let phys = self.clock.now_micros(now_micros);
+        self.hlc.merge(phys, ct);
+        let Some(prepared) = self.prepared.remove(&tx) else {
+            debug_assert!(false, "commit for unprepared transaction");
+            return;
+        };
+        self.committed.insert(
+            (ct, tx),
+            CommittedTx {
+                rst: prepared.rst,
+                writes: prepared.writes,
+            },
+        );
+        self.stats.txs_cohort_committed += 1;
+    }
+
+    /// Applies a replication batch from the sibling replica in `sibling`'s
+    /// DC (Algorithm 4 lines 22–26).
+    fn on_replicate(&mut self, sibling: ServerId, batch: ReplicateBatch) {
+        let src = sibling.dc;
+        for rep in batch.txs {
+            for (k, v) in rep.writes {
+                self.store.insert(
+                    k,
+                    WrenVersion {
+                        value: v,
+                        ut: batch.ct,
+                        rdt: rep.rst,
+                        tx: rep.tx,
+                        sr: src,
+                    },
+                );
+                self.stats.remote_versions_applied += 1;
+            }
+            self.vis.register_remote(batch.ct);
+        }
+        self.vv.raise(src.index(), batch.ct);
+    }
+
+    /// Algorithm 4 lines 5–21 (Δ_R): apply committed transactions in
+    /// commit-timestamp order, advance the version clock and ship
+    /// replication batches (or a heartbeat when idle).
+    ///
+    /// Returns the number of versions applied (drivers use it to charge
+    /// CPU time proportional to the work done).
+    pub fn on_replication_tick(
+        &mut self,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) -> usize {
+        let phys = self.clock.now_micros(now_micros);
+        // Absorb physical time so that ub is a genuine lower bound on every
+        // future proposal (future pts are > HLC ≥ ub; see struct docs).
+        self.hlc.merge(phys, Timestamp::ZERO);
+
+        let ub = if self.prepared.is_empty() {
+            self.hlc.current()
+        } else {
+            self.prepared
+                .values()
+                .map(|p| p.pt)
+                .min()
+                .expect("non-empty")
+                .predecessor()
+        };
+
+        if ub <= self.version_clock() {
+            return 0;
+        }
+
+        let mut applied = 0usize;
+        if self.committed.is_empty() {
+            self.vv.set(self.dc_index(), ub);
+            let siblings: Vec<ServerId> = self.siblings().collect();
+            for sibling in siblings {
+                out.push(Outgoing::to_server(sibling, WrenMsg::Heartbeat { t: ub }));
+                self.stats.heartbeats_sent += 1;
+            }
+            return 0;
+        }
+
+        // Split off the transactions with ct ≤ ub, in ascending ct order.
+        let keep = self.committed.split_off(&(ub.successor(), TxId::from_raw(0)));
+        let ready = std::mem::replace(&mut self.committed, keep);
+
+        let mut batch: Vec<RepTx> = Vec::new();
+        let mut batch_ct = Timestamp::ZERO;
+        for ((ct, tx), ctx) in ready {
+            if ct != batch_ct && !batch.is_empty() {
+                self.ship_batch(batch_ct, std::mem::take(&mut batch), out);
+            }
+            batch_ct = ct;
+            for (k, v) in &ctx.writes {
+                self.store.insert(
+                    *k,
+                    WrenVersion {
+                        value: v.clone(),
+                        ut: ct,
+                        rdt: ctx.rst,
+                        tx,
+                        sr: self.id.dc,
+                    },
+                );
+                applied += 1;
+                self.stats.local_versions_applied += 1;
+            }
+            self.vis.register_local(ct);
+            batch.push(RepTx {
+                tx,
+                rst: ctx.rst,
+                writes: ctx.writes,
+            });
+        }
+        if !batch.is_empty() {
+            self.ship_batch(batch_ct, batch, out);
+        }
+        self.vv.set(self.dc_index(), ub);
+        applied
+    }
+
+    fn ship_batch(&mut self, ct: Timestamp, txs: Vec<RepTx>, out: &mut Vec<Outgoing<WrenMsg>>) {
+        let siblings: Vec<ServerId> = self.siblings().collect();
+        for sibling in siblings {
+            out.push(Outgoing::to_server(
+                sibling,
+                WrenMsg::Replicate {
+                    batch: ReplicateBatch {
+                        ct,
+                        txs: txs.clone(),
+                    },
+                },
+            ));
+            self.stats.replicate_batches_sent += 1;
+        }
+    }
+
+    fn siblings(&self) -> impl Iterator<Item = ServerId> + '_ {
+        let me = self.id;
+        (0..self.cfg.n_dcs)
+            .filter(move |dc| *dc != me.dc.0)
+            .map(move |dc| ServerId {
+                dc: wren_protocol::DcId(dc),
+                partition: me.partition,
+            })
+    }
+
+    /// Algorithm 4 lines 29–31 (Δ_G): exchange this partition's BiST
+    /// contribution — two scalar timestamps — and refresh LST/RST.
+    ///
+    /// With [`WrenConfig::gossip_fanout`] = 0, every partition broadcasts
+    /// to every other. Otherwise contributions aggregate up a k-ary tree
+    /// and the root's result cascades back down, reducing the per-round
+    /// message count from N(N−1) to 2(N−1).
+    pub fn on_gossip_tick(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
+        let local = self.version_clock();
+        let remote = self.vv.min_except(self.dc_index());
+        self.gossip_contrib[self.id.partition.index()] = (local, remote);
+
+        if self.cfg.gossip_fanout == 0 {
+            for peer in self.dc_peers() {
+                out.push(Outgoing::to_server(
+                    peer,
+                    WrenMsg::StableGossip { local, remote },
+                ));
+            }
+            self.recompute_stable(now_micros);
+            return;
+        }
+
+        // Tree mode: fold own + children subtree minima.
+        let mut sub_local = local;
+        let mut sub_remote = remote;
+        for child in self.tree_children() {
+            let (cl, cr) = self.gossip_contrib[child.partition.index()];
+            sub_local = sub_local.min(cl);
+            sub_remote = sub_remote.min(cr);
+        }
+        match self.tree_parent() {
+            Some(parent) => {
+                out.push(Outgoing::to_server(
+                    parent,
+                    WrenMsg::GossipUp {
+                        local: sub_local,
+                        remote: sub_remote,
+                    },
+                ));
+            }
+            None => {
+                // Root: the subtree minimum covers the whole DC.
+                self.raise_stable(sub_local, sub_remote, now_micros);
+                let (lst, rst) = (self.lst, self.rst);
+                for child in self.tree_children() {
+                    out.push(Outgoing::to_server(child, WrenMsg::GossipDown { lst, rst }));
+                }
+            }
+        }
+    }
+
+    /// This partition's parent in the k-ary stabilization tree (root =
+    /// partition 0), or `None` at the root / in broadcast mode.
+    fn tree_parent(&self) -> Option<ServerId> {
+        let f = self.cfg.gossip_fanout;
+        let i = self.id.partition.0;
+        if f == 0 || i == 0 {
+            return None;
+        }
+        Some(self.server(wren_protocol::PartitionId((i - 1) / f)))
+    }
+
+    /// This partition's children in the k-ary stabilization tree.
+    fn tree_children(&self) -> Vec<ServerId> {
+        let f = self.cfg.gossip_fanout;
+        if f == 0 {
+            return Vec::new();
+        }
+        let i = self.id.partition.0 as u32;
+        let n = self.cfg.n_partitions as u32;
+        (1..=f as u32)
+            .map(|k| i * f as u32 + k)
+            .filter(|c| *c < n)
+            .map(|c| self.server(wren_protocol::PartitionId(c as u16)))
+            .collect()
+    }
+
+    fn dc_peers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        let me = self.id;
+        (0..self.cfg.n_partitions)
+            .filter(move |p| *p != me.partition.0)
+            .map(move |p| ServerId {
+                dc: me.dc,
+                partition: wren_protocol::PartitionId(p),
+            })
+    }
+
+    fn recompute_stable(&mut self, now_micros: u64) {
+        let lst = self
+            .gossip_contrib
+            .iter()
+            .map(|(l, _)| *l)
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        let rst = self
+            .gossip_contrib
+            .iter()
+            .map(|(_, r)| *r)
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        self.raise_stable(lst, rst, now_micros);
+    }
+
+    /// GC tick: broadcast the oldest snapshot visible to a transaction
+    /// running here, then prune version chains below the DC-wide minimum
+    /// (§IV-B "Garbage collection").
+    ///
+    /// Returns the number of versions collected.
+    pub fn on_gc_tick(&mut self, _now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) -> usize {
+        // Oldest active snapshot, or the current visible snapshot if idle.
+        let (mut oldest_lt, mut oldest_rt) = (self.lst, self.rst.min(self.lst.predecessor()));
+        for ctx in self.tx_ctx.values() {
+            oldest_lt = oldest_lt.min(ctx.lt);
+            oldest_rt = oldest_rt.min(ctx.rt);
+        }
+        self.gc_contrib[self.id.partition.index()] = (oldest_lt, oldest_rt);
+        for peer in self.dc_peers() {
+            out.push(Outgoing::to_server(
+                peer,
+                WrenMsg::GcGossip {
+                    oldest_lt,
+                    oldest_rt,
+                },
+            ));
+        }
+
+        let w_lt = self
+            .gc_contrib
+            .iter()
+            .map(|(l, _)| *l)
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        let w_rt = self
+            .gc_contrib
+            .iter()
+            .map(|(_, r)| *r)
+            .min()
+            .unwrap_or(Timestamp::ZERO);
+        if w_lt.is_zero() && w_rt.is_zero() {
+            return 0;
+        }
+        let local_dc = self.id.dc;
+        let removed = self.store.collect(|d| {
+            if d.sr == local_dc {
+                d.ut <= w_lt && d.rdt <= w_rt
+            } else {
+                d.ut <= w_rt && d.rdt <= w_lt
+            }
+        });
+        self.stats.gc_versions_removed += removed as u64;
+        removed
+    }
+}

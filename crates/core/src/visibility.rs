@@ -1,0 +1,193 @@
+use std::collections::BTreeMap;
+use wren_clock::Timestamp;
+
+/// Caps the number of retained samples so long experiments stay bounded.
+const MAX_SAMPLES: usize = 200_000;
+
+/// Records update-visibility latencies at one partition (Fig. 7b).
+///
+/// The visibility latency of an update `X` in a DC is the difference
+/// between the wall-clock instant `X` becomes *visible* there (included in
+/// the snapshots handed to transactions) and the wall-clock instant `X`
+/// committed in its origin DC (§V-G).
+///
+/// * A **local** update becomes visible when the partition's LST reaches
+///   its commit timestamp — Wren's "slightly in the past" snapshot delay.
+/// * A **remote** update becomes visible when the RST reaches its commit
+///   timestamp (all of its dependencies are then in the DC).
+///
+/// The commit instant is approximated by the physical component of the
+/// commit timestamp, which an HLC keeps within clock-skew distance of true
+/// commit time (the same error NTP introduces in the paper's own
+/// measurement methodology).
+#[derive(Debug, Clone)]
+pub struct VisibilitySampler {
+    /// Record every k-th update; 0 disables sampling entirely.
+    sample_every: u64,
+    seen_local: u64,
+    seen_remote: u64,
+    /// Commit timestamp → commit instants (physical µs) awaiting LST.
+    pending_local: BTreeMap<Timestamp, Vec<u64>>,
+    /// Commit timestamp → commit instants awaiting RST.
+    pending_remote: BTreeMap<Timestamp, Vec<u64>>,
+    local: Vec<u64>,
+    remote: Vec<u64>,
+}
+
+impl VisibilitySampler {
+    /// Creates a sampler recording every `sample_every`-th update
+    /// (0 disables).
+    pub fn new(sample_every: u64) -> Self {
+        VisibilitySampler {
+            sample_every,
+            seen_local: 0,
+            seen_remote: 0,
+            pending_local: BTreeMap::new(),
+            pending_remote: BTreeMap::new(),
+            local: Vec::new(),
+            remote: Vec::new(),
+        }
+    }
+
+    /// Whether sampling is active.
+    pub fn enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+
+    /// Notes a locally-committed update with commit timestamp `ct`.
+    pub fn register_local(&mut self, ct: Timestamp) {
+        if !self.enabled() {
+            return;
+        }
+        self.seen_local += 1;
+        if self.seen_local % self.sample_every == 0 && self.local.len() < MAX_SAMPLES {
+            self.pending_local
+                .entry(ct)
+                .or_default()
+                .push(ct.physical_micros());
+        }
+    }
+
+    /// Notes a replicated (remote-origin) update with commit timestamp
+    /// `ct`.
+    pub fn register_remote(&mut self, ct: Timestamp) {
+        if !self.enabled() {
+            return;
+        }
+        self.seen_remote += 1;
+        if self.seen_remote % self.sample_every == 0 && self.remote.len() < MAX_SAMPLES {
+            self.pending_remote
+                .entry(ct)
+                .or_default()
+                .push(ct.physical_micros());
+        }
+    }
+
+    /// Called whenever the partition's stable times advance: drains every
+    /// pending sample now covered by `lst`/`rst`, stamping visibility at
+    /// `now_micros`.
+    pub fn advance(&mut self, lst: Timestamp, rst: Timestamp, now_micros: u64) {
+        if !self.enabled() {
+            return;
+        }
+        Self::drain(&mut self.pending_local, lst, now_micros, &mut self.local);
+        Self::drain(&mut self.pending_remote, rst, now_micros, &mut self.remote);
+    }
+
+    fn drain(
+        pending: &mut BTreeMap<Timestamp, Vec<u64>>,
+        watermark: Timestamp,
+        now_micros: u64,
+        out: &mut Vec<u64>,
+    ) {
+        let still_pending = pending.split_off(&watermark.successor());
+        for (_, commits) in std::mem::replace(pending, still_pending) {
+            for committed_at in commits {
+                out.push(now_micros.saturating_sub(committed_at));
+            }
+        }
+    }
+
+    /// Completed local visibility samples (µs).
+    pub fn local_samples(&self) -> &[u64] {
+        &self.local
+    }
+
+    /// Completed remote visibility samples (µs).
+    pub fn remote_samples(&self) -> &[u64] {
+        &self.remote
+    }
+
+    /// Discards all samples collected so far (used at warm-up boundaries).
+    pub fn reset(&mut self) {
+        self.local.clear();
+        self.remote.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(micros: u64) -> Timestamp {
+        Timestamp::from_micros(micros)
+    }
+
+    #[test]
+    fn disabled_sampler_records_nothing() {
+        let mut s = VisibilitySampler::new(0);
+        s.register_local(ts(10));
+        s.advance(ts(100), ts(100), 200);
+        assert!(s.local_samples().is_empty());
+        assert!(!s.enabled());
+    }
+
+    #[test]
+    fn local_sample_waits_for_lst() {
+        let mut s = VisibilitySampler::new(1);
+        s.register_local(ts(1_000));
+        s.advance(ts(500), Timestamp::ZERO, 2_000);
+        assert!(s.local_samples().is_empty(), "LST below ct: not yet visible");
+        s.advance(ts(1_000), Timestamp::ZERO, 4_000);
+        assert_eq!(s.local_samples(), &[3_000], "visible at 4000, committed at 1000");
+    }
+
+    #[test]
+    fn remote_sample_waits_for_rst() {
+        let mut s = VisibilitySampler::new(1);
+        s.register_remote(ts(1_000));
+        s.advance(ts(5_000), ts(999), 2_000);
+        assert!(s.remote_samples().is_empty());
+        s.advance(ts(5_000), ts(1_000), 61_000);
+        assert_eq!(s.remote_samples(), &[60_000]);
+    }
+
+    #[test]
+    fn sampling_rate_thins_updates() {
+        let mut s = VisibilitySampler::new(10);
+        for i in 1..=100 {
+            s.register_local(ts(i));
+        }
+        s.advance(ts(1_000), Timestamp::ZERO, 2_000);
+        assert_eq!(s.local_samples().len(), 10);
+    }
+
+    #[test]
+    fn latency_saturates_at_zero() {
+        let mut s = VisibilitySampler::new(1);
+        // Skewed clock put the commit timestamp "in the future".
+        s.register_local(ts(10_000));
+        s.advance(ts(10_000), Timestamp::ZERO, 9_000);
+        assert_eq!(s.local_samples(), &[0]);
+    }
+
+    #[test]
+    fn reset_clears_samples() {
+        let mut s = VisibilitySampler::new(1);
+        s.register_local(ts(1));
+        s.advance(ts(1), Timestamp::ZERO, 5);
+        assert_eq!(s.local_samples().len(), 1);
+        s.reset();
+        assert!(s.local_samples().is_empty());
+    }
+}

@@ -1,0 +1,494 @@
+//! End-to-end protocol flow tests: a miniature multi-DC, multi-partition
+//! cluster pumped synchronously (no simulator), validating Algorithms 1–4
+//! wiring: snapshots, 2PC, replication, BiST and garbage collection.
+
+use bytes::Bytes;
+use wren_clock::{SkewedClock, Timestamp};
+use wren_core::{WrenClient, WrenConfig, WrenServer};
+use wren_protocol::{ClientId, Dest, Key, Outgoing, ServerId, Value, WrenMsg};
+
+/// A synchronous message pump over a full mesh of Wren servers.
+struct Pump {
+    cfg: WrenConfig,
+    servers: Vec<WrenServer>, // index = dc * n_partitions + partition
+    /// Messages destined to clients, collected for the test to consume.
+    to_clients: Vec<(ClientId, WrenMsg)>,
+    now: u64,
+}
+
+impl Pump {
+    fn new(m: u8, n: u16) -> Self {
+        let cfg = WrenConfig::new(m, n);
+        let mut servers = Vec::new();
+        for dc in 0..m {
+            for p in 0..n {
+                servers.push(WrenServer::new(
+                    ServerId::new(dc, p),
+                    cfg,
+                    SkewedClock::perfect(),
+                ));
+            }
+        }
+        Pump {
+            cfg,
+            servers,
+            to_clients: Vec::new(),
+            now: 0,
+        }
+    }
+
+    fn idx(&self, id: ServerId) -> usize {
+        id.dc.index() * self.cfg.n_partitions as usize + id.partition.index()
+    }
+
+    fn server(&mut self, id: ServerId) -> &mut WrenServer {
+        let i = self.idx(id);
+        &mut self.servers[i]
+    }
+
+    /// Delivers every outgoing message (and its cascading replies) until
+    /// the network is quiet. Client-bound messages are queued for the test.
+    fn drain(&mut self, mut pending: Vec<(Dest, ServerId, WrenMsg)>) {
+        while let Some((from, to_server, msg)) = pending.pop() {
+            let now = self.now;
+            let mut out = Vec::new();
+            let i = self.idx(to_server);
+            self.servers[i].handle(from, msg, now, &mut out);
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => pending.push((Dest::Server(to_server), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+    }
+
+    /// Sends one client message to `coordinator` and drains the cascade.
+    fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: WrenMsg) {
+        self.drain(vec![(Dest::Client(client), coordinator, msg)]);
+    }
+
+    /// Pops the unique response waiting for `client`.
+    fn client_resp(&mut self, client: ClientId) -> WrenMsg {
+        let pos = self
+            .to_clients
+            .iter()
+            .position(|(c, _)| *c == client)
+            .expect("no response for client");
+        self.to_clients.remove(pos).1
+    }
+
+    /// Advances time and runs one replication tick on every server.
+    fn tick_replication(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_replication_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    /// Advances time and runs one gossip tick on every server.
+    fn tick_gossip(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_gossip_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    fn tick_gc(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_gc_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    /// Runs replication+gossip rounds until watermarks stabilize.
+    fn stabilize(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.tick_replication(1_000);
+            self.tick_gossip(1_000);
+        }
+    }
+}
+
+fn val(s: &str) -> Value {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+/// Runs a full client transaction: start, optional reads, writes, commit.
+/// Returns (read results, commit timestamp).
+fn run_tx(
+    pump: &mut Pump,
+    client: &mut WrenClient,
+    reads: &[Key],
+    writes: &[(Key, &str)],
+) -> (Vec<(Key, Option<Value>)>, Timestamp) {
+    let coord = client.coordinator();
+    let id = client.id();
+    pump.from_client(id, coord, client.start());
+    client.on_start_resp(pump.client_resp(id));
+
+    let mut results = Vec::new();
+    if !reads.is_empty() {
+        let outcome = client.read(reads);
+        results.extend(outcome.local.clone());
+        if let Some(req) = outcome.request {
+            pump.from_client(id, coord, req);
+            results.extend(client.on_read_resp(pump.client_resp(id)));
+        }
+    }
+    if !writes.is_empty() {
+        client.write(writes.iter().map(|(k, v)| (*k, val(v))));
+    }
+    pump.from_client(id, coord, client.commit());
+    let ct = client.on_commit_resp(pump.client_resp(id));
+    (results, ct)
+}
+
+fn value_of(results: &[(Key, Option<Value>)], key: Key) -> Option<Value> {
+    results
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.clone())
+        .expect("key missing from results")
+}
+
+/// Picks `n` keys that all live on distinct partitions (for `n_partitions`
+/// partitions), so multi-partition paths are genuinely exercised.
+fn keys_on_distinct_partitions(n_partitions: u16, n: usize) -> Vec<Key> {
+    let mut keys = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut k = 0u64;
+    while keys.len() < n {
+        let key = Key(k);
+        let p = key.partition(n_partitions);
+        if seen.insert(p) {
+            keys.push(key);
+        }
+        k += 1;
+    }
+    keys
+}
+
+#[test]
+fn single_dc_write_then_read_after_stabilization() {
+    let mut pump = Pump::new(1, 2);
+    let coord = ServerId::new(0, 0);
+    let mut alice = WrenClient::new(ClientId(1), coord);
+    let mut bob = WrenClient::new(ClientId(2), coord);
+
+    let keys = keys_on_distinct_partitions(2, 2);
+    let (k0, k1) = (keys[0], keys[1]);
+
+    let (_, ct) = run_tx(&mut pump, &mut alice, &[], &[(k0, "x0"), (k1, "y0")]);
+    assert!(!ct.is_zero());
+
+    // Before stabilization Bob's snapshot excludes the write.
+    let (results, _) = run_tx(&mut pump, &mut bob, &[k0], &[]);
+    assert_eq!(value_of(&results, k0), None, "not yet in the stable snapshot");
+
+    pump.stabilize(3);
+
+    let (results, _) = run_tx(&mut pump, &mut bob, &[k0, k1], &[]);
+    assert_eq!(value_of(&results, k0), Some(val("x0")));
+    assert_eq!(value_of(&results, k1), Some(val("y0")));
+}
+
+#[test]
+fn client_reads_own_writes_before_stabilization() {
+    let mut pump = Pump::new(1, 2);
+    let coord = ServerId::new(0, 0);
+    let mut alice = WrenClient::new(ClientId(1), coord);
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    let (_, ct) = run_tx(&mut pump, &mut alice, &[], &[(keys[0], "mine")]);
+    assert!(!ct.is_zero());
+
+    // No stabilization ran: the stable snapshot cannot include the write,
+    // yet Alice must see it (client-side cache).
+    let (results, _) = run_tx(&mut pump, &mut alice, &[keys[0]], &[]);
+    assert_eq!(value_of(&results, keys[0]), Some(val("mine")));
+    assert!(alice.stats().hits_cache >= 1, "cache must serve the read");
+}
+
+#[test]
+fn atomicity_all_or_nothing_across_partitions() {
+    let mut pump = Pump::new(1, 4);
+    let coord = ServerId::new(0, 0);
+    let mut writer = WrenClient::new(ClientId(1), coord);
+    let mut reader = WrenClient::new(ClientId(2), coord);
+    let keys = keys_on_distinct_partitions(4, 4);
+
+    let refs: Vec<(Key, &str)> = keys.iter().map(|k| (*k, "v1")).collect();
+    run_tx(&mut pump, &mut writer, &[], &refs);
+
+    // At any stabilization point, the reader sees all writes or none.
+    for round in 0..4 {
+        let (results, _) = run_tx(&mut pump, &mut reader, &keys, &[]);
+        let seen: Vec<bool> = keys
+            .iter()
+            .map(|k| value_of(&results, *k).is_some())
+            .collect();
+        assert!(
+            seen.iter().all(|s| *s) || seen.iter().all(|s| !*s),
+            "atomicity violated at round {round}: {seen:?}"
+        );
+        pump.tick_replication(1_000);
+        pump.tick_gossip(1_000);
+    }
+    let (results, _) = run_tx(&mut pump, &mut reader, &keys, &[]);
+    for k in &keys {
+        assert_eq!(value_of(&results, *k), Some(val("v1")));
+    }
+}
+
+#[test]
+fn geo_replication_delivers_remote_updates() {
+    let mut pump = Pump::new(2, 2);
+    let coord0 = ServerId::new(0, 0);
+    let coord1 = ServerId::new(1, 0);
+    let mut alice = WrenClient::new(ClientId(1), coord0); // DC 0
+    let mut bob = WrenClient::new(ClientId(2), coord1); // DC 1
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    run_tx(&mut pump, &mut alice, &[], &[(keys[0], "geo")]);
+    pump.stabilize(4);
+
+    let (results, _) = run_tx(&mut pump, &mut bob, &[keys[0]], &[]);
+    assert_eq!(
+        value_of(&results, keys[0]),
+        Some(val("geo")),
+        "update must replicate to the remote DC and become stable there"
+    );
+}
+
+#[test]
+fn remote_update_invisible_until_rst_covers_it() {
+    let mut pump = Pump::new(2, 1);
+    let mut alice = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let mut bob = WrenClient::new(ClientId(2), ServerId::new(1, 0));
+
+    run_tx(&mut pump, &mut alice, &[], &[(Key(0), "remote")]);
+    // Replication tick ships the batch, but DC1's RST has not advanced
+    // (no gossip yet): the remote update must stay invisible.
+    pump.tick_replication(1_000);
+    let (results, _) = run_tx(&mut pump, &mut bob, &[Key(0)], &[]);
+    assert_eq!(value_of(&results, Key(0)), None);
+
+    pump.stabilize(3);
+    let (results, _) = run_tx(&mut pump, &mut bob, &[Key(0)], &[]);
+    assert_eq!(value_of(&results, Key(0)), Some(val("remote")));
+}
+
+#[test]
+fn causality_across_clients_and_keys() {
+    // The photo-album anomaly (§II-C): Alice writes x (permissions), then
+    // y (photo). Any snapshot containing y must contain x.
+    let mut pump = Pump::new(1, 2);
+    let coord = ServerId::new(0, 0);
+    let mut alice = WrenClient::new(ClientId(1), coord);
+    let mut bob = WrenClient::new(ClientId(2), coord);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let (x, y) = (keys[0], keys[1]);
+
+    run_tx(&mut pump, &mut alice, &[], &[(x, "acl-private")]);
+    pump.stabilize(2);
+    run_tx(&mut pump, &mut alice, &[], &[(y, "photo")]);
+
+    for _ in 0..5 {
+        let (results, _) = run_tx(&mut pump, &mut bob, &[y, x], &[]);
+        if value_of(&results, y).is_some() {
+            assert_eq!(
+                value_of(&results, x),
+                Some(val("acl-private")),
+                "snapshot contains y but not its causal dependency x"
+            );
+        }
+        pump.tick_replication(500);
+        pump.tick_gossip(500);
+    }
+}
+
+#[test]
+fn snapshots_are_monotonic_per_client() {
+    let mut pump = Pump::new(1, 2);
+    let coord = ServerId::new(0, 0);
+    let mut c = WrenClient::new(ClientId(1), coord);
+    let mut last_lst = Timestamp::ZERO;
+    for i in 0..5 {
+        let id = c.id();
+        pump.from_client(id, coord, c.start());
+        let resp = pump.client_resp(id);
+        let WrenMsg::StartTxResp { lst, rst, .. } = resp.clone() else {
+            panic!()
+        };
+        assert!(lst >= last_lst, "snapshot went backwards");
+        assert!(rst < lst || lst.is_zero(), "remote snapshot must stay below local");
+        last_lst = lst;
+        c.on_start_resp(resp);
+        c.write([(Key(i), val("v"))]);
+        pump.from_client(id, coord, c.commit());
+        c.on_commit_resp(pump.client_resp(id));
+        pump.stabilize(1);
+    }
+}
+
+#[test]
+fn version_clock_never_retreats_below_pending_commit() {
+    // The nonblocking-safety invariant: after the version clock reaches ub,
+    // no transaction commits with ct ≤ ub.
+    let mut pump = Pump::new(1, 2);
+    let coord = ServerId::new(0, 0);
+    let mut c = WrenClient::new(ClientId(1), coord);
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    let mut max_clock_seen = Timestamp::ZERO;
+    for i in 0..10 {
+        let (_, ct) = run_tx(
+            &mut pump,
+            &mut c,
+            &[],
+            &[(keys[i % 2], "v")],
+        );
+        // ct must exceed every version clock observed before the commit.
+        assert!(
+            ct > max_clock_seen,
+            "commit timestamp {ct:?} not above the installed snapshot {max_clock_seen:?}"
+        );
+        pump.tick_replication(300);
+        for dc_p in [ServerId::new(0, 0), ServerId::new(0, 1)] {
+            max_clock_seen = max_clock_seen.max(pump.server(dc_p).version_clock());
+        }
+    }
+}
+
+#[test]
+fn stores_converge_across_dcs_after_quiescence() {
+    let mut pump = Pump::new(3, 2);
+    let mut clients: Vec<WrenClient> = (0..3)
+        .map(|dc| WrenClient::new(ClientId(dc as u32), ServerId::new(dc, 0)))
+        .collect();
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    // Concurrent conflicting writes from every DC.
+    for (i, c) in clients.iter_mut().enumerate() {
+        let tag = format!("from-dc{i}");
+        let coord = c.coordinator();
+        let id = c.id();
+        pump.from_client(id, coord, c.start());
+        c.on_start_resp(pump.client_resp(id));
+        c.write([(keys[0], val(&tag)), (keys[1], val(&tag))]);
+        pump.from_client(id, coord, c.commit());
+        c.on_commit_resp(pump.client_resp(id));
+    }
+    pump.stabilize(6);
+
+    // All replicas of each partition hold the same newest version (LWW
+    // convergence).
+    for p in 0..2u16 {
+        let mut newest: Option<(Timestamp, u8, u64)> = None;
+        for dc in 0..3u8 {
+            let server = pump.server(ServerId::new(dc, p));
+            for key in &keys {
+                if key.partition(2).0 != p {
+                    continue;
+                }
+                let got = server
+                    .store()
+                    .newest(key)
+                    .map(wren_storage::Versioned::order_key);
+                match (&newest, got) {
+                    (None, Some(k)) => newest = Some(k),
+                    (Some(prev), Some(k)) => {
+                        assert_eq!(*prev, k, "replicas diverge on partition {p}")
+                    }
+                    _ => {}
+                }
+            }
+            newest = None; // compare per key, reset across keys
+        }
+    }
+}
+
+#[test]
+fn gc_prunes_old_versions_but_preserves_reads() {
+    let mut pump = Pump::new(1, 1);
+    let coord = ServerId::new(0, 0);
+    let mut c = WrenClient::new(ClientId(1), coord);
+
+    for i in 0..10 {
+        let v = format!("v{i}");
+        let id = c.id();
+        pump.from_client(id, coord, c.start());
+        c.on_start_resp(pump.client_resp(id));
+        c.write([(Key(0), val(&v))]);
+        pump.from_client(id, coord, c.commit());
+        c.on_commit_resp(pump.client_resp(id));
+        pump.stabilize(1);
+    }
+    let before = pump.server(coord).store().stats().versions;
+    assert!(before >= 10, "all versions retained before GC");
+
+    pump.tick_gc(1_000);
+    pump.tick_gc(1_000);
+    let after = pump.server(coord).store().stats().versions;
+    assert!(after < before, "GC must prune overwritten versions");
+
+    // The freshest version is still readable.
+    let (results, _) = run_tx(&mut pump, &mut c, &[Key(0)], &[]);
+    assert_eq!(value_of(&results, Key(0)), Some(val("v9")));
+}
+
+#[test]
+fn concurrent_conflicting_writes_resolve_by_lww() {
+    let mut pump = Pump::new(2, 1);
+    let mut a = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let mut b = WrenClient::new(ClientId(2), ServerId::new(1, 0));
+
+    // Both write key 0 concurrently (neither sees the other).
+    let (_, ct_a) = run_tx(&mut pump, &mut a, &[], &[(Key(0), "from-a")]);
+    let (_, ct_b) = run_tx(&mut pump, &mut b, &[], &[(Key(0), "from-b")]);
+    pump.stabilize(5);
+
+    let winner = if (ct_a, 0u8) > (ct_b, 1u8) { "from-a" } else { "from-b" };
+    let mut fresh = WrenClient::new(ClientId(3), ServerId::new(0, 0));
+    let (results, _) = run_tx(&mut pump, &mut fresh, &[Key(0)], &[]);
+    assert_eq!(value_of(&results, Key(0)), Some(val(winner)));
+
+    let mut fresh_b = WrenClient::new(ClientId(4), ServerId::new(1, 0));
+    let (results, _) = run_tx(&mut pump, &mut fresh_b, &[Key(0)], &[]);
+    assert_eq!(
+        value_of(&results, Key(0)),
+        Some(val(winner)),
+        "both DCs must converge on the same LWW winner"
+    );
+}

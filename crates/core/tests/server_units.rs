@@ -1,0 +1,250 @@
+//! Focused unit tests of `WrenServer`'s internal rules: snapshot
+//! assignment, prepared/committed bookkeeping, the version-clock safety
+//! invariant and heartbeat emission.
+
+use bytes::Bytes;
+use wren_clock::{SkewedClock, Timestamp};
+use wren_core::{WrenConfig, WrenServer};
+use wren_protocol::{ClientId, Dest, Key, ServerId, TxId, WrenMsg};
+
+fn server(m: u8, n: u16) -> WrenServer {
+    WrenServer::new(ServerId::new(0, 0), WrenConfig::new(m, n), SkewedClock::perfect())
+}
+
+fn start_tx(s: &mut WrenServer, now: u64) -> (TxId, Timestamp, Timestamp) {
+    let mut out = Vec::new();
+    s.handle(
+        Dest::Client(ClientId(1)),
+        WrenMsg::StartTxReq {
+            lst: Timestamp::ZERO,
+            rst: Timestamp::ZERO,
+        },
+        now,
+        &mut out,
+    );
+    let WrenMsg::StartTxResp { tx, lst, rst } = out.pop().unwrap().msg else {
+        panic!("expected StartTxResp");
+    };
+    (tx, lst, rst)
+}
+
+#[test]
+fn snapshot_remote_component_stays_below_local() {
+    let mut s = server(3, 1);
+    // Raise rst above lst via remote heartbeats.
+    let mut out = Vec::new();
+    for dc in 1..3u8 {
+        s.handle(
+            Dest::Server(ServerId::new(dc, 0)),
+            WrenMsg::Heartbeat {
+                t: Timestamp::from_micros(1_000_000),
+            },
+            0,
+            &mut out,
+        );
+    }
+    // Tick so the local version clock and then the gossip state advance a
+    // little (far below the remote heartbeats).
+    s.on_replication_tick(10, &mut out);
+    s.on_gossip_tick(11, &mut out);
+    let (_, lst, rst) = start_tx(&mut s, 12);
+    assert!(
+        rst < lst || lst.is_zero(),
+        "remote snapshot must be strictly below local: rst={rst:?} lst={lst:?}"
+    );
+}
+
+#[test]
+fn start_raises_server_watermarks_to_clients() {
+    let mut s = server(1, 1);
+    let mut out = Vec::new();
+    s.handle(
+        Dest::Client(ClientId(1)),
+        WrenMsg::StartTxReq {
+            lst: Timestamp::from_micros(500),
+            rst: Timestamp::from_micros(200),
+        },
+        0,
+        &mut out,
+    );
+    assert!(s.lst() >= Timestamp::from_micros(500));
+    assert!(s.rst() >= Timestamp::from_micros(200));
+}
+
+#[test]
+fn prepare_then_commit_moves_between_lists() {
+    let mut s = server(1, 1);
+    let (tx, lt, rt) = start_tx(&mut s, 0);
+    let mut out = Vec::new();
+    s.handle(
+        Dest::Server(ServerId::new(0, 0)),
+        WrenMsg::PrepareReq {
+            tx,
+            lt,
+            rt,
+            ht: Timestamp::ZERO,
+            writes: vec![(Key(1), Bytes::from_static(b"v"))],
+        },
+        10,
+        &mut out,
+    );
+    assert_eq!(s.prepared_len(), 1);
+    assert_eq!(s.committed_len(), 0);
+    let WrenMsg::PrepareResp { pt, .. } = out.pop().unwrap().msg else {
+        panic!("expected PrepareResp");
+    };
+
+    s.handle(
+        Dest::Server(ServerId::new(0, 0)),
+        WrenMsg::Commit { tx, ct: pt },
+        20,
+        &mut out,
+    );
+    assert_eq!(s.prepared_len(), 0);
+    assert_eq!(s.committed_len(), 1);
+
+    // Apply tick installs it and advances the version clock past ct.
+    let applied = s.on_replication_tick(30, &mut out);
+    assert_eq!(applied, 1);
+    assert_eq!(s.committed_len(), 0);
+    assert!(s.version_clock() >= pt);
+}
+
+#[test]
+fn version_clock_is_capped_by_pending_prepares() {
+    let mut s = server(1, 1);
+    let (tx, lt, rt) = start_tx(&mut s, 0);
+    let mut out = Vec::new();
+    s.handle(
+        Dest::Server(ServerId::new(0, 0)),
+        WrenMsg::PrepareReq {
+            tx,
+            lt,
+            rt,
+            ht: Timestamp::ZERO,
+            writes: vec![(Key(1), Bytes::from_static(b"v"))],
+        },
+        10,
+        &mut out,
+    );
+    let WrenMsg::PrepareResp { pt, .. } = out.pop().unwrap().msg else {
+        panic!()
+    };
+    // Even much later, the version clock must not pass the pending
+    // proposal (no hole may open under a possible future commit).
+    s.on_replication_tick(1_000_000, &mut out);
+    assert!(
+        s.version_clock() < pt,
+        "version clock {:?} overtook pending proposal {:?}",
+        s.version_clock(),
+        pt
+    );
+}
+
+#[test]
+fn proposals_always_exceed_installed_snapshot() {
+    // The nonblocking-safety invariant at the unit level: interleave
+    // ticks (which advance the version clock) with prepares; every
+    // proposal must be strictly above the version clock at proposal time.
+    let mut s = server(1, 1);
+    let mut out = Vec::new();
+    for round in 0..50u64 {
+        let now = round * 137;
+        s.on_replication_tick(now, &mut out);
+        let vc = s.version_clock();
+        let (tx, lt, rt) = start_tx(&mut s, now + 1);
+        s.handle(
+            Dest::Server(ServerId::new(0, 0)),
+            WrenMsg::PrepareReq {
+                tx,
+                lt,
+                rt,
+                ht: Timestamp::ZERO,
+                writes: vec![(Key(round), Bytes::from_static(b"v"))],
+            },
+            now + 2,
+            &mut out,
+        );
+        let pt = out
+            .iter()
+            .rev()
+            .find_map(|o| match &o.msg {
+                WrenMsg::PrepareResp { pt, .. } => Some(*pt),
+                _ => None,
+            })
+            .unwrap();
+        assert!(pt > vc, "proposal {pt:?} not above version clock {vc:?}");
+        s.handle(
+            Dest::Server(ServerId::new(0, 0)),
+            WrenMsg::Commit { tx, ct: pt },
+            now + 3,
+            &mut out,
+        );
+        out.clear();
+    }
+}
+
+#[test]
+fn idle_tick_sends_heartbeats_to_every_sibling() {
+    let mut s = server(4, 1);
+    let mut out = Vec::new();
+    s.on_replication_tick(1_000, &mut out);
+    let heartbeats: Vec<_> = out
+        .iter()
+        .filter_map(|o| match (&o.to, &o.msg) {
+            (_, WrenMsg::Heartbeat { t }) => Some((o.to, *t)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(heartbeats.len(), 3, "one heartbeat per remote sibling");
+    assert_eq!(s.stats().heartbeats_sent, 3);
+}
+
+#[test]
+fn replicate_applies_versions_and_raises_vv() {
+    let mut s = server(2, 1);
+    let mut out = Vec::new();
+    let batch = wren_protocol::ReplicateBatch {
+        ct: Timestamp::from_micros(100),
+        txs: vec![wren_protocol::RepTx {
+            tx: TxId::new(ServerId::new(1, 0), 1),
+            rst: Timestamp::from_micros(40),
+            writes: vec![(Key(7), Bytes::from_static(b"remote"))],
+        }],
+    };
+    s.handle(
+        Dest::Server(ServerId::new(1, 0)),
+        WrenMsg::Replicate { batch },
+        0,
+        &mut out,
+    );
+    assert_eq!(s.stats().remote_versions_applied, 1);
+    let stored = s.store().newest(&Key(7)).unwrap();
+    assert_eq!(stored.ut, Timestamp::from_micros(100));
+    assert_eq!(stored.rdt, Timestamp::from_micros(40));
+    assert_eq!(stored.sr, wren_protocol::DcId(1));
+}
+
+#[test]
+fn read_only_commit_clears_context_without_2pc() {
+    let mut s = server(1, 1);
+    let (tx, _, _) = start_tx(&mut s, 0);
+    let mut out = Vec::new();
+    s.handle(
+        Dest::Client(ClientId(1)),
+        WrenMsg::CommitReq {
+            tx,
+            hwt: Timestamp::ZERO,
+            writes: vec![],
+        },
+        10,
+        &mut out,
+    );
+    assert_eq!(out.len(), 1, "only the client response, no 2PC traffic");
+    let WrenMsg::CommitResp { ct, .. } = &out[0].msg else {
+        panic!()
+    };
+    assert!(ct.is_zero());
+    assert_eq!(s.prepared_len(), 0);
+    assert_eq!(s.stats().txs_coordinated, 0);
+}

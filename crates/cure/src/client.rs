@@ -1,0 +1,325 @@
+use std::collections::{BTreeMap, HashMap};
+use wren_clock::VersionVector;
+use wren_protocol::{ClientId, CureMsg, Key, ServerId, TxId, Value};
+
+/// Client-side statistics for the Cure baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CureClientStats {
+    /// Transactions started.
+    pub txs_started: u64,
+    /// Update transactions committed.
+    pub txs_committed: u64,
+    /// Keys answered from the write-set.
+    pub hits_write_set: u64,
+    /// Keys answered from the read-set.
+    pub hits_read_set: u64,
+    /// Keys fetched from servers.
+    pub server_reads: u64,
+}
+
+/// What a [`CureClient::read`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CureReadOutcome {
+    /// Keys answered from the write-set or read-set.
+    pub local: Vec<(Key, Option<Value>)>,
+    /// Request for the remaining keys, if any.
+    pub request: Option<CureMsg>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Starting,
+    Idle,
+    Reading,
+    Committing,
+}
+
+#[derive(Debug)]
+struct ActiveTx {
+    id: TxId,
+    phase: Phase,
+    ws: BTreeMap<Key, Value>,
+    rs: HashMap<Key, Option<Value>>,
+}
+
+/// A Cure client session.
+///
+/// Cure needs **no client-side cache**: the snapshot's local entry is the
+/// coordinator's current clock, which covers the client's own commits —
+/// the price is that reads at laggard partitions must block until that
+/// snapshot is installed. The client piggybacks the join of every commit
+/// vector it has seen ([`CureClient::seen`]) for cross-transaction
+/// monotonicity.
+#[derive(Debug)]
+pub struct CureClient {
+    id: ClientId,
+    coordinator: ServerId,
+    seen: VersionVector,
+    tx: Option<ActiveTx>,
+    stats: CureClientStats,
+}
+
+impl CureClient {
+    /// Creates a session bound to `coordinator` in an `n_dcs`-DC system.
+    pub fn new(id: ClientId, coordinator: ServerId, n_dcs: u8) -> Self {
+        CureClient {
+            id,
+            coordinator,
+            seen: VersionVector::new(n_dcs as usize),
+            tx: None,
+            stats: CureClientStats::default(),
+        }
+    }
+
+    /// This session's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The coordinator this session talks to.
+    pub fn coordinator(&self) -> ServerId {
+        self.coordinator
+    }
+
+    /// Client statistics.
+    pub fn stats(&self) -> CureClientStats {
+        self.stats
+    }
+
+    /// The highest vector this client has observed.
+    pub fn seen(&self) -> &VersionVector {
+        &self.seen
+    }
+
+    /// Whether a transaction is active.
+    pub fn in_tx(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Begins a transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active.
+    pub fn start(&mut self) -> CureMsg {
+        assert!(self.tx.is_none(), "transaction already active");
+        self.tx = Some(ActiveTx {
+            id: TxId::from_raw(0),
+            phase: Phase::Starting,
+            ws: BTreeMap::new(),
+            rs: HashMap::new(),
+        });
+        self.stats.txs_started += 1;
+        CureMsg::StartTxReq {
+            seen: self.seen.clone(),
+        }
+    }
+
+    /// Consumes the coordinator's `StartTxResp`.
+    pub fn on_start_resp(&mut self, msg: CureMsg) {
+        let CureMsg::StartTxResp { tx, snapshot } = msg else {
+            panic!("expected StartTxResp, got {msg:?}");
+        };
+        let active = self.tx.as_mut().expect("no transaction active");
+        assert_eq!(active.phase, Phase::Starting, "unexpected StartTxResp");
+        active.id = tx;
+        active.phase = Phase::Idle;
+        self.seen.join(&snapshot);
+    }
+
+    /// Reads `keys`: write-set and read-set are checked locally; the rest
+    /// goes to the coordinator (where it may block server-side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or an operation is in flight.
+    pub fn read(&mut self, keys: &[Key]) -> CureReadOutcome {
+        let active = self.tx.as_mut().expect("no transaction active");
+        assert_eq!(active.phase, Phase::Idle, "operation already in flight");
+
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        for &k in keys {
+            if let Some(v) = active.ws.get(&k) {
+                self.stats.hits_write_set += 1;
+                local.push((k, Some(v.clone())));
+            } else if let Some(v) = active.rs.get(&k) {
+                self.stats.hits_read_set += 1;
+                local.push((k, v.clone()));
+            } else {
+                remote.push(k);
+            }
+        }
+        for (k, v) in &local {
+            active.rs.insert(*k, v.clone());
+        }
+        let request = if remote.is_empty() {
+            None
+        } else {
+            self.stats.server_reads += remote.len() as u64;
+            active.phase = Phase::Reading;
+            Some(CureMsg::TxReadReq {
+                tx: active.id,
+                keys: remote,
+            })
+        };
+        CureReadOutcome { local, request }
+    }
+
+    /// Consumes a `TxReadResp`.
+    pub fn on_read_resp(&mut self, msg: CureMsg) -> Vec<(Key, Option<Value>)> {
+        let CureMsg::TxReadResp { tx, items } = msg else {
+            panic!("expected TxReadResp, got {msg:?}");
+        };
+        let active = self.tx.as_mut().expect("no transaction active");
+        assert_eq!(active.id, tx, "response for a different transaction");
+        assert_eq!(active.phase, Phase::Reading, "unexpected TxReadResp");
+        active.phase = Phase::Idle;
+        let mut out = Vec::with_capacity(items.len());
+        for (k, version) in items {
+            let value = version.map(|d| d.value);
+            active.rs.insert(k, value.clone());
+            out.push((k, value));
+        }
+        out
+    }
+
+    /// Buffers writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or an operation is in flight.
+    pub fn write<I: IntoIterator<Item = (Key, Value)>>(&mut self, kvs: I) {
+        let active = self.tx.as_mut().expect("no transaction active");
+        assert_eq!(active.phase, Phase::Idle, "operation already in flight");
+        for (k, v) in kvs {
+            active.ws.insert(k, v);
+        }
+    }
+
+    /// Commits (an empty write-set still sends the request so the
+    /// coordinator can clear its context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active or an operation is in flight.
+    pub fn commit(&mut self) -> CureMsg {
+        let active = self.tx.as_mut().expect("no transaction active");
+        assert_eq!(active.phase, Phase::Idle, "operation already in flight");
+        active.phase = Phase::Committing;
+        CureMsg::CommitReq {
+            tx: active.id,
+            writes: active.ws.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        }
+    }
+
+    /// Consumes the `CommitResp`, joining the commit vector into the
+    /// client's observed vector.
+    pub fn on_commit_resp(&mut self, msg: CureMsg) -> VersionVector {
+        let CureMsg::CommitResp { tx, commit_vec } = msg else {
+            panic!("expected CommitResp, got {msg:?}");
+        };
+        let active = self.tx.take().expect("no transaction active");
+        assert_eq!(active.id, tx, "response for a different transaction");
+        assert_eq!(active.phase, Phase::Committing, "unexpected CommitResp");
+        if !active.ws.is_empty() {
+            self.stats.txs_committed += 1;
+        }
+        self.seen.join(&commit_vec);
+        commit_vec
+    }
+
+    /// Abandons the active transaction client-side.
+    pub fn abort(&mut self) {
+        self.tx = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wren_clock::Timestamp;
+
+    fn val(s: &'static str) -> Value {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    fn vv(entries: &[u64]) -> VersionVector {
+        VersionVector::from_entries(
+            entries.iter().map(|m| Timestamp::from_micros(*m)).collect(),
+        )
+    }
+
+    #[test]
+    fn seen_vector_joins_snapshots_and_commits() {
+        let mut c = CureClient::new(ClientId(1), ServerId::new(0, 0), 3);
+        let tx = TxId::new(ServerId::new(0, 0), 1);
+        let _ = c.start();
+        c.on_start_resp(CureMsg::StartTxResp {
+            tx,
+            snapshot: vv(&[10, 20, 30]),
+        });
+        c.write([(Key(1), val("x"))]);
+        let _ = c.commit();
+        c.on_commit_resp(CureMsg::CommitResp {
+            tx,
+            commit_vec: vv(&[50, 20, 30]),
+        });
+        assert_eq!(c.seen(), &vv(&[50, 20, 30]));
+        assert_eq!(c.stats().txs_committed, 1);
+    }
+
+    #[test]
+    fn read_serves_ws_and_rs_locally() {
+        let mut c = CureClient::new(ClientId(1), ServerId::new(0, 0), 1);
+        let tx = TxId::new(ServerId::new(0, 0), 1);
+        let _ = c.start();
+        c.on_start_resp(CureMsg::StartTxResp {
+            tx,
+            snapshot: vv(&[5]),
+        });
+        c.write([(Key(1), val("w"))]);
+        let outcome = c.read(&[Key(1), Key(2)]);
+        assert_eq!(outcome.local, vec![(Key(1), Some(val("w")))]);
+        let Some(CureMsg::TxReadReq { keys, .. }) = outcome.request else {
+            panic!()
+        };
+        assert_eq!(keys, vec![Key(2)]);
+        let got = c.on_read_resp(CureMsg::TxReadResp {
+            tx,
+            items: vec![(Key(2), None)],
+        });
+        assert_eq!(got, vec![(Key(2), None)]);
+        // Repeatable read.
+        let outcome = c.read(&[Key(2)]);
+        assert!(outcome.request.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction already active")]
+    fn double_start_panics() {
+        let mut c = CureClient::new(ClientId(1), ServerId::new(0, 0), 1);
+        let _ = c.start();
+        let _ = c.start();
+    }
+
+    #[test]
+    fn read_only_commit_clears_tx() {
+        let mut c = CureClient::new(ClientId(1), ServerId::new(0, 0), 2);
+        let tx = TxId::new(ServerId::new(0, 0), 1);
+        let _ = c.start();
+        c.on_start_resp(CureMsg::StartTxResp {
+            tx,
+            snapshot: vv(&[1, 1]),
+        });
+        let msg = c.commit();
+        assert!(matches!(msg, CureMsg::CommitReq { ref writes, .. } if writes.is_empty()));
+        c.on_commit_resp(CureMsg::CommitResp {
+            tx,
+            commit_vec: vv(&[1, 1]),
+        });
+        assert!(!c.in_tx());
+        assert_eq!(c.stats().txs_committed, 0);
+    }
+}

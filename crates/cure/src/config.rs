@@ -1,0 +1,79 @@
+/// Static configuration for a Cure or H-Cure deployment.
+///
+/// Mirrors [`wren_core::WrenConfig`](https://docs.rs/wren-core) so the two
+/// systems run under identical tick schedules — the paper evaluates all
+/// three systems "in the same code-base" with the same stabilization
+/// period (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CureConfig {
+    /// Number of data centers (`M`).
+    pub n_dcs: u8,
+    /// Number of partitions per DC (`N`).
+    pub n_partitions: u16,
+    /// Apply/replication tick interval (µs).
+    pub replication_tick_micros: u64,
+    /// Stabilization gossip interval (µs).
+    pub gossip_tick_micros: u64,
+    /// Garbage-collection exchange interval (µs; 0 disables).
+    pub gc_tick_micros: u64,
+    /// Visibility sampling rate (record every k-th update; 0 disables).
+    pub visibility_sample_every: u64,
+    /// `false` → **Cure**: version clocks advance with the physical clock,
+    /// so clock skew blocks reads.
+    /// `true` → **H-Cure**: version clocks advance with a hybrid logical
+    /// clock that absorbs snapshot timestamps, removing the skew component
+    /// of blocking (but not the pending-transaction component).
+    pub hlc: bool,
+    /// Stabilization topology: `0` = all-to-all broadcast; `k ≥ 1` = a
+    /// k-ary aggregation tree rooted at partition 0 (same scheme as Wren's,
+    /// for a fair bytes comparison).
+    pub gossip_fanout: u16,
+}
+
+impl Default for CureConfig {
+    fn default() -> Self {
+        CureConfig {
+            n_dcs: 3,
+            n_partitions: 8,
+            replication_tick_micros: 1_000,
+            gossip_tick_micros: 5_000,
+            gc_tick_micros: 50_000,
+            visibility_sample_every: 0,
+            hlc: false,
+            gossip_fanout: 0,
+        }
+    }
+}
+
+impl CureConfig {
+    /// An `m` DC × `n` partition Cure deployment with default ticks.
+    pub fn cure(m: u8, n: u16) -> Self {
+        CureConfig {
+            n_dcs: m,
+            n_partitions: n,
+            ..CureConfig::default()
+        }
+    }
+
+    /// An `m` DC × `n` partition H-Cure deployment with default ticks.
+    pub fn h_cure(m: u8, n: u16) -> Self {
+        CureConfig {
+            hlc: true,
+            ..CureConfig::cure(m, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_differ_only_in_clock_mode() {
+        let c = CureConfig::cure(3, 8);
+        let h = CureConfig::h_cure(3, 8);
+        assert!(!c.hlc);
+        assert!(h.hlc);
+        assert_eq!(c.gossip_tick_micros, h.gossip_tick_micros);
+    }
+}

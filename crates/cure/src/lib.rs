@@ -1,0 +1,61 @@
+//! The **Cure** and **H-Cure** baselines the paper compares Wren against.
+//!
+//! Cure (Akkoorath et al., ICDCS 2016) is the state-of-the-art TCC design
+//! at the time of the Wren paper. It shares Wren's overall shape — 2PC
+//! commits, periodic apply/replicate ticks, intra-DC stabilization gossip
+//! — but differs in exactly the two dimensions Wren's contributions
+//! target:
+//!
+//! 1. **Dependency metadata.** Cure tracks causality with a vector of one
+//!    entry *per DC*: item versions, snapshots, replication messages and
+//!    stabilization gossip all carry M timestamps
+//!    ([`wren_protocol::CureVersion`], [`wren_protocol::CureMsg`]).
+//!    Fig. 7a of the paper measures this against Wren's two scalars.
+//! 2. **Snapshot choice.** A transaction's snapshot takes the
+//!    coordinator's *current clock* as its local entry. Fresh — but a read
+//!    can reach a partition that has not yet installed that snapshot and
+//!    must **block** until it does ([`CureServer`] queues it and Fig. 3b
+//!    plots the waiting). **H-Cure** ([`CureConfig::h_cure`]) swaps the
+//!    physical clock for a hybrid logical clock, which removes the
+//!    clock-skew component of the blocking but not the
+//!    pending-transaction component — the paper uses it to show HLCs
+//!    alone do not fix blocking.
+//!
+//! Both variants share this implementation, toggled by [`CureConfig::hlc`].
+//!
+//! # Example
+//!
+//! ```
+//! use wren_cure::{CureClient, CureConfig, CureServer};
+//! use wren_clock::SkewedClock;
+//! use wren_protocol::{ClientId, Dest, Key, ServerId};
+//! use bytes::Bytes;
+//!
+//! let cfg = CureConfig::cure(1, 1);
+//! let sid = ServerId::new(0, 0);
+//! let mut server = CureServer::new(sid, cfg, SkewedClock::perfect());
+//! let mut client = CureClient::new(ClientId(0), sid, 1);
+//! let mut out = Vec::new();
+//!
+//! let msg = client.start();
+//! server.handle(Dest::Client(client.id()), msg, 0, &mut out);
+//! client.on_start_resp(out.pop().unwrap().msg);
+//! client.write([(Key(1), Bytes::from_static(b"hi"))]);
+//! let msg = client.commit();
+//! server.handle(Dest::Client(client.id()), msg, 10, &mut out);
+//! let commit_vec = client.on_commit_resp(out.pop().unwrap().msg);
+//! assert_eq!(commit_vec.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod server;
+mod visibility;
+
+pub use client::{CureClient, CureClientStats, CureReadOutcome};
+pub use config::CureConfig;
+pub use server::{CureServer, CureServerStats};
+pub use visibility::CureVisibilitySampler;

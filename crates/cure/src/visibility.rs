@@ -1,0 +1,176 @@
+use std::collections::BTreeMap;
+use wren_clock::{Timestamp, VersionVector};
+
+/// Caps retained samples so long experiments stay bounded.
+const MAX_SAMPLES: usize = 200_000;
+
+/// Update-visibility sampler for Cure (Fig. 7b's "Cure R" curve).
+///
+/// Unlike Wren — where one scalar watermark per class (LST/RST) gates
+/// visibility — Cure gates a remote update from DC `o` on the **per-origin
+/// entry** `GSS[o]` of the global stable snapshot, so pending samples are
+/// kept per origin DC. Local updates become visible as soon as the
+/// partition's version clock covers them (snapshots carry the
+/// coordinator's *current* clock, hence "local updates become visible
+/// immediately in Cure", §V-G).
+#[derive(Debug, Clone)]
+pub struct CureVisibilitySampler {
+    sample_every: u64,
+    seen_local: u64,
+    seen_remote: u64,
+    pending_local: BTreeMap<Timestamp, Vec<u64>>,
+    /// Per origin DC: commit timestamp → commit instants awaiting GSS.
+    pending_remote: Vec<BTreeMap<Timestamp, Vec<u64>>>,
+    local: Vec<u64>,
+    remote: Vec<u64>,
+}
+
+impl CureVisibilitySampler {
+    /// Creates a sampler for `n_dcs` DCs recording every `sample_every`-th
+    /// update (0 disables).
+    pub fn new(n_dcs: u8, sample_every: u64) -> Self {
+        CureVisibilitySampler {
+            sample_every,
+            seen_local: 0,
+            seen_remote: 0,
+            pending_local: BTreeMap::new(),
+            pending_remote: vec![BTreeMap::new(); n_dcs as usize],
+            local: Vec::new(),
+            remote: Vec::new(),
+        }
+    }
+
+    /// Whether sampling is active.
+    pub fn enabled(&self) -> bool {
+        self.sample_every > 0
+    }
+
+    /// Notes a locally-committed update.
+    pub fn register_local(&mut self, ct: Timestamp) {
+        if !self.enabled() {
+            return;
+        }
+        self.seen_local += 1;
+        if self.seen_local % self.sample_every == 0 && self.local.len() < MAX_SAMPLES {
+            self.pending_local
+                .entry(ct)
+                .or_default()
+                .push(ct.physical_micros());
+        }
+    }
+
+    /// Notes a replicated update from DC `origin`.
+    pub fn register_remote(&mut self, origin: usize, ct: Timestamp) {
+        if !self.enabled() {
+            return;
+        }
+        self.seen_remote += 1;
+        if self.seen_remote % self.sample_every == 0 && self.remote.len() < MAX_SAMPLES {
+            self.pending_remote[origin]
+                .entry(ct)
+                .or_default()
+                .push(ct.physical_micros());
+        }
+    }
+
+    /// Drains local samples covered by the version clock.
+    pub fn advance_local(&mut self, version_clock: Timestamp, now_micros: u64) {
+        if !self.enabled() {
+            return;
+        }
+        drain(&mut self.pending_local, version_clock, now_micros, &mut self.local);
+    }
+
+    /// Drains remote samples covered by the global stable snapshot.
+    pub fn advance_remote(&mut self, gss: &VersionVector, now_micros: u64) {
+        if !self.enabled() {
+            return;
+        }
+        for (origin, pending) in self.pending_remote.iter_mut().enumerate() {
+            drain(pending, gss.get(origin), now_micros, &mut self.remote);
+        }
+    }
+
+    /// Completed local visibility samples (µs).
+    pub fn local_samples(&self) -> &[u64] {
+        &self.local
+    }
+
+    /// Completed remote visibility samples (µs).
+    pub fn remote_samples(&self) -> &[u64] {
+        &self.remote
+    }
+
+    /// Discards completed samples (warm-up boundary).
+    pub fn reset(&mut self) {
+        self.local.clear();
+        self.remote.clear();
+    }
+}
+
+fn drain(
+    pending: &mut BTreeMap<Timestamp, Vec<u64>>,
+    watermark: Timestamp,
+    now_micros: u64,
+    out: &mut Vec<u64>,
+) {
+    let still_pending = pending.split_off(&watermark.successor());
+    for (_, commits) in std::mem::replace(pending, still_pending) {
+        for committed_at in commits {
+            out.push(now_micros.saturating_sub(committed_at));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(micros: u64) -> Timestamp {
+        Timestamp::from_micros(micros)
+    }
+
+    #[test]
+    fn remote_samples_gate_on_their_origin_entry() {
+        let mut s = CureVisibilitySampler::new(3, 1);
+        s.register_remote(1, ts(1_000));
+        s.register_remote(2, ts(1_000));
+        // GSS covers origin 1 but not origin 2.
+        let gss = VersionVector::from_entries(vec![ts(0), ts(1_000), ts(500)]);
+        s.advance_remote(&gss, 40_000);
+        assert_eq!(s.remote_samples(), &[39_000]);
+        let gss = VersionVector::from_entries(vec![ts(0), ts(1_000), ts(1_000)]);
+        s.advance_remote(&gss, 70_000);
+        assert_eq!(s.remote_samples(), &[39_000, 69_000]);
+    }
+
+    #[test]
+    fn local_samples_gate_on_version_clock() {
+        let mut s = CureVisibilitySampler::new(3, 1);
+        s.register_local(ts(100));
+        s.advance_local(ts(99), 500);
+        assert!(s.local_samples().is_empty());
+        s.advance_local(ts(100), 600);
+        assert_eq!(s.local_samples(), &[500]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut s = CureVisibilitySampler::new(3, 0);
+        s.register_local(ts(1));
+        s.register_remote(0, ts(1));
+        s.advance_local(ts(10), 20);
+        s.advance_remote(&VersionVector::from_entries(vec![ts(10); 3]), 20);
+        assert!(s.local_samples().is_empty());
+        assert!(s.remote_samples().is_empty());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = CureVisibilitySampler::new(1, 1);
+        s.register_local(ts(1));
+        s.advance_local(ts(1), 2);
+        s.reset();
+        assert!(s.local_samples().is_empty());
+    }
+}

@@ -1,0 +1,428 @@
+//! End-to-end flow tests for the Cure/H-Cure baselines, with emphasis on
+//! the behaviour that motivates Wren: reads that block.
+
+use bytes::Bytes;
+use wren_clock::SkewedClock;
+use wren_cure::{CureClient, CureConfig, CureServer};
+use wren_protocol::{ClientId, CureMsg, Dest, Key, Outgoing, ServerId, Value};
+
+/// Synchronous pump over a mesh of Cure servers with per-server clocks.
+struct Pump {
+    cfg: CureConfig,
+    servers: Vec<CureServer>,
+    to_clients: Vec<(ClientId, CureMsg)>,
+    now: u64,
+}
+
+impl Pump {
+    fn new(cfg: CureConfig, skews: &[i64]) -> Self {
+        let mut servers = Vec::new();
+        for dc in 0..cfg.n_dcs {
+            for p in 0..cfg.n_partitions {
+                let idx = dc as usize * cfg.n_partitions as usize + p as usize;
+                let skew = skews.get(idx).copied().unwrap_or(0);
+                servers.push(CureServer::new(
+                    ServerId::new(dc, p),
+                    cfg,
+                    SkewedClock::new(skew, 0.0),
+                ));
+            }
+        }
+        Pump {
+            cfg,
+            servers,
+            to_clients: Vec::new(),
+            now: 1_000, // start past zero so skewed clocks stay positive
+        }
+    }
+
+    fn idx(&self, id: ServerId) -> usize {
+        id.dc.index() * self.cfg.n_partitions as usize + id.partition.index()
+    }
+
+    fn server(&mut self, id: ServerId) -> &mut CureServer {
+        let i = self.idx(id);
+        &mut self.servers[i]
+    }
+
+    fn drain(&mut self, mut pending: Vec<(Dest, ServerId, CureMsg)>) {
+        while let Some((from, to_server, msg)) = pending.pop() {
+            let now = self.now;
+            let mut out = Vec::new();
+            let i = self.idx(to_server);
+            self.servers[i].handle(from, msg, now, &mut out);
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => pending.push((Dest::Server(to_server), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+    }
+
+    fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: CureMsg) {
+        self.drain(vec![(Dest::Client(client), coordinator, msg)]);
+    }
+
+    fn try_client_resp(&mut self, client: ClientId) -> Option<CureMsg> {
+        let pos = self.to_clients.iter().position(|(c, _)| *c == client)?;
+        Some(self.to_clients.remove(pos).1)
+    }
+
+    fn client_resp(&mut self, client: ClientId) -> CureMsg {
+        self.try_client_resp(client).expect("no response for client")
+    }
+
+    fn tick_replication(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_replication_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    fn tick_gossip(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_gossip_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    fn stabilize(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.tick_replication(1_000);
+            self.tick_gossip(1_000);
+        }
+    }
+}
+
+fn val(s: &str) -> Value {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn run_tx(
+    pump: &mut Pump,
+    client: &mut CureClient,
+    reads: &[Key],
+    writes: &[(Key, &str)],
+) -> Vec<(Key, Option<Value>)> {
+    let coord = client.coordinator();
+    let id = client.id();
+    pump.from_client(id, coord, client.start());
+    client.on_start_resp(pump.client_resp(id));
+
+    let mut results = Vec::new();
+    if !reads.is_empty() {
+        let outcome = client.read(reads);
+        results.extend(outcome.local.clone());
+        if let Some(req) = outcome.request {
+            pump.from_client(id, coord, req);
+            // The read may block server-side; pump ticks until it answers.
+            let mut guard = 0;
+            loop {
+                if let Some(resp) = pump.try_client_resp(id) {
+                    results.extend(client.on_read_resp(resp));
+                    break;
+                }
+                pump.tick_replication(500);
+                guard += 1;
+                assert!(guard < 10_000, "read never unblocked");
+            }
+        }
+    }
+    if !writes.is_empty() {
+        client.write(writes.iter().map(|(k, v)| (*k, val(v))));
+    }
+    pump.from_client(id, coord, client.commit());
+    client.on_commit_resp(pump.client_resp(id));
+    results
+}
+
+fn value_of(results: &[(Key, Option<Value>)], key: Key) -> Option<Value> {
+    results
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v.clone())
+        .expect("key missing")
+}
+
+fn keys_on_distinct_partitions(n_partitions: u16, n: usize) -> Vec<Key> {
+    let mut keys = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut k = 0u64;
+    while keys.len() < n {
+        let key = Key(k);
+        if seen.insert(key.partition(n_partitions)) {
+            keys.push(key);
+        }
+        k += 1;
+    }
+    keys
+}
+
+#[test]
+fn write_then_read_sees_own_writes_without_cache() {
+    // Cure's snapshot (coordinator's current clock) covers the client's own
+    // commit — the read may block, but it returns the fresh value.
+    let mut pump = Pump::new(CureConfig::cure(1, 2), &[]);
+    let coord = ServerId::new(0, 0);
+    let mut c = CureClient::new(ClientId(1), coord, 1);
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    run_tx(&mut pump, &mut c, &[], &[(keys[0], "v1"), (keys[1], "v1")]);
+    let results = run_tx(&mut pump, &mut c, &keys, &[]);
+    assert_eq!(value_of(&results, keys[0]), Some(val("v1")));
+    assert_eq!(value_of(&results, keys[1]), Some(val("v1")));
+}
+
+#[test]
+fn read_blocks_on_uninstalled_snapshot_then_unblocks() {
+    let mut pump = Pump::new(CureConfig::cure(1, 2), &[]);
+    let coord = ServerId::new(0, 0);
+    let mut writer = CureClient::new(ClientId(1), coord, 1);
+    let mut reader = CureClient::new(ClientId(2), coord, 1);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let off_coord_key = keys
+        .iter()
+        .find(|k| k.partition(2) != coord.partition)
+        .copied()
+        .unwrap();
+
+    // Commit a write but do NOT tick: it sits in the committed list, the
+    // version clock cannot advance past it.
+    run_tx(&mut pump, &mut writer, &[], &[(off_coord_key, "w")]);
+
+    // A new transaction gets a snapshot at the coordinator's current clock
+    // — ahead of what the cohort has installed. Its read must block.
+    pump.now += 10;
+    let id = reader.id();
+    pump.from_client(id, coord, reader.start());
+    reader.on_start_resp(pump.client_resp(id));
+    let outcome = reader.read(&[off_coord_key]);
+    pump.from_client(id, coord, outcome.request.unwrap());
+
+    let cohort = ServerId::new(0, off_coord_key.partition(2).0);
+    assert!(
+        pump.server(cohort).pending_reads() > 0,
+        "read should be blocked at the cohort"
+    );
+    assert!(pump.try_client_resp(id).is_none(), "no response while blocked");
+
+    // Replication ticks apply the commit and advance the version clock;
+    // the pending read drains.
+    pump.tick_replication(1_000);
+    pump.tick_replication(1_000);
+    let resp = pump.client_resp(id);
+    let got = reader.on_read_resp(resp);
+    assert_eq!(got[0].1, Some(val("w")), "unblocked read returns the fresh value");
+
+    let stats = pump.server(cohort).stats();
+    assert!(stats.slices_blocked >= 1);
+    assert!(stats.total_block_micros > 0);
+    assert!(!pump.server(cohort).blocked_samples().is_empty());
+
+    pump.from_client(id, coord, reader.commit());
+    reader.on_commit_resp(pump.client_resp(id));
+}
+
+#[test]
+fn clock_skew_blocks_cure_but_not_hcure() {
+    // Coordinator's clock is 2 ms ahead of the cohort's. A fresh snapshot
+    // takes the coordinator's clock; in Cure the cohort cannot install it
+    // until its own physical clock catches up, even with nothing pending.
+    let skews = &[2_000, 0]; // partition 0 fast, partition 1 slow
+    let run = |cfg: CureConfig| -> (bool, u64) {
+        let mut pump = Pump::new(cfg, skews);
+        let coord = ServerId::new(0, 0);
+        let mut reader = CureClient::new(ClientId(1), coord, 1);
+        let keys = keys_on_distinct_partitions(2, 2);
+        let slow_key = keys
+            .iter()
+            .find(|k| k.partition(2).0 == 1)
+            .copied()
+            .unwrap();
+
+        // Let both partitions tick once so version clocks are initialized.
+        pump.stabilize(1);
+
+        let id = reader.id();
+        pump.from_client(id, coord, reader.start());
+        reader.on_start_resp(pump.client_resp(id));
+        let outcome = reader.read(&[slow_key]);
+        pump.from_client(id, coord, outcome.request.unwrap());
+
+        let cohort = ServerId::new(0, 1);
+        let blocked = pump.server(cohort).pending_reads() > 0;
+
+        // Tick in small steps until the response arrives; measure how long.
+        let start = pump.now;
+        let mut waited = 0;
+        while pump.try_client_resp(id).is_none() {
+            pump.tick_replication(100);
+            waited = pump.now - start;
+            assert!(waited < 1_000_000, "never unblocked");
+        }
+        (blocked, waited)
+    };
+
+    let (cure_blocked, cure_wait) = run(CureConfig::cure(1, 2));
+    let (_hcure_blocked, hcure_wait) = run(CureConfig::h_cure(1, 2));
+
+    assert!(cure_blocked, "Cure must block under clock skew");
+    assert!(
+        cure_wait >= 1_500,
+        "Cure should wait out most of the 2 ms skew, waited {cure_wait} µs"
+    );
+    assert!(
+        hcure_wait <= 300,
+        "H-Cure should unblock within a tick, waited {hcure_wait} µs"
+    );
+}
+
+#[test]
+fn geo_replication_and_gss_visibility() {
+    let mut pump = Pump::new(CureConfig::cure(2, 2), &[]);
+    let mut alice = CureClient::new(ClientId(1), ServerId::new(0, 0), 2);
+    let mut bob = CureClient::new(ClientId(2), ServerId::new(1, 0), 2);
+    let keys = keys_on_distinct_partitions(2, 2);
+
+    run_tx(&mut pump, &mut alice, &[], &[(keys[0], "geo")]);
+    pump.stabilize(4);
+
+    let results = run_tx(&mut pump, &mut bob, &[keys[0]], &[]);
+    assert_eq!(value_of(&results, keys[0]), Some(val("geo")));
+}
+
+#[test]
+fn atomicity_across_partitions() {
+    let mut pump = Pump::new(CureConfig::cure(1, 4), &[]);
+    let coord = ServerId::new(0, 0);
+    let mut writer = CureClient::new(ClientId(1), coord, 1);
+    let mut reader = CureClient::new(ClientId(2), coord, 1);
+    let keys = keys_on_distinct_partitions(4, 4);
+
+    let refs: Vec<(Key, &str)> = keys.iter().map(|k| (*k, "atomic")).collect();
+    run_tx(&mut pump, &mut writer, &[], &refs);
+
+    for _ in 0..3 {
+        let results = run_tx(&mut pump, &mut reader, &keys, &[]);
+        let seen: Vec<bool> = keys
+            .iter()
+            .map(|k| value_of(&results, *k).is_some())
+            .collect();
+        assert!(
+            seen.iter().all(|s| *s) || seen.iter().all(|s| !*s),
+            "atomicity violated: {seen:?}"
+        );
+        pump.stabilize(1);
+    }
+}
+
+#[test]
+fn gc_prunes_overwritten_versions() {
+    let mut pump = Pump::new(CureConfig::cure(1, 1), &[]);
+    let coord = ServerId::new(0, 0);
+    let mut c = CureClient::new(ClientId(1), coord, 1);
+
+    for i in 0..8 {
+        let v = format!("v{i}");
+        let id = c.id();
+        pump.from_client(id, coord, c.start());
+        c.on_start_resp(pump.client_resp(id));
+        c.write([(Key(0), val(&v))]);
+        pump.from_client(id, coord, c.commit());
+        c.on_commit_resp(pump.client_resp(id));
+        pump.stabilize(1);
+    }
+    let before = pump.server(coord).store().stats().versions;
+
+    // GC gossip + prune.
+    pump.now += 1_000;
+    let now = pump.now;
+    let mut out = Vec::new();
+    pump.server(coord).on_gc_tick(now, &mut out);
+    pump.now += 1_000;
+    let now = pump.now;
+    let mut out2 = Vec::new();
+    pump.server(coord).on_gc_tick(now, &mut out2);
+
+    let after = pump.server(coord).store().stats().versions;
+    assert!(after < before, "GC must prune ({before} -> {after})");
+
+    let results = run_tx(&mut pump, &mut c, &[Key(0)], &[]);
+    assert_eq!(value_of(&results, Key(0)), Some(val("v7")));
+}
+
+#[test]
+fn wren_never_blocks_where_cure_does() {
+    // Control experiment mirroring `read_blocks_on_uninstalled_snapshot`:
+    // the same sequence against Wren's server leaves nothing pending.
+    use wren_core::{WrenClient, WrenConfig, WrenServer};
+    use wren_protocol::WrenMsg;
+
+    let cfg = WrenConfig::new(1, 2);
+    let mut servers: Vec<WrenServer> = (0..2)
+        .map(|p| WrenServer::new(ServerId::new(0, p), cfg, SkewedClock::perfect()))
+        .collect();
+    let coord = ServerId::new(0, 0);
+    let mut writer = WrenClient::new(ClientId(1), coord);
+    let mut reader = WrenClient::new(ClientId(2), coord);
+
+    let route = |servers: &mut Vec<WrenServer>,
+                     from: Dest,
+                     to: ServerId,
+                     msg: WrenMsg,
+                     to_clients: &mut Vec<(ClientId, WrenMsg)>| {
+        let mut queue = vec![(from, to, msg)];
+        while let Some((from, to, msg)) = queue.pop() {
+            let mut out = Vec::new();
+            servers[to.partition.index()].handle(from, msg, 0, &mut out);
+            for Outgoing { to: dest, msg } in out {
+                match dest {
+                    Dest::Server(s) => queue.push((Dest::Server(to), s, msg)),
+                    Dest::Client(c) => to_clients.push((c, msg)),
+                }
+            }
+        }
+    };
+
+    let mut inbox = Vec::new();
+    // Writer commits to partition 1; nothing is applied (no ticks).
+    route(&mut servers, Dest::Client(writer.id()), coord, writer.start(), &mut inbox);
+    writer.on_start_resp(inbox.pop().unwrap().1);
+    writer.write([(Key(1), val("w"))]);
+    route(&mut servers, Dest::Client(writer.id()), coord, writer.commit(), &mut inbox);
+    writer.on_commit_resp(inbox.pop().unwrap().1);
+
+    // Reader's transaction: the read completes IMMEDIATELY (sees the older
+    // snapshot), no queueing anywhere — Wren's nonblocking property.
+    route(&mut servers, Dest::Client(reader.id()), coord, reader.start(), &mut inbox);
+    reader.on_start_resp(inbox.pop().unwrap().1);
+    let outcome = reader.read(&[Key(1)]);
+    if let Some(req) = outcome.request {
+        route(&mut servers, Dest::Client(reader.id()), coord, req, &mut inbox);
+    }
+    assert!(
+        inbox.iter().any(|(c, _)| *c == reader.id()),
+        "Wren read must complete synchronously without any tick"
+    );
+}

@@ -1,0 +1,163 @@
+//! Shared plumbing between the Wren and Cure simulated clusters: node
+//! layout, message envelopes and timer kinds.
+
+use wren_protocol::{ClientId, Dest, ServerId};
+use wren_sim::{Message, MsgCategory, NodeId};
+
+/// Timer kind: apply/replication tick (Δ_R).
+pub const TIMER_REPL: u32 = 1_000_000;
+/// Timer kind: stabilization gossip tick (Δ_G).
+pub const TIMER_GOSSIP: u32 = 1_000_001;
+/// Timer kind: garbage-collection tick.
+pub const TIMER_GC: u32 = 1_000_002;
+/// Timer kinds below this value are client-session kickoffs (kind =
+/// session index).
+pub const TIMER_SESSION_BASE: u32 = 0;
+
+/// A protocol message in flight, tagged with its logical source and
+/// destination so multi-session client processes can demultiplex.
+///
+/// The envelope models transport addressing (TCP connection identity); it
+/// contributes no payload bytes, so `wire_size` delegates to the inner
+/// message and Fig. 7a accounting is unaffected.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Logical sender.
+    pub src: Dest,
+    /// Logical receiver.
+    pub dst: Dest,
+    /// The protocol message.
+    pub msg: M,
+}
+
+impl<M: Message> Message for Envelope<M> {
+    fn wire_size(&self) -> usize {
+        self.msg.wire_size()
+    }
+    fn category(&self) -> MsgCategory {
+        self.msg.category()
+    }
+}
+
+/// Maps protocol identities to simulator node ids.
+///
+/// Node order: all servers DC-major (`dc * n + partition`), then one
+/// client *process* per (DC, partition) in the same order — the paper
+/// spawns one client process per partition per DC, collocated with the
+/// coordinator it uses (§V-A). Each process runs `threads` closed-loop
+/// sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// DCs.
+    pub m: u8,
+    /// Partitions per DC.
+    pub n: u16,
+    /// Sessions per client process.
+    pub threads: u16,
+}
+
+impl Layout {
+    /// Simulator node of a server.
+    pub fn server_node(&self, s: ServerId) -> NodeId {
+        NodeId::new((s.dc.index() * self.n as usize + s.partition.index()) as u32)
+    }
+
+    /// Simulator node of the client process collocated with `(dc, p)`.
+    pub fn client_process_node(&self, dc: u8, p: u16) -> NodeId {
+        let servers = self.m as usize * self.n as usize;
+        NodeId::new((servers + dc as usize * self.n as usize + p as usize) as u32)
+    }
+
+    /// The id of session `t` of the client process at `(dc, p)`.
+    pub fn client_id(&self, dc: u8, p: u16, t: u16) -> ClientId {
+        let process = dc as u32 * self.n as u32 + p as u32;
+        ClientId(process * self.threads as u32 + t as u32)
+    }
+
+    /// The client process node hosting `c`.
+    pub fn client_node(&self, c: ClientId) -> NodeId {
+        let servers = self.m as usize * self.n as usize;
+        NodeId::new((servers + (c.0 / self.threads as u32) as usize) as u32)
+    }
+
+    /// The session index of `c` within its process.
+    pub fn session_of(&self, c: ClientId) -> usize {
+        (c.0 % self.threads as u32) as usize
+    }
+
+    /// The coordinator (collocated server) of client `c`.
+    pub fn coordinator_of(&self, c: ClientId) -> ServerId {
+        let process = c.0 / self.threads as u32;
+        ServerId::new(
+            (process / self.n as u32) as u8,
+            (process % self.n as u32) as u16,
+        )
+    }
+
+    /// Simulator node for a logical destination.
+    pub fn node_of(&self, dest: Dest) -> NodeId {
+        match dest {
+            Dest::Server(s) => self.server_node(s),
+            Dest::Client(c) => self.client_node(c),
+        }
+    }
+
+    /// Total simulator nodes (servers + client processes).
+    pub fn total_nodes(&self) -> usize {
+        2 * self.m as usize * self.n as usize
+    }
+
+    /// The site (DC index) of each node, in node order — feeds the
+    /// network model.
+    pub fn sites(&self) -> Vec<u16> {
+        let mut sites = Vec::with_capacity(self.total_nodes());
+        for dc in 0..self.m {
+            for _ in 0..self.n {
+                sites.push(dc as u16);
+            }
+        }
+        for dc in 0..self.m {
+            for _ in 0..self.n {
+                sites.push(dc as u16);
+            }
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips() {
+        let l = Layout { m: 3, n: 8, threads: 4 };
+        assert_eq!(l.total_nodes(), 48);
+        let s = ServerId::new(2, 5);
+        assert_eq!(l.server_node(s).index(), 2 * 8 + 5);
+        let c = l.client_id(2, 5, 3);
+        assert_eq!(l.coordinator_of(c), s);
+        assert_eq!(l.session_of(c), 3);
+        assert_eq!(l.client_node(c), l.client_process_node(2, 5));
+    }
+
+    #[test]
+    fn client_ids_are_unique() {
+        let l = Layout { m: 2, n: 4, threads: 8 };
+        let mut seen = std::collections::HashSet::new();
+        for dc in 0..2 {
+            for p in 0..4 {
+                for t in 0..8 {
+                    assert!(seen.insert(l.client_id(dc, p, t).0));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn sites_cover_servers_then_clients() {
+        let l = Layout { m: 2, n: 2, threads: 1 };
+        assert_eq!(l.sites(), vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+}

@@ -1,0 +1,111 @@
+//! CSV export for figure data, so the bench output can be re-plotted with
+//! any tool (gnuplot, matplotlib, a spreadsheet).
+//!
+//! Files land under `target/figures/` by default (override with the
+//! `WREN_FIGURE_DIR` environment variable).
+
+use crate::RunResult;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The directory figure CSVs are written to.
+///
+/// Defaults to `<workspace>/target/figures` (anchored at compile time so
+/// it does not depend on the bench runner's working directory).
+pub fn figure_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("WREN_FIGURE_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/harness → crates → workspace root
+    let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    workspace.join("target").join("figures")
+}
+
+/// Writes one latency-throughput curve as CSV. Returns the file path.
+///
+/// Columns: `threads,throughput_tx_s,mean_ms,p50_ms,p95_ms,p99_ms,`
+/// `blocked_frac,mean_block_ms`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation / writing).
+pub fn write_curve(
+    figure: &str,
+    series: &str,
+    points: &[(u16, RunResult)],
+) -> std::io::Result<PathBuf> {
+    let dir = figure_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{figure}_{series}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(
+        f,
+        "threads,throughput_tx_s,mean_ms,p50_ms,p95_ms,p99_ms,blocked_frac,mean_block_ms"
+    )?;
+    for (threads, r) in points {
+        writeln!(
+            f,
+            "{},{:.1},{:.3},{:.3},{:.3},{:.3},{:.4},{:.3}",
+            threads,
+            r.throughput,
+            r.latency.mean_ms,
+            r.latency.p50_ms,
+            r.latency.p95_ms,
+            r.latency.p99_ms,
+            r.blocking.blocked_fraction,
+            r.blocking.mean_block_ms,
+        )?;
+    }
+    Ok(path)
+}
+
+/// Writes a CDF (Fig. 7b-style) as CSV with columns
+/// `latency_micros,cumulative_fraction`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_cdf(figure: &str, series: &str, samples: &[u64]) -> std::io::Result<PathBuf> {
+    let dir = figure_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{figure}_{series}.csv"));
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "latency_micros,cumulative_fraction")?;
+    for (value, frac) in crate::cdf(samples, 100) {
+        writeln!(f, "{value},{frac:.4}")?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RunResult;
+
+    #[test]
+    fn writes_curve_and_cdf() {
+        let tmp = std::env::temp_dir().join("wren-csv-test");
+        std::env::set_var("WREN_FIGURE_DIR", &tmp);
+        let r = RunResult {
+            committed: 10,
+            duration_secs: 1.0,
+            throughput: 10.0,
+            ..RunResult::default()
+        };
+        let p = write_curve("figX", "wren", &[(1, r)]).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("threads,"));
+        assert!(content.lines().count() == 2);
+
+        let p = write_cdf("figY", "wren_local", &[10, 20, 30, 40]).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("latency_micros,"));
+        assert!(content.lines().count() > 2);
+        std::env::remove_var("WREN_FIGURE_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+}

@@ -1,0 +1,417 @@
+//! Experiment runner: builds a simulated cluster for one of the three
+//! systems, applies the closed-loop workload, and collects the metrics
+//! every figure of the paper is built from.
+
+use crate::cluster::{Envelope, Layout, TIMER_GC, TIMER_GOSSIP, TIMER_REPL, TIMER_SESSION_BASE};
+use crate::cure_cluster::{CureClientNode, CureServerNode};
+use crate::wren_cluster::{Ticks, WrenClientNode, WrenServerNode};
+use crate::{BlockingSummary, BytesSummary, Histogram, LatencySummary, RunResult, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use wren_clock::SkewedClock;
+use wren_core::{WrenConfig, WrenServer};
+use wren_cure::{CureConfig, CureServer};
+use wren_protocol::ServerId;
+use wren_sim::{MsgCategory, NetworkModel, NodeId, SimTime, Simulation, TrafficSnapshot};
+use wren_workload::{Workload, WorkloadSpec};
+
+/// Which system an experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Wren: CANToR + BDT + BiST (nonblocking reads).
+    Wren,
+    /// Cure: per-DC vectors, physical clocks, blocking reads.
+    Cure,
+    /// H-Cure: Cure with hybrid logical clocks.
+    HCure,
+}
+
+impl SystemKind {
+    /// The label used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Wren => "Wren",
+            SystemKind::Cure => "Cure",
+            SystemKind::HCure => "H-Cure",
+        }
+    }
+
+    /// All three systems, in the paper's plotting order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Cure, SystemKind::HCure, SystemKind::Wren];
+}
+
+/// Full description of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Deployment shape and timing.
+    pub topology: Topology,
+    /// Workload parameters.
+    pub workload: WorkloadSpec,
+    /// Closed-loop sessions per client process (the paper sweeps 1, 2, 4,
+    /// 8, 16).
+    pub threads_per_client: u16,
+    /// Warm-up window (µs) excluded from all metrics.
+    pub warmup_micros: u64,
+    /// Measurement window (µs).
+    pub measure_micros: u64,
+    /// RNG seed: same seed → bit-identical results.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// The paper's default configuration: 3 DCs × 8 partitions, 95:5 mix,
+    /// p=4, with a short default window suitable for tests. Benches scale
+    /// the windows up.
+    pub fn default_paper() -> Self {
+        ExperimentSpec {
+            topology: Topology::aws(3, 8),
+            workload: WorkloadSpec::default(),
+            threads_per_client: 4,
+            warmup_micros: 500_000,
+            measure_micros: 2_000_000,
+            seed: 42,
+        }
+    }
+
+    fn layout(&self) -> Layout {
+        Layout {
+            m: self.topology.n_dcs,
+            n: self.topology.n_partitions,
+            threads: self.threads_per_client,
+        }
+    }
+
+    fn ticks(&self) -> Ticks {
+        Ticks {
+            replication: self.topology.replication_tick_micros,
+            gossip: self.topology.gossip_tick_micros,
+            gc: self.topology.gc_tick_micros,
+        }
+    }
+}
+
+/// Runs one experiment for `system`, returning its metrics.
+pub fn run(system: SystemKind, spec: &ExperimentSpec) -> RunResult {
+    match system {
+        SystemKind::Wren => run_wren(spec),
+        SystemKind::Cure => run_cure(spec, false),
+        SystemKind::HCure => run_cure(spec, true),
+    }
+}
+
+fn build_network(spec: &ExperimentSpec, layout: &Layout) -> NetworkModel {
+    let t = &spec.topology;
+    NetworkModel::with_sites(
+        layout.sites(),
+        t.inter_matrix(),
+        t.intra_dc_one_way_micros,
+        t.intra_dc_jitter_micros,
+        t.inter_dc_jitter_frac,
+    )
+}
+
+fn skews(spec: &ExperimentSpec) -> Vec<i64> {
+    let t = &spec.topology;
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x5eed_c10c);
+    (0..t.n_servers())
+        .map(|_| {
+            if t.skew_max_micros == 0 {
+                0
+            } else {
+                rng.gen_range(-t.skew_max_micros..=t.skew_max_micros)
+            }
+        })
+        .collect()
+}
+
+/// Arms the standard timers: staggered periodic ticks per server and
+/// per-session kickoffs on the client processes.
+fn arm_timers<M: wren_sim::Message>(
+    sim: &mut Simulation<M>,
+    spec: &ExperimentSpec,
+    layout: &Layout,
+) {
+    let t = &spec.topology;
+    for i in 0..t.n_servers() {
+        let node = NodeId::new(i as u32);
+        sim.start_timer(node, (i as u64 * 137) % t.replication_tick_micros + 1, TIMER_REPL);
+        sim.start_timer(node, (i as u64 * 271) % t.gossip_tick_micros + 2, TIMER_GOSSIP);
+        if t.gc_tick_micros > 0 {
+            sim.start_timer(node, (i as u64 * 631) % t.gc_tick_micros + 3, TIMER_GC);
+        }
+    }
+    for dc in 0..layout.m {
+        for p in 0..layout.n {
+            let node = layout.client_process_node(dc, p);
+            for s in 0..layout.threads {
+                sim.start_timer(node, s as u64 * 17, TIMER_SESSION_BASE + s as u32);
+            }
+        }
+    }
+}
+
+fn colocate_clients<M: wren_sim::Message>(
+    sim: &mut Simulation<M>,
+    spec: &ExperimentSpec,
+    layout: &Layout,
+) {
+    for dc in 0..layout.m {
+        for p in 0..layout.n {
+            let server = layout.server_node(ServerId::new(dc, p));
+            let client = layout.client_process_node(dc, p);
+            sim.network_mut()
+                .set_pair_latency(server, client, spec.topology.loopback_micros);
+        }
+    }
+}
+
+struct WindowStats {
+    committed: u64,
+    latencies: Histogram,
+    bytes: BytesSummary,
+    cpu_utilization: f64,
+}
+
+fn bytes_since(sim_traffic: &wren_sim::TrafficStats, snap: &TrafficSnapshot) -> BytesSummary {
+    BytesSummary {
+        replication: sim_traffic.bytes_since(snap, MsgCategory::Replication),
+        heartbeat: sim_traffic.bytes_since(snap, MsgCategory::Heartbeat),
+        stabilization: sim_traffic.bytes_since(snap, MsgCategory::Stabilization),
+        client_server: sim_traffic.bytes_since(snap, MsgCategory::ClientServer),
+        intra_dc: sim_traffic.bytes_since(snap, MsgCategory::IntraDcTransaction),
+        gc: sim_traffic.bytes_since(snap, MsgCategory::GarbageCollection),
+    }
+}
+
+fn run_wren(spec: &ExperimentSpec) -> RunResult {
+    let layout = spec.layout();
+    let t = &spec.topology;
+    let workload = Workload::compile(spec.workload.clone(), t.n_partitions);
+    let warmup_end = spec.warmup_micros;
+    let end = spec.warmup_micros + spec.measure_micros;
+
+    let cfg = WrenConfig {
+        n_dcs: t.n_dcs,
+        n_partitions: t.n_partitions,
+        replication_tick_micros: t.replication_tick_micros,
+        gossip_tick_micros: t.gossip_tick_micros,
+        gc_tick_micros: t.gc_tick_micros,
+        visibility_sample_every: t.visibility_sample_every,
+        gossip_fanout: t.gossip_fanout,
+    };
+
+    let mut sim: Simulation<Envelope<wren_protocol::WrenMsg>> =
+        Simulation::new(spec.seed, build_network(spec, &layout));
+    let offsets = skews(spec);
+
+    for dc in 0..t.n_dcs {
+        for p in 0..t.n_partitions {
+            let sid = ServerId::new(dc, p);
+            let idx = layout.server_node(sid).index();
+            let server = WrenServer::new(sid, cfg, SkewedClock::new(offsets[idx], 0.0));
+            sim.add_node(
+                Box::new(WrenServerNode::new(server, t.service, layout, spec.ticks())),
+                t.cores_per_server,
+            );
+        }
+    }
+    for dc in 0..t.n_dcs {
+        for p in 0..t.n_partitions {
+            sim.add_node(
+                Box::new(WrenClientNode::new(dc, p, layout, workload.clone(), warmup_end)),
+                0,
+            );
+        }
+    }
+    colocate_clients(&mut sim, spec, &layout);
+    arm_timers(&mut sim, spec, &layout);
+
+    // Warm-up, then reset window-scoped collectors.
+    sim.run_until(SimTime::from_micros(warmup_end));
+    let traffic_snap = sim.traffic().snapshot();
+    let mut busy_snap = Vec::with_capacity(t.n_servers());
+    for i in 0..t.n_servers() {
+        busy_snap.push(sim.cpu_busy_micros(NodeId::new(i as u32)));
+        let node = sim
+            .typed_node_mut::<WrenServerNode>(NodeId::new(i as u32))
+            .expect("server node");
+        node.server.visibility_mut().reset();
+    }
+
+    sim.run_until(SimTime::from_micros(end));
+
+    // Collect.
+    let mut w = WindowStats {
+        committed: 0,
+        latencies: Histogram::new(),
+        bytes: bytes_since(sim.traffic(), &traffic_snap),
+        cpu_utilization: 0.0,
+    };
+    let mut vis_local = Vec::new();
+    let mut vis_remote = Vec::new();
+    let mut busy_total = 0u64;
+    for i in 0..t.n_servers() {
+        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_snap[i];
+        let node = sim
+            .typed_node_mut::<WrenServerNode>(NodeId::new(i as u32))
+            .expect("server node");
+        vis_local.extend_from_slice(node.server.visibility().local_samples());
+        vis_remote.extend_from_slice(node.server.visibility().remote_samples());
+    }
+    for dc in 0..layout.m {
+        for p in 0..layout.n {
+            let node_id = layout.client_process_node(dc, p);
+            let node = sim
+                .typed_node_mut::<WrenClientNode>(node_id)
+                .expect("client node");
+            w.committed += node.committed;
+            w.latencies.merge(&node.latencies);
+        }
+    }
+    let capacity = t.n_servers() as u64 * t.cores_per_server as u64 * spec.measure_micros;
+    w.cpu_utilization = busy_total as f64 / capacity as f64;
+
+    finish(spec, w, BlockingSummary::default(), vis_local, vis_remote)
+}
+
+fn run_cure(spec: &ExperimentSpec, hlc: bool) -> RunResult {
+    let layout = spec.layout();
+    let t = &spec.topology;
+    let workload = Workload::compile(spec.workload.clone(), t.n_partitions);
+    let warmup_end = spec.warmup_micros;
+    let end = spec.warmup_micros + spec.measure_micros;
+
+    let cfg = CureConfig {
+        n_dcs: t.n_dcs,
+        n_partitions: t.n_partitions,
+        replication_tick_micros: t.replication_tick_micros,
+        gossip_tick_micros: t.gossip_tick_micros,
+        gc_tick_micros: t.gc_tick_micros,
+        visibility_sample_every: t.visibility_sample_every,
+        hlc,
+        gossip_fanout: t.gossip_fanout,
+    };
+
+    let mut sim: Simulation<Envelope<wren_protocol::CureMsg>> =
+        Simulation::new(spec.seed, build_network(spec, &layout));
+    let offsets = skews(spec);
+
+    for dc in 0..t.n_dcs {
+        for p in 0..t.n_partitions {
+            let sid = ServerId::new(dc, p);
+            let idx = layout.server_node(sid).index();
+            let server = CureServer::new(sid, cfg, SkewedClock::new(offsets[idx], 0.0));
+            sim.add_node(
+                Box::new(CureServerNode::new(server, t.service, layout, spec.ticks())),
+                t.cores_per_server,
+            );
+        }
+    }
+    for dc in 0..t.n_dcs {
+        for p in 0..t.n_partitions {
+            sim.add_node(
+                Box::new(CureClientNode::new(
+                    dc,
+                    p,
+                    layout,
+                    workload.clone(),
+                    warmup_end,
+                    t.n_dcs,
+                )),
+                0,
+            );
+        }
+    }
+    colocate_clients(&mut sim, spec, &layout);
+    arm_timers(&mut sim, spec, &layout);
+
+    sim.run_until(SimTime::from_micros(warmup_end));
+    let traffic_snap = sim.traffic().snapshot();
+    let mut busy_snap = Vec::with_capacity(t.n_servers());
+    for i in 0..t.n_servers() {
+        busy_snap.push(sim.cpu_busy_micros(NodeId::new(i as u32)));
+        let node = sim
+            .typed_node_mut::<CureServerNode>(NodeId::new(i as u32))
+            .expect("server node");
+        node.server.visibility_mut().reset();
+        node.server.reset_blocked_samples();
+    }
+
+    sim.run_until(SimTime::from_micros(end));
+
+    let mut w = WindowStats {
+        committed: 0,
+        latencies: Histogram::new(),
+        bytes: bytes_since(sim.traffic(), &traffic_snap),
+        cpu_utilization: 0.0,
+    };
+    let mut vis_local = Vec::new();
+    let mut vis_remote = Vec::new();
+    let mut busy_total = 0u64;
+    // Per-transaction blocking: the paper counts a transaction blocked if
+    // any of its reads blocked, with duration = max over its reads.
+    let mut per_tx_block: HashMap<wren_protocol::TxId, u64> = HashMap::new();
+    for i in 0..t.n_servers() {
+        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_snap[i];
+        let node = sim
+            .typed_node_mut::<CureServerNode>(NodeId::new(i as u32))
+            .expect("server node");
+        vis_local.extend_from_slice(node.server.visibility().local_samples());
+        vis_remote.extend_from_slice(node.server.visibility().remote_samples());
+        for (tx, dur) in node.server.blocked_samples() {
+            let e = per_tx_block.entry(*tx).or_insert(0);
+            *e = (*e).max(*dur);
+        }
+    }
+    for dc in 0..layout.m {
+        for p in 0..layout.n {
+            let node_id = layout.client_process_node(dc, p);
+            let node = sim
+                .typed_node_mut::<CureClientNode>(node_id)
+                .expect("client node");
+            w.committed += node.committed;
+            w.latencies.merge(&node.latencies);
+        }
+    }
+    let capacity = t.n_servers() as u64 * t.cores_per_server as u64 * spec.measure_micros;
+    w.cpu_utilization = busy_total as f64 / capacity as f64;
+
+    let blocked_txs = per_tx_block.len() as u64;
+    let mean_block = if blocked_txs == 0 {
+        0.0
+    } else {
+        per_tx_block.values().sum::<u64>() as f64 / blocked_txs as f64 / 1_000.0
+    };
+    let blocking = BlockingSummary {
+        blocked_txs,
+        mean_block_ms: mean_block,
+        blocked_fraction: if w.committed == 0 {
+            0.0
+        } else {
+            blocked_txs as f64 / w.committed as f64
+        },
+    };
+    finish(spec, w, blocking, vis_local, vis_remote)
+}
+
+fn finish(
+    spec: &ExperimentSpec,
+    w: WindowStats,
+    blocking: BlockingSummary,
+    visibility_local: Vec<u64>,
+    visibility_remote: Vec<u64>,
+) -> RunResult {
+    let secs = spec.measure_micros as f64 / 1_000_000.0;
+    RunResult {
+        committed: w.committed,
+        duration_secs: secs,
+        throughput: w.committed as f64 / secs,
+        latency: LatencySummary::of(&w.latencies),
+        blocking,
+        bytes: w.bytes,
+        visibility_local,
+        visibility_remote,
+        server_cpu_utilization: w.cpu_utilization,
+    }
+}

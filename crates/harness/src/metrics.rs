@@ -1,0 +1,249 @@
+/// Cap on raw retained samples per histogram (mean still uses all
+/// samples; percentiles use the first `CAP`).
+const CAP: usize = 2_000_000;
+
+/// A latency histogram: exact mean over all samples, percentiles over up
+/// to two million retained raw samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample (microseconds).
+    pub fn record(&mut self, micros: u64) {
+        self.count += 1;
+        self.sum += micros as u128;
+        self.max = self.max.max(micros);
+        if self.samples.len() < CAP {
+            self.samples.push(micros);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean in microseconds (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) in microseconds, 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for s in &other.samples {
+            if self.samples.len() >= CAP {
+                break;
+            }
+            self.samples.push(*s);
+        }
+    }
+
+    /// Clears all state (warm-up boundary).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
+    /// The retained raw samples (for CDF output).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// Builds an empirical CDF over `points` evenly-spaced percentiles from
+/// raw samples: returns `(value_micros, cumulative_fraction)` pairs —
+/// the format of Fig. 7b.
+pub fn cdf(samples: &[u64], points: usize) -> Vec<(u64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mut out = Vec::with_capacity(points);
+    for i in 1..=points {
+        let frac = i as f64 / points as f64;
+        let rank = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        out.push((sorted[rank - 1], frac));
+    }
+    out
+}
+
+/// Latency summary in milliseconds, for figure rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median (ms).
+    pub p50_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram of microsecond samples.
+    pub fn of(h: &Histogram) -> Self {
+        LatencySummary {
+            mean_ms: h.mean() / 1_000.0,
+            p50_ms: h.percentile(50.0) as f64 / 1_000.0,
+            p95_ms: h.percentile(95.0) as f64 / 1_000.0,
+            p99_ms: h.percentile(99.0) as f64 / 1_000.0,
+        }
+    }
+}
+
+/// Read-blocking summary (Fig. 3b). Zero for Wren by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockingSummary {
+    /// Transactions that had at least one blocked read.
+    pub blocked_txs: u64,
+    /// Mean blocking time of blocked transactions (ms) — the paper's
+    /// metric: per transaction, the max over its blocked reads.
+    pub mean_block_ms: f64,
+    /// Fraction of committed transactions that blocked.
+    pub blocked_fraction: f64,
+}
+
+/// Bytes on the wire per category (Fig. 7a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytesSummary {
+    /// Cross-DC update replication bytes.
+    pub replication: u64,
+    /// Cross-DC heartbeat bytes.
+    pub heartbeat: u64,
+    /// Intra-DC stabilization gossip bytes.
+    pub stabilization: u64,
+    /// Client ↔ coordinator bytes.
+    pub client_server: u64,
+    /// Intra-DC transaction (slice + 2PC) bytes.
+    pub intra_dc: u64,
+    /// GC watermark exchange bytes.
+    pub gc: u64,
+}
+
+/// Everything one experiment run produces.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Transactions committed inside the measurement window.
+    pub committed: u64,
+    /// Measurement window length (seconds).
+    pub duration_secs: f64,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Transaction latency summary.
+    pub latency: LatencySummary,
+    /// Read-blocking summary (zeros for Wren).
+    pub blocking: BlockingSummary,
+    /// Wire bytes by category during the measurement window.
+    pub bytes: BytesSummary,
+    /// Local update visibility samples (µs).
+    pub visibility_local: Vec<u64>,
+    /// Remote update visibility samples (µs).
+    pub visibility_remote: Vec<u64>,
+    /// Mean server CPU utilization over the whole run (0–1).
+    pub server_cpu_utilization: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let samples: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let curve = cdf(&samples, 20);
+        assert_eq!(curve.len(), 20);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_converts_to_ms() {
+        let mut h = Histogram::new();
+        h.record(2_000);
+        h.record(4_000);
+        let s = LatencySummary::of(&h);
+        assert!((s.mean_ms - 3.0).abs() < 1e-9);
+        assert!(s.p99_ms >= s.p50_ms);
+    }
+}

@@ -1,0 +1,377 @@
+use serde::{Deserialize, Serialize};
+use wren_protocol::{CureMsg, WrenMsg};
+
+/// CPU service-time model (µs) for the simulated servers.
+///
+/// The paper's servers are EC2 `m4.large` instances (2 vCPUs) running a
+/// C++ implementation with protobuf serialization. We model each message
+/// handler's CPU cost explicitly; the constants below were calibrated so
+/// the default 3-DC × 8-partition deployment saturates around the paper's
+/// reported 35–45k TX/s with ~1 ms of CPU work per 20-operation
+/// transaction across the cluster. The *relative* costs follow the
+/// handler's work: per-key storage lookups dominate slices, per-version
+/// inserts dominate applies, vector entries add marshaling cost to Cure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceModel {
+    /// Coordinator: handle `StartTxReq`.
+    pub start_tx: u64,
+    /// Coordinator: `TxReadReq` fan-out base.
+    pub read_coord: u64,
+    /// Coordinator: per remote key routed.
+    pub read_coord_per_key: u64,
+    /// Cohort: `SliceReq` base.
+    pub slice_base: u64,
+    /// Cohort: per key in a slice (version-chain lookup).
+    pub slice_per_key: u64,
+    /// Coordinator: gather one `SliceResp`.
+    pub slice_resp: u64,
+    /// Coordinator: `CommitReq` fan-out base.
+    pub commit_coord: u64,
+    /// Cohort: `PrepareReq` base.
+    pub prepare: u64,
+    /// Cohort: per written key at prepare.
+    pub prepare_per_key: u64,
+    /// Coordinator: gather one `PrepareResp`.
+    pub prepare_resp: u64,
+    /// Cohort: handle `Commit`.
+    pub commit_msg: u64,
+    /// Replication tick base cost.
+    pub tick_base: u64,
+    /// Per version applied at the replication tick.
+    pub apply_per_version: u64,
+    /// Sibling: `Replicate` batch base.
+    pub replicate_recv: u64,
+    /// Sibling: per version in a replication batch.
+    pub replicate_per_version: u64,
+    /// Sibling: handle `Heartbeat`.
+    pub heartbeat: u64,
+    /// Gossip tick send cost.
+    pub gossip_tick: u64,
+    /// Handle one incoming stabilization gossip message.
+    pub gossip_recv: u64,
+    /// GC tick cost (scan amortization).
+    pub gc_tick: u64,
+    /// Extra marshaling cost per version-vector entry in a Cure message
+    /// (Wren messages carry scalars; Cure vectors grow with the DC count).
+    pub per_vector_entry: u64,
+    /// Cure only: cost to re-scan one queued (blocked) read when state
+    /// advances — the "synchronization to block and unblock reads" the
+    /// paper blames for Cure's throughput gap (§V-B).
+    pub pending_read_scan: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            start_tx: 40,
+            read_coord: 60,
+            read_coord_per_key: 3,
+            slice_base: 70,
+            slice_per_key: 12,
+            slice_resp: 25,
+            commit_coord: 60,
+            prepare: 100,
+            prepare_per_key: 6,
+            prepare_resp: 40,
+            commit_msg: 30,
+            tick_base: 15,
+            apply_per_version: 12,
+            replicate_recv: 20,
+            replicate_per_version: 8,
+            heartbeat: 3,
+            gossip_tick: 15,
+            gossip_recv: 3,
+            gc_tick: 50,
+            per_vector_entry: 1,
+            pending_read_scan: 4,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// CPU cost of handling a Wren message on a server whose own partition
+    /// is `own_partition` among `n_partitions` (local slices and prepares
+    /// run inline in the coordinator's handler, so their cost is charged
+    /// to the triggering message).
+    pub fn wren_cost(&self, msg: &WrenMsg, own_partition: u16, n_partitions: u16) -> u64 {
+        match msg {
+            WrenMsg::StartTxReq { .. } => self.start_tx,
+            WrenMsg::TxReadReq { keys, .. } => {
+                let local = keys
+                    .iter()
+                    .filter(|k| k.partition(n_partitions).0 == own_partition)
+                    .count() as u64;
+                let remote = keys.len() as u64 - local;
+                let mut cost = self.read_coord + self.read_coord_per_key * remote;
+                if local > 0 {
+                    cost += self.slice_base + self.slice_per_key * local;
+                }
+                cost
+            }
+            WrenMsg::SliceReq { keys, .. } => {
+                self.slice_base + self.slice_per_key * keys.len() as u64
+            }
+            WrenMsg::SliceResp { .. } => self.slice_resp,
+            WrenMsg::CommitReq { writes, .. } => {
+                let local = writes
+                    .iter()
+                    .filter(|(k, _)| k.partition(n_partitions).0 == own_partition)
+                    .count() as u64;
+                let mut cost = self.commit_coord;
+                if local > 0 {
+                    cost += self.prepare + self.prepare_per_key * local;
+                }
+                cost
+            }
+            WrenMsg::PrepareReq { writes, .. } => {
+                self.prepare + self.prepare_per_key * writes.len() as u64
+            }
+            WrenMsg::PrepareResp { .. } => self.prepare_resp,
+            WrenMsg::Commit { .. } => self.commit_msg,
+            WrenMsg::Replicate { batch } => {
+                let versions: u64 = batch.txs.iter().map(|t| t.writes.len() as u64).sum();
+                self.replicate_recv + self.replicate_per_version * versions
+            }
+            WrenMsg::Heartbeat { .. } => self.heartbeat,
+            WrenMsg::StableGossip { .. }
+            | WrenMsg::GossipUp { .. }
+            | WrenMsg::GossipDown { .. } => self.gossip_recv,
+            WrenMsg::GcGossip { .. } => self.gossip_recv,
+            // Client-bound messages are handled by (cost-free) client nodes.
+            WrenMsg::StartTxResp { .. }
+            | WrenMsg::TxReadResp { .. }
+            | WrenMsg::CommitResp { .. } => 0,
+        }
+    }
+
+    /// CPU cost of a Cure message: structural twin of
+    /// [`ServiceModel::wren_cost`], plus vector-marshaling overhead.
+    pub fn cure_cost(&self, msg: &CureMsg, own_partition: u16, n_partitions: u16) -> u64 {
+        let vv_extra = |len: usize| self.per_vector_entry * len as u64;
+        match msg {
+            CureMsg::StartTxReq { seen } => self.start_tx + vv_extra(seen.len()),
+            CureMsg::TxReadReq { keys, .. } => {
+                let local = keys
+                    .iter()
+                    .filter(|k| k.partition(n_partitions).0 == own_partition)
+                    .count() as u64;
+                let remote = keys.len() as u64 - local;
+                let mut cost = self.read_coord + self.read_coord_per_key * remote;
+                if local > 0 {
+                    cost += self.slice_base + self.slice_per_key * local;
+                }
+                cost
+            }
+            CureMsg::SliceReq { keys, snapshot, .. } => {
+                self.slice_base + self.slice_per_key * keys.len() as u64 + vv_extra(snapshot.len())
+            }
+            CureMsg::SliceResp { .. } => self.slice_resp,
+            CureMsg::CommitReq { writes, .. } => {
+                let local = writes
+                    .iter()
+                    .filter(|(k, _)| k.partition(n_partitions).0 == own_partition)
+                    .count() as u64;
+                let mut cost = self.commit_coord;
+                if local > 0 {
+                    cost += self.prepare + self.prepare_per_key * local;
+                }
+                cost
+            }
+            CureMsg::PrepareReq { writes, snapshot, .. } => {
+                self.prepare
+                    + self.prepare_per_key * writes.len() as u64
+                    + vv_extra(snapshot.len())
+            }
+            CureMsg::PrepareResp { .. } => self.prepare_resp,
+            CureMsg::Commit { .. } => self.commit_msg,
+            CureMsg::Replicate { batch } => {
+                let versions: u64 = batch.txs.iter().map(|t| t.writes.len() as u64).sum();
+                let vectors: usize = batch.txs.iter().map(|t| t.deps.len()).sum();
+                self.replicate_recv
+                    + self.replicate_per_version * versions
+                    + vv_extra(vectors)
+            }
+            CureMsg::Heartbeat { .. } => self.heartbeat,
+            CureMsg::StableGossip { vv } => self.gossip_recv + vv_extra(vv.len()),
+            CureMsg::GossipUp { vv } => self.gossip_recv + vv_extra(vv.len()),
+            CureMsg::GossipDown { gsv } => self.gossip_recv + vv_extra(gsv.len()),
+            CureMsg::GcGossip { oldest } => self.gossip_recv + vv_extra(oldest.len()),
+            CureMsg::StartTxResp { .. }
+            | CureMsg::TxReadResp { .. }
+            | CureMsg::CommitResp { .. } => 0,
+        }
+    }
+}
+
+/// One-way inter-region latencies (µs) between the paper's five AWS
+/// regions, in order: Virginia, Oregon, Ireland, Mumbai, Sydney (§V-A).
+/// Values approximate public inter-region RTT/2 measurements.
+pub const AWS_REGIONS: [&str; 5] = ["virginia", "oregon", "ireland", "mumbai", "sydney"];
+
+/// The 5×5 one-way latency matrix for [`AWS_REGIONS`].
+pub fn aws_latency_matrix() -> Vec<Vec<u64>> {
+    const V: u64 = 0;
+    let m = [
+        // virginia, oregon, ireland, mumbai, sydney
+        [V, 35_000, 40_000, 92_000, 100_000],
+        [35_000, V, 65_000, 110_000, 70_000],
+        [40_000, 65_000, V, 60_000, 135_000],
+        [92_000, 110_000, 60_000, V, 105_000],
+        [100_000, 70_000, 135_000, 105_000, V],
+    ];
+    m.iter().map(|row| row.to_vec()).collect()
+}
+
+/// Physical layout and timing parameters of a simulated deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of DCs (first `n_dcs` rows of the AWS matrix).
+    pub n_dcs: u8,
+    /// Partitions per DC.
+    pub n_partitions: u16,
+    /// Cores per server (`m4.large` has 2 vCPUs).
+    pub cores_per_server: u16,
+    /// Intra-DC one-way latency (µs).
+    pub intra_dc_one_way_micros: u64,
+    /// Uniform jitter added to intra-DC latency (µs).
+    pub intra_dc_jitter_micros: u64,
+    /// Client ↔ collocated coordinator one-way latency (µs).
+    pub loopback_micros: u64,
+    /// Multiplicative jitter on inter-DC latency (fraction).
+    pub inter_dc_jitter_frac: f64,
+    /// Maximum NTP-style clock offset per server (µs, drawn uniformly in
+    /// `[-max, +max]`).
+    pub skew_max_micros: i64,
+    /// Δ_R: apply/replication tick (µs).
+    pub replication_tick_micros: u64,
+    /// Δ_G: stabilization gossip tick (µs; the paper uses 5 ms).
+    pub gossip_tick_micros: u64,
+    /// GC exchange tick (µs; 0 disables).
+    pub gc_tick_micros: u64,
+    /// Visibility sampling rate (every k-th update; 0 disables).
+    pub visibility_sample_every: u64,
+    /// Stabilization topology: 0 = all-to-all broadcast, k ≥ 1 = k-ary
+    /// aggregation tree (see `wren_core::WrenConfig::gossip_fanout`).
+    pub gossip_fanout: u16,
+    /// CPU service-time model.
+    pub service: ServiceModel,
+}
+
+impl Topology {
+    /// The paper's AWS deployment shape: `m` DCs (Virginia, Oregon,
+    /// Ireland, Mumbai, Sydney in that order) × `n` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the 5 modeled regions.
+    pub fn aws(m: u8, n: u16) -> Self {
+        assert!(m >= 1 && m as usize <= AWS_REGIONS.len(), "1–5 DCs supported");
+        Topology {
+            n_dcs: m,
+            n_partitions: n,
+            cores_per_server: 2,
+            intra_dc_one_way_micros: 250,
+            intra_dc_jitter_micros: 80,
+            loopback_micros: 60,
+            inter_dc_jitter_frac: 0.05,
+            skew_max_micros: 2_000,
+            replication_tick_micros: 1_000,
+            gossip_tick_micros: 5_000,
+            gc_tick_micros: 0,
+            visibility_sample_every: 0,
+            gossip_fanout: 0,
+            service: ServiceModel::default(),
+        }
+    }
+
+    /// The inter-DC one-way latency matrix restricted to this topology's
+    /// DCs.
+    pub fn inter_matrix(&self) -> Vec<Vec<u64>> {
+        let full = aws_latency_matrix();
+        (0..self.n_dcs as usize)
+            .map(|a| (0..self.n_dcs as usize).map(|b| full[a][b]).collect())
+            .collect()
+    }
+
+    /// Total servers in the deployment.
+    pub fn n_servers(&self) -> usize {
+        self.n_dcs as usize * self.n_partitions as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wren_clock::Timestamp;
+
+    #[test]
+    fn aws_matrix_is_symmetric_with_zero_diagonal() {
+        let m = aws_latency_matrix();
+        for a in 0..5 {
+            assert_eq!(m[a][a], 0);
+            for b in 0..5 {
+                assert_eq!(m[a][b], m[b][a]);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_restricts_matrix() {
+        let t = Topology::aws(3, 8);
+        let m = t.inter_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0][1], 35_000);
+        assert_eq!(t.n_servers(), 24);
+    }
+
+    #[test]
+    fn wren_read_cost_includes_local_slice() {
+        let s = ServiceModel::default();
+        // Find keys on partition 0 and not.
+        let mut local_key = None;
+        let mut remote_key = None;
+        for id in 0..1000u64 {
+            let k = wren_protocol::Key(id);
+            if k.partition(8).0 == 0 && local_key.is_none() {
+                local_key = Some(k);
+            }
+            if k.partition(8).0 != 0 && remote_key.is_none() {
+                remote_key = Some(k);
+            }
+        }
+        let mk = |keys: Vec<wren_protocol::Key>| WrenMsg::TxReadReq {
+            tx: wren_protocol::TxId::from_raw(1),
+            keys,
+        };
+        let with_local = s.wren_cost(&mk(vec![local_key.unwrap()]), 0, 8);
+        let without = s.wren_cost(&mk(vec![remote_key.unwrap()]), 0, 8);
+        assert!(with_local > without, "local slice must add cost");
+    }
+
+    #[test]
+    fn cure_costs_exceed_wren_for_vector_messages() {
+        let s = ServiceModel::default();
+        let wren = s.wren_cost(
+            &WrenMsg::StableGossip {
+                local: Timestamp::ZERO,
+                remote: Timestamp::ZERO,
+            },
+            0,
+            8,
+        );
+        let cure = s.cure_cost(
+            &CureMsg::StableGossip {
+                vv: wren_clock::VersionVector::new(5),
+            },
+            0,
+            8,
+        );
+        assert!(cure > wren);
+    }
+
+    #[test]
+    #[should_panic(expected = "1–5 DCs")]
+    fn aws_rejects_six_dcs() {
+        Topology::aws(6, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Smoke tests for the experiment harness: short runs of all three
+//! systems with the paper's qualitative outcomes asserted.
+
+use wren_harness::{run, ExperimentSpec, SystemKind, Topology};
+use wren_workload::WorkloadSpec;
+
+fn small_spec() -> ExperimentSpec {
+    let mut topology = Topology::aws(3, 4);
+    topology.visibility_sample_every = 4;
+    ExperimentSpec {
+        topology,
+        workload: WorkloadSpec {
+            keys_per_partition: 500,
+            ..WorkloadSpec::default()
+        },
+        threads_per_client: 2,
+        warmup_micros: 300_000,
+        measure_micros: 1_200_000,
+        seed: 7,
+    }
+}
+
+#[test]
+fn wren_run_commits_and_never_blocks() {
+    let r = run(SystemKind::Wren, &small_spec());
+    assert!(r.committed > 100, "only {} commits", r.committed);
+    assert!(r.throughput > 0.0);
+    assert!(r.latency.mean_ms > 0.0);
+    assert_eq!(r.blocking.blocked_txs, 0, "Wren must never block reads");
+    assert!(r.bytes.replication > 0, "replication traffic expected");
+    assert!(r.bytes.stabilization > 0, "gossip traffic expected");
+}
+
+#[test]
+fn cure_run_commits_and_blocks_some_reads() {
+    let r = run(SystemKind::Cure, &small_spec());
+    assert!(r.committed > 100, "only {} commits", r.committed);
+    assert!(
+        r.blocking.blocked_txs > 0,
+        "Cure should block some reads under skew + pending commits"
+    );
+    assert!(r.blocking.mean_block_ms > 0.0);
+}
+
+#[test]
+fn hcure_blocks_less_than_cure() {
+    let spec = small_spec();
+    let cure = run(SystemKind::Cure, &spec);
+    let hcure = run(SystemKind::HCure, &spec);
+    assert!(
+        hcure.blocking.mean_block_ms < cure.blocking.mean_block_ms,
+        "H-Cure mean block ({:.3} ms) should be below Cure's ({:.3} ms)",
+        hcure.blocking.mean_block_ms,
+        cure.blocking.mean_block_ms
+    );
+}
+
+#[test]
+fn wren_latency_beats_cure_at_equal_load() {
+    let spec = small_spec();
+    let wren = run(SystemKind::Wren, &spec);
+    let cure = run(SystemKind::Cure, &spec);
+    assert!(
+        wren.latency.mean_ms < cure.latency.mean_ms,
+        "Wren mean latency {:.2} ms should beat Cure's {:.2} ms",
+        wren.latency.mean_ms,
+        cure.latency.mean_ms
+    );
+    assert!(
+        wren.throughput >= cure.throughput,
+        "Wren throughput {:.0} should be at least Cure's {:.0}",
+        wren.throughput,
+        cure.throughput
+    );
+}
+
+#[test]
+fn wren_metadata_bytes_below_cure() {
+    let spec = small_spec();
+    let wren = run(SystemKind::Wren, &spec);
+    let cure = run(SystemKind::Cure, &spec);
+    // Normalize per committed transaction to control for throughput
+    // differences (the paper normalizes at equal throughput).
+    let wren_repl = wren.bytes.replication as f64 / wren.committed as f64;
+    let cure_repl = cure.bytes.replication as f64 / cure.committed as f64;
+    assert!(
+        wren_repl < cure_repl,
+        "Wren replication bytes/tx {wren_repl:.1} should be below Cure's {cure_repl:.1}"
+    );
+    let wren_stab = wren.bytes.stabilization as f64;
+    let cure_stab = cure.bytes.stabilization as f64;
+    assert!(
+        wren_stab < cure_stab,
+        "Wren stabilization bytes {wren_stab} should be below Cure's {cure_stab}"
+    );
+}
+
+#[test]
+fn visibility_latencies_are_sane() {
+    let spec = small_spec();
+    let wren = run(SystemKind::Wren, &spec);
+    assert!(
+        !wren.visibility_local.is_empty() && !wren.visibility_remote.is_empty(),
+        "visibility sampling enabled but no samples"
+    );
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64 / 1_000.0;
+    let local = mean(&wren.visibility_local);
+    let remote = mean(&wren.visibility_remote);
+    // Local visibility: a few ms (Δ_R + Δ_G lag). Remote: tens of ms
+    // (inter-DC one-way latency + stabilization).
+    assert!(local > 0.5 && local < 50.0, "local visibility {local:.1} ms");
+    assert!(remote > 20.0 && remote < 300.0, "remote visibility {remote:.1} ms");
+    assert!(remote > local);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_results() {
+    let spec = small_spec();
+    let a = run(SystemKind::Wren, &spec);
+    let b = run(SystemKind::Wren, &spec);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.bytes, b.bytes);
+}
+
+#[test]
+fn more_threads_increase_throughput_until_saturation() {
+    let mut spec = small_spec();
+    spec.topology.visibility_sample_every = 0;
+    spec.threads_per_client = 1;
+    let t1 = run(SystemKind::Wren, &spec).throughput;
+    spec.threads_per_client = 4;
+    let t4 = run(SystemKind::Wren, &spec).throughput;
+    assert!(
+        t4 > t1 * 1.5,
+        "4 threads ({t4:.0} tx/s) should beat 1 thread ({t1:.0} tx/s)"
+    );
+}

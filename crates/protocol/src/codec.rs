@@ -1,0 +1,306 @@
+//! A compact hand-rolled binary codec.
+//!
+//! The paper's implementation serializes messages with Google protobufs;
+//! the exact framing does not matter for any result, but the *relative*
+//! metadata volume (2 scalar timestamps for Wren vs. an M-entry vector for
+//! Cure, Fig. 7a) does. This codec makes the accounting exact: every
+//! message type's `wire_size` equals the length `encode` produces, which
+//! property tests in this crate verify.
+//!
+//! Layout primitives (all little-endian):
+//!
+//! | type            | bytes            |
+//! |-----------------|------------------|
+//! | `u8`/`u16`/`u64`| 1 / 2 / 8        |
+//! | `Timestamp`     | 8 (raw packed)   |
+//! | `TxId`, `Key`   | 8                |
+//! | `Value`         | 2 (len) + len    |
+//! | `Vec<T>`        | 2 (count) + items|
+//! | `Option<T>`     | 1 (flag) + item  |
+//! | `VersionVector` | 1 (len) + 8·len  |
+
+use crate::{DcId, Key, TxId, Value};
+use bytes::{Bytes, BytesMut};
+use std::fmt;
+use wren_clock::{Timestamp, VersionVector};
+
+/// Errors produced when decoding a malformed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    UnexpectedEof,
+    /// The message tag byte is not a known message type.
+    BadTag(u8),
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of message"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encoding buffer with typed put helpers.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: BytesMut,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finishes encoding, returning the bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a [`Timestamp`] (8 bytes, raw packed form).
+    pub fn put_ts(&mut self, t: Timestamp) {
+        self.put_u64(t.raw());
+    }
+
+    /// Appends a [`TxId`] (8 bytes).
+    pub fn put_tx(&mut self, t: TxId) {
+        self.put_u64(t.raw());
+    }
+
+    /// Appends a [`Key`] (8 bytes).
+    pub fn put_key(&mut self, k: Key) {
+        self.put_u64(k.0);
+    }
+
+    /// Appends a [`DcId`] (1 byte).
+    pub fn put_dc(&mut self, d: DcId) {
+        self.put_u8(d.0);
+    }
+
+    /// Appends a length-prefixed [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds 64 KiB (the workloads use 8-byte items).
+    pub fn put_value(&mut self, v: &Value) {
+        assert!(v.len() <= u16::MAX as usize, "value too large for codec");
+        self.put_u16(v.len() as u16);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a [`VersionVector`] (1-byte length + 8 bytes per entry).
+    pub fn put_vv(&mut self, vv: &VersionVector) {
+        debug_assert!(vv.len() <= u8::MAX as usize);
+        self.put_u8(vv.len() as u8);
+        for t in vv.iter() {
+            self.put_ts(t);
+        }
+    }
+
+    /// Appends a `Vec` length prefix (2 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds `u16::MAX`.
+    pub fn put_len(&mut self, len: usize) {
+        assert!(len <= u16::MAX as usize, "collection too large for codec");
+        self.put_u16(len as u16);
+    }
+}
+
+/// Encoded size helpers matching [`Enc`] exactly.
+pub mod size {
+    use super::*;
+
+    /// Size of a length-prefixed value.
+    pub fn value(v: &Value) -> usize {
+        2 + v.len()
+    }
+
+    /// Size of a version vector.
+    pub fn vv(vv: &VersionVector) -> usize {
+        1 + 8 * vv.len()
+    }
+
+    /// Size of a `(Key, Value)` write pair.
+    pub fn write_pair(pair: &(Key, Value)) -> usize {
+        8 + value(&pair.1)
+    }
+}
+
+/// Decoding cursor with typed get helpers.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails with [`CodecError::TrailingBytes`] unless fully consumed.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.buf.len()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a [`Timestamp`].
+    pub fn get_ts(&mut self) -> Result<Timestamp, CodecError> {
+        Ok(Timestamp::from_raw(self.get_u64()?))
+    }
+
+    /// Reads a [`TxId`].
+    pub fn get_tx(&mut self) -> Result<TxId, CodecError> {
+        Ok(TxId::from_raw(self.get_u64()?))
+    }
+
+    /// Reads a [`Key`].
+    pub fn get_key(&mut self) -> Result<Key, CodecError> {
+        Ok(Key(self.get_u64()?))
+    }
+
+    /// Reads a [`DcId`].
+    pub fn get_dc(&mut self) -> Result<DcId, CodecError> {
+        Ok(DcId(self.get_u8()?))
+    }
+
+    /// Reads a length-prefixed [`Value`].
+    pub fn get_value(&mut self) -> Result<Value, CodecError> {
+        let len = self.get_u16()? as usize;
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    /// Reads a [`VersionVector`].
+    pub fn get_vv(&mut self) -> Result<VersionVector, CodecError> {
+        let len = self.get_u8()? as usize;
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            entries.push(self.get_ts()?);
+        }
+        Ok(VersionVector::from_entries(entries))
+    }
+
+    /// Reads a collection length prefix.
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        Ok(self.get_u16()? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.put_u8(7);
+        e.put_u16(300);
+        e.put_u64(1 << 50);
+        e.put_ts(Timestamp::from_parts(9, 2));
+        e.put_value(&Bytes::from_static(b"hello"));
+        e.put_vv(&VersionVector::from_entries(vec![
+            Timestamp::from_micros(1),
+            Timestamp::from_micros(2),
+        ]));
+        let bytes = e.finish();
+
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u16().unwrap(), 300);
+        assert_eq!(d.get_u64().unwrap(), 1 << 50);
+        assert_eq!(d.get_ts().unwrap(), Timestamp::from_parts(9, 2));
+        assert_eq!(d.get_value().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(d.get_vv().unwrap().len(), 2);
+        assert!(d.expect_end().is_ok());
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut d = Dec::new(&[1, 2]);
+        assert_eq!(d.get_u64().unwrap_err(), CodecError::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let d = Dec::new(&[0]);
+        assert_eq!(d.expect_end().unwrap_err(), CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn size_helpers_match_encoding() {
+        let v = Bytes::from_static(b"12345678");
+        let mut e = Enc::new();
+        e.put_value(&v);
+        assert_eq!(e.finish().len(), size::value(&v));
+
+        let vv = VersionVector::new(5);
+        let mut e = Enc::new();
+        e.put_vv(&vv);
+        assert_eq!(e.finish().len(), size::vv(&vv));
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of message");
+        assert_eq!(CodecError::BadTag(9).to_string(), "unknown message tag 9");
+        assert!(CodecError::TrailingBytes(3).to_string().contains("3"));
+    }
+}

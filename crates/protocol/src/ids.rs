@@ -1,0 +1,236 @@
+use std::fmt;
+
+/// Identifies a data center (replication site). The paper deploys up to 5.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DcId(pub u8);
+
+impl DcId {
+    /// The numeric index of this DC.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dc{}", self.0)
+    }
+}
+
+impl fmt::Display for DcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies a partition (shard) within a DC. The paper uses up to 16.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// The numeric index of this partition.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a server process: the replica of partition `partition` in DC
+/// `dc` (the paper's `p_n^m`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServerId {
+    /// Which DC this replica lives in (`m`).
+    pub dc: DcId,
+    /// Which partition it serves (`n`).
+    pub partition: PartitionId,
+}
+
+impl ServerId {
+    /// Builds a server id from DC and partition indices.
+    pub const fn new(dc: u8, partition: u16) -> Self {
+        ServerId {
+            dc: DcId(dc),
+            partition: PartitionId(partition),
+        }
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}^{}", self.partition.0, self.dc.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifies a client session (one closed-loop thread in the evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClientId(pub u32);
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A transaction identifier, unique across the whole system.
+///
+/// The coordinator generates it (Algorithm 2 line 4) by packing its DC id
+/// (8 bits), its partition id (16 bits) and a local sequence number
+/// (40 bits), so ids never collide across coordinators and also serve as
+/// the last-writer-wins tie-breaker the paper prescribes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Packs a transaction id from its coordinator and a local sequence
+    /// number.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `seq` does not fit in 40 bits.
+    pub fn new(coordinator: ServerId, seq: u64) -> Self {
+        debug_assert!(seq < (1 << 40), "tx sequence overflows 40 bits");
+        TxId(
+            ((coordinator.dc.0 as u64) << 56)
+                | ((coordinator.partition.0 as u64) << 40)
+                | seq,
+        )
+    }
+
+    /// Rebuilds a transaction id from its raw wire representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        TxId(raw)
+    }
+
+    /// The raw 64-bit representation.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The DC of the coordinator that created this transaction.
+    pub const fn dc(self) -> DcId {
+        DcId((self.0 >> 56) as u8)
+    }
+
+    /// The coordinator partition.
+    pub const fn partition(self) -> PartitionId {
+        PartitionId(((self.0 >> 40) & 0xFFFF) as u16)
+    }
+
+    /// The coordinator-local sequence number.
+    pub const fn seq(self) -> u64 {
+        self.0 & ((1 << 40) - 1)
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}:{}/{}", self.dc().0, self.partition().0, self.seq())
+    }
+}
+
+/// Where a protocol message should be delivered.
+///
+/// The sans-io state machines address peers symbolically; each driver
+/// (simulator, threaded runtime) maps these to its own transport endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dest {
+    /// A partition server.
+    Server(ServerId),
+    /// A client session.
+    Client(ClientId),
+}
+
+/// A message paired with its destination, as emitted by a state machine.
+#[derive(Clone, Debug)]
+pub struct Outgoing<M> {
+    /// Where to deliver the message.
+    pub to: Dest,
+    /// The message itself.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor for a server-bound message.
+    pub fn to_server(to: ServerId, msg: M) -> Self {
+        Outgoing {
+            to: Dest::Server(to),
+            msg,
+        }
+    }
+
+    /// Convenience constructor for a client-bound message.
+    pub fn to_client(to: ClientId, msg: M) -> Self {
+        Outgoing {
+            to: Dest::Client(to),
+            msg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_id_packs_and_unpacks() {
+        let coord = ServerId::new(3, 12);
+        let tx = TxId::new(coord, 99_999);
+        assert_eq!(tx.dc(), DcId(3));
+        assert_eq!(tx.partition(), PartitionId(12));
+        assert_eq!(tx.seq(), 99_999);
+        assert_eq!(TxId::from_raw(tx.raw()), tx);
+    }
+
+    #[test]
+    fn tx_ids_from_different_coordinators_differ() {
+        let a = TxId::new(ServerId::new(0, 1), 7);
+        let b = TxId::new(ServerId::new(1, 1), 7);
+        let c = TxId::new(ServerId::new(0, 2), 7);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn ids_format_readably() {
+        assert_eq!(format!("{}", DcId(2)), "dc2");
+        assert_eq!(format!("{}", PartitionId(5)), "p5");
+        assert_eq!(format!("{}", ServerId::new(1, 4)), "p4^1");
+        assert_eq!(format!("{}", ClientId(8)), "c8");
+        let tx = TxId::new(ServerId::new(1, 4), 2);
+        assert_eq!(format!("{:?}", tx), "tx1:4/2");
+    }
+
+    #[test]
+    fn outgoing_constructors() {
+        let o = Outgoing::to_server(ServerId::new(0, 0), 42u32);
+        assert_eq!(o.to, Dest::Server(ServerId::new(0, 0)));
+        let o = Outgoing::to_client(ClientId(1), 42u32);
+        assert_eq!(o.to, Dest::Client(ClientId(1)));
+    }
+}

@@ -1,0 +1,353 @@
+use crate::Session;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wren_clock::SkewedClock;
+use wren_core::{ServerStats, WrenConfig, WrenServer};
+use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
+
+/// What travels on a server's inbox.
+enum RtMsg {
+    Proto { src: Dest, msg: WrenMsg },
+    Shutdown,
+}
+
+/// Shared routing state: server inboxes plus dynamically-registered
+/// client inboxes.
+pub(crate) struct Router {
+    n_partitions: u16,
+    server_txs: Vec<Sender<RtMsg>>,
+    clients: Mutex<HashMap<ClientId, Sender<WrenMsg>>>,
+}
+
+impl Router {
+    pub(crate) fn send_to_server(&self, src: Dest, to: ServerId, msg: WrenMsg) {
+        let idx = to.dc.index() * self.n_partitions as usize + to.partition.index();
+        // A send only fails during shutdown; drop the message then.
+        let _ = self.server_txs[idx].send(RtMsg::Proto { src, msg });
+    }
+
+    fn send_to_client(&self, to: ClientId, msg: WrenMsg) {
+        if let Some(tx) = self.clients.lock().get(&to) {
+            let _ = tx.send(msg);
+        }
+    }
+
+    fn dispatch(&self, src: ServerId, out: Vec<Outgoing<WrenMsg>>) {
+        for Outgoing { to, msg } in out {
+            match to {
+                Dest::Server(s) => self.send_to_server(Dest::Server(src), s, msg),
+                Dest::Client(c) => self.send_to_client(c, msg),
+            }
+        }
+    }
+
+    pub(crate) fn register_client(&self, id: ClientId) -> Receiver<WrenMsg> {
+        let (tx, rx) = unbounded();
+        self.clients.lock().insert(id, tx);
+        rx
+    }
+
+    pub(crate) fn unregister_client(&self, id: ClientId) {
+        self.clients.lock().remove(&id);
+    }
+}
+
+/// Configuration for an in-process Wren cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    n_dcs: u8,
+    n_partitions: u16,
+    replication_tick: Duration,
+    gossip_tick: Duration,
+    gc_tick: Duration,
+    session_timeout: Duration,
+    gossip_fanout: u16,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            n_dcs: 1,
+            n_partitions: 2,
+            replication_tick: Duration::from_millis(1),
+            gossip_tick: Duration::from_millis(5),
+            gc_tick: Duration::from_millis(50),
+            session_timeout: Duration::from_secs(5),
+            gossip_fanout: 0,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts building a cluster (defaults: 1 DC × 2 partitions, the
+    /// paper's tick intervals).
+    pub fn new() -> Self {
+        ClusterBuilder::default()
+    }
+
+    /// Number of data centers.
+    pub fn dcs(mut self, m: u8) -> Self {
+        self.n_dcs = m;
+        self
+    }
+
+    /// Partitions per DC.
+    pub fn partitions(mut self, n: u16) -> Self {
+        self.n_partitions = n;
+        self
+    }
+
+    /// Δ_R: apply/replication tick.
+    pub fn replication_tick(mut self, d: Duration) -> Self {
+        self.replication_tick = d;
+        self
+    }
+
+    /// Δ_G: stabilization gossip tick (the paper uses 5 ms).
+    pub fn gossip_tick(mut self, d: Duration) -> Self {
+        self.gossip_tick = d;
+        self
+    }
+
+    /// GC exchange interval (zero disables).
+    pub fn gc_tick(mut self, d: Duration) -> Self {
+        self.gc_tick = d;
+        self
+    }
+
+    /// How long sessions wait for a server reply before erroring.
+    pub fn session_timeout(mut self, d: Duration) -> Self {
+        self.session_timeout = d;
+        self
+    }
+
+    /// Stabilization topology: 0 = all-to-all broadcast (default), k ≥ 1
+    /// = k-ary aggregation tree.
+    pub fn gossip_fanout(mut self, fanout: u16) -> Self {
+        self.gossip_fanout = fanout;
+        self
+    }
+
+    /// Spawns the server threads and returns the running cluster.
+    pub fn build(self) -> Cluster {
+        Cluster::start(self)
+    }
+}
+
+/// An in-process Wren cluster: one OS thread per partition server, real
+/// (shared) wall-clock time, crossbeam channels as the FIFO transport.
+///
+/// This is the deployable face of the library: the exact protocol state
+/// machines the simulator benchmarks, driven by threads instead of
+/// simulated events. Sessions ([`Cluster::session`]) expose the paper's
+/// client API: `start / read / write / commit`.
+///
+/// # Example
+///
+/// ```
+/// use wren_rt::ClusterBuilder;
+/// use wren_protocol::Key;
+/// use bytes::Bytes;
+///
+/// let cluster = ClusterBuilder::new().dcs(1).partitions(2).build();
+/// let mut session = cluster.session(0);
+/// session.begin().unwrap();
+/// session.write(Key(1), Bytes::from_static(b"hello"));
+/// session.commit().unwrap();
+///
+/// session.begin().unwrap();
+/// let value = session.read_one(Key(1)).unwrap();
+/// assert_eq!(value, Some(Bytes::from_static(b"hello"))); // read-your-writes
+/// session.commit().unwrap();
+/// cluster.shutdown();
+/// ```
+pub struct Cluster {
+    cfg: ClusterBuilder,
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<ServerStats>>,
+    next_client: AtomicU32,
+    next_coordinator: AtomicU32,
+    shut_down: std::sync::atomic::AtomicBool,
+}
+
+impl Cluster {
+    fn start(cfg: ClusterBuilder) -> Cluster {
+        let total = cfg.n_dcs as usize * cfg.n_partitions as usize;
+        let mut txs = Vec::with_capacity(total);
+        let mut rxs = Vec::with_capacity(total);
+        for _ in 0..total {
+            let (tx, rx) = unbounded::<RtMsg>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let router = Arc::new(Router {
+            n_partitions: cfg.n_partitions,
+            server_txs: txs,
+            clients: Mutex::new(HashMap::new()),
+        });
+
+        let wren_cfg = WrenConfig {
+            n_dcs: cfg.n_dcs,
+            n_partitions: cfg.n_partitions,
+            replication_tick_micros: cfg.replication_tick.as_micros() as u64,
+            gossip_tick_micros: cfg.gossip_tick.as_micros() as u64,
+            gc_tick_micros: cfg.gc_tick.as_micros() as u64,
+            visibility_sample_every: 0,
+            gossip_fanout: cfg.gossip_fanout,
+        };
+        let epoch = Instant::now();
+
+        let mut handles = Vec::with_capacity(total);
+        for dc in 0..cfg.n_dcs {
+            for p in 0..cfg.n_partitions {
+                let rx = rxs.remove(0);
+                let router = Arc::clone(&router);
+                let id = ServerId::new(dc, p);
+                let ticks = (
+                    cfg.replication_tick,
+                    cfg.gossip_tick,
+                    if cfg.gc_tick.is_zero() {
+                        None
+                    } else {
+                        Some(cfg.gc_tick)
+                    },
+                );
+                handles.push(std::thread::spawn(move || {
+                    server_loop(id, wren_cfg, epoch, rx, router, ticks)
+                }));
+            }
+        }
+
+        Cluster {
+            cfg,
+            router,
+            handles,
+            next_client: AtomicU32::new(0),
+            next_coordinator: AtomicU32::new(0),
+            shut_down: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Number of DCs in the cluster.
+    pub fn n_dcs(&self) -> u8 {
+        self.cfg.n_dcs
+    }
+
+    /// Partitions per DC.
+    pub fn n_partitions(&self) -> u16 {
+        self.cfg.n_partitions
+    }
+
+    /// Opens a client session against DC `dc`, choosing a coordinator
+    /// partition round-robin (the paper picks coordinators at random and
+    /// collocates clients with them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dc` is out of range.
+    pub fn session(&self, dc: u8) -> Session {
+        assert!(dc < self.cfg.n_dcs, "no such DC");
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let p = (self.next_coordinator.fetch_add(1, Ordering::Relaxed)
+            % self.cfg.n_partitions as u32) as u16;
+        let coordinator = ServerId::new(dc, p);
+        let rx = self.router.register_client(id);
+        Session::new(
+            id,
+            coordinator,
+            Arc::clone(&self.router),
+            rx,
+            self.cfg.session_timeout,
+        )
+    }
+
+    /// Asks every server thread to stop. Threads are joined (and their
+    /// final [`ServerStats`] collected) when the cluster is dropped;
+    /// calling this twice is harmless.
+    pub fn shutdown(&self) {
+        if self.shut_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for tx in &self.router.server_txs {
+            let _ = tx.send(RtMsg::Shutdown);
+        }
+    }
+
+    /// Stops the cluster and returns each server's final statistics in
+    /// DC-major partition order. Consumes the cluster.
+    pub fn stop(mut self) -> Vec<ServerStats> {
+        self.shutdown();
+        self.handles.drain(..).map(|h| h.join().unwrap_or_default()).collect()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The per-server thread: drains the inbox, fires ticks on schedule.
+fn server_loop(
+    id: ServerId,
+    cfg: WrenConfig,
+    epoch: Instant,
+    rx: Receiver<RtMsg>,
+    router: Arc<Router>,
+    (repl, gossip, gc): (Duration, Duration, Option<Duration>),
+) -> ServerStats {
+    let mut server = WrenServer::new(id, cfg, SkewedClock::perfect());
+    let mut next_repl = epoch + repl;
+    let mut next_gossip = epoch + gossip;
+    let mut next_gc = gc.map(|d| epoch + d);
+    let mut out = Vec::new();
+
+    loop {
+        let now_inst = Instant::now();
+        let mut next_tick = next_repl.min(next_gossip);
+        if let Some(g) = next_gc {
+            next_tick = next_tick.min(g);
+        }
+        let wait = next_tick.saturating_duration_since(now_inst);
+
+        match rx.recv_timeout(wait) {
+            Ok(RtMsg::Proto { src, msg }) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                server.handle(src, msg, now, &mut out);
+                router.dispatch(id, std::mem::take(&mut out));
+            }
+            Ok(RtMsg::Shutdown) => return server.stats(),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return server.stats(),
+        }
+
+        let now_inst = Instant::now();
+        let now = epoch.elapsed().as_micros() as u64;
+        if now_inst >= next_repl {
+            server.on_replication_tick(now, &mut out);
+            router.dispatch(id, std::mem::take(&mut out));
+            next_repl = now_inst + repl;
+        }
+        if now_inst >= next_gossip {
+            server.on_gossip_tick(now, &mut out);
+            router.dispatch(id, std::mem::take(&mut out));
+            next_gossip = now_inst + gossip;
+        }
+        if let Some(g) = next_gc {
+            if now_inst >= g {
+                server.on_gc_tick(now, &mut out);
+                router.dispatch(id, std::mem::take(&mut out));
+                next_gc = Some(now_inst + gc.expect("gc enabled"));
+            }
+        }
+    }
+}
+

@@ -1,0 +1,22 @@
+use std::fmt;
+
+/// Errors surfaced by the threaded runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// No reply arrived within the session's timeout — the cluster is
+    /// shut down or overloaded.
+    Timeout,
+    /// The cluster has been shut down.
+    Shutdown,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::Timeout => write!(f, "timed out waiting for a server reply"),
+            RtError::Shutdown => write!(f, "cluster is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}

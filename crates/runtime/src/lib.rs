@@ -1,0 +1,44 @@
+//! Threaded cluster runtime for the Wren reproduction.
+//!
+//! While `wren-harness` drives the protocol state machines on a
+//! deterministic simulator (for the paper's figures), this crate runs the
+//! **same state machines on real OS threads**: one thread per partition
+//! server, crossbeam channels as the lossless FIFO transport, wall-clock
+//! tick scheduling. It demonstrates that the library is a usable data
+//! store, and it is what the runnable examples build on.
+//!
+//! * [`ClusterBuilder`] / [`Cluster`] — spawn an `m` DC × `n` partition
+//!   cluster in-process;
+//! * [`Session`] — the paper's client API (`START` / `READ` / `WRITE` /
+//!   `COMMIT`) as blocking calls, with CANToR's client-side cache giving
+//!   read-your-writes over the lagging stable snapshot.
+//!
+//! # Example
+//!
+//! ```
+//! use wren_rt::ClusterBuilder;
+//! use wren_protocol::Key;
+//! use bytes::Bytes;
+//!
+//! let cluster = ClusterBuilder::new().dcs(2).partitions(2).build();
+//! let mut alice = cluster.session(0); // DC 0
+//! alice.begin().unwrap();
+//! alice.write(Key(7), Bytes::from_static(b"v1"));
+//! alice.commit().unwrap();
+//! // Alice sees her write immediately (client-side cache)...
+//! alice.begin().unwrap();
+//! assert_eq!(alice.read_one(Key(7)).unwrap(), Some(Bytes::from_static(b"v1")));
+//! alice.commit().unwrap();
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod error;
+mod session;
+
+pub use cluster::{Cluster, ClusterBuilder};
+pub use error::RtError;
+pub use session::Session;

@@ -1,0 +1,194 @@
+use crate::cluster::Router;
+use crate::RtError;
+use crossbeam_channel::Receiver;
+use std::sync::Arc;
+use std::time::Duration;
+use wren_clock::Timestamp;
+use wren_core::{ClientStats, WrenClient};
+use wren_protocol::{ClientId, Dest, Key, ServerId, Value, WrenMsg};
+
+/// A blocking client session against a running [`Cluster`](crate::Cluster).
+///
+/// Wraps the sans-io [`WrenClient`] state machine: every method sends the
+/// message the state machine produces and blocks on the session's inbox
+/// for the reply. One transaction may be active at a time, exactly as in
+/// the paper's client model ("c does not issue another operation until it
+/// receives the reply to the current one", §II-A).
+pub struct Session {
+    client: WrenClient,
+    router: Arc<Router>,
+    rx: Receiver<WrenMsg>,
+    timeout: Duration,
+}
+
+impl Session {
+    pub(crate) fn new(
+        id: ClientId,
+        coordinator: ServerId,
+        router: Arc<Router>,
+        rx: Receiver<WrenMsg>,
+        timeout: Duration,
+    ) -> Self {
+        Session {
+            client: WrenClient::new(id, coordinator),
+            router,
+            rx,
+            timeout,
+        }
+    }
+
+    /// This session's client id.
+    pub fn id(&self) -> ClientId {
+        self.client.id()
+    }
+
+    /// The coordinator partition this session talks to.
+    pub fn coordinator(&self) -> ServerId {
+        self.client.coordinator()
+    }
+
+    /// Client-side statistics (cache hits etc.).
+    pub fn stats(&self) -> ClientStats {
+        self.client.stats()
+    }
+
+    fn send(&self, msg: WrenMsg) {
+        self.router
+            .send_to_server(Dest::Client(self.client.id()), self.client.coordinator(), msg);
+    }
+
+    fn recv(&self) -> Result<WrenMsg, RtError> {
+        self.rx.recv_timeout(self.timeout).map_err(|_| RtError::Timeout)
+    }
+
+    /// Starts an interactive transaction (the paper's `START`).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    pub fn begin(&mut self) -> Result<(), RtError> {
+        let msg = self.client.start();
+        self.send(msg);
+        let resp = self.recv()?;
+        self.client.on_start_resp(resp);
+        Ok(())
+    }
+
+    /// Reads a set of keys within the active transaction (the paper's
+    /// multi-key `READ`). Values come from the write-set, read-set,
+    /// client-side cache or the servers — never blocking server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn read(&mut self, keys: &[Key]) -> Result<Vec<(Key, Option<Value>)>, RtError> {
+        let outcome = self.client.read(keys);
+        let mut results = outcome.local;
+        if let Some(req) = outcome.request {
+            self.send(req);
+            let resp = self.recv()?;
+            results.extend(self.client.on_read_resp(resp));
+        }
+        // Return in the caller's key order.
+        let mut ordered = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(pos) = results.iter().position(|(rk, _)| rk == k) {
+                ordered.push(results[pos].clone());
+            }
+        }
+        Ok(ordered)
+    }
+
+    /// Reads a single key.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    pub fn read_one(&mut self, key: Key) -> Result<Option<Value>, RtError> {
+        Ok(self.read(&[key])?.pop().and_then(|(_, v)| v))
+    }
+
+    /// Buffers writes in the transaction's write-set (the paper's
+    /// multi-key `WRITE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn write_many<I: IntoIterator<Item = (Key, Value)>>(&mut self, kvs: I) {
+        self.client.write(kvs);
+    }
+
+    /// Buffers a single write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.client.write([(key, value)]);
+    }
+
+    /// Moves this session to a coordinator in another DC (the paper's
+    /// §II-A footnote-1 extension), blocking until the new DC has
+    /// installed everything the session has seen or written. Returns the
+    /// number of probe transactions it took.
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if a probe gets no reply, or if the new DC
+    /// does not catch up within the session timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is active or `coordinator` is invalid.
+    pub fn migrate(&mut self, coordinator: ServerId) -> Result<u32, RtError> {
+        self.client.migrate_to(coordinator);
+        let deadline = std::time::Instant::now() + self.timeout;
+        let mut probes = 0;
+        loop {
+            probes += 1;
+            let msg = self.client.start();
+            self.send(msg);
+            let resp = self.recv()?;
+            self.client.on_start_resp(resp);
+            // Tear the probe transaction down either way.
+            let msg = self.client.commit();
+            self.send(msg);
+            let resp = self.recv()?;
+            let _ = self.client.on_commit_resp(resp);
+            if self.client.migration_ready() {
+                return Ok(probes);
+            }
+            if std::time::Instant::now() > deadline {
+                return Err(RtError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Commits the transaction, returning its commit timestamp (zero for
+    /// a read-only transaction).
+    ///
+    /// # Errors
+    ///
+    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) -> Result<Timestamp, RtError> {
+        let msg = self.client.commit();
+        self.send(msg);
+        let resp = self.recv()?;
+        Ok(self.client.on_commit_resp(resp))
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.router.unregister_client(self.client.id());
+    }
+}

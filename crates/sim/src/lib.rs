@@ -1,0 +1,67 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The Wren paper evaluates on a 3–5 data-center EC2 deployment. This crate
+//! is the substitute substrate: a discrete-event simulator that models the
+//! pieces of that deployment which shape the paper's results:
+//!
+//! * a **FIFO point-to-point network** with a configurable per-DC-pair
+//!   one-way latency matrix and jitter ([`NetworkModel`]), mirroring the
+//!   lossless FIFO channels (TCP) the paper assumes;
+//! * a **CPU queue per server** ([`Simulation::add_node`] takes a core
+//!   count; message handling consumes service time, so servers saturate and
+//!   produce the closed-loop hockey-stick latency curves of Figs. 3–5);
+//! * **deterministic randomness** — a single seeded RNG drives jitter and
+//!   workload choices, so every experiment is reproducible bit-for-bit;
+//! * **traffic accounting** by message category ([`TrafficStats`]), which
+//!   regenerates the bytes-on-the-wire comparison of Fig. 7a.
+//!
+//! Protocol logic plugs in via the [`Node`] trait: a node receives messages
+//! and timer callbacks through a [`Context`] that lets it send messages,
+//! arm timers and consume extra CPU. The Wren, Cure and H-Cure state
+//! machines are driven by thin adapter nodes in `wren-harness`.
+//!
+//! # Example: two nodes playing ping-pong
+//!
+//! ```
+//! use wren_sim::{Context, Message, MsgCategory, NetworkModel, Node, NodeId, SimTime, Simulation};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl Message for Ping {
+//!     fn wire_size(&self) -> usize { 4 }
+//!     fn category(&self) -> MsgCategory { MsgCategory::ClientServer }
+//! }
+//!
+//! struct Echo { seen: u32 }
+//! impl Node<Ping> for Echo {
+//!     fn on_message(&mut self, from: NodeId, msg: Ping, ctx: &mut Context<'_, Ping>) {
+//!         self.seen += 1;
+//!         if msg.0 > 0 {
+//!             ctx.send(from, Ping(msg.0 - 1));
+//!         }
+//!     }
+//!     fn on_timer(&mut self, _kind: u32, _ctx: &mut Context<'_, Ping>) {}
+//!     fn as_any(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! let network = NetworkModel::uniform(2, 100, 0); // 2 nodes, 100 µs one-way
+//! let mut sim = Simulation::new(7, network);
+//! let a = sim.add_node(Box::new(Echo { seen: 0 }), 1);
+//! let b = sim.add_node(Box::new(Echo { seen: 0 }), 1);
+//! sim.inject(a, b, Ping(3));
+//! sim.run_until(SimTime::from_micros(10_000));
+//! assert_eq!(sim.typed_node_mut::<Echo>(b).unwrap().seen, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+mod node;
+mod sim;
+mod time;
+
+pub use network::{Message, MsgCategory, NetworkModel, TrafficSnapshot, TrafficStats};
+pub use node::{Context, Node, NodeId};
+pub use sim::Simulation;
+pub use time::SimTime;

@@ -1,0 +1,334 @@
+use crate::{NodeId, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// Traffic category of a message, for byte accounting.
+///
+/// Fig. 7a of the paper compares the bytes Wren and Cure put on the wire
+/// for **replication** (shipping committed updates to sibling replicas,
+/// including heartbeats) and for the **stabilization** protocol (intra-DC
+/// gossip computing LST/RST in Wren and the GST vector in Cure). The
+/// simulator tallies bytes per category so the harness can reproduce the
+/// figure without packet capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgCategory {
+    /// Client ↔ coordinator traffic.
+    ClientServer,
+    /// Intra-DC transaction traffic (slice reads, 2PC prepare/commit).
+    IntraDcTransaction,
+    /// Cross-DC update replication.
+    Replication,
+    /// Cross-DC heartbeats (progress of the replication watermark).
+    Heartbeat,
+    /// Intra-DC stabilization gossip (BiST / GST).
+    Stabilization,
+    /// Intra-DC garbage-collection watermark exchange.
+    GarbageCollection,
+}
+
+impl MsgCategory {
+    /// All categories, in display order.
+    pub const ALL: [MsgCategory; 6] = [
+        MsgCategory::ClientServer,
+        MsgCategory::IntraDcTransaction,
+        MsgCategory::Replication,
+        MsgCategory::Heartbeat,
+        MsgCategory::Stabilization,
+        MsgCategory::GarbageCollection,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MsgCategory::ClientServer => 0,
+            MsgCategory::IntraDcTransaction => 1,
+            MsgCategory::Replication => 2,
+            MsgCategory::Heartbeat => 3,
+            MsgCategory::Stabilization => 4,
+            MsgCategory::GarbageCollection => 5,
+        }
+    }
+}
+
+/// A message that can travel through the simulated network.
+///
+/// `wire_size` must return the number of bytes the message would occupy
+/// with the repository's binary codec (`wren-protocol` computes this
+/// exactly); it is what the Fig. 7a accounting sums up.
+pub trait Message: Clone + Debug {
+    /// Exact encoded size in bytes.
+    fn wire_size(&self) -> usize;
+    /// Accounting category.
+    fn category(&self) -> MsgCategory;
+}
+
+/// Per-category message and byte counters.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    msgs: [u64; 6],
+    bytes: [u64; 6],
+}
+
+/// An immutable copy of [`TrafficStats`] taken at some instant, used to
+/// diff away warm-up traffic.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficSnapshot {
+    msgs: [u64; 6],
+    bytes: [u64; 6],
+}
+
+impl TrafficStats {
+    /// Records one message of `size` bytes in `category`.
+    pub fn record(&mut self, category: MsgCategory, size: usize) {
+        let i = category.index();
+        self.msgs[i] += 1;
+        self.bytes[i] += size as u64;
+    }
+
+    /// Messages recorded in `category`.
+    pub fn messages(&self, category: MsgCategory) -> u64 {
+        self.msgs[category.index()]
+    }
+
+    /// Bytes recorded in `category`.
+    pub fn bytes(&self, category: MsgCategory) -> u64 {
+        self.bytes[category.index()]
+    }
+
+    /// Takes a snapshot for later diffing.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs: self.msgs,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Bytes recorded in `category` since `since` was taken.
+    pub fn bytes_since(&self, since: &TrafficSnapshot, category: MsgCategory) -> u64 {
+        let i = category.index();
+        self.bytes[i] - since.bytes[i]
+    }
+
+    /// Messages recorded in `category` since `since` was taken.
+    pub fn messages_since(&self, since: &TrafficSnapshot, category: MsgCategory) -> u64 {
+        let i = category.index();
+        self.msgs[i] - since.msgs[i]
+    }
+}
+
+/// The latency model of the simulated network.
+///
+/// Every node belongs to a *site* (a data center). Delivery latency between
+/// two nodes is drawn from:
+///
+/// * a per-pair **override** (used to collocate clients with their
+///   coordinator partition, as the paper does: sub-RTT loopback latency);
+/// * the **intra-site** base + jitter when both nodes share a site;
+/// * the **inter-site matrix** (one-way microseconds) + proportional jitter
+///   otherwise.
+///
+/// Channels are FIFO: the model remembers the last scheduled delivery per
+/// ordered pair and never delivers an earlier-sent message later, matching
+/// the paper's lossless FIFO (TCP) channel assumption.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    site_of: Vec<u16>,
+    intra_base: u64,
+    intra_jitter: u64,
+    inter: Vec<Vec<u64>>,
+    inter_jitter_frac: f64,
+    overrides: HashMap<(u32, u32), u64>,
+    last_delivery: HashMap<(u32, u32), SimTime>,
+}
+
+impl NetworkModel {
+    /// A single-site network of `nodes` nodes with uniform `base` one-way
+    /// latency and ± `jitter` microseconds of uniform noise.
+    pub fn uniform(nodes: usize, base: u64, jitter: u64) -> Self {
+        NetworkModel {
+            site_of: vec![0; nodes],
+            intra_base: base,
+            intra_jitter: jitter,
+            inter: vec![vec![0]],
+            inter_jitter_frac: 0.0,
+            overrides: HashMap::new(),
+            last_delivery: HashMap::new(),
+        }
+    }
+
+    /// A multi-site network.
+    ///
+    /// * `site_of[n]` — site index of node `n`;
+    /// * `inter[a][b]` — one-way latency in µs between sites `a` and `b`
+    ///   (diagonal ignored);
+    /// * `intra_base ± intra_jitter` — one-way latency within a site;
+    /// * `inter_jitter_frac` — multiplicative jitter on inter-site latency
+    ///   (e.g. `0.05` for ±5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inter` is not square or a site index is out of range.
+    pub fn with_sites(
+        site_of: Vec<u16>,
+        inter: Vec<Vec<u64>>,
+        intra_base: u64,
+        intra_jitter: u64,
+        inter_jitter_frac: f64,
+    ) -> Self {
+        let sites = inter.len();
+        assert!(inter.iter().all(|row| row.len() == sites), "matrix not square");
+        assert!(
+            site_of.iter().all(|s| (*s as usize) < sites),
+            "site index out of range"
+        );
+        NetworkModel {
+            site_of,
+            intra_base,
+            intra_jitter,
+            inter,
+            inter_jitter_frac,
+            overrides: HashMap::new(),
+            last_delivery: HashMap::new(),
+        }
+    }
+
+    /// Fixes the one-way latency between a specific ordered pair of nodes,
+    /// bypassing the site matrix (used for client/coordinator collocation).
+    pub fn set_pair_latency(&mut self, from: NodeId, to: NodeId, micros: u64) {
+        self.overrides.insert((from.index() as u32, to.index() as u32), micros);
+        self.overrides.insert((to.index() as u32, from.index() as u32), micros);
+    }
+
+    /// The site a node belongs to.
+    pub fn site_of(&self, node: NodeId) -> u16 {
+        self.site_of[node.index()]
+    }
+
+    /// Registers another node in `site`, returning nothing; used by
+    /// builders that add nodes incrementally.
+    pub fn push_node_site(&mut self, site: u16) {
+        assert!((site as usize) < self.inter.len(), "site index out of range");
+        self.site_of.push(site);
+    }
+
+    /// Draws a one-way latency for `from → to` at send time `now` and
+    /// returns the FIFO-corrected delivery instant.
+    pub fn delivery_time(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> SimTime {
+        let key = (from.index() as u32, to.index() as u32);
+        let latency = if let Some(fixed) = self.overrides.get(&key) {
+            *fixed
+        } else {
+            let sa = self.site_of[from.index()] as usize;
+            let sb = self.site_of[to.index()] as usize;
+            if sa == sb {
+                let jitter = if self.intra_jitter > 0 {
+                    rng.gen_range(0..=self.intra_jitter)
+                } else {
+                    0
+                };
+                self.intra_base + jitter
+            } else {
+                let base = self.inter[sa][sb];
+                let jitter = if self.inter_jitter_frac > 0.0 {
+                    let span = (base as f64 * self.inter_jitter_frac) as u64;
+                    if span > 0 {
+                        rng.gen_range(0..=span)
+                    } else {
+                        0
+                    }
+                } else {
+                    0
+                };
+                base + jitter
+            }
+        };
+        let nominal = now + latency;
+        let entry = self.last_delivery.entry(key).or_insert(SimTime::ZERO);
+        let actual = nominal.max(*entry);
+        *entry = actual;
+        actual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn uniform_latency_is_constant_without_jitter() {
+        let mut net = NetworkModel::uniform(2, 100, 0);
+        let mut r = rng();
+        let t = net.delivery_time(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut r);
+        assert_eq!(t.as_micros(), 100);
+    }
+
+    #[test]
+    fn fifo_never_reorders() {
+        let mut net = NetworkModel::uniform(2, 100, 80);
+        let mut r = rng();
+        let mut last = SimTime::ZERO;
+        for send_at in (0..50).map(|i| SimTime::from_micros(i * 3)) {
+            let d = net.delivery_time(NodeId::new(0), NodeId::new(1), send_at, &mut r);
+            assert!(d >= last, "FIFO violated: {d:?} < {last:?}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn sites_use_matrix() {
+        let mut net = NetworkModel::with_sites(
+            vec![0, 0, 1],
+            vec![vec![0, 40_000], vec![40_000, 0]],
+            150,
+            0,
+            0.0,
+        );
+        let mut r = rng();
+        let same = net.delivery_time(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut r);
+        assert_eq!(same.as_micros(), 150);
+        let cross = net.delivery_time(NodeId::new(0), NodeId::new(2), SimTime::ZERO, &mut r);
+        assert_eq!(cross.as_micros(), 40_000);
+    }
+
+    #[test]
+    fn override_beats_matrix() {
+        let mut net = NetworkModel::uniform(2, 500, 0);
+        net.set_pair_latency(NodeId::new(0), NodeId::new(1), 10);
+        let mut r = rng();
+        let t = net.delivery_time(NodeId::new(0), NodeId::new(1), SimTime::ZERO, &mut r);
+        assert_eq!(t.as_micros(), 10);
+        let back = net.delivery_time(NodeId::new(1), NodeId::new(0), SimTime::ZERO, &mut r);
+        assert_eq!(back.as_micros(), 10, "override is symmetric");
+    }
+
+    #[test]
+    fn traffic_stats_accumulate_and_diff() {
+        let mut stats = TrafficStats::default();
+        stats.record(MsgCategory::Replication, 100);
+        let snap = stats.snapshot();
+        stats.record(MsgCategory::Replication, 50);
+        stats.record(MsgCategory::Stabilization, 8);
+        assert_eq!(stats.bytes(MsgCategory::Replication), 150);
+        assert_eq!(stats.bytes_since(&snap, MsgCategory::Replication), 50);
+        assert_eq!(stats.messages_since(&snap, MsgCategory::Stabilization), 1);
+        assert_eq!(stats.messages(MsgCategory::Replication), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix not square")]
+    fn rejects_non_square_matrix() {
+        NetworkModel::with_sites(vec![0], vec![vec![0, 1]], 0, 0, 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+use crate::{Message, SimTime};
+use rand::rngs::SmallRng;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a node (server process or client process) in a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Builds a node id from its index in the simulation.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A participant in the simulation: a protocol server or a client process.
+///
+/// Handlers run at a simulated instant and interact with the world only
+/// through the [`Context`], which keeps them deterministic. CPU cost is
+/// expressed two ways:
+///
+/// * [`Node::service_micros`] — fixed cost charged for handling a message
+///   (the kernel queues the message on the node's cores first);
+/// * [`Context::consume`] — additional data-dependent cost a handler
+///   discovers while running (e.g. per-item apply cost).
+pub trait Node<M: Message> {
+    /// CPU time (µs) to process `msg`, charged before any output departs.
+    /// Zero for infinitely fast nodes (clients).
+    fn service_micros(&self, _msg: &M) -> u64 {
+        0
+    }
+
+    /// CPU time (µs) to run the timer handler for `kind`.
+    fn timer_service_micros(&self, _kind: u32) -> u64 {
+        0
+    }
+
+    /// A message from `from` arrives.
+    fn on_message(&mut self, from: NodeId, msg: M, ctx: &mut Context<'_, M>);
+
+    /// A timer armed with [`Context::set_timer`] fires.
+    fn on_timer(&mut self, kind: u32, ctx: &mut Context<'_, M>);
+
+    /// Downcasting hook so the harness can extract node state after a run.
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+/// The handler-side API of the simulation kernel.
+///
+/// All outputs (messages, timers) take effect when the handler's CPU slice
+/// completes, preserving the "work first, then the packet leaves" behaviour
+/// of a real server.
+pub struct Context<'a, M: Message> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut SmallRng,
+    extra_cpu: u64,
+    outbox: Vec<(NodeId, M)>,
+    timers: Vec<(u64, u32)>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    pub(crate) fn new(now: SimTime, node: NodeId, rng: &'a mut SmallRng) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            extra_cpu: 0,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// The simulated instant at which this handler started executing.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`; it departs when the handler's CPU slice ends.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Arms a timer that fires `delay_micros` after the handler completes.
+    pub fn set_timer(&mut self, delay_micros: u64, kind: u32) {
+        self.timers.push((delay_micros, kind));
+    }
+
+    /// Charges `micros` of additional CPU time to this handler (for
+    /// data-dependent work such as applying a batch of updates).
+    pub fn consume(&mut self, micros: u64) {
+        self.extra_cpu += micros;
+    }
+
+    pub(crate) fn into_effects(self) -> Effects<M> {
+        Effects {
+            extra_cpu: self.extra_cpu,
+            outbox: self.outbox,
+            timers: self.timers,
+        }
+    }
+}
+
+/// What a handler produced, applied by the kernel at slice completion.
+pub(crate) struct Effects<M> {
+    pub(crate) extra_cpu: u64,
+    pub(crate) outbox: Vec<(NodeId, M)>,
+    pub(crate) timers: Vec<(u64, u32)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgCategory;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct Nop;
+    impl Message for Nop {
+        fn wire_size(&self) -> usize {
+            0
+        }
+        fn category(&self) -> MsgCategory {
+            MsgCategory::ClientServer
+        }
+    }
+
+    #[test]
+    fn context_collects_effects() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ctx: Context<'_, Nop> =
+            Context::new(SimTime::from_micros(5), NodeId::new(1), &mut rng);
+        assert_eq!(ctx.now().as_micros(), 5);
+        assert_eq!(ctx.node_id(), NodeId::new(1));
+        ctx.send(NodeId::new(2), Nop);
+        ctx.set_timer(100, 7);
+        ctx.consume(33);
+        let fx = ctx.into_effects();
+        assert_eq!(fx.outbox.len(), 1);
+        assert_eq!(fx.timers, vec![(100, 7)]);
+        assert_eq!(fx.extra_cpu, 33);
+    }
+
+    #[test]
+    fn node_id_formats() {
+        assert_eq!(format!("{}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{:?}", NodeId::new(4)), "n4");
+        assert_eq!(NodeId::new(9).index(), 9);
+    }
+}

@@ -1,0 +1,465 @@
+use crate::node::Effects;
+use crate::{Context, Message, NetworkModel, Node, NodeId, SimTime, TrafficStats};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+enum EventKind<M> {
+    /// A message reaches `to`'s input queue.
+    Arrive { from: NodeId, to: NodeId, msg: M },
+    /// A timer armed by `node` fires.
+    Timer { node: NodeId, kind: u32 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot<M: Message> {
+    node: Box<dyn Node<M>>,
+    /// When each core becomes free.
+    cores: Vec<SimTime>,
+    busy_micros: u64,
+}
+
+/// The discrete-event simulation: an event heap, a set of nodes with CPU
+/// queues, a FIFO network and a deterministic RNG.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+pub struct Simulation<M: Message> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Event<M>>>,
+    nodes: Vec<NodeSlot<M>>,
+    network: NetworkModel,
+    rng: SmallRng,
+    traffic: TrafficStats,
+    events_processed: u64,
+}
+
+impl<M: Message> Simulation<M> {
+    /// Creates a simulation with the given RNG seed and network model.
+    pub fn new(seed: u64, network: NetworkModel) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            network,
+            rng: SmallRng::seed_from_u64(seed),
+            traffic: TrafficStats::default(),
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node with `cores` CPU cores (0 is treated as "infinitely
+    /// fast": handlers run with no queueing — appropriate for client
+    /// processes whose cost the paper folds into the closed loop).
+    ///
+    /// Returns the node's id. Nodes must be added in the same order as the
+    /// sites registered with the [`NetworkModel`].
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>, cores: u16) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        let cores = if cores == 0 {
+            Vec::new()
+        } else {
+            vec![SimTime::ZERO; cores as usize]
+        };
+        self.nodes.push(NodeSlot {
+            node,
+            cores,
+            busy_micros: 0,
+        });
+        id
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Traffic accounting (bytes/messages per category).
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Mutable access to the network model (e.g. to add pair overrides
+    /// after nodes are created).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.network
+    }
+
+    /// CPU-busy microseconds accumulated by `node`.
+    pub fn cpu_busy_micros(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].busy_micros
+    }
+
+    /// Injects a message from `from` to `to` through the network at the
+    /// current instant (used to bootstrap a run).
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.traffic.record(msg.category(), msg.wire_size());
+        let at = self
+            .network
+            .delivery_time(from, to, self.now, &mut self.rng);
+        self.push(at, EventKind::Arrive { from, to, msg });
+    }
+
+    /// Arms a timer on `node` that fires `delay_micros` from now (used to
+    /// bootstrap periodic protocol ticks and client loops).
+    pub fn start_timer(&mut self, node: NodeId, delay_micros: u64, kind: u32) {
+        self.push(self.now + delay_micros, EventKind::Timer { node, kind });
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// Returns `None` if the node is of a different type.
+    pub fn typed_node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.index()].node.as_any().downcast_mut::<T>()
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind }));
+    }
+
+    /// Runs events until simulated time reaches `until` (inclusive of
+    /// events stamped exactly `until`). Returns the number of events
+    /// processed by this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev);
+            processed += 1;
+        }
+        self.now = until.max(self.now);
+        self.events_processed += processed;
+        processed
+    }
+
+    /// Runs until the event queue drains or `limit` events were processed.
+    /// Returns the number processed. Useful for tests that want quiescence.
+    pub fn run_to_quiescence(&mut self, limit: u64) -> u64 {
+        let mut processed = 0;
+        while processed < limit {
+            let Some(Reverse(ev)) = self.heap.peek() else {
+                break;
+            };
+            let _ = ev;
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev);
+            processed += 1;
+        }
+        self.events_processed += processed;
+        processed
+    }
+
+    fn dispatch(&mut self, ev: Event<M>) {
+        let (node_id, base_service) = match &ev.kind {
+            EventKind::Arrive { to, msg, .. } => {
+                let slot = &self.nodes[to.index()];
+                (*to, slot.node.service_micros(msg))
+            }
+            EventKind::Timer { node, kind } => {
+                let slot = &self.nodes[node.index()];
+                (*node, slot.node.timer_service_micros(*kind))
+            }
+        };
+
+        // Queue on the node's cores (FCFS): the handler starts when a core
+        // frees up, and everything it emits departs at slice completion.
+        let idx = node_id.index();
+        let start = if self.nodes[idx].cores.is_empty() {
+            ev.at
+        } else {
+            let earliest = *self.nodes[idx].cores.iter().min().expect("has cores");
+            ev.at.max(earliest)
+        };
+
+        let mut ctx = Context::new(start, node_id, &mut self.rng);
+        match ev.kind {
+            EventKind::Arrive { from, msg, .. } => {
+                self.nodes[idx].node.on_message(from, msg, &mut ctx);
+            }
+            EventKind::Timer { kind, .. } => {
+                self.nodes[idx].node.on_timer(kind, &mut ctx);
+            }
+        }
+        let effects = ctx.into_effects();
+        let total_service = base_service + effects.extra_cpu;
+        let completion = start + total_service;
+
+        if !self.nodes[idx].cores.is_empty() {
+            let core = self.nodes[idx]
+                .cores
+                .iter_mut()
+                .min()
+                .expect("has cores");
+            *core = completion;
+            self.nodes[idx].busy_micros += completion - start;
+        }
+
+        self.apply_effects(node_id, completion, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, completion: SimTime, effects: Effects<M>) {
+        for (to, msg) in effects.outbox {
+            self.traffic.record(msg.category(), msg.wire_size());
+            let at = self
+                .network
+                .delivery_time(node, to, completion, &mut self.rng);
+            self.push(at, EventKind::Arrive { from: node, to, msg });
+        }
+        for (delay, kind) in effects.timers {
+            self.push(completion + delay, EventKind::Timer { node, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgCategory;
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum TestMsg {
+        Work(#[allow(dead_code)] u64),
+    }
+
+    impl Message for TestMsg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn category(&self) -> MsgCategory {
+            MsgCategory::IntraDcTransaction
+        }
+    }
+
+    /// Records the `ctx.now()` at which each message was handled.
+    struct Recorder {
+        starts: Vec<u64>,
+        service: u64,
+    }
+
+    impl Node<TestMsg> for Recorder {
+        fn service_micros(&self, _msg: &TestMsg) -> u64 {
+            self.service
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: TestMsg, ctx: &mut Context<'_, TestMsg>) {
+            self.starts.push(ctx.now().as_micros());
+        }
+        fn on_timer(&mut self, _kind: u32, _ctx: &mut Context<'_, TestMsg>) {}
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Sends `count` messages to a peer, one per timer tick.
+    struct Ticker {
+        peer: NodeId,
+        remaining: u64,
+        period: u64,
+    }
+
+    impl Node<TestMsg> for Ticker {
+        fn on_message(&mut self, _from: NodeId, _msg: TestMsg, _ctx: &mut Context<'_, TestMsg>) {}
+        fn on_timer(&mut self, _kind: u32, ctx: &mut Context<'_, TestMsg>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(self.peer, TestMsg::Work(self.remaining));
+                ctx.set_timer(self.period, 0);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cpu_queue_serializes_messages() {
+        // One-core server with 100 µs service; messages sent every 10 µs
+        // must be processed back-to-back, not in parallel.
+        let net = NetworkModel::uniform(2, 50, 0);
+        let mut sim = Simulation::new(1, net);
+        let server = sim.add_node(
+            Box::new(Recorder {
+                starts: Vec::new(),
+                service: 100,
+            }),
+            1,
+        );
+        let client = sim.add_node(
+            Box::new(Ticker {
+                peer: server,
+                remaining: 3,
+                period: 10,
+            }),
+            0,
+        );
+        sim.start_timer(client, 0, 0);
+        sim.run_until(SimTime::from_millis(10));
+        let rec = sim.typed_node_mut::<Recorder>(server).unwrap();
+        // Arrivals at 50, 60, 70; starts at 50, 150, 250.
+        assert_eq!(rec.starts, vec![50, 150, 250]);
+    }
+
+    #[test]
+    fn zero_core_nodes_run_instantly() {
+        let net = NetworkModel::uniform(2, 50, 0);
+        let mut sim = Simulation::new(1, net);
+        let server = sim.add_node(
+            Box::new(Recorder {
+                starts: Vec::new(),
+                service: 100, // ignored: node has 0 cores
+            }),
+            0,
+        );
+        let client = sim.add_node(
+            Box::new(Ticker {
+                peer: server,
+                remaining: 2,
+                period: 10,
+            }),
+            0,
+        );
+        sim.start_timer(client, 0, 0);
+        sim.run_until(SimTime::from_millis(1));
+        let rec = sim.typed_node_mut::<Recorder>(server).unwrap();
+        assert_eq!(rec.starts, vec![50, 60]);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let net = NetworkModel::uniform(2, 10, 0);
+        let mut sim = Simulation::new(1, net);
+        let a = sim.add_node(
+            Box::new(Recorder {
+                starts: Vec::new(),
+                service: 0,
+            }),
+            1,
+        );
+        let b = sim.add_node(
+            Box::new(Ticker {
+                peer: a,
+                remaining: 5,
+                period: 1,
+            }),
+            0,
+        );
+        sim.start_timer(b, 0, 0);
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.traffic().messages(MsgCategory::IntraDcTransaction), 5);
+        assert_eq!(sim.traffic().bytes(MsgCategory::IntraDcTransaction), 40);
+    }
+
+    #[test]
+    fn identical_seeds_are_deterministic() {
+        let run = |seed| {
+            let mut net = NetworkModel::uniform(2, 100, 30);
+            net.set_pair_latency(NodeId::new(0), NodeId::new(1), 70);
+            let mut sim = Simulation::new(seed, net);
+            let server = sim.add_node(
+                Box::new(Recorder {
+                    starts: Vec::new(),
+                    service: 13,
+                }),
+                1,
+            );
+            let client = sim.add_node(
+                Box::new(Ticker {
+                    peer: server,
+                    remaining: 50,
+                    period: 7,
+                }),
+                0,
+            );
+            sim.start_timer(client, 0, 0);
+            sim.run_until(SimTime::from_millis(5));
+            sim.typed_node_mut::<Recorder>(server).unwrap().starts.clone()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn run_to_quiescence_drains() {
+        let net = NetworkModel::uniform(2, 10, 0);
+        let mut sim = Simulation::new(1, net);
+        let a = sim.add_node(
+            Box::new(Recorder {
+                starts: Vec::new(),
+                service: 1,
+            }),
+            1,
+        );
+        let b = sim.add_node(
+            Box::new(Ticker {
+                peer: a,
+                remaining: 4,
+                period: 3,
+            }),
+            0,
+        );
+        sim.start_timer(b, 0, 0);
+        let n = sim.run_to_quiescence(1_000_000);
+        assert!(n > 0);
+        assert_eq!(sim.typed_node_mut::<Recorder>(a).unwrap().starts.len(), 4);
+    }
+
+    #[test]
+    fn cpu_busy_time_accumulates() {
+        let net = NetworkModel::uniform(2, 10, 0);
+        let mut sim = Simulation::new(1, net);
+        let a = sim.add_node(
+            Box::new(Recorder {
+                starts: Vec::new(),
+                service: 25,
+            }),
+            1,
+        );
+        let b = sim.add_node(
+            Box::new(Ticker {
+                peer: a,
+                remaining: 4,
+                period: 100,
+            }),
+            0,
+        );
+        sim.start_timer(b, 0, 0);
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.cpu_busy_micros(a), 100);
+        assert_eq!(sim.cpu_busy_micros(b), 0);
+    }
+}

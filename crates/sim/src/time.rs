@@ -1,0 +1,124 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in microseconds from the start of
+/// the run.
+///
+/// Simulated time is the "true" time of an experiment: per-server
+/// `SkewedClock`s (in `wren-clock`) derive their (possibly wrong)
+/// physical readings from it, and all latency/throughput/visibility
+/// metrics are measured in it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant `micros` microseconds from the start.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Builds an instant `millis` milliseconds from the start.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Builds an instant `secs` seconds from the start.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the start of the simulation.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the start, as a float (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since the start, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`, in microseconds.
+    #[inline]
+    pub fn micros_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    /// Adds `rhs` microseconds.
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Saturating difference in microseconds.
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_micros(2_000_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimTime::from_millis(3).as_millis_f64(), 3.0);
+        assert_eq!(SimTime::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::from_micros(10) + 5;
+        assert_eq!(t.as_micros(), 15);
+        assert_eq!(t - SimTime::from_micros(3), 12);
+        assert_eq!(SimTime::ZERO - t, 0, "difference saturates");
+        assert_eq!(t.micros_since(SimTime::from_micros(20)), 0);
+    }
+
+    #[test]
+    fn display_in_millis() {
+        assert_eq!(format!("{}", SimTime::from_micros(1_500)), "1.500ms");
+        assert_eq!(format!("{:?}", SimTime::from_micros(7)), "7µs");
+    }
+}

@@ -1,0 +1,197 @@
+use wren_clock::Timestamp;
+
+/// What the storage layer needs from a version: a total order for
+/// last-writer-wins conflict resolution.
+///
+/// The key is `(commit timestamp, origin DC id, transaction id)` — the
+/// paper resolves concurrent conflicting writes by update timestamp, with
+/// ties settled by the originating DC and transaction identifier (§II-C).
+pub trait Versioned {
+    /// The last-writer-wins order key. Higher keys win.
+    fn order_key(&self) -> (Timestamp, u8, u64);
+}
+
+/// The version chain of a single key, ordered newest-first by the
+/// last-writer-wins key.
+///
+/// Insertion is O(1) for in-order commits (the common case: versions are
+/// applied in increasing commit-timestamp order) and O(n) in the worst
+/// case for out-of-order remote deliveries.
+#[derive(Clone, Debug)]
+pub struct VersionChain<V> {
+    /// Newest first.
+    versions: Vec<V>,
+}
+
+impl<V> Default for VersionChain<V> {
+    fn default() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+}
+
+impl<V: Versioned> VersionChain<V> {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Number of versions currently retained.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the chain holds no versions.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Inserts a version at its last-writer-wins position.
+    pub fn insert(&mut self, v: V) {
+        let key = v.order_key();
+        // Common case: newest version appended at the front.
+        let pos = self
+            .versions
+            .iter()
+            .position(|existing| existing.order_key() <= key)
+            .unwrap_or(self.versions.len());
+        self.versions.insert(pos, v);
+    }
+
+    /// The newest version satisfying `visible`, i.e. the version a
+    /// transaction with that snapshot predicate must read under
+    /// last-writer-wins.
+    pub fn latest_visible<F: Fn(&V) -> bool>(&self, visible: F) -> Option<&V> {
+        self.versions.iter().find(|v| visible(v))
+    }
+
+    /// The newest version outright (what a causally-unconstrained reader
+    /// would see).
+    pub fn newest(&self) -> Option<&V> {
+        self.versions.first()
+    }
+
+    /// Iterates newest to oldest.
+    pub fn iter(&self) -> impl Iterator<Item = &V> {
+        self.versions.iter()
+    }
+
+    /// Garbage-collects versions that no active or future snapshot can
+    /// read.
+    ///
+    /// `visible_at_oldest` must be the visibility predicate of the oldest
+    /// snapshot still visible to any running transaction (the aggregate
+    /// minimum the partitions gossip, §IV-B "Garbage collection"). The
+    /// chain keeps every version newer than the newest visible one, plus
+    /// that version itself, and drops the rest — exactly the paper's rule
+    /// ("keep all the versions up to and including the oldest one within
+    /// S_old").
+    ///
+    /// Returns the number of versions removed.
+    pub fn collect<F: Fn(&V) -> bool>(&mut self, visible_at_oldest: F) -> usize {
+        let Some(idx) = self.versions.iter().position(|v| visible_at_oldest(v)) else {
+            // No version is visible at the oldest snapshot: everything may
+            // still become visible (all in the "future"), keep it all.
+            return 0;
+        };
+        let removed = self.versions.len() - (idx + 1);
+        self.versions.truncate(idx + 1);
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct V {
+        ct: u64,
+        sr: u8,
+        tx: u64,
+        tag: &'static str,
+    }
+
+    impl Versioned for V {
+        fn order_key(&self) -> (Timestamp, u8, u64) {
+            (Timestamp::from_micros(self.ct), self.sr, self.tx)
+        }
+    }
+
+    fn v(ct: u64, tag: &'static str) -> V {
+        V {
+            ct,
+            sr: 0,
+            tx: 0,
+            tag,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_newest_first() {
+        let mut c = VersionChain::new();
+        c.insert(v(10, "a"));
+        c.insert(v(30, "c"));
+        c.insert(v(20, "b"));
+        let tags: Vec<_> = c.iter().map(|x| x.tag).collect();
+        assert_eq!(tags, vec!["c", "b", "a"]);
+        assert_eq!(c.newest().unwrap().tag, "c");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lww_tie_break_on_dc_then_tx() {
+        let mut c = VersionChain::new();
+        c.insert(V { ct: 10, sr: 0, tx: 5, tag: "low-dc" });
+        c.insert(V { ct: 10, sr: 1, tx: 1, tag: "high-dc" });
+        assert_eq!(c.newest().unwrap().tag, "high-dc");
+        let mut c2 = VersionChain::new();
+        c2.insert(V { ct: 10, sr: 0, tx: 5, tag: "tx5" });
+        c2.insert(V { ct: 10, sr: 0, tx: 9, tag: "tx9" });
+        assert_eq!(c2.newest().unwrap().tag, "tx9");
+    }
+
+    #[test]
+    fn latest_visible_respects_snapshot() {
+        let mut c = VersionChain::new();
+        c.insert(v(10, "a"));
+        c.insert(v(20, "b"));
+        c.insert(v(30, "c"));
+        let seen = c.latest_visible(|x| x.ct <= 25);
+        assert_eq!(seen.unwrap().tag, "b");
+        assert!(c.latest_visible(|x| x.ct <= 5).is_none());
+    }
+
+    #[test]
+    fn collect_keeps_newest_visible_and_newer() {
+        let mut c = VersionChain::new();
+        for (ct, tag) in [(10, "a"), (20, "b"), (30, "c"), (40, "d")] {
+            c.insert(v(ct, tag));
+        }
+        // Oldest active snapshot sees ct ≤ 25: keep b (newest visible), c, d.
+        let removed = c.collect(|x| x.ct <= 25);
+        assert_eq!(removed, 1);
+        let tags: Vec<_> = c.iter().map(|x| x.tag).collect();
+        assert_eq!(tags, vec!["d", "c", "b"]);
+    }
+
+    #[test]
+    fn collect_keeps_everything_when_nothing_visible() {
+        let mut c = VersionChain::new();
+        c.insert(v(10, "a"));
+        c.insert(v(20, "b"));
+        assert_eq!(c.collect(|x| x.ct <= 5), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_chain_behaves() {
+        let c: VersionChain<V> = VersionChain::new();
+        assert!(c.is_empty());
+        assert!(c.newest().is_none());
+        assert!(c.latest_visible(|_| true).is_none());
+    }
+}

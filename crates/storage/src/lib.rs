@@ -1,0 +1,51 @@
+//! Multi-version key-value storage for the Wren reproduction.
+//!
+//! The paper's data store is multi-versioned: "an update operation creates
+//! a new version of a key. Each version stores the value corresponding to
+//! the key and some meta-data to track causality. The system periodically
+//! garbage-collects old versions of keys" (§II-A).
+//!
+//! This crate provides that substrate, generic over the per-version
+//! metadata so the same code backs Wren (two scalar timestamps, BDT) and
+//! the Cure baseline (a per-DC dependency vector):
+//!
+//! * [`Versioned`] — what storage needs from a version: a total
+//!   **last-writer-wins order key** `(commit timestamp, origin DC,
+//!   transaction id)`, matching the paper's conflict-resolution rule
+//!   (§II-C: ties settled by the id of the originating DC combined with
+//!   the transaction identifier);
+//! * [`VersionChain`] — the versions of one key, newest first;
+//! * [`MvStore`] — a partition's worth of chains, with watermark-based
+//!   garbage collection ([`MvStore::collect`]).
+//!
+//! Visibility is *not* baked in: readers pass a snapshot predicate, because
+//! visibility is exactly where Wren and Cure differ.
+//!
+//! # Example
+//!
+//! ```
+//! use wren_storage::{MvStore, Versioned};
+//! use wren_clock::Timestamp;
+//!
+//! #[derive(Clone, Debug)]
+//! struct V { ct: Timestamp, data: u32 }
+//! impl Versioned for V {
+//!     fn order_key(&self) -> (Timestamp, u8, u64) { (self.ct, 0, 0) }
+//! }
+//!
+//! let mut store: MvStore<u64, V> = MvStore::new();
+//! store.insert(7, V { ct: Timestamp::from_micros(10), data: 1 });
+//! store.insert(7, V { ct: Timestamp::from_micros(20), data: 2 });
+//! // Read at a snapshot that only covers the first version:
+//! let seen = store.latest_visible(&7, |v| v.ct <= Timestamp::from_micros(15));
+//! assert_eq!(seen.unwrap().data, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod store;
+
+pub use chain::{VersionChain, Versioned};
+pub use store::{MvStore, StoreStats};

@@ -1,0 +1,143 @@
+use crate::{VersionChain, Versioned};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Aggregate statistics of a store, for capacity and GC reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of keys with at least one version.
+    pub keys: usize,
+    /// Total versions currently retained.
+    pub versions: usize,
+    /// Total versions removed by garbage collection since creation.
+    pub collected: u64,
+}
+
+/// One partition's worth of multi-versioned data: a map from key to
+/// [`VersionChain`].
+///
+/// Generic over the key and the version type so Wren items (two scalar
+/// timestamps) and Cure items (dependency vectors) share the same storage.
+#[derive(Clone, Debug)]
+pub struct MvStore<K, V> {
+    chains: HashMap<K, VersionChain<V>>,
+    collected: u64,
+}
+
+impl<K, V> Default for MvStore<K, V> {
+    fn default() -> Self {
+        MvStore {
+            chains: HashMap::new(),
+            collected: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Versioned> MvStore<K, V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MvStore {
+            chains: HashMap::new(),
+            collected: 0,
+        }
+    }
+
+    /// Inserts a new version of `key`.
+    pub fn insert(&mut self, key: K, version: V) {
+        self.chains.entry(key).or_default().insert(version);
+    }
+
+    /// The newest version of `key` satisfying the snapshot predicate
+    /// `visible`, or `None` if the key has no visible version.
+    pub fn latest_visible<F: Fn(&V) -> bool>(&self, key: &K, visible: F) -> Option<&V> {
+        self.chains.get(key).and_then(|c| c.latest_visible(visible))
+    }
+
+    /// The newest version of `key` outright.
+    pub fn newest(&self, key: &K) -> Option<&V> {
+        self.chains.get(key).and_then(|c| c.newest())
+    }
+
+    /// The full chain for `key`, if any version exists.
+    pub fn chain(&self, key: &K) -> Option<&VersionChain<V>> {
+        self.chains.get(key)
+    }
+
+    /// Runs garbage collection over every chain with the oldest-active-
+    /// snapshot predicate (see [`VersionChain::collect`]). Returns the
+    /// number of versions removed by this call.
+    pub fn collect<F: Fn(&V) -> bool>(&mut self, visible_at_oldest: F) -> usize {
+        let mut removed = 0;
+        for chain in self.chains.values_mut() {
+            removed += chain.collect(&visible_at_oldest);
+        }
+        self.collected += removed as u64;
+        removed
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            keys: self.chains.len(),
+            versions: self.chains.values().map(|c| c.len()).sum(),
+            collected: self.collected,
+        }
+    }
+
+    /// Iterates over all `(key, chain)` pairs (e.g. for convergence
+    /// checks in tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &VersionChain<V>)> {
+        self.chains.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wren_clock::Timestamp;
+
+    #[derive(Clone, Debug)]
+    struct V(u64);
+    impl Versioned for V {
+        fn order_key(&self) -> (Timestamp, u8, u64) {
+            (Timestamp::from_micros(self.0), 0, 0)
+        }
+    }
+
+    #[test]
+    fn insert_and_read_across_keys() {
+        let mut s: MvStore<u64, V> = MvStore::new();
+        s.insert(1, V(10));
+        s.insert(1, V(20));
+        s.insert(2, V(5));
+        assert_eq!(s.newest(&1).unwrap().0, 20);
+        assert_eq!(s.latest_visible(&1, |v| v.0 <= 15).unwrap().0, 10);
+        assert!(s.latest_visible(&3, |_| true).is_none());
+        assert_eq!(s.stats().keys, 2);
+        assert_eq!(s.stats().versions, 3);
+    }
+
+    #[test]
+    fn collect_reports_removed() {
+        let mut s: MvStore<u64, V> = MvStore::new();
+        for ct in [10, 20, 30] {
+            s.insert(1, V(ct));
+        }
+        for ct in [15, 25] {
+            s.insert(2, V(ct));
+        }
+        let removed = s.collect(|v| v.0 <= 26);
+        // key 1: visible=20, drop 10 → 1 removed. key 2: visible=25, drop 15 → 1 removed.
+        assert_eq!(removed, 2);
+        assert_eq!(s.stats().collected, 2);
+        assert_eq!(s.stats().versions, 3);
+    }
+
+    #[test]
+    fn iter_visits_all_chains() {
+        let mut s: MvStore<u64, V> = MvStore::new();
+        s.insert(1, V(1));
+        s.insert(2, V(2));
+        assert_eq!(s.iter().count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for version chains: LWW ordering, visibility and
+//! GC invariants under arbitrary insertion orders.
+
+use proptest::prelude::*;
+use wren_clock::Timestamp;
+use wren_storage::{MvStore, VersionChain, Versioned};
+
+#[derive(Clone, Debug, PartialEq)]
+struct V {
+    ct: u64,
+    sr: u8,
+    tx: u64,
+}
+
+impl Versioned for V {
+    fn order_key(&self) -> (Timestamp, u8, u64) {
+        (Timestamp::from_micros(self.ct), self.sr, self.tx)
+    }
+}
+
+fn arb_version() -> impl Strategy<Value = V> {
+    (0u64..500, 0u8..3, 0u64..1000).prop_map(|(ct, sr, tx)| V { ct, sr, tx })
+}
+
+proptest! {
+    /// Whatever the insertion order, the chain is sorted newest-first by
+    /// the LWW key, and `newest` is the global maximum.
+    #[test]
+    fn chain_is_always_lww_sorted(versions in proptest::collection::vec(arb_version(), 1..40)) {
+        let mut chain = VersionChain::new();
+        for v in &versions {
+            chain.insert(v.clone());
+        }
+        let keys: Vec<_> = chain.iter().map(Versioned::order_key).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] >= w[1], "chain out of order: {:?}", keys);
+        }
+        let max = versions.iter().map(Versioned::order_key).max().unwrap();
+        prop_assert_eq!(chain.newest().unwrap().order_key(), max);
+    }
+
+    /// `latest_visible` returns exactly the LWW-max among versions
+    /// passing the predicate.
+    #[test]
+    fn latest_visible_is_lww_max_of_predicate(
+        versions in proptest::collection::vec(arb_version(), 1..40),
+        cutoff in 0u64..500,
+    ) {
+        let mut chain = VersionChain::new();
+        for v in &versions {
+            chain.insert(v.clone());
+        }
+        let visible = chain.latest_visible(|v| v.ct <= cutoff);
+        let expected = versions
+            .iter()
+            .filter(|v| v.ct <= cutoff)
+            .max_by_key(|v| v.order_key());
+        match (visible, expected) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.order_key(), b.order_key()),
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a.map(|v| v.ct), b.map(|v| v.ct)),
+        }
+    }
+
+    /// After GC at any watermark, every read at a snapshot at or above the
+    /// watermark returns the same result as before GC.
+    #[test]
+    fn gc_preserves_reads_at_or_above_watermark(
+        versions in proptest::collection::vec(arb_version(), 1..40),
+        watermark in 0u64..500,
+        probe in 0u64..500,
+    ) {
+        let mut chain = VersionChain::new();
+        for v in &versions {
+            chain.insert(v.clone());
+        }
+        let probe = probe.max(watermark); // only snapshots ≥ watermark are promised
+        let before = chain.latest_visible(|v| v.ct <= probe).cloned();
+        chain.collect(|v| v.ct <= watermark);
+        let after = chain.latest_visible(|v| v.ct <= probe).cloned();
+        prop_assert_eq!(before, after);
+    }
+
+    /// GC never removes the newest version and never leaves the chain in
+    /// an unsorted state.
+    #[test]
+    fn gc_keeps_newest_and_order(
+        versions in proptest::collection::vec(arb_version(), 1..40),
+        watermark in 0u64..500,
+    ) {
+        let mut chain = VersionChain::new();
+        for v in &versions {
+            chain.insert(v.clone());
+        }
+        let newest_before = chain.newest().unwrap().order_key();
+        chain.collect(|v| v.ct <= watermark);
+        prop_assert_eq!(chain.newest().unwrap().order_key(), newest_before);
+        let keys: Vec<_> = chain.iter().map(Versioned::order_key).collect();
+        for w in keys.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    /// Store-level: stats track contents; collect sums per-chain removals.
+    #[test]
+    fn store_stats_are_consistent(
+        inserts in proptest::collection::vec((0u64..8, arb_version()), 1..60),
+        watermark in 0u64..500,
+    ) {
+        let mut store: MvStore<u64, V> = MvStore::new();
+        for (k, v) in &inserts {
+            store.insert(*k, v.clone());
+        }
+        let before = store.stats();
+        prop_assert_eq!(before.versions, inserts.len());
+        let removed = store.collect(|v| v.ct <= watermark);
+        let after = store.stats();
+        prop_assert_eq!(after.versions + removed, before.versions);
+        prop_assert_eq!(after.collected, removed as u64);
+    }
+}

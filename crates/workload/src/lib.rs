@@ -1,0 +1,26 @@
+//! YCSB-style workload generation for the Wren reproduction.
+//!
+//! Implements the exact load the paper evaluates with (§V-A):
+//!
+//! * fixed-shape read/write transactions — [`TxMix::R95_W5`] (19 reads +
+//!   1 write), [`TxMix::R90_W10`], [`TxMix::R50_W50`], corresponding to
+//!   YCSB B and A;
+//! * each transaction touches `p` partitions chosen uniformly, with keys
+//!   drawn **zipfian (θ = 0.99)** within each partition
+//!   ([`Workload::sample_tx`]);
+//! * 8-byte items whose payload encodes `(client, sequence)` so
+//!   correctness checkers can attribute every observed version
+//!   ([`Workload::make_value`] / [`decode_value`]).
+//!
+//! Clients run closed-loop (one outstanding transaction per session); the
+//! drivers in `wren-harness` and `wren-rt` own the loop, this crate owns
+//! the sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod spec;
+mod zipfian;
+
+pub use spec::{decode_value, TxMix, TxShape, Workload, WorkloadSpec};
+pub use zipfian::Zipfian;

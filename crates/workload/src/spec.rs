@@ -1,0 +1,295 @@
+use crate::Zipfian;
+use bytes::Bytes;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::sync::Arc;
+use wren_protocol::{Key, Value};
+
+/// A read:write transaction mix.
+///
+/// The paper's workloads issue fixed-shape transactions: "19 reads and 1
+/// write (95:5), 18 reads and 2 writes (90:10), and 10 reads and 10 writes
+/// (50:50)" (§V-A). 50:50 and 95:5 correspond to YCSB workloads A and B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxMix {
+    /// Reads per transaction.
+    pub reads: usize,
+    /// Writes per transaction.
+    pub writes: usize,
+}
+
+impl TxMix {
+    /// The paper's 95:5 read:write ratio (19 reads, 1 write) — YCSB B.
+    pub const R95_W5: TxMix = TxMix { reads: 19, writes: 1 };
+    /// The paper's 90:10 ratio (18 reads, 2 writes).
+    pub const R90_W10: TxMix = TxMix { reads: 18, writes: 2 };
+    /// The paper's 50:50 ratio (10 reads, 10 writes) — YCSB A.
+    pub const R50_W50: TxMix = TxMix { reads: 10, writes: 10 };
+
+    /// Human-readable label matching the paper's figures ("95:5" etc).
+    pub fn label(&self) -> String {
+        let total = self.reads + self.writes;
+        format!(
+            "{}:{}",
+            self.reads * 100 / total,
+            self.writes * 100 / total
+        )
+    }
+}
+
+/// Full description of a workload, mirroring §V-A.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Keys stored per partition.
+    pub keys_per_partition: u64,
+    /// Value payload size in bytes (the paper uses 8-byte items).
+    pub value_size: usize,
+    /// Transaction shape.
+    pub mix: TxMix,
+    /// Number of distinct partitions each transaction touches (`p`).
+    pub partitions_per_tx: usize,
+    /// Zipfian skew within a partition's key space.
+    pub zipf_theta: f64,
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's default: 95:5 mix, p=4, zipfian 0.99, 8-byte values.
+    fn default() -> Self {
+        WorkloadSpec {
+            keys_per_partition: 10_000,
+            value_size: 8,
+            mix: TxMix::R95_W5,
+            partitions_per_tx: 4,
+            zipf_theta: 0.99,
+        }
+    }
+}
+
+/// The sampled shape of one transaction: which keys to read, which to
+/// write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxShape {
+    /// Keys to read (all in one parallel round, as in the paper).
+    pub reads: Vec<Key>,
+    /// Keys to write (tagged with values by the driver).
+    pub writes: Vec<Key>,
+}
+
+/// A compiled workload: per-partition key pools plus the zipfian sampler,
+/// shared (via [`Arc`]) by every client in an experiment.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    n_partitions: u16,
+    /// `pools[p][rank]` = the rank-th key of partition `p`.
+    pools: Arc<Vec<Vec<Key>>>,
+    zipf: Zipfian,
+}
+
+impl Workload {
+    /// Compiles `spec` for a deployment with `n_partitions` partitions:
+    /// enumerates key ids until every partition owns
+    /// `spec.keys_per_partition` keys (the key → partition map is a hash,
+    /// so pools are built by scanning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.partitions_per_tx` exceeds `n_partitions`.
+    pub fn compile(spec: WorkloadSpec, n_partitions: u16) -> Self {
+        assert!(
+            spec.partitions_per_tx <= n_partitions as usize,
+            "transaction touches more partitions than exist"
+        );
+        let mut pools: Vec<Vec<Key>> = vec![Vec::new(); n_partitions as usize];
+        let mut filled = 0usize;
+        let mut id = 0u64;
+        while filled < n_partitions as usize {
+            let key = Key(id);
+            let p = key.partition(n_partitions).index();
+            if (pools[p].len() as u64) < spec.keys_per_partition {
+                pools[p].push(key);
+                if pools[p].len() as u64 == spec.keys_per_partition {
+                    filled += 1;
+                }
+            }
+            id += 1;
+        }
+        let zipf = Zipfian::new(spec.keys_per_partition, spec.zipf_theta);
+        Workload {
+            spec,
+            n_partitions,
+            pools: Arc::new(pools),
+            zipf,
+        }
+    }
+
+    /// The workload specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of partitions this workload was compiled for.
+    pub fn n_partitions(&self) -> u16 {
+        self.n_partitions
+    }
+
+    /// Samples the shape of one transaction: `p` distinct partitions
+    /// chosen uniformly, reads and writes dealt round-robin across them,
+    /// keys drawn zipfian within each partition (distinct within the
+    /// transaction).
+    pub fn sample_tx<R: Rng>(&self, rng: &mut R) -> TxShape {
+        let p = self.spec.partitions_per_tx;
+        let mut partitions: Vec<usize> = (0..self.n_partitions as usize).collect();
+        partitions.shuffle(rng);
+        partitions.truncate(p);
+
+        let mut used: Vec<Vec<u64>> = vec![Vec::new(); p];
+        let pick = |slot: usize, rng: &mut R, used: &mut Vec<Vec<u64>>| -> Key {
+            let pool = &self.pools[partitions[slot]];
+            loop {
+                let rank = self.zipf.sample(rng);
+                if !used[slot].contains(&rank) {
+                    used[slot].push(rank);
+                    return pool[rank as usize];
+                }
+                // All ranks taken (tiny pools): fall back to a linear scan.
+                if used[slot].len() as u64 >= self.zipf.n() {
+                    let rank = (0..self.zipf.n())
+                        .find(|r| !used[slot].contains(r))
+                        .unwrap_or(0);
+                    used[slot].push(rank);
+                    return pool[rank as usize];
+                }
+            }
+        };
+
+        let mut reads = Vec::with_capacity(self.spec.mix.reads);
+        for i in 0..self.spec.mix.reads {
+            reads.push(pick(i % p, rng, &mut used));
+        }
+        let mut writes = Vec::with_capacity(self.spec.mix.writes);
+        for i in 0..self.spec.mix.writes {
+            writes.push(pick(i % p, rng, &mut used));
+        }
+        TxShape { reads, writes }
+    }
+
+    /// Builds the value payload a client writes: `value_size` bytes with a
+    /// marker (client id, sequence) encoded in the first 8 so correctness
+    /// checkers can identify writers.
+    pub fn make_value(&self, client: u32, seq: u32) -> Value {
+        let mut buf = vec![0u8; self.spec.value_size.max(8)];
+        buf[..4].copy_from_slice(&client.to_le_bytes());
+        buf[4..8].copy_from_slice(&seq.to_le_bytes());
+        Bytes::from(buf)
+    }
+}
+
+/// Decodes the `(client, seq)` marker from a value produced by
+/// [`Workload::make_value`].
+pub fn decode_value(v: &Value) -> Option<(u32, u32)> {
+    if v.len() < 8 {
+        return None;
+    }
+    let client = u32::from_le_bytes(v[..4].try_into().ok()?);
+    let seq = u32::from_le_bytes(v[4..8].try_into().ok()?);
+    Some((client, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_labels_match_paper() {
+        assert_eq!(TxMix::R95_W5.label(), "95:5");
+        assert_eq!(TxMix::R90_W10.label(), "90:10");
+        assert_eq!(TxMix::R50_W50.label(), "50:50");
+    }
+
+    #[test]
+    fn compile_fills_every_partition() {
+        let spec = WorkloadSpec {
+            keys_per_partition: 50,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::compile(spec, 8);
+        for p in 0..8u16 {
+            let pool = &w.pools[p as usize];
+            assert_eq!(pool.len(), 50);
+            for k in pool {
+                assert_eq!(k.partition(8).0, p, "pool key on wrong partition");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_tx_has_requested_shape() {
+        let spec = WorkloadSpec {
+            keys_per_partition: 100,
+            mix: TxMix::R95_W5,
+            partitions_per_tx: 4,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::compile(spec, 8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let tx = w.sample_tx(&mut rng);
+            assert_eq!(tx.reads.len(), 19);
+            assert_eq!(tx.writes.len(), 1);
+            let mut partitions: Vec<u16> = tx
+                .reads
+                .iter()
+                .chain(&tx.writes)
+                .map(|k| k.partition(8).0)
+                .collect();
+            partitions.sort_unstable();
+            partitions.dedup();
+            assert!(partitions.len() <= 4, "touches more than p partitions");
+            // Writes target one of the partitions already being read.
+            let wp = tx.writes[0].partition(8).0;
+            assert!(tx.reads.iter().any(|k| k.partition(8).0 == wp));
+        }
+    }
+
+    #[test]
+    fn keys_within_tx_are_distinct() {
+        let spec = WorkloadSpec {
+            keys_per_partition: 30,
+            mix: TxMix::R50_W50,
+            partitions_per_tx: 2,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::compile(spec, 4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let tx = w.sample_tx(&mut rng);
+            let mut all: Vec<Key> = tx.reads.iter().chain(&tx.writes).copied().collect();
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), before, "duplicate key within a transaction");
+        }
+    }
+
+    #[test]
+    fn value_round_trips_marker() {
+        let w = Workload::compile(WorkloadSpec::default(), 4);
+        let v = w.make_value(42, 7);
+        assert_eq!(v.len(), 8);
+        assert_eq!(decode_value(&v), Some((42, 7)));
+        assert_eq!(decode_value(&Bytes::from_static(b"abc")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions than exist")]
+    fn rejects_p_beyond_n() {
+        let spec = WorkloadSpec {
+            partitions_per_tx: 9,
+            ..WorkloadSpec::default()
+        };
+        Workload::compile(spec, 8);
+    }
+}

@@ -1,0 +1,150 @@
+use rand::Rng;
+
+/// A zipfian integer generator over `0..n`, using the rejection-inversion
+/// method popularized by Gray et al. and used by YCSB.
+///
+/// The paper's workloads access keys "according to a zipfian distribution,
+/// with parameter 0.99, which is the default in YCSB and resembles the
+/// strong skew that characterizes many production systems" (§V-A).
+///
+/// # Example
+///
+/// ```
+/// use wren_workload::Zipfian;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let zipf = Zipfian::new(1_000, 0.99);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let sample = zipf.sample(&mut rng);
+/// assert!(sample < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..n` with skew `theta` (YCSB default
+    /// 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian over an empty domain");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    /// The domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation; domains in this repository are ≤ a few million.
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one sample in `0..n`; rank 0 is the hottest item.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Kept for diagnostics: the zeta constant over 2 items.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_low_ranks() {
+        let z = Zipfian::new(1_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hot = 0u64;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 items draw far more than the
+        // uniform 1% — empirically ~35-40%.
+        assert!(
+            hot > total / 5,
+            "top-10 items drew only {hot}/{total} samples"
+        );
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let count_hot = |theta: f64, rng: &mut SmallRng| {
+            let z = Zipfian::new(1_000, theta);
+            (0..50_000).filter(|_| z.sample(rng) < 10).count()
+        };
+        let hot_low = count_hot(0.5, &mut rng);
+        let hot_high = count_hot(0.99, &mut rng);
+        assert!(hot_high > hot_low, "{hot_high} should exceed {hot_low}");
+    }
+
+    #[test]
+    fn singleton_domain_always_zero() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        Zipfian::new(0, 0.99);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for workload generation.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wren_workload::{decode_value, TxMix, Workload, WorkloadSpec, Zipfian};
+
+proptest! {
+    /// Zipfian samples always stay in the domain and the empirical rank
+    /// frequencies are non-increasing-ish: rank 0 is sampled at least as
+    /// often as the tail half combined being rare (weak but robust check).
+    #[test]
+    fn zipfian_in_range_and_skewed(n in 2u64..5_000, theta in 0.01f64..0.999, seed in 0u64..1_000) {
+        let z = Zipfian::new(n, theta);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut head = 0u32;
+        for _ in 0..500 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n);
+            if s == 0 {
+                head += 1;
+            }
+        }
+        // For genuinely skewed settings, rank 0 must be drawn far more
+        // often than uniform (1/n). Near-uniform thetas are exempt.
+        if n > 100 && theta > 0.7 {
+            prop_assert!(head >= 5, "head sampled only {} times", head);
+        }
+    }
+
+    /// Every sampled transaction has the exact requested shape, all keys
+    /// belong to their partitions, and keys are distinct.
+    #[test]
+    fn tx_shapes_are_exact(
+        n_partitions in 2u16..12,
+        p in 1usize..6,
+        seed in 0u64..500,
+        mix_idx in 0usize..3,
+    ) {
+        let p = p.min(n_partitions as usize);
+        let mix = [TxMix::R95_W5, TxMix::R90_W10, TxMix::R50_W50][mix_idx];
+        let spec = WorkloadSpec {
+            keys_per_partition: 64,
+            mix,
+            partitions_per_tx: p,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::compile(spec, n_partitions);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tx = w.sample_tx(&mut rng);
+        prop_assert_eq!(tx.reads.len(), mix.reads);
+        prop_assert_eq!(tx.writes.len(), mix.writes);
+        let mut partitions: Vec<u16> = tx
+            .reads
+            .iter()
+            .chain(&tx.writes)
+            .map(|k| k.partition(n_partitions).0)
+            .collect();
+        partitions.sort_unstable();
+        partitions.dedup();
+        prop_assert!(partitions.len() <= p, "touched more than p partitions");
+        let mut all: Vec<_> = tx.reads.iter().chain(&tx.writes).copied().collect();
+        let count = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), count, "duplicate keys in one transaction");
+    }
+
+    /// Value markers round-trip for arbitrary client/seq pairs and pad to
+    /// the requested size.
+    #[test]
+    fn value_markers_round_trip(client in any::<u32>(), seq in any::<u32>(), size in 8usize..64) {
+        let spec = WorkloadSpec {
+            value_size: size,
+            keys_per_partition: 16,
+            partitions_per_tx: 2, // default p=4 exceeds the 2 partitions here
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::compile(spec, 2);
+        let v = w.make_value(client, seq);
+        prop_assert_eq!(v.len(), size.max(8));
+        prop_assert_eq!(decode_value(&v), Some((client, seq)));
+    }
+}

@@ -1,0 +1,80 @@
+//! The photo-album anomaly (the paper's §II-C causal-snapshot example,
+//! originally from COPS): Alice removes Bob from her album's access list
+//! and *then* adds a private photo. Under causal consistency Bob must
+//! never observe the new photo together with the old permissive ACL.
+//!
+//! This example hammers the scenario across many rounds on a live
+//! threaded cluster and asserts the anomaly never materializes.
+//!
+//! ```bash
+//! cargo run --release --example photo_album
+//! ```
+
+use bytes::Bytes;
+use std::time::Duration;
+use wren_protocol::Key;
+use wren_rt::ClusterBuilder;
+
+const ACL: Key = Key(100); // "friends" | "private"
+const PHOTO: Key = Key(201); // album content
+
+fn main() {
+    let cluster = ClusterBuilder::new()
+        .dcs(1)
+        .partitions(4)
+        .gossip_tick(Duration::from_millis(2))
+        .build();
+
+    let mut alice = cluster.session(0);
+    let mut bob = cluster.session(0);
+
+    // Initial state: album is visible to friends, photo not yet posted.
+    alice.begin().expect("begin");
+    alice.write(ACL, Bytes::from_static(b"friends"));
+    alice.commit().expect("commit");
+
+    let rounds = 200;
+    let mut bob_saw_photo = 0;
+    for round in 0..rounds {
+        // Alice: first restrict the ACL, then post the photo — two causally
+        // ordered transactions.
+        alice.begin().expect("begin");
+        alice.write(ACL, Bytes::from_static(b"private"));
+        alice.commit().expect("commit");
+
+        alice.begin().expect("begin");
+        alice.write(PHOTO, Bytes::from_static(b"embarrassing.jpg"));
+        alice.commit().expect("commit");
+
+        // Bob reads photo and ACL in ONE transaction: a causal snapshot
+        // may be stale, but if it contains the photo it MUST contain the
+        // ACL write that causally preceded it.
+        bob.begin().expect("begin");
+        let vals = bob.read(&[PHOTO, ACL]).expect("read");
+        bob.commit().expect("commit");
+
+        let photo = &vals[0].1;
+        let acl = &vals[1].1;
+        if photo.as_deref() == Some(b"embarrassing.jpg".as_slice()) {
+            bob_saw_photo += 1;
+            assert_eq!(
+                acl.as_deref(),
+                Some(b"private".as_slice()),
+                "ANOMALY at round {round}: Bob sees the photo with the old ACL!"
+            );
+        }
+
+        // Reset for the next round.
+        alice.begin().expect("begin");
+        alice.write(ACL, Bytes::from_static(b"friends"));
+        alice.write(PHOTO, Bytes::from_static(b"none"));
+        alice.commit().expect("commit");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    println!(
+        "ran {rounds} rounds; Bob observed the photo {bob_saw_photo} times, \
+         never with the stale ACL — causal snapshots hold."
+    );
+    cluster.shutdown();
+}

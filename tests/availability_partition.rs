@@ -1,0 +1,138 @@
+//! Availability under inter-DC network partitions.
+//!
+//! The paper's headline property (§II-B): "a client operation never blocks
+//! as the result of a network partition between DCs". Wren transactions
+//! run entirely inside one DC — start, reads, 2PC commit — so cutting all
+//! cross-DC links must leave every DC fully operational, and healing must
+//! restore convergence and causality.
+
+mod common;
+
+use common::{decode_marker, keys_on_distinct_partitions, marker, run_tx, WrenNet};
+use wren::core::WrenClient;
+use wren::protocol::{ClientId, ServerId};
+
+#[test]
+fn transactions_commit_during_partition() {
+    let mut net = WrenNet::new(2, 2);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let mut alice = WrenClient::new(ClientId(1), ServerId::new(0, 0)); // DC 0
+    let mut bob = WrenClient::new(ClientId(2), ServerId::new(1, 0)); // DC 1
+
+    net.stabilize(2);
+    net.partitioned = true; // cut every cross-DC link
+
+    // Both DCs keep committing multi-partition transactions and reading —
+    // nothing blocks, nothing fails.
+    for i in 1..=10u32 {
+        let (res_a, ct_a) = run_tx(&mut net, &mut alice, &[keys[0]], &[(keys[0], marker(1, i))]);
+        assert!(!ct_a.is_zero(), "DC0 commit must succeed during partition");
+        let (res_b, ct_b) = run_tx(&mut net, &mut bob, &[keys[1]], &[(keys[1], marker(2, i))]);
+        assert!(!ct_b.is_zero(), "DC1 commit must succeed during partition");
+        let _ = (res_a, res_b);
+        net.stabilize(1); // local ticks still run; cross-DC output is withheld
+    }
+
+    // Each client still reads its own writes via cache + local snapshot.
+    let (res, _) = run_tx(&mut net, &mut alice, &[keys[0]], &[]);
+    assert_eq!(
+        res[0].1.as_ref().map(|v| decode_marker(v)),
+        Some((1, 10)),
+        "alice must see her latest write during the partition"
+    );
+
+    // Remote updates are (of course) not visible yet.
+    let (res, _) = run_tx(&mut net, &mut alice, &[keys[1]], &[]);
+    let saw = res[0].1.as_ref().map(|v| decode_marker(v));
+    assert!(
+        saw.is_none() || saw.unwrap().0 == 1,
+        "no DC1 update can be visible in DC0 while partitioned"
+    );
+}
+
+#[test]
+fn healing_restores_convergence() {
+    let mut net = WrenNet::new(3, 2);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let mut writers: Vec<WrenClient> = (0..3)
+        .map(|dc| WrenClient::new(ClientId(10 + dc as u32), ServerId::new(dc, 0)))
+        .collect();
+
+    net.stabilize(2);
+    net.partitioned = true;
+
+    // Divergent writes in every DC while partitioned.
+    for (i, w) in writers.iter_mut().enumerate() {
+        for seq in 1..=5u32 {
+            let (_, ct) = run_tx(
+                &mut net,
+                w,
+                &[],
+                &[(keys[0], marker(10 + i as u32, seq)), (keys[1], marker(10 + i as u32, seq))],
+            );
+            assert!(!ct.is_zero());
+            net.stabilize(1);
+        }
+    }
+
+    // Heal: withheld replication/heartbeat traffic is delivered in order.
+    net.heal();
+    net.stabilize(8);
+
+    // All six replicas converge to one LWW winner on both keys, and the
+    // winner is identical everywhere.
+    let mut winners = Vec::new();
+    for dc in 0..3u8 {
+        let mut fresh = WrenClient::new(ClientId(90 + dc as u32), ServerId::new(dc, 0));
+        let (res, _) = run_tx(&mut net, &mut fresh, &[keys[0], keys[1]], &[]);
+        let w0 = res.iter().find(|(k, _)| *k == keys[0]).unwrap().1.clone();
+        let w1 = res.iter().find(|(k, _)| *k == keys[1]).unwrap().1.clone();
+        assert!(w0.is_some() && w1.is_some(), "writes lost after heal");
+        // Both keys were always written together → atomicity demands the
+        // same winner on both.
+        assert_eq!(
+            decode_marker(w0.as_ref().unwrap()),
+            decode_marker(w1.as_ref().unwrap()),
+            "atomic pair diverged in DC {dc}"
+        );
+        winners.push(decode_marker(&w0.unwrap()));
+    }
+    assert!(
+        winners.windows(2).all(|w| w[0] == w[1]),
+        "DCs converged to different winners: {winners:?}"
+    );
+}
+
+#[test]
+fn remote_visibility_stalls_but_local_advances_during_partition() {
+    let mut net = WrenNet::new(2, 1);
+    let mut alice = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    net.stabilize(2);
+
+    let lst_before = net.server(ServerId::new(0, 0)).lst();
+    let rst_before = net.server(ServerId::new(0, 0)).rst();
+
+    net.partitioned = true;
+    for seq in 1..=5 {
+        run_tx(&mut net, &mut alice, &[], &[(wren::protocol::Key(0), marker(1, seq))]);
+        net.stabilize(2);
+    }
+
+    let srv = net.server(ServerId::new(0, 0));
+    assert!(
+        srv.lst() > lst_before,
+        "local stable time must keep advancing during a partition"
+    );
+    assert_eq!(
+        srv.rst(),
+        rst_before,
+        "remote stable time cannot advance without remote heartbeats"
+    );
+
+    net.heal();
+    net.stabilize(4);
+    assert!(
+        net.server(ServerId::new(0, 0)).rst() > rst_before,
+        "healing must resume RST progress"
+    );
+}

@@ -1,0 +1,318 @@
+//! Randomized-history invariant checking: many seeded schedules of
+//! concurrent clients against a multi-DC Wren cluster, with an external
+//! oracle validating **causal closure**, **atomic visibility** and the
+//! four session guarantees on every single read.
+//!
+//! The oracle tracks, for every committed transaction, its write-set and
+//! its causal dependencies (values it read + its session predecessor) and
+//! checks that whenever a snapshot reveals a transaction T, it also
+//! reveals (at least) everything T causally depends on — the paper's
+//! §II-C definition of a causal snapshot.
+
+mod common;
+
+use common::{decode_marker, keys_on_distinct_partitions, marker, run_tx, WrenNet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use wren::clock::Timestamp;
+use wren::core::WrenClient;
+use wren::protocol::{ClientId, Key, ServerId};
+
+/// Oracle record for one committed transaction.
+#[derive(Debug, Clone)]
+struct TxRecord {
+    /// LWW order key of this transaction's writes: (ct, dc, seq-id).
+    order: (Timestamp, u8, u32),
+    /// Keys written.
+    writes: Vec<Key>,
+    /// Direct causal dependencies (other committed markers).
+    deps: Vec<(u32, u32)>,
+}
+
+/// The oracle: every committed transaction by its (client, seq) marker.
+#[derive(Default)]
+struct Oracle {
+    txs: HashMap<(u32, u32), TxRecord>,
+}
+
+impl Oracle {
+    /// All transitive dependencies of `m`, including itself.
+    fn causal_past(&self, m: (u32, u32)) -> HashSet<(u32, u32)> {
+        let mut past = HashSet::new();
+        let mut stack = vec![m];
+        while let Some(cur) = stack.pop() {
+            if past.insert(cur) {
+                if let Some(rec) = self.txs.get(&cur) {
+                    stack.extend(rec.deps.iter().copied());
+                }
+            }
+        }
+        past
+    }
+
+    /// Asserts that one transaction's reads form a causal snapshot.
+    ///
+    /// For every observed writer W and every transaction X in W's causal
+    /// past that wrote a key `k` this transaction also read: the observed
+    /// version of `k` must be X's write or something LWW-newer. (If the
+    /// read returned `None`, X must not exist.)
+    fn check_causal_snapshot(&self, observed: &[(Key, Option<(u32, u32)>)]) {
+        let observed_map: HashMap<Key, Option<(u32, u32)>> =
+            observed.iter().cloned().collect();
+        for (_, seen) in observed {
+            let Some(writer) = seen else { continue };
+            for dep in self.causal_past(*writer) {
+                let Some(dep_rec) = self.txs.get(&dep) else {
+                    continue;
+                };
+                for k in &dep_rec.writes {
+                    let Some(seen_for_k) = observed_map.get(k) else {
+                        continue; // this tx did not read k
+                    };
+                    match seen_for_k {
+                        None => panic!(
+                            "causal violation: snapshot shows {writer:?} but read of \
+                             {k:?} returned nothing, despite dependency {dep:?} writing it"
+                        ),
+                        Some(seen_writer) => {
+                            let seen_order = self.txs[seen_writer].order;
+                            assert!(
+                                seen_order >= dep_rec.order,
+                                "causal violation: snapshot shows {writer:?} (which \
+                                 depends on {dep:?} writing {k:?} at {:?}) but the read \
+                                 of {k:?} returned the older {seen_writer:?} at {:?}",
+                                dep_rec.order,
+                                seen_order
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asserts atomic visibility: if the snapshot shows writer W for key
+    /// k, then for every other key k2 ∈ W.writes that was also read, the
+    /// observed version is W's or LWW-newer.
+    fn check_atomicity(&self, observed: &[(Key, Option<(u32, u32)>)]) {
+        let observed_map: HashMap<Key, Option<(u32, u32)>> =
+            observed.iter().cloned().collect();
+        for (_, seen) in observed {
+            let Some(writer) = seen else { continue };
+            let rec = &self.txs[writer];
+            for k2 in &rec.writes {
+                if let Some(seen2) = observed_map.get(k2) {
+                    match seen2 {
+                        None => panic!(
+                            "atomicity violation: {writer:?} visible on one key but \
+                             its write of {k2:?} is absent"
+                        ),
+                        Some(w2) => assert!(
+                            self.txs[w2].order >= rec.order,
+                            "atomicity violation: {writer:?} visible but {k2:?} shows \
+                             older {w2:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One client's session state for the oracle.
+struct SessionOracle {
+    /// Last committed marker of this session (session order dependency).
+    last_commit: Option<(u32, u32)>,
+    /// Everything this session has observed (for read dependencies).
+    observed: Vec<(u32, u32)>,
+    /// Per key: the newest order key this session has ever observed
+    /// (monotonic reads check).
+    high_water: HashMap<Key, (Timestamp, u8, u32)>,
+    /// Per key: this session's own latest write (read-your-writes check).
+    own_writes: HashMap<Key, (u32, u32)>,
+    seq: u32,
+}
+
+fn random_history(seed: u64, m: u8, n: u16, clients_per_dc: usize, txs: usize) {
+    random_history_cfg(seed, wren::core::WrenConfig::new(m, n), clients_per_dc, txs)
+}
+
+fn random_history_cfg(
+    seed: u64,
+    cfg: wren::core::WrenConfig,
+    clients_per_dc: usize,
+    txs: usize,
+) {
+    let (m, n) = (cfg.n_dcs, cfg.n_partitions);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = WrenNet::with_config(cfg);
+    let key_pool: Vec<Key> = (0..64).map(Key).collect();
+
+    let mut clients: Vec<WrenClient> = Vec::new();
+    let mut sessions: Vec<SessionOracle> = Vec::new();
+    for dc in 0..m {
+        for c in 0..clients_per_dc {
+            let id = ClientId((dc as u32) * 100 + c as u32);
+            let coord = ServerId::new(dc, rng.gen_range(0..n));
+            clients.push(WrenClient::new(id, coord));
+            sessions.push(SessionOracle {
+                last_commit: None,
+                observed: Vec::new(),
+                high_water: HashMap::new(),
+                own_writes: HashMap::new(),
+                seq: 0,
+            });
+        }
+    }
+    let mut oracle = Oracle::default();
+
+    for _ in 0..txs {
+        // Random interleaving of protocol progress and transactions.
+        match rng.gen_range(0..10) {
+            0..=2 => net.tick_replication(rng.gen_range(100..1500)),
+            3..=4 => net.tick_gossip(rng.gen_range(100..1500)),
+            _ => {}
+        }
+
+        let ci = rng.gen_range(0..clients.len());
+        let n_reads = rng.gen_range(1..6);
+        let n_writes = rng.gen_range(1..4);
+        let reads: Vec<Key> = (0..n_reads)
+            .map(|_| key_pool[rng.gen_range(0..key_pool.len())])
+            .collect();
+        let mut writes: Vec<Key> = (0..n_writes)
+            .map(|_| key_pool[rng.gen_range(0..key_pool.len())])
+            .collect();
+        writes.dedup();
+
+        let session = &mut sessions[ci];
+        session.seq += 1;
+        let me = (clients[ci].id().0, session.seq);
+        let kvs: Vec<_> = writes.iter().map(|k| (*k, marker(me.0, me.1))).collect();
+
+        let (results, ct) = run_tx(&mut net, &mut clients[ci], &reads, &kvs);
+
+        // Decode observations.
+        let observed: Vec<(Key, Option<(u32, u32)>)> = results
+            .iter()
+            .map(|(k, v)| (*k, v.as_ref().map(decode_marker)))
+            .collect();
+
+        // ---- Invariant checks on this read snapshot ----
+        oracle.check_causal_snapshot(&observed);
+        oracle.check_atomicity(&observed);
+
+        for (k, seen) in &observed {
+            // Read-your-writes: must observe own write or newer.
+            if let Some(own) = session.own_writes.get(k) {
+                match seen {
+                    None => panic!("read-your-writes violated: own write of {k:?} lost"),
+                    Some(w) => {
+                        let own_order = oracle.txs[own].order;
+                        assert!(
+                            oracle.txs[w].order >= own_order,
+                            "read-your-writes violated on {k:?}: saw {w:?}, own {own:?}"
+                        );
+                    }
+                }
+            }
+            // Monotonic reads per key.
+            if let Some(w) = seen {
+                let order = oracle.txs[w].order;
+                if let Some(high) = session.high_water.get(k) {
+                    assert!(
+                        order >= *high,
+                        "monotonic reads violated on {k:?}: {order:?} < {high:?}"
+                    );
+                }
+                session.high_water.insert(*k, order);
+                session.observed.push(*w);
+            }
+        }
+
+        // ---- Record the committed transaction ----
+        assert!(!ct.is_zero(), "update transaction must get a timestamp");
+        let mut deps: Vec<(u32, u32)> = session.observed.clone();
+        if let Some(prev) = session.last_commit {
+            deps.push(prev);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        oracle.txs.insert(
+            me,
+            TxRecord {
+                order: (ct, clients[ci].coordinator().dc.0, me.0),
+                writes: writes.clone(),
+                deps,
+            },
+        );
+        session.last_commit = Some(me);
+        for k in &writes {
+            session.own_writes.insert(*k, me);
+        }
+    }
+}
+
+#[test]
+fn random_histories_single_dc() {
+    for seed in 0..6 {
+        random_history(seed, 1, 4, 3, 120);
+    }
+}
+
+#[test]
+fn random_histories_three_dcs() {
+    for seed in 0..6 {
+        random_history(100 + seed, 3, 2, 2, 120);
+    }
+}
+
+#[test]
+fn random_histories_five_dcs_many_partitions() {
+    random_history(7_777, 5, 4, 2, 150);
+}
+
+#[test]
+fn random_histories_with_tree_gossip() {
+    let cfg = wren::core::WrenConfig {
+        gossip_fanout: 2,
+        ..wren::core::WrenConfig::new(2, 7)
+    };
+    for seed in 0..4 {
+        random_history_cfg(500 + seed, cfg, 2, 120);
+    }
+}
+
+#[test]
+fn cross_dc_causality_chain() {
+    // A deliberately adversarial chain: A(dc0) writes x; B(dc1) reads x,
+    // writes y; C(dc2) reads y and must then see x.
+    let mut net = WrenNet::new(3, 2);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let (x, y) = (keys[0], keys[1]);
+    let mut a = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let mut b = WrenClient::new(ClientId(2), ServerId::new(1, 0));
+    let mut c = WrenClient::new(ClientId(3), ServerId::new(2, 0));
+
+    let (_, _) = run_tx(&mut net, &mut a, &[], &[(x, marker(1, 1))]);
+    net.stabilize(6); // replicate x to dc1
+
+    let (res, _) = run_tx(&mut net, &mut b, &[x], &[]);
+    assert!(res[0].1.is_some(), "B must see x after stabilization");
+    let (_, _) = run_tx(&mut net, &mut b, &[], &[(y, marker(2, 1))]);
+    net.stabilize(6); // replicate y to dc2
+
+    for _ in 0..10 {
+        let (res, _) = run_tx(&mut net, &mut c, &[y, x], &[]);
+        let saw_y = res.iter().find(|(k, _)| *k == y).unwrap().1.is_some();
+        let saw_x = res.iter().find(|(k, _)| *k == x).unwrap().1.is_some();
+        if saw_y {
+            assert!(
+                saw_x,
+                "causality across DCs violated: y visible without its dependency x"
+            );
+        }
+        net.stabilize(1);
+    }
+}

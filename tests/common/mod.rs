@@ -1,0 +1,372 @@
+//! Shared test infrastructure: a synchronous message pump over Wren
+//! server state machines, with optional withholding of cross-DC traffic
+//! (to exercise network partitions between DCs).
+
+use bytes::Bytes;
+use wren::clock::{SkewedClock, Timestamp};
+use wren::core::{WrenClient, WrenConfig, WrenServer};
+use wren::protocol::{ClientId, Dest, Key, Outgoing, ServerId, Value, WrenMsg};
+
+/// A synchronous Wren cluster pump.
+pub struct WrenNet {
+    pub cfg: WrenConfig,
+    pub servers: Vec<WrenServer>,
+    pub to_clients: Vec<(ClientId, WrenMsg)>,
+    pub now: u64,
+    /// When true, cross-DC messages are queued instead of delivered.
+    pub partitioned: bool,
+    withheld: Vec<(Dest, ServerId, WrenMsg)>,
+}
+
+#[allow(dead_code)]
+impl WrenNet {
+    pub fn new(m: u8, n: u16) -> Self {
+        Self::with_config(WrenConfig::new(m, n))
+    }
+
+    pub fn with_config(cfg: WrenConfig) -> Self {
+        let mut servers = Vec::new();
+        for dc in 0..cfg.n_dcs {
+            for p in 0..cfg.n_partitions {
+                servers.push(WrenServer::new(
+                    ServerId::new(dc, p),
+                    cfg,
+                    SkewedClock::perfect(),
+                ));
+            }
+        }
+        WrenNet {
+            cfg,
+            servers,
+            to_clients: Vec::new(),
+            now: 0,
+            partitioned: false,
+            withheld: Vec::new(),
+        }
+    }
+
+    fn idx(&self, id: ServerId) -> usize {
+        id.dc.index() * self.cfg.n_partitions as usize + id.partition.index()
+    }
+
+    pub fn server(&mut self, id: ServerId) -> &mut WrenServer {
+        let i = self.idx(id);
+        &mut self.servers[i]
+    }
+
+    fn crosses_dc(&self, from: &Dest, to: ServerId) -> bool {
+        match from {
+            Dest::Server(s) => s.dc != to.dc,
+            Dest::Client(_) => false,
+        }
+    }
+
+    pub fn drain(&mut self, mut pending: Vec<(Dest, ServerId, WrenMsg)>) {
+        while let Some((from, to_server, msg)) = pending.pop() {
+            if self.partitioned && self.crosses_dc(&from, to_server) {
+                self.withheld.push((from, to_server, msg));
+                continue;
+            }
+            let now = self.now;
+            let i = self.idx(to_server);
+            let mut out = Vec::new();
+            self.servers[i].handle(from, msg, now, &mut out);
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => pending.push((Dest::Server(to_server), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+    }
+
+    /// Heals the partition: delivers everything withheld, in order.
+    pub fn heal(&mut self) {
+        self.partitioned = false;
+        let mut withheld = std::mem::take(&mut self.withheld);
+        withheld.reverse(); // drain() pops from the back
+        self.drain(withheld);
+    }
+
+    pub fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: WrenMsg) {
+        self.drain(vec![(Dest::Client(client), coordinator, msg)]);
+    }
+
+    pub fn client_resp(&mut self, client: ClientId) -> WrenMsg {
+        let pos = self
+            .to_clients
+            .iter()
+            .position(|(c, _)| *c == client)
+            .expect("no response for client");
+        self.to_clients.remove(pos).1
+    }
+
+    fn run_ticks(&mut self, advance: u64, which: Tick) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            match which {
+                Tick::Replication => {
+                    self.servers[i].on_replication_tick(self.now, &mut out);
+                }
+                Tick::Gossip => self.servers[i].on_gossip_tick(self.now, &mut out),
+                Tick::Gc => {
+                    self.servers[i].on_gc_tick(self.now, &mut out);
+                }
+            }
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    pub fn tick_replication(&mut self, advance: u64) {
+        self.run_ticks(advance, Tick::Replication);
+    }
+
+    pub fn tick_gossip(&mut self, advance: u64) {
+        self.run_ticks(advance, Tick::Gossip);
+    }
+
+    pub fn tick_gc(&mut self, advance: u64) {
+        self.run_ticks(advance, Tick::Gc);
+    }
+
+    pub fn stabilize(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.tick_replication(1_000);
+            self.tick_gossip(1_000);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Tick {
+    Replication,
+    Gossip,
+    Gc,
+}
+
+/// Runs a full transaction: start → read(keys) → write(kvs) → commit.
+/// Returns (observed reads, commit timestamp).
+#[allow(dead_code)]
+pub fn run_tx(
+    net: &mut WrenNet,
+    client: &mut WrenClient,
+    reads: &[Key],
+    writes: &[(Key, Value)],
+) -> (Vec<(Key, Option<Value>)>, Timestamp) {
+    let coord = client.coordinator();
+    let id = client.id();
+    net.from_client(id, coord, client.start());
+    client.on_start_resp(net.client_resp(id));
+
+    let mut results = Vec::new();
+    if !reads.is_empty() {
+        let outcome = client.read(reads);
+        results.extend(outcome.local.clone());
+        if let Some(req) = outcome.request {
+            net.from_client(id, coord, req);
+            results.extend(client.on_read_resp(net.client_resp(id)));
+        }
+    }
+    if !writes.is_empty() {
+        client.write(writes.iter().cloned());
+    }
+    net.from_client(id, coord, client.commit());
+    let ct = client.on_commit_resp(net.client_resp(id));
+    (results, ct)
+}
+
+/// Encodes a `(client, seq)` marker as an 8-byte value.
+#[allow(dead_code)]
+pub fn marker(client: u32, seq: u32) -> Value {
+    let mut buf = vec![0u8; 8];
+    buf[..4].copy_from_slice(&client.to_le_bytes());
+    buf[4..].copy_from_slice(&seq.to_le_bytes());
+    Bytes::from(buf)
+}
+
+/// Decodes a marker value.
+#[allow(dead_code)]
+pub fn decode_marker(v: &Value) -> (u32, u32) {
+    (
+        u32::from_le_bytes(v[..4].try_into().unwrap()),
+        u32::from_le_bytes(v[4..8].try_into().unwrap()),
+    )
+}
+
+/// `n` keys guaranteed to live on distinct partitions.
+#[allow(dead_code)]
+pub fn keys_on_distinct_partitions(n_partitions: u16, n: usize) -> Vec<Key> {
+    let mut keys = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut k = 0u64;
+    while keys.len() < n {
+        let key = Key(k);
+        if seen.insert(key.partition(n_partitions)) {
+            keys.push(key);
+        }
+        k += 1;
+    }
+    keys
+}
+
+// ---------------------------------------------------------------------
+// Cure twin of the pump, with tick-until-response reads (Cure blocks).
+// ---------------------------------------------------------------------
+
+use wren::cure::{CureClient, CureConfig, CureServer};
+use wren::protocol::CureMsg;
+
+/// A synchronous Cure cluster pump.
+#[allow(dead_code)]
+pub struct CureNet {
+    pub cfg: CureConfig,
+    pub servers: Vec<CureServer>,
+    pub to_clients: Vec<(ClientId, CureMsg)>,
+    pub now: u64,
+}
+
+#[allow(dead_code)]
+impl CureNet {
+    pub fn new(cfg: CureConfig, skews: &[i64]) -> Self {
+        let mut servers = Vec::new();
+        for dc in 0..cfg.n_dcs {
+            for p in 0..cfg.n_partitions {
+                let idx = dc as usize * cfg.n_partitions as usize + p as usize;
+                let skew = skews.get(idx).copied().unwrap_or(0);
+                servers.push(CureServer::new(
+                    ServerId::new(dc, p),
+                    cfg,
+                    SkewedClock::new(skew, 0.0),
+                ));
+            }
+        }
+        CureNet {
+            cfg,
+            servers,
+            to_clients: Vec::new(),
+            now: 1_000,
+        }
+    }
+
+    fn idx(&self, id: ServerId) -> usize {
+        id.dc.index() * self.cfg.n_partitions as usize + id.partition.index()
+    }
+
+    pub fn drain(&mut self, mut pending: Vec<(Dest, ServerId, CureMsg)>) {
+        while let Some((from, to_server, msg)) = pending.pop() {
+            let now = self.now;
+            let i = self.idx(to_server);
+            let mut out = Vec::new();
+            self.servers[i].handle(from, msg, now, &mut out);
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => pending.push((Dest::Server(to_server), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+    }
+
+    pub fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: CureMsg) {
+        self.drain(vec![(Dest::Client(client), coordinator, msg)]);
+    }
+
+    pub fn try_resp(&mut self, client: ClientId) -> Option<CureMsg> {
+        let pos = self.to_clients.iter().position(|(c, _)| *c == client)?;
+        Some(self.to_clients.remove(pos).1)
+    }
+
+    pub fn resp(&mut self, client: ClientId) -> CureMsg {
+        self.try_resp(client).expect("no response for client")
+    }
+
+    pub fn tick_replication(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_replication_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    pub fn tick_gossip(&mut self, advance: u64) {
+        self.now += advance;
+        let mut cascades = Vec::new();
+        for i in 0..self.servers.len() {
+            let mut out = Vec::new();
+            self.servers[i].on_gossip_tick(self.now, &mut out);
+            let from = self.servers[i].id();
+            for Outgoing { to, msg } in out {
+                match to {
+                    Dest::Server(s) => cascades.push((Dest::Server(from), s, msg)),
+                    Dest::Client(c) => self.to_clients.push((c, msg)),
+                }
+            }
+        }
+        self.drain(cascades);
+    }
+
+    pub fn stabilize(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.tick_replication(1_000);
+            self.tick_gossip(1_000);
+        }
+    }
+}
+
+/// Runs a full Cure transaction, ticking through any server-side read
+/// blocking. Returns (observed reads, commit vector).
+#[allow(dead_code)]
+pub fn run_cure_tx(
+    net: &mut CureNet,
+    client: &mut CureClient,
+    reads: &[Key],
+    writes: &[(Key, Value)],
+) -> (Vec<(Key, Option<Value>)>, wren::clock::VersionVector) {
+    let coord = client.coordinator();
+    let id = client.id();
+    net.from_client(id, coord, client.start());
+    client.on_start_resp(net.resp(id));
+
+    let mut results = Vec::new();
+    if !reads.is_empty() {
+        let outcome = client.read(reads);
+        results.extend(outcome.local.clone());
+        if let Some(req) = outcome.request {
+            net.from_client(id, coord, req);
+            let mut guard = 0;
+            loop {
+                if let Some(resp) = net.try_resp(id) {
+                    results.extend(client.on_read_resp(resp));
+                    break;
+                }
+                net.tick_replication(500);
+                guard += 1;
+                assert!(guard < 10_000, "cure read never unblocked");
+            }
+        }
+    }
+    if !writes.is_empty() {
+        client.write(writes.iter().cloned());
+    }
+    net.from_client(id, coord, client.commit());
+    let cv = client.on_commit_resp(net.resp(id));
+    (results, cv)
+}

@@ -1,0 +1,220 @@
+//! The same randomized causal oracle as `causal_invariants.rs`, run
+//! against the **Cure baseline** (with clock skew, so reads genuinely
+//! block and unblock): a fair comparison requires the baseline to be a
+//! correct TCC system too.
+
+mod common;
+
+use common::{decode_marker, marker, run_cure_tx, CureNet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use wren::clock::Timestamp;
+use wren::cure::{CureClient, CureConfig};
+use wren::protocol::{ClientId, Key, ServerId};
+
+#[derive(Debug, Clone)]
+struct TxRecord {
+    order: (Timestamp, u8, u32),
+    writes: Vec<Key>,
+    deps: Vec<(u32, u32)>,
+}
+
+#[derive(Default)]
+struct Oracle {
+    txs: HashMap<(u32, u32), TxRecord>,
+}
+
+impl Oracle {
+    fn causal_past(&self, m: (u32, u32)) -> HashSet<(u32, u32)> {
+        let mut past = HashSet::new();
+        let mut stack = vec![m];
+        while let Some(cur) = stack.pop() {
+            if past.insert(cur) {
+                if let Some(rec) = self.txs.get(&cur) {
+                    stack.extend(rec.deps.iter().copied());
+                }
+            }
+        }
+        past
+    }
+
+    fn check(&self, observed: &[(Key, Option<(u32, u32)>)]) {
+        let observed_map: HashMap<Key, Option<(u32, u32)>> = observed.iter().cloned().collect();
+        for (_, seen) in observed {
+            let Some(writer) = seen else { continue };
+            // Causal closure.
+            for dep in self.causal_past(*writer) {
+                let Some(dep_rec) = self.txs.get(&dep) else {
+                    continue;
+                };
+                for k in &dep_rec.writes {
+                    if let Some(seen_for_k) = observed_map.get(k) {
+                        match seen_for_k {
+                            None => panic!(
+                                "Cure causal violation: {writer:?} visible but dependency \
+                                 {dep:?}'s write of {k:?} is absent"
+                            ),
+                            Some(sw) => assert!(
+                                self.txs[sw].order >= dep_rec.order,
+                                "Cure causal violation on {k:?}: saw {sw:?} older than \
+                                 dependency {dep:?}"
+                            ),
+                        }
+                    }
+                }
+            }
+            // Atomic visibility.
+            let rec = &self.txs[writer];
+            for k2 in &rec.writes {
+                if let Some(seen2) = observed_map.get(k2) {
+                    match seen2 {
+                        None => panic!("Cure atomicity violation: {writer:?} partially visible"),
+                        Some(w2) => assert!(
+                            self.txs[w2].order >= rec.order,
+                            "Cure atomicity violation: {writer:?} visible, {k2:?} older"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn random_cure_history(seed: u64, cfg: CureConfig, clients_per_dc: usize, txs: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Deterministic skews: alternate fast/slow servers so blocking happens.
+    let skews: Vec<i64> = (0..cfg.n_dcs as usize * cfg.n_partitions as usize)
+        .map(|i| if i % 2 == 0 { 1_500 } else { -1_500 })
+        .collect();
+    let mut net = CureNet::new(cfg, &skews);
+    let key_pool: Vec<Key> = (0..48).map(Key).collect();
+
+    let mut clients: Vec<CureClient> = Vec::new();
+    struct Session {
+        last_commit: Option<(u32, u32)>,
+        observed: Vec<(u32, u32)>,
+        high_water: HashMap<Key, (Timestamp, u8, u32)>,
+        own_writes: HashMap<Key, (u32, u32)>,
+        seq: u32,
+    }
+    let mut sessions: Vec<Session> = Vec::new();
+    for dc in 0..cfg.n_dcs {
+        for c in 0..clients_per_dc {
+            let id = ClientId((dc as u32) * 100 + c as u32);
+            let coord = ServerId::new(dc, rng.gen_range(0..cfg.n_partitions));
+            clients.push(CureClient::new(id, coord, cfg.n_dcs));
+            sessions.push(Session {
+                last_commit: None,
+                observed: Vec::new(),
+                high_water: HashMap::new(),
+                own_writes: HashMap::new(),
+                seq: 0,
+            });
+        }
+    }
+    let mut oracle = Oracle::default();
+
+    for _ in 0..txs {
+        match rng.gen_range(0..10) {
+            0..=2 => net.tick_replication(rng.gen_range(100..1500)),
+            3..=4 => net.tick_gossip(rng.gen_range(100..1500)),
+            _ => {}
+        }
+
+        let ci = rng.gen_range(0..clients.len());
+        let reads: Vec<Key> = (0..rng.gen_range(1..5))
+            .map(|_| key_pool[rng.gen_range(0..key_pool.len())])
+            .collect();
+        let mut writes: Vec<Key> = (0..rng.gen_range(1..3))
+            .map(|_| key_pool[rng.gen_range(0..key_pool.len())])
+            .collect();
+        writes.dedup();
+
+        let session = &mut sessions[ci];
+        session.seq += 1;
+        let me = (clients[ci].id().0, session.seq);
+        let kvs: Vec<_> = writes.iter().map(|k| (*k, marker(me.0, me.1))).collect();
+
+        let (results, cv) = run_cure_tx(&mut net, &mut clients[ci], &reads, &kvs);
+        let observed: Vec<(Key, Option<(u32, u32)>)> = results
+            .iter()
+            .map(|(k, v)| (*k, v.as_ref().map(decode_marker)))
+            .collect();
+
+        oracle.check(&observed);
+
+        for (k, seen) in &observed {
+            if let Some(own) = session.own_writes.get(k) {
+                match seen {
+                    None => panic!("Cure read-your-writes violated on {k:?}"),
+                    Some(w) => assert!(
+                        oracle.txs[w].order >= oracle.txs[own].order,
+                        "Cure read-your-writes violated on {k:?}"
+                    ),
+                }
+            }
+            if let Some(w) = seen {
+                let order = oracle.txs[w].order;
+                if let Some(high) = session.high_water.get(k) {
+                    assert!(order >= *high, "Cure monotonic reads violated on {k:?}");
+                }
+                session.high_water.insert(*k, order);
+                session.observed.push(*w);
+            }
+        }
+
+        let ct = cv.get(clients[ci].coordinator().dc.index());
+        assert!(!ct.is_zero());
+        let mut deps: Vec<(u32, u32)> = session.observed.clone();
+        if let Some(prev) = session.last_commit {
+            deps.push(prev);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        oracle.txs.insert(
+            me,
+            TxRecord {
+                order: (ct, clients[ci].coordinator().dc.0, me.0),
+                writes: writes.clone(),
+                deps,
+            },
+        );
+        session.last_commit = Some(me);
+        for k in &writes {
+            session.own_writes.insert(*k, me);
+        }
+    }
+}
+
+#[test]
+fn cure_random_histories_single_dc() {
+    for seed in 0..4 {
+        random_cure_history(seed, CureConfig::cure(1, 4), 3, 100);
+    }
+}
+
+#[test]
+fn cure_random_histories_three_dcs() {
+    for seed in 0..4 {
+        random_cure_history(200 + seed, CureConfig::cure(3, 2), 2, 100);
+    }
+}
+
+#[test]
+fn hcure_random_histories_three_dcs() {
+    for seed in 0..4 {
+        random_cure_history(300 + seed, CureConfig::h_cure(3, 2), 2, 100);
+    }
+}
+
+#[test]
+fn cure_tree_gossip_histories() {
+    let cfg = CureConfig {
+        gossip_fanout: 2,
+        ..CureConfig::cure(2, 4)
+    };
+    for seed in 0..3 {
+        random_cure_history(400 + seed, cfg, 2, 100);
+    }
+}

@@ -1,0 +1,91 @@
+//! Garbage-collection safety: GC must bound the version count without
+//! ever collecting a version that an active or future snapshot could
+//! still read.
+
+mod common;
+
+use common::{decode_marker, marker, run_tx, WrenNet};
+use wren::core::{WrenClient, WrenConfig};
+use wren::protocol::{ClientId, Key, ServerId};
+
+#[test]
+fn gc_bounds_version_chains_under_overwrites() {
+    let mut net = WrenNet::new(1, 2);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+
+    // Overwrite one key many times with GC running periodically.
+    for i in 1..=100u32 {
+        run_tx(&mut net, &mut c, &[], &[(Key(0), marker(1, i))]);
+        net.stabilize(1);
+        if i % 10 == 0 {
+            net.tick_gc(1_000);
+            net.tick_gc(1_000); // second round: watermark has propagated
+        }
+    }
+    let p = Key(0).partition(2);
+    let versions = net.server(ServerId::new(0, p.0)).store().stats().versions;
+    assert!(
+        versions < 30,
+        "GC failed to bound the chain: {versions} versions retained"
+    );
+
+    // The latest version is intact.
+    let (res, _) = run_tx(&mut net, &mut c, &[Key(0)], &[]);
+    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 100)));
+}
+
+#[test]
+fn gc_never_collects_below_an_active_snapshot() {
+    let mut net = WrenNet::new(1, 2);
+    let mut writer = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let mut holder = WrenClient::new(ClientId(2), ServerId::new(0, 1));
+
+    // Baseline version.
+    run_tx(&mut net, &mut writer, &[], &[(Key(0), marker(1, 1))]);
+    net.stabilize(3);
+
+    // `holder` opens a transaction pinned at the current snapshot and
+    // KEEPS IT OPEN while new versions and GC churn.
+    let hid = holder.id();
+    let hcoord = holder.coordinator();
+    net.from_client(hid, hcoord, holder.start());
+    holder.on_start_resp(net.client_resp(hid));
+
+    for i in 2..=20u32 {
+        run_tx(&mut net, &mut writer, &[], &[(Key(0), marker(1, i))]);
+        net.stabilize(1);
+        net.tick_gc(500);
+    }
+
+    // The held transaction reads now: it must still see a version within
+    // its (old) snapshot — GC was not allowed to collect it.
+    let outcome = holder.read(&[Key(0)]);
+    let req = outcome.request.expect("server read");
+    net.from_client(hid, hcoord, req);
+    let res = holder.on_read_resp(net.client_resp(hid));
+    let seen = res[0].1.as_ref().map(|v| decode_marker(v));
+    assert_eq!(
+        seen,
+        Some((1, 1)),
+        "the pinned snapshot must still read its version after GC churn"
+    );
+    net.from_client(hid, hcoord, holder.commit());
+    holder.on_commit_resp(net.client_resp(hid));
+}
+
+#[test]
+fn gc_interval_zero_disables_collection() {
+    let cfg = WrenConfig {
+        gc_tick_micros: 0,
+        ..WrenConfig::new(1, 1)
+    };
+    let mut net = WrenNet::with_config(cfg);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    for i in 1..=15u32 {
+        run_tx(&mut net, &mut c, &[], &[(Key(0), marker(1, i))]);
+        net.stabilize(1);
+    }
+    // Never ticked GC: all versions retained.
+    let versions = net.server(ServerId::new(0, 0)).store().stats().versions;
+    assert_eq!(versions, 15);
+}

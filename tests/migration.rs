@@ -1,0 +1,124 @@
+//! Client migration between DCs: the extension the paper sketches in
+//! §II-A footnote 1 — "Wren can be extended to allow a client c to move
+//! to a different DC by blocking c until the last snapshot seen by c has
+//! been installed in the new DC."
+
+mod common;
+
+use common::{decode_marker, marker, run_tx, WrenNet};
+use wren::core::WrenClient;
+use wren::protocol::{ClientId, Key, ServerId};
+
+#[test]
+fn migration_waits_for_new_dc_to_catch_up() {
+    let mut net = WrenNet::new(2, 2);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+
+    // Write in DC 0, then migrate to DC 1 before replication happens.
+    let (_, ct) = run_tx(&mut net, &mut c, &[], &[(Key(0), marker(1, 7))]);
+    assert!(!ct.is_zero());
+
+    c.migrate_to(ServerId::new(1, 0));
+    assert!(!c.migration_ready());
+
+    // First probe: DC 1 has not installed the write → not ready.
+    let id = c.id();
+    let coord = c.coordinator();
+    net.from_client(id, coord, c.start());
+    c.on_start_resp(net.client_resp(id));
+    assert!(!c.migration_ready(), "DC 1 cannot be ready before replication");
+    net.from_client(id, coord, c.commit());
+    c.on_commit_resp(net.client_resp(id));
+
+    // Let replication + stabilization run.
+    net.stabilize(6);
+
+    net.from_client(id, coord, c.start());
+    c.on_start_resp(net.client_resp(id));
+    assert!(c.migration_ready(), "DC 1 caught up: migration completes");
+    assert_eq!(c.cache_len(), 0, "cache is dropped once the snapshot covers it");
+
+    // Read-your-writes across the migration: the value now comes from
+    // DC 1's replicated store, not the (cleared) cache.
+    let outcome = c.read(&[Key(0)]);
+    let req = outcome.request.expect("must be a server read");
+    net.from_client(id, coord, req);
+    let res = c.on_read_resp(net.client_resp(id));
+    assert_eq!(
+        res[0].1.as_ref().map(|v| decode_marker(v)),
+        Some((1, 7)),
+        "migrated client must still read its own write"
+    );
+    net.from_client(id, coord, c.commit());
+    c.on_commit_resp(net.client_resp(id));
+}
+
+#[test]
+#[should_panic(expected = "session is migrating")]
+fn reads_are_rejected_while_migrating() {
+    let mut net = WrenNet::new(2, 1);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    run_tx(&mut net, &mut c, &[], &[(Key(0), marker(1, 1))]);
+
+    c.migrate_to(ServerId::new(1, 0));
+    let id = c.id();
+    let coord = c.coordinator();
+    net.from_client(id, coord, c.start());
+    c.on_start_resp(net.client_resp(id));
+    assert!(!c.migration_ready());
+    let _ = c.read(&[Key(0)]); // must panic: unsafe snapshot
+}
+
+#[test]
+fn migration_within_same_dc_is_instant_after_stabilization() {
+    let mut net = WrenNet::new(1, 2);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    run_tx(&mut net, &mut c, &[], &[(Key(0), marker(1, 1))]);
+    net.stabilize(3);
+
+    // "Migrate" to the other partition of the same DC: the floor is the
+    // local write; LST covers it, and crucially RST does too only via the
+    // remote heartbeats — single-DC systems have RST = ∞-like behavior.
+    // Run one transaction first so lst/rst reflect the stabilized state.
+    run_tx(&mut net, &mut c, &[Key(0)], &[]);
+    c.migrate_to(ServerId::new(0, 1));
+    let id = c.id();
+    let coord = c.coordinator();
+    let mut attempts = 0;
+    while !c.migration_ready() {
+        net.from_client(id, coord, c.start());
+        c.on_start_resp(net.client_resp(id));
+        let ready = c.migration_ready();
+        net.from_client(id, coord, c.commit());
+        c.on_commit_resp(net.client_resp(id));
+        if !ready {
+            net.stabilize(2);
+        }
+        attempts += 1;
+        assert!(attempts < 50, "same-DC migration never completed");
+    }
+}
+
+#[test]
+fn rt_session_migrates_across_dcs() {
+    use bytes::Bytes;
+    use wren::rt::ClusterBuilder;
+
+    let cluster = ClusterBuilder::new().dcs(2).partitions(2).build();
+    let mut s = cluster.session(0);
+    s.begin().unwrap();
+    s.write(Key(5), Bytes::from_static(b"moved"));
+    s.commit().unwrap();
+
+    let probes = s.migrate(ServerId::new(1, 0)).expect("migration succeeds");
+    assert!(probes >= 1);
+
+    s.begin().unwrap();
+    assert_eq!(
+        s.read_one(Key(5)).unwrap(),
+        Some(Bytes::from_static(b"moved")),
+        "read-your-writes must hold across the migration"
+    );
+    s.commit().unwrap();
+    cluster.shutdown();
+}

@@ -1,0 +1,187 @@
+//! Integration tests for the threaded runtime: the same guarantees the
+//! simulator enforces, on real threads and wall-clock time.
+
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+use wren::protocol::Key;
+use wren::rt::ClusterBuilder;
+
+fn bval(i: u64) -> Bytes {
+    Bytes::from(i.to_le_bytes().to_vec())
+}
+
+#[test]
+fn read_your_writes_immediately() {
+    let cluster = ClusterBuilder::new().dcs(1).partitions(4).build();
+    let mut s = cluster.session(0);
+    for i in 0..20u64 {
+        s.begin().unwrap();
+        s.write(Key(i % 3), bval(i));
+        s.commit().unwrap();
+        s.begin().unwrap();
+        assert_eq!(
+            s.read_one(Key(i % 3)).unwrap(),
+            Some(bval(i)),
+            "own write {i} must be visible immediately"
+        );
+        s.commit().unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn monotonic_reads_across_sessions_of_one_client() {
+    let cluster = ClusterBuilder::new().dcs(1).partitions(2).build();
+    let mut writer = cluster.session(0);
+    let mut reader = cluster.session(0);
+
+    let mut last_seen = 0u64;
+    for i in 1..=30u64 {
+        writer.begin().unwrap();
+        writer.write(Key(7), bval(i));
+        writer.commit().unwrap();
+
+        reader.begin().unwrap();
+        let v = reader.read_one(Key(7)).unwrap();
+        reader.commit().unwrap();
+        if let Some(bytes) = v {
+            let seen = u64::from_le_bytes(bytes.as_ref().try_into().unwrap());
+            assert!(seen >= last_seen, "monotonic reads violated: {seen} < {last_seen}");
+            last_seen = seen;
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn atomic_multi_partition_writes() {
+    let cluster = ClusterBuilder::new().dcs(1).partitions(4).build();
+    let keys: Vec<Key> = {
+        // Keys on distinct partitions.
+        let mut keys = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut k = 0u64;
+        while keys.len() < 4 {
+            if seen.insert(Key(k).partition(4)) {
+                keys.push(Key(k));
+            }
+            k += 1;
+        }
+        keys
+    };
+
+    let mut writer = cluster.session(0);
+    let mut reader = cluster.session(0);
+    for round in 1..=25u64 {
+        writer.begin().unwrap();
+        for k in &keys {
+            writer.write(*k, bval(round));
+        }
+        writer.commit().unwrap();
+
+        reader.begin().unwrap();
+        let vals = reader.read(&keys).unwrap();
+        reader.commit().unwrap();
+        let rounds: Vec<Option<u64>> = vals
+            .iter()
+            .map(|(_, v)| {
+                v.as_ref()
+                    .map(|b| u64::from_le_bytes(b.as_ref().try_into().unwrap()))
+            })
+            .collect();
+        let first = rounds[0];
+        assert!(
+            rounds.iter().all(|r| *r == first),
+            "snapshot mixed rounds: {rounds:?} at round {round}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn geo_replication_converges() {
+    let cluster = ClusterBuilder::new().dcs(3).partitions(2).build();
+    let mut writer = cluster.session(0);
+    writer.begin().unwrap();
+    writer.write(Key(42), Bytes::from_static(b"geo"));
+    writer.commit().unwrap();
+
+    for dc in 1..3u8 {
+        let mut reader = cluster.session(dc);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            reader.begin().unwrap();
+            let v = reader.read_one(Key(42)).unwrap();
+            reader.commit().unwrap();
+            if v.as_deref() == Some(b"geo".as_slice()) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "update never became visible in DC {dc}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn concurrent_sessions_make_progress() {
+    let cluster = std::sync::Arc::new(
+        ClusterBuilder::new().dcs(2).partitions(2).build(),
+    );
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let cluster = std::sync::Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let mut s = cluster.session((t % 2) as u8);
+            for i in 0..30u64 {
+                s.begin().expect("begin");
+                let k = Key(t * 1000 + (i % 5));
+                s.write(k, bval(i));
+                s.commit().expect("commit");
+                s.begin().expect("begin");
+                assert_eq!(s.read_one(k).expect("read"), Some(bval(i)));
+                s.commit().expect("commit");
+            }
+            s.stats().txs_committed
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 6 * 30);
+    cluster.shutdown();
+}
+
+#[test]
+fn read_only_transactions_work() {
+    let cluster = ClusterBuilder::new().dcs(1).partitions(2).build();
+    let mut s = cluster.session(0);
+    s.begin().unwrap();
+    let v = s.read_one(Key(999)).unwrap();
+    assert_eq!(v, None);
+    let ct = s.commit().unwrap();
+    assert!(ct.is_zero(), "read-only commit returns the zero timestamp");
+    cluster.shutdown();
+}
+
+#[test]
+fn stop_returns_per_server_stats() {
+    let cluster = ClusterBuilder::new().dcs(2).partitions(2).build();
+    let mut s = cluster.session(0);
+    for i in 0..10u64 {
+        s.begin().unwrap();
+        s.write(Key(i), bval(i));
+        s.commit().unwrap();
+    }
+    drop(s);
+    // Let the apply/replication ticks install the last commits before
+    // tearing the threads down.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = cluster.stop();
+    assert_eq!(stats.len(), 4, "one stats entry per server");
+    let coordinated: u64 = stats.iter().map(|st| st.txs_coordinated).sum();
+    assert_eq!(coordinated, 10, "every transaction was coordinated somewhere");
+    let applied: u64 = stats.iter().map(|st| st.local_versions_applied).sum();
+    assert_eq!(applied, 10, "every write was applied at its home partition");
+}

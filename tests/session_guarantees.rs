@@ -1,0 +1,136 @@
+//! The four session guarantees, exercised explicitly (the causal oracle
+//! checks them statistically; these tests construct the exact adversarial
+//! schedules):
+//!
+//! * read-your-writes, monotonic reads — also covered elsewhere;
+//! * **monotonic writes** — a session's writes apply in session order;
+//! * **writes-follow-reads** — a write causally follows everything the
+//!   session read before it.
+
+mod common;
+
+use common::{decode_marker, keys_on_distinct_partitions, marker, run_tx, WrenNet};
+use wren::core::WrenClient;
+use wren::protocol::{ClientId, ServerId};
+
+#[test]
+fn monotonic_writes_within_a_session() {
+    // A session overwrites the same key repeatedly WITHOUT stabilization
+    // in between; commit timestamps must still be strictly increasing, so
+    // LWW can never expose an older own-write over a newer one.
+    let mut net = WrenNet::new(1, 2);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let keys = keys_on_distinct_partitions(2, 1);
+
+    let mut last_ct = wren::clock::Timestamp::ZERO;
+    for seq in 1..=20u32 {
+        let (_, ct) = run_tx(&mut net, &mut c, &[], &[(keys[0], marker(1, seq))]);
+        assert!(ct > last_ct, "commit timestamps must increase in session order");
+        last_ct = ct;
+    }
+    net.stabilize(5);
+
+    // Any fresh observer sees the LAST write (never an earlier one).
+    let mut fresh = WrenClient::new(ClientId(2), ServerId::new(0, 1));
+    let (res, _) = run_tx(&mut net, &mut fresh, &keys, &[]);
+    assert_eq!(
+        res[0].1.as_ref().map(|v| decode_marker(v)),
+        Some((1, 20)),
+        "monotonic writes violated: stale own-write won LWW"
+    );
+}
+
+#[test]
+fn writes_follow_reads_across_sessions() {
+    // Alice writes x. Bob reads x, then writes y. Bob's y must causally
+    // follow Alice's x: any snapshot containing y contains (that or a
+    // newer) x. We verify via the commit-timestamp ordering that enforces
+    // it: ct(y) > ct(x) because Bob's snapshot covered x.
+    let mut net = WrenNet::new(1, 2);
+    let keys = keys_on_distinct_partitions(2, 2);
+    let (x, y) = (keys[0], keys[1]);
+    let mut alice = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let mut bob = WrenClient::new(ClientId(2), ServerId::new(0, 1));
+
+    let (_, ct_x) = run_tx(&mut net, &mut alice, &[], &[(x, marker(1, 1))]);
+    net.stabilize(4);
+
+    // Bob reads x (it is in his snapshot now), then writes y.
+    let (res, _) = run_tx(&mut net, &mut bob, &[x], &[]);
+    assert!(res[0].1.is_some(), "bob must see alice's write");
+    let (_, ct_y) = run_tx(&mut net, &mut bob, &[], &[(y, marker(2, 1))]);
+
+    assert!(
+        ct_y > ct_x,
+        "writes-follow-reads: ct(y)={ct_y:?} must exceed ct(x)={ct_x:?}"
+    );
+    net.stabilize(4);
+
+    // And the oracle-style check: a reader seeing y must see x.
+    let mut carol = WrenClient::new(ClientId(3), ServerId::new(0, 0));
+    for _ in 0..5 {
+        let (res, _) = run_tx(&mut net, &mut carol, &[y, x], &[]);
+        let saw_y = res.iter().find(|(k, _)| *k == y).unwrap().1.is_some();
+        let saw_x = res.iter().find(|(k, _)| *k == x).unwrap().1.is_some();
+        if saw_y {
+            assert!(saw_x, "y visible without the x it causally follows");
+        }
+        net.stabilize(1);
+    }
+}
+
+#[test]
+fn read_your_writes_survives_cache_pruning() {
+    // The cache is pruned as LST advances; afterwards reads come from the
+    // server — the value must be identical through the transition.
+    let mut net = WrenNet::new(1, 2);
+    let mut c = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let keys = keys_on_distinct_partitions(2, 1);
+
+    run_tx(&mut net, &mut c, &[], &[(keys[0], marker(1, 9))]);
+
+    // Phase 1: cache serves the read (LST has not covered the write).
+    let (res, _) = run_tx(&mut net, &mut c, &keys, &[]);
+    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 9)));
+    let cache_hits_before = c.stats().hits_cache;
+    assert!(cache_hits_before > 0, "expected a cache hit before stabilization");
+
+    // Phase 2: stabilize → cache pruned → server serves the same value.
+    net.stabilize(5);
+    let (res, _) = run_tx(&mut net, &mut c, &keys, &[]);
+    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 9)));
+    assert_eq!(c.cache_len(), 0, "cache must be pruned once LST covers the write");
+    assert!(c.stats().cache_pruned > 0);
+}
+
+#[test]
+fn monotonic_reads_across_coordinator_partitions() {
+    // Two back-to-back read-only transactions from the same session use
+    // snapshot piggybacking (lst_c/rst_c), so even against a coordinator
+    // whose local watermark lags, the snapshot never goes backwards.
+    let mut net = WrenNet::new(1, 4);
+    let mut writer = WrenClient::new(ClientId(1), ServerId::new(0, 0));
+    let keys = keys_on_distinct_partitions(4, 1);
+
+    for seq in 1..=5u32 {
+        run_tx(&mut net, &mut writer, &[], &[(keys[0], marker(1, seq))]);
+        net.stabilize(2);
+    }
+
+    // Reader bounces between two coordinators; observed seq must never
+    // decrease.
+    let mut reader_a = WrenClient::new(ClientId(2), ServerId::new(0, 1));
+    let mut last_seen = 0u32;
+    for round in 0..6 {
+        let (res, _) = run_tx(&mut net, &mut reader_a, &keys, &[]);
+        if let Some((_, seq)) = res[0].1.as_ref().map(|v| decode_marker(v)) {
+            assert!(
+                seq >= last_seen,
+                "monotonic reads violated at round {round}: {seq} < {last_seen}"
+            );
+            last_seen = seq;
+        }
+        net.stabilize(1);
+    }
+    assert!(last_seen > 0, "reader should eventually observe the writes");
+}
