@@ -4,11 +4,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use wren_clock::{HybridClock, SkewedClock, Timestamp, VersionVector};
 use wren_core::{WrenConfig, WrenServer};
 use wren_protocol::{ClientId, Dest, Key, ServerId, TxId, WrenMsg, WrenVersion};
-use wren_storage::{MvStore, VersionChain};
+use wren_storage::{MvStore, SnapshotBound, VersionChain, Versioned};
 use wren_workload::Zipfian;
 
 fn bench_clocks(c: &mut Criterion) {
@@ -50,6 +50,18 @@ fn sample_version(ct: u64) -> WrenVersion {
     }
 }
 
+/// Depth of the chain for the deep-read benchmarks: models a key with a
+/// replication backlog of versions newer than the reader's snapshot.
+const DEEP: u64 = 1_024;
+
+fn deep_chain() -> VersionChain<WrenVersion> {
+    let mut chain = VersionChain::new();
+    for ct in 0..DEEP {
+        chain.insert(sample_version(ct * 10));
+    }
+    chain
+}
+
 fn bench_storage(c: &mut Criterion) {
     c.bench_function("chain_insert_in_order", |b| {
         b.iter(|| {
@@ -60,6 +72,45 @@ fn bench_storage(c: &mut Criterion) {
             black_box(chain.len())
         });
     });
+    c.bench_function("chain_insert_out_of_order", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let cts: Vec<u64> = (0..64).map(|_| rng.gen_range(0u64..100_000)).collect();
+        b.iter(|| {
+            let mut chain = VersionChain::new();
+            for &ct in &cts {
+                chain.insert(sample_version(ct));
+            }
+            black_box(chain.len())
+        });
+    });
+    // The chain-read microbenchmark: a snapshot far behind the newest
+    // version, so almost the whole chain is too new to be visible.
+    // `binary` is the indexed read path; `linear_oracle` re-enacts the
+    // seed's closure-predicate scan for the before/after comparison.
+    {
+        let chain = deep_chain();
+        let bound = SnapshotBound::bist(0, Timestamp::from_micros(95), Timestamp::from_micros(94));
+        c.bench_function("chain_read_deep_binary", |b| {
+            b.iter(|| black_box(chain.latest_visible(&bound)))
+        });
+        c.bench_function("chain_read_deep_linear_oracle", |b| {
+            b.iter(|| {
+                black_box(
+                    chain
+                        .iter()
+                        .find(|v| bound.admits(&v.order_key(), v.remote_dep())),
+                )
+            })
+        });
+        let shallow_bound = SnapshotBound::bist(
+            0,
+            Timestamp::from_micros(10 * DEEP),
+            Timestamp::from_micros(10 * DEEP - 1),
+        );
+        c.bench_function("chain_read_newest_visible", |b| {
+            b.iter(|| black_box(chain.latest_visible(&shallow_bound)))
+        });
+    }
     c.bench_function("store_latest_visible", |b| {
         let mut store: MvStore<Key, WrenVersion> = MvStore::new();
         for k in 0..1_000u64 {
@@ -67,11 +118,20 @@ fn bench_storage(c: &mut Criterion) {
                 store.insert(Key(k), sample_version(k * 10 + ct));
             }
         }
-        let snapshot = Timestamp::from_micros(5_000);
+        let bound = SnapshotBound::at_most(Timestamp::from_micros(5_000));
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 1) % 1_000;
-            black_box(store.latest_visible(&Key(k), |v| v.ut <= snapshot))
+            black_box(store.latest_visible(&Key(k), &bound))
+        });
+    });
+    c.bench_function("store_insert", |b| {
+        let mut store: MvStore<Key, WrenVersion> = MvStore::new();
+        let mut ct = 0u64;
+        b.iter(|| {
+            ct += 1;
+            store.insert(Key(ct % 4_096), sample_version(ct));
+            black_box(store.stats().versions)
         });
     });
 }

@@ -5,7 +5,7 @@ use wren_protocol::{
     ClientId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId, Value,
     WrenMsg, WrenVersion,
 };
-use wren_storage::MvStore;
+use wren_storage::{MvStore, SnapshotBound};
 
 /// Counters exposed by a server for test assertions and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +100,18 @@ pub struct WrenServer {
     gc_contrib: Vec<(Timestamp, Timestamp)>,
     stats: ServerStats,
     vis: VisibilitySampler,
+    /// Sibling replicas of this partition in every other DC (fixed for
+    /// the server's lifetime; computed once).
+    siblings: Vec<ServerId>,
+    /// Every other partition of this DC (fixed; computed once).
+    peers: Vec<ServerId>,
+    /// Children in the k-ary stabilization tree (fixed; computed once).
+    children: Vec<ServerId>,
+    /// Scratch buckets for grouping a read-set by partition, reused
+    /// across transactions so the per-read grouping allocates nothing.
+    scratch_reads: Vec<Vec<Key>>,
+    /// Scratch buckets for grouping a write-set by partition.
+    scratch_writes: Vec<Vec<(Key, Value)>>,
 }
 
 impl WrenServer {
@@ -108,6 +120,21 @@ impl WrenServer {
     /// `clock` is this server's (possibly skewed) physical clock.
     pub fn new(id: ServerId, cfg: WrenConfig, clock: SkewedClock) -> Self {
         let n = cfg.n_partitions as usize;
+        let siblings: Vec<ServerId> = (0..cfg.n_dcs)
+            .filter(|dc| *dc != id.dc.0)
+            .map(|dc| ServerId {
+                dc: wren_protocol::DcId(dc),
+                partition: id.partition,
+            })
+            .collect();
+        let peers: Vec<ServerId> = (0..cfg.n_partitions)
+            .filter(|p| *p != id.partition.0)
+            .map(|p| ServerId {
+                dc: id.dc,
+                partition: wren_protocol::PartitionId(p),
+            })
+            .collect();
+        let children = Self::compute_tree_children(id, &cfg);
         WrenServer {
             id,
             cfg,
@@ -125,7 +152,31 @@ impl WrenServer {
             gc_contrib: vec![(Timestamp::ZERO, Timestamp::ZERO); n],
             stats: ServerStats::default(),
             vis: VisibilitySampler::new(cfg.visibility_sample_every),
+            siblings,
+            peers,
+            children,
+            scratch_reads: vec![Vec::new(); n],
+            scratch_writes: vec![Vec::new(); n],
         }
+    }
+
+    /// Children of `id.partition` in the k-ary stabilization tree (empty
+    /// in broadcast mode).
+    fn compute_tree_children(id: ServerId, cfg: &WrenConfig) -> Vec<ServerId> {
+        let f = cfg.gossip_fanout;
+        if f == 0 {
+            return Vec::new();
+        }
+        let i = id.partition.0 as u32;
+        let n = cfg.n_partitions as u32;
+        (1..=f as u32)
+            .map(|k| i * f as u32 + k)
+            .filter(|c| *c < n)
+            .map(|c| ServerId {
+                dc: id.dc,
+                partition: wren_protocol::PartitionId(c as u16),
+            })
+            .collect()
     }
 
     /// This server's identity.
@@ -284,7 +335,7 @@ impl WrenServer {
                 // The root's DC-wide stable times: adopt and cascade to
                 // our own children immediately (GentleRain-style).
                 self.raise_stable(lst, rst, now_micros);
-                for child in self.tree_children() {
+                for &child in &self.children {
                     out.push(Outgoing::to_server(child, WrenMsg::GossipDown { lst, rst }));
                 }
             }
@@ -357,34 +408,52 @@ impl WrenServer {
         };
         let (lt, rt, client) = (ctx.lt, ctx.rt, ctx.client);
 
-        let mut by_partition: BTreeMap<PartitionId, Vec<Key>> = BTreeMap::new();
+        // Group keys by owning partition into the reusable scratch
+        // buckets (direct indexing; no per-transaction map allocations).
+        let mut groups = std::mem::take(&mut self.scratch_reads);
         for k in keys {
-            by_partition.entry(self.partition_of(k)).or_default().push(k);
+            groups[self.partition_of(k).index()].push(k);
         }
 
         // Serve the coordinator's own slice without a network hop (clients
-        // are collocated with their coordinator, §V-A).
-        let local_items = by_partition
-            .remove(&self.id.partition)
-            .map(|keys| self.read_slice(&keys, lt, rt))
-            .unwrap_or_default();
+        // are collocated with their coordinator, §V-A); its bucket is
+        // cleared in place so the capacity is reused next transaction.
+        let own = self.id.partition.index();
+        let local_items = if groups[own].is_empty() {
+            Vec::new()
+        } else {
+            let local_keys = std::mem::take(&mut groups[own]);
+            let items = self.read_slice(&local_keys, lt, rt);
+            groups[own] = local_keys;
+            groups[own].clear();
+            items
+        };
+        let remote_slices = groups.iter().filter(|g| !g.is_empty()).count();
 
         let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
         ctx.read_acc = local_items;
-        ctx.pending_slices = by_partition.len();
+        ctx.pending_slices = remote_slices;
 
-        if ctx.pending_slices == 0 {
+        if remote_slices == 0 {
             let items = std::mem::take(&mut ctx.read_acc);
             out.push(Outgoing::to_client(client, WrenMsg::TxReadResp { tx, items }));
+            self.scratch_reads = groups;
             return;
         }
         let _ = now_micros;
-        for (partition, keys) in by_partition {
+        for (partition, bucket) in groups.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            // The outgoing message owns its key list, so the bucket's
+            // allocation travels with it; only the empty Vec stays.
+            let keys = std::mem::take(bucket);
             out.push(Outgoing::to_server(
-                self.server(partition),
+                self.server(PartitionId(partition as u16)),
                 WrenMsg::SliceReq { tx, lt, rt, keys },
             ));
         }
+        self.scratch_reads = groups;
     }
 
     /// Gathers slice responses; replies to the client when complete.
@@ -418,17 +487,11 @@ impl WrenServer {
         rt: Timestamp,
     ) -> Vec<(Key, Option<WrenVersion>)> {
         self.stats.slices_served += 1;
-        let local_dc = self.id.dc;
+        let bound = SnapshotBound::bist(self.id.dc.0, lt, rt);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
             self.stats.keys_read += 1;
-            let version = self.store.latest_visible(&k, |d| {
-                if d.sr == local_dc {
-                    d.ut <= lt && d.rdt <= rt
-                } else {
-                    d.ut <= rt && d.rdt <= lt
-                }
-            });
+            let version = self.store.latest_visible(&k, &bound);
             items.push((k, version.cloned()));
         }
         items
@@ -465,38 +528,53 @@ impl WrenServer {
         }
 
         let ht = lt.max(rt).max(hwt);
-        let mut by_partition: BTreeMap<PartitionId, Vec<(Key, Value)>> = BTreeMap::new();
+        // Group writes by owning partition into the reusable scratch
+        // buckets (no per-transaction map allocations).
+        let mut groups = std::mem::take(&mut self.scratch_writes);
         for (k, v) in writes {
-            by_partition
-                .entry(self.partition_of(k))
-                .or_default()
-                .push((k, v));
+            groups[self.partition_of(k).index()].push((k, v));
         }
+        let own = self.id.partition.index();
 
-        let cohorts: Vec<PartitionId> = by_partition.keys().copied().collect();
-        let local_writes = by_partition.remove(&self.id.partition);
+        let cohorts: Vec<PartitionId> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(p, _)| PartitionId(p as u16))
+            .collect();
+        let has_local = !groups[own].is_empty();
 
         {
             let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
+            ctx.pending_prepares = cohorts.len();
             ctx.cohorts = cohorts;
-            ctx.pending_prepares = by_partition.len() + usize::from(local_writes.is_some());
             ctx.max_pt = Timestamp::ZERO;
         }
 
-        for (partition, writes) in by_partition {
-            out.push(Outgoing::to_server(
-                self.server(partition),
-                WrenMsg::PrepareReq {
-                    tx,
-                    lt,
-                    rt,
-                    ht,
-                    writes,
-                },
-            ));
+        let mut local_writes = Vec::new();
+        for (partition, bucket) in groups.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let writes = std::mem::take(bucket);
+            if partition == own {
+                local_writes = writes;
+            } else {
+                out.push(Outgoing::to_server(
+                    self.server(PartitionId(partition as u16)),
+                    WrenMsg::PrepareReq {
+                        tx,
+                        lt,
+                        rt,
+                        ht,
+                        writes,
+                    },
+                ));
+            }
         }
-        if let Some(writes) = local_writes {
-            let pt = self.prepare(tx, lt, rt, ht, writes, now_micros);
+        self.scratch_writes = groups;
+        if has_local {
+            let pt = self.prepare(tx, lt, rt, ht, local_writes, now_micros);
             self.on_prepare_resp(tx, pt, now_micros, out);
         }
     }
@@ -638,11 +716,10 @@ impl WrenServer {
         let mut applied = 0usize;
         if self.committed.is_empty() {
             self.vv.set(self.dc_index(), ub);
-            let siblings: Vec<ServerId> = self.siblings().collect();
-            for sibling in siblings {
+            for &sibling in &self.siblings {
                 out.push(Outgoing::to_server(sibling, WrenMsg::Heartbeat { t: ub }));
-                self.stats.heartbeats_sent += 1;
             }
+            self.stats.heartbeats_sent += self.siblings.len() as u64;
             return 0;
         }
 
@@ -685,30 +762,24 @@ impl WrenServer {
         applied
     }
 
-    fn ship_batch(&mut self, ct: Timestamp, txs: Vec<RepTx>, out: &mut Vec<Outgoing<WrenMsg>>) {
-        let siblings: Vec<ServerId> = self.siblings().collect();
-        for sibling in siblings {
+    fn ship_batch(&mut self, ct: Timestamp, mut txs: Vec<RepTx>, out: &mut Vec<Outgoing<WrenMsg>>) {
+        // The last sibling takes ownership of the batch; only the others
+        // pay for a deep clone of the transaction list.
+        let n = self.siblings.len();
+        for (i, &sibling) in self.siblings.iter().enumerate() {
+            let batch_txs = if i + 1 == n {
+                std::mem::take(&mut txs)
+            } else {
+                txs.clone()
+            };
             out.push(Outgoing::to_server(
                 sibling,
                 WrenMsg::Replicate {
-                    batch: ReplicateBatch {
-                        ct,
-                        txs: txs.clone(),
-                    },
+                    batch: ReplicateBatch { ct, txs: batch_txs },
                 },
             ));
-            self.stats.replicate_batches_sent += 1;
         }
-    }
-
-    fn siblings(&self) -> impl Iterator<Item = ServerId> + '_ {
-        let me = self.id;
-        (0..self.cfg.n_dcs)
-            .filter(move |dc| *dc != me.dc.0)
-            .map(move |dc| ServerId {
-                dc: wren_protocol::DcId(dc),
-                partition: me.partition,
-            })
+        self.stats.replicate_batches_sent += n as u64;
     }
 
     /// Algorithm 4 lines 29–31 (Δ_G): exchange this partition's BiST
@@ -724,7 +795,7 @@ impl WrenServer {
         self.gossip_contrib[self.id.partition.index()] = (local, remote);
 
         if self.cfg.gossip_fanout == 0 {
-            for peer in self.dc_peers() {
+            for &peer in &self.peers {
                 out.push(Outgoing::to_server(
                     peer,
                     WrenMsg::StableGossip { local, remote },
@@ -737,7 +808,7 @@ impl WrenServer {
         // Tree mode: fold own + children subtree minima.
         let mut sub_local = local;
         let mut sub_remote = remote;
-        for child in self.tree_children() {
+        for child in &self.children {
             let (cl, cr) = self.gossip_contrib[child.partition.index()];
             sub_local = sub_local.min(cl);
             sub_remote = sub_remote.min(cr);
@@ -756,7 +827,7 @@ impl WrenServer {
                 // Root: the subtree minimum covers the whole DC.
                 self.raise_stable(sub_local, sub_remote, now_micros);
                 let (lst, rst) = (self.lst, self.rst);
-                for child in self.tree_children() {
+                for &child in &self.children {
                     out.push(Outgoing::to_server(child, WrenMsg::GossipDown { lst, rst }));
                 }
             }
@@ -772,31 +843,6 @@ impl WrenServer {
             return None;
         }
         Some(self.server(wren_protocol::PartitionId((i - 1) / f)))
-    }
-
-    /// This partition's children in the k-ary stabilization tree.
-    fn tree_children(&self) -> Vec<ServerId> {
-        let f = self.cfg.gossip_fanout;
-        if f == 0 {
-            return Vec::new();
-        }
-        let i = self.id.partition.0 as u32;
-        let n = self.cfg.n_partitions as u32;
-        (1..=f as u32)
-            .map(|k| i * f as u32 + k)
-            .filter(|c| *c < n)
-            .map(|c| self.server(wren_protocol::PartitionId(c as u16)))
-            .collect()
-    }
-
-    fn dc_peers(&self) -> impl Iterator<Item = ServerId> + '_ {
-        let me = self.id;
-        (0..self.cfg.n_partitions)
-            .filter(move |p| *p != me.partition.0)
-            .map(move |p| ServerId {
-                dc: me.dc,
-                partition: wren_protocol::PartitionId(p),
-            })
     }
 
     fn recompute_stable(&mut self, now_micros: u64) {
@@ -828,7 +874,7 @@ impl WrenServer {
             oldest_rt = oldest_rt.min(ctx.rt);
         }
         self.gc_contrib[self.id.partition.index()] = (oldest_lt, oldest_rt);
-        for peer in self.dc_peers() {
+        for &peer in &self.peers {
             out.push(Outgoing::to_server(
                 peer,
                 WrenMsg::GcGossip {
@@ -853,14 +899,8 @@ impl WrenServer {
         if w_lt.is_zero() && w_rt.is_zero() {
             return 0;
         }
-        let local_dc = self.id.dc;
-        let removed = self.store.collect(|d| {
-            if d.sr == local_dc {
-                d.ut <= w_lt && d.rdt <= w_rt
-            } else {
-                d.ut <= w_rt && d.rdt <= w_lt
-            }
-        });
+        let oldest = SnapshotBound::bist(self.id.dc.0, w_lt, w_rt);
+        let removed = self.store.collect(&oldest);
         self.stats.gc_versions_removed += removed as u64;
         removed
     }

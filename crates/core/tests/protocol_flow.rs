@@ -64,6 +64,7 @@ impl Pump {
     }
 
     /// Sends one client message to `coordinator` and drains the cascade.
+    #[allow(clippy::wrong_self_convention)] // "from" = message provenance, not conversion
     fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: WrenMsg) {
         self.drain(vec![(Dest::Client(client), coordinator, msg)]);
     }

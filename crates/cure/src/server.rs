@@ -5,7 +5,7 @@ use wren_protocol::{
     ClientId, CureMsg, CureRepTx, CureReplicateBatch, CureVersion, Dest, Key, Outgoing,
     PartitionId, ServerId, TxId, Value,
 };
-use wren_storage::MvStore;
+use wren_storage::{MvStore, SnapshotBound};
 
 /// Counters exposed by a Cure server.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -106,6 +106,18 @@ pub struct CureServer {
     blocked_samples: Vec<(TxId, u64)>,
     stats: CureServerStats,
     vis: CureVisibilitySampler,
+    /// Sibling replicas of this partition in every other DC (fixed for
+    /// the server's lifetime; computed once).
+    siblings: Vec<ServerId>,
+    /// Every other partition of this DC (fixed; computed once).
+    peers: Vec<ServerId>,
+    /// Children in the k-ary stabilization tree (fixed; computed once).
+    children: Vec<ServerId>,
+    /// Scratch buckets for grouping a read-set by partition, reused
+    /// across transactions so the per-read grouping allocates nothing.
+    scratch_reads: Vec<Vec<Key>>,
+    /// Scratch buckets for grouping a write-set by partition.
+    scratch_writes: Vec<Vec<(Key, Value)>>,
 }
 
 impl CureServer {
@@ -113,6 +125,21 @@ impl CureServer {
     pub fn new(id: ServerId, cfg: CureConfig, clock: SkewedClock) -> Self {
         let m = cfg.n_dcs as usize;
         let n = cfg.n_partitions as usize;
+        let siblings: Vec<ServerId> = (0..cfg.n_dcs)
+            .filter(|dc| *dc != id.dc.0)
+            .map(|dc| ServerId {
+                dc: wren_protocol::DcId(dc),
+                partition: id.partition,
+            })
+            .collect();
+        let peers: Vec<ServerId> = (0..cfg.n_partitions)
+            .filter(|p| *p != id.partition.0)
+            .map(|p| ServerId {
+                dc: id.dc,
+                partition: wren_protocol::PartitionId(p),
+            })
+            .collect();
+        let children = Self::compute_tree_children(id, &cfg);
         CureServer {
             id,
             cfg,
@@ -131,7 +158,31 @@ impl CureServer {
             blocked_samples: Vec::new(),
             stats: CureServerStats::default(),
             vis: CureVisibilitySampler::new(cfg.n_dcs, cfg.visibility_sample_every),
+            siblings,
+            peers,
+            children,
+            scratch_reads: vec![Vec::new(); n],
+            scratch_writes: vec![Vec::new(); n],
         }
+    }
+
+    /// Children of `id.partition` in the k-ary stabilization tree (empty
+    /// in broadcast mode).
+    fn compute_tree_children(id: ServerId, cfg: &CureConfig) -> Vec<ServerId> {
+        let f = cfg.gossip_fanout;
+        if f == 0 {
+            return Vec::new();
+        }
+        let i = id.partition.0 as u32;
+        let n = cfg.n_partitions as u32;
+        (1..=f as u32)
+            .map(|k| i * f as u32 + k)
+            .filter(|c| *c < n)
+            .map(|c| ServerId {
+                dc: id.dc,
+                partition: wren_protocol::PartitionId(c as u16),
+            })
+            .collect()
     }
 
     /// This server's identity.
@@ -274,8 +325,9 @@ impl CureServer {
             CureMsg::GossipDown { gsv } => {
                 // Adopt the root's stable vector and cascade downwards.
                 self.gss.join(&gsv);
-                self.vis.advance_remote(&self.gss.clone(), now_micros);
-                for child in self.tree_children() {
+                let gss = self.gss.clone();
+                self.vis.advance_remote(&gss, now_micros);
+                for &child in &self.children {
                     out.push(Outgoing::to_server(
                         child,
                         CureMsg::GossipDown { gsv: gsv.clone() },
@@ -357,37 +409,54 @@ impl CureServer {
         let snapshot = ctx.snapshot.clone();
         let client = ctx.client;
 
-        let mut by_partition: BTreeMap<PartitionId, Vec<Key>> = BTreeMap::new();
+        // Group keys by owning partition into the reusable scratch
+        // buckets (direct indexing; no per-transaction map allocations).
+        let mut groups = std::mem::take(&mut self.scratch_reads);
         for k in keys {
-            by_partition.entry(self.partition_of(k)).or_default().push(k);
+            groups[self.partition_of(k).index()].push(k);
         }
+        let own = self.id.partition.index();
 
-        let local_keys = by_partition.remove(&self.id.partition);
         let mut local_items = None;
         let mut local_pending = false;
-        if let Some(keys) = local_keys {
+        if !groups[own].is_empty() {
+            let local_keys = std::mem::take(&mut groups[own]);
             if self.snapshot_installed(&snapshot) {
-                local_items = Some(self.read_slice(&keys, &snapshot));
+                local_items = Some(self.read_slice(&local_keys, &snapshot));
+                // Keep the bucket's allocation for the next transaction.
+                groups[own] = local_keys;
+                groups[own].clear();
             } else {
                 // The coordinator itself lags the snapshot: queue the local
-                // slice like any remote one; it answers itself later.
-                self.queue_pending(self.id, tx, snapshot.clone(), keys, now_micros);
+                // slice like any remote one; it answers itself later. The
+                // pending read owns the key list, so the bucket stays empty.
+                self.queue_pending(self.id, tx, snapshot.clone(), local_keys, now_micros);
                 local_pending = true;
             }
         }
+        let remote_slices = groups
+            .iter()
+            .enumerate()
+            .filter(|(p, g)| *p != own && !g.is_empty())
+            .count();
 
         let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
         ctx.read_acc = local_items.unwrap_or_default();
-        ctx.pending_slices = by_partition.len() + usize::from(local_pending);
+        ctx.pending_slices = remote_slices + usize::from(local_pending);
 
         if ctx.pending_slices == 0 {
             let items = std::mem::take(&mut ctx.read_acc);
             out.push(Outgoing::to_client(client, CureMsg::TxReadResp { tx, items }));
+            self.scratch_reads = groups;
             return;
         }
-        for (partition, keys) in by_partition {
+        for (partition, bucket) in groups.iter_mut().enumerate() {
+            if partition == own || bucket.is_empty() {
+                continue;
+            }
+            let keys = std::mem::take(bucket);
             out.push(Outgoing::to_server(
-                self.server(partition),
+                self.server(PartitionId(partition as u16)),
                 CureMsg::SliceReq {
                     tx,
                     snapshot: snapshot.clone(),
@@ -395,6 +464,7 @@ impl CureServer {
                 },
             ));
         }
+        self.scratch_reads = groups;
     }
 
     fn on_slice_req(
@@ -486,12 +556,11 @@ impl CureServer {
         snapshot: &VersionVector,
     ) -> Vec<(Key, Option<CureVersion>)> {
         self.stats.slices_served += 1;
+        let bound = SnapshotBound::vector(snapshot);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
             self.stats.keys_read += 1;
-            let version = self
-                .store
-                .latest_visible(&k, |d| d.ut <= snapshot.get(d.sr.index()));
+            let version = self.store.latest_visible(&k, &bound);
             items.push((k, version.cloned()));
         }
         items
@@ -542,35 +611,51 @@ impl CureServer {
             return;
         }
 
-        let mut by_partition: BTreeMap<PartitionId, Vec<(Key, Value)>> = BTreeMap::new();
+        // Group writes by owning partition into the reusable scratch
+        // buckets (no per-transaction map allocations).
+        let mut groups = std::mem::take(&mut self.scratch_writes);
         for (k, v) in writes {
-            by_partition
-                .entry(self.partition_of(k))
-                .or_default()
-                .push((k, v));
+            groups[self.partition_of(k).index()].push((k, v));
         }
-        let cohorts: Vec<PartitionId> = by_partition.keys().copied().collect();
-        let local_writes = by_partition.remove(&self.id.partition);
+        let own = self.id.partition.index();
+
+        let cohorts: Vec<PartitionId> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(p, _)| PartitionId(p as u16))
+            .collect();
+        let has_local = !groups[own].is_empty();
 
         {
             let ctx = self.tx_ctx.get_mut(&tx).expect("checked above");
+            ctx.pending_prepares = cohorts.len();
             ctx.cohorts = cohorts;
-            ctx.pending_prepares = by_partition.len() + usize::from(local_writes.is_some());
             ctx.max_pt = Timestamp::ZERO;
         }
 
-        for (partition, writes) in by_partition {
-            out.push(Outgoing::to_server(
-                self.server(partition),
-                CureMsg::PrepareReq {
-                    tx,
-                    snapshot: snapshot.clone(),
-                    writes,
-                },
-            ));
+        let mut local_writes = Vec::new();
+        for (partition, bucket) in groups.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let writes = std::mem::take(bucket);
+            if partition == own {
+                local_writes = writes;
+            } else {
+                out.push(Outgoing::to_server(
+                    self.server(PartitionId(partition as u16)),
+                    CureMsg::PrepareReq {
+                        tx,
+                        snapshot: snapshot.clone(),
+                        writes,
+                    },
+                ));
+            }
         }
-        if let Some(writes) = local_writes {
-            let pt = self.prepare(tx, snapshot, writes, now_micros);
+        self.scratch_writes = groups;
+        if has_local {
+            let pt = self.prepare(tx, snapshot, local_writes, now_micros);
             self.on_prepare_resp(tx, pt, now_micros, out);
         }
     }
@@ -723,11 +808,10 @@ impl CureServer {
         let m = self.dc_index();
         if self.committed.is_empty() {
             self.vv.set(m, ub);
-            let siblings: Vec<ServerId> = self.siblings().collect();
-            for sibling in siblings {
+            for &sibling in &self.siblings {
                 out.push(Outgoing::to_server(sibling, CureMsg::Heartbeat { t: ub }));
-                self.stats.heartbeats_sent += 1;
             }
+            self.stats.heartbeats_sent += self.siblings.len() as u64;
             self.after_version_clock_advance(now_micros, out);
             return 0;
         }
@@ -785,42 +869,26 @@ impl CureServer {
     fn ship_batch(
         &mut self,
         ct: Timestamp,
-        txs: Vec<CureRepTx>,
+        mut txs: Vec<CureRepTx>,
         out: &mut Vec<Outgoing<CureMsg>>,
     ) {
-        let siblings: Vec<ServerId> = self.siblings().collect();
-        for sibling in siblings {
+        // The last sibling takes ownership of the batch; only the others
+        // pay for a deep clone of the transaction list.
+        let n = self.siblings.len();
+        for (i, &sibling) in self.siblings.iter().enumerate() {
+            let batch_txs = if i + 1 == n {
+                std::mem::take(&mut txs)
+            } else {
+                txs.clone()
+            };
             out.push(Outgoing::to_server(
                 sibling,
                 CureMsg::Replicate {
-                    batch: CureReplicateBatch {
-                        ct,
-                        txs: txs.clone(),
-                    },
+                    batch: CureReplicateBatch { ct, txs: batch_txs },
                 },
             ));
-            self.stats.replicate_batches_sent += 1;
         }
-    }
-
-    fn siblings(&self) -> impl Iterator<Item = ServerId> + '_ {
-        let me = self.id;
-        (0..self.cfg.n_dcs)
-            .filter(move |dc| *dc != me.dc.0)
-            .map(move |dc| ServerId {
-                dc: wren_protocol::DcId(dc),
-                partition: me.partition,
-            })
-    }
-
-    fn dc_peers(&self) -> impl Iterator<Item = ServerId> + '_ {
-        let me = self.id;
-        (0..self.cfg.n_partitions)
-            .filter(move |p| *p != me.partition.0)
-            .map(move |p| ServerId {
-                dc: me.dc,
-                partition: wren_protocol::PartitionId(p),
-            })
+        self.stats.replicate_batches_sent += n as u64;
     }
 
     /// Stabilization tick: exchange the **full version vector** (M
@@ -831,8 +899,7 @@ impl CureServer {
         let vv = self.vv.clone();
 
         if self.cfg.gossip_fanout == 0 {
-            let peers: Vec<ServerId> = self.dc_peers().collect();
-            for peer in peers {
+            for &peer in &self.peers {
                 out.push(Outgoing::to_server(peer, CureMsg::StableGossip { vv: vv.clone() }));
             }
             self.recompute_gss(now_micros);
@@ -841,8 +908,8 @@ impl CureServer {
 
         // Tree mode: fold own vector with children subtree minima.
         let mut subtree = vv;
-        for child in self.tree_children() {
-            subtree.meet(&self.gossip_contrib[child.partition.index()].clone());
+        for child in &self.children {
+            subtree.meet(&self.gossip_contrib[child.partition.index()]);
         }
         match self.tree_parent() {
             Some(parent) => {
@@ -850,12 +917,12 @@ impl CureServer {
             }
             None => {
                 self.gss.join(&subtree);
-                self.vis.advance_remote(&self.gss.clone(), now_micros);
-                let gsv = self.gss.clone();
-                for child in self.tree_children() {
+                let gss = self.gss.clone();
+                self.vis.advance_remote(&gss, now_micros);
+                for &child in &self.children {
                     out.push(Outgoing::to_server(
                         child,
-                        CureMsg::GossipDown { gsv: gsv.clone() },
+                        CureMsg::GossipDown { gsv: gss.clone() },
                     ));
                 }
                 self.retry_pending_reads(now_micros, out);
@@ -874,21 +941,6 @@ impl CureServer {
         Some(self.server(wren_protocol::PartitionId((i - 1) / f)))
     }
 
-    /// Children in the k-ary stabilization tree.
-    fn tree_children(&self) -> Vec<ServerId> {
-        let f = self.cfg.gossip_fanout;
-        if f == 0 {
-            return Vec::new();
-        }
-        let i = self.id.partition.0 as u32;
-        let n = self.cfg.n_partitions as u32;
-        (1..=f as u32)
-            .map(|k| i * f as u32 + k)
-            .filter(|c| *c < n)
-            .map(|c| self.server(wren_protocol::PartitionId(c as u16)))
-            .collect()
-    }
-
     fn recompute_gss(&mut self, now_micros: u64) {
         let mut gss = self.gossip_contrib[0].clone();
         for contrib in &self.gossip_contrib[1..] {
@@ -897,8 +949,8 @@ impl CureServer {
         // GSS is monotone: join with the previous value guards against
         // stale contributions.
         gss.join(&self.gss);
+        self.vis.advance_remote(&gss, now_micros);
         self.gss = gss;
-        self.vis.advance_remote(&self.gss.clone(), now_micros);
     }
 
     /// GC tick: exchange oldest-active snapshot vectors and prune chains.
@@ -913,8 +965,7 @@ impl CureServer {
             oldest.meet(&ctx.snapshot);
         }
         self.gc_contrib[self.id.partition.index()] = oldest.clone();
-        let peers: Vec<ServerId> = self.dc_peers().collect();
-        for peer in peers {
+        for &peer in &self.peers {
             out.push(Outgoing::to_server(
                 peer,
                 CureMsg::GcGossip {
@@ -930,9 +981,8 @@ impl CureServer {
         if watermark.iter().all(|t| t.is_zero()) {
             return 0;
         }
-        let removed = self
-            .store
-            .collect(|d| d.ut <= watermark.get(d.sr.index()));
+        let oldest = SnapshotBound::vector(&watermark);
+        let removed = self.store.collect(&oldest);
         self.stats.gc_versions_removed += removed as u64;
         removed
     }

@@ -51,7 +51,7 @@ impl CureVisibilitySampler {
             return;
         }
         self.seen_local += 1;
-        if self.seen_local % self.sample_every == 0 && self.local.len() < MAX_SAMPLES {
+        if self.seen_local.is_multiple_of(self.sample_every) && self.local.len() < MAX_SAMPLES {
             self.pending_local
                 .entry(ct)
                 .or_default()
@@ -65,7 +65,7 @@ impl CureVisibilitySampler {
             return;
         }
         self.seen_remote += 1;
-        if self.seen_remote % self.sample_every == 0 && self.remote.len() < MAX_SAMPLES {
+        if self.seen_remote.is_multiple_of(self.sample_every) && self.remote.len() < MAX_SAMPLES {
             self.pending_remote[origin]
                 .entry(ct)
                 .or_default()

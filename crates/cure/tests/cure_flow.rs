@@ -60,6 +60,7 @@ impl Pump {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)] // "from" = message provenance, not conversion
     fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: CureMsg) {
         self.drain(vec![(Dest::Client(client), coordinator, msg)]);
     }

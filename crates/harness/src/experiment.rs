@@ -251,8 +251,8 @@ fn run_wren(spec: &ExperimentSpec) -> RunResult {
     let mut vis_local = Vec::new();
     let mut vis_remote = Vec::new();
     let mut busy_total = 0u64;
-    for i in 0..t.n_servers() {
-        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_snap[i];
+    for (i, &busy_before) in busy_snap.iter().enumerate().take(t.n_servers()) {
+        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_before;
         let node = sim
             .typed_node_mut::<WrenServerNode>(NodeId::new(i as u32))
             .expect("server node");
@@ -352,8 +352,8 @@ fn run_cure(spec: &ExperimentSpec, hlc: bool) -> RunResult {
     // Per-transaction blocking: the paper counts a transaction blocked if
     // any of its reads blocked, with duration = max over its reads.
     let mut per_tx_block: HashMap<wren_protocol::TxId, u64> = HashMap::new();
-    for i in 0..t.n_servers() {
-        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_snap[i];
+    for (i, &busy_before) in busy_snap.iter().enumerate().take(t.n_servers()) {
+        busy_total += sim.cpu_busy_micros(NodeId::new(i as u32)) - busy_before;
         let node = sim
             .typed_node_mut::<CureServerNode>(NodeId::new(i as u32))
             .expect("server node");

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use wren_protocol::{CureMsg, WrenMsg};
 
 /// CPU service-time model (µs) for the simulated servers.
@@ -11,7 +10,7 @@ use wren_protocol::{CureMsg, WrenMsg};
 /// transaction across the cluster. The *relative* costs follow the
 /// handler's work: per-key storage lookups dominate slices, per-version
 /// inserts dominate applies, vector entries add marshaling cost to Cure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceModel {
     /// Coordinator: handle `StartTxReq`.
     pub start_tx: u64,
@@ -223,7 +222,7 @@ pub fn aws_latency_matrix() -> Vec<Vec<u64>> {
 }
 
 /// Physical layout and timing parameters of a simulated deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Number of DCs (first `n_dcs` rows of the AWS matrix).
     pub n_dcs: u8,
@@ -307,10 +306,10 @@ mod tests {
     #[test]
     fn aws_matrix_is_symmetric_with_zero_diagonal() {
         let m = aws_latency_matrix();
-        for a in 0..5 {
-            assert_eq!(m[a][a], 0);
-            for b in 0..5 {
-                assert_eq!(m[a][b], m[b][a]);
+        for (a, row) in m.iter().enumerate() {
+            assert_eq!(row[a], 0);
+            for (b, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, m[b][a]);
             }
         }
     }

@@ -57,6 +57,10 @@ impl Versioned for WrenVersion {
     fn order_key(&self) -> (Timestamp, u8, u64) {
         (self.ut, self.sr.0, self.tx.raw())
     }
+
+    fn remote_dep(&self) -> Timestamp {
+        self.rdt
+    }
 }
 
 /// A Cure item version: value plus an **M-entry dependency vector**.

@@ -1,32 +1,61 @@
+use crate::SnapshotBound;
 use wren_clock::Timestamp;
 
+/// The last-writer-wins order key: `(commit timestamp, origin DC id,
+/// transaction id)`. Higher keys win.
+pub type OrderKey = (Timestamp, u8, u64);
+
 /// What the storage layer needs from a version: a total order for
-/// last-writer-wins conflict resolution.
+/// last-writer-wins conflict resolution, plus the remote dependency time
+/// used by BiST snapshot bounds.
 ///
-/// The key is `(commit timestamp, origin DC id, transaction id)` — the
-/// paper resolves concurrent conflicting writes by update timestamp, with
-/// ties settled by the originating DC and transaction identifier (§II-C).
+/// The order key is `(commit timestamp, origin DC id, transaction id)` —
+/// the paper resolves concurrent conflicting writes by update timestamp,
+/// with ties settled by the originating DC and transaction identifier
+/// (§II-C).
 pub trait Versioned {
     /// The last-writer-wins order key. Higher keys win.
-    fn order_key(&self) -> (Timestamp, u8, u64);
+    fn order_key(&self) -> OrderKey;
+
+    /// The version's remote dependency time, consulted by
+    /// [`SnapshotBound::bist`] bounds. Version types without one (e.g.
+    /// Cure's vector-tagged items) keep the default of zero, which every
+    /// bound admits.
+    #[inline]
+    fn remote_dep(&self) -> Timestamp {
+        Timestamp::ZERO
+    }
 }
 
-/// The version chain of a single key, ordered newest-first by the
-/// last-writer-wins key.
+/// The version chain of a single key.
 ///
-/// Insertion is O(1) for in-order commits (the common case: versions are
-/// applied in increasing commit-timestamp order) and O(n) in the worst
-/// case for out-of-order remote deliveries.
+/// # Ordering invariant
+///
+/// Entries are stored **oldest-first, sorted ascending by the LWW order
+/// key**, and each entry caches its key inline so comparisons never call
+/// back into [`Versioned::order_key`]. Two consequences:
+///
+/// * **inserts are O(1)** in the common case — versions are applied in
+///   increasing commit-timestamp order, so the newcomer's key usually
+///   exceeds the current maximum and is pushed at the tail (a single key
+///   comparison); out-of-order remote deliveries binary-search their slot;
+/// * **reads are O(log n)**: a [`SnapshotBound`]'s ceiling cuts the chain
+///   at a key prefix via `partition_point`, and the bound's per-origin
+///   refinement only runs on versions at or below the ceiling, scanning
+///   down from the newest candidate.
+///
+/// The public iteration order remains newest-first (the LWW winner
+/// first), matching what readers and tests expect.
 #[derive(Clone, Debug)]
 pub struct VersionChain<V> {
-    /// Newest first.
-    versions: Vec<V>,
+    /// Oldest-first; ascending by cached order key.
+    entries: Vec<(OrderKey, V)>,
 }
 
 impl<V> Default for VersionChain<V> {
     fn default() -> Self {
         VersionChain {
-            versions: Vec::new(),
+            entries: Vec::new(),
         }
     }
 }
@@ -35,71 +64,101 @@ impl<V: Versioned> VersionChain<V> {
     /// Creates an empty chain.
     pub fn new() -> Self {
         VersionChain {
-            versions: Vec::new(),
+            entries: Vec::new(),
         }
     }
 
     /// Number of versions currently retained.
     pub fn len(&self) -> usize {
-        self.versions.len()
+        self.entries.len()
     }
 
     /// Whether the chain holds no versions.
     pub fn is_empty(&self) -> bool {
-        self.versions.is_empty()
+        self.entries.is_empty()
     }
 
     /// Inserts a version at its last-writer-wins position.
+    ///
+    /// The fast path (in-order commit, the overwhelmingly common case) is
+    /// a single cached-key comparison followed by a tail push; only
+    /// out-of-order deliveries pay the binary search, and none of the
+    /// paths re-derive the key through the [`Versioned`] trait per
+    /// comparison.
     pub fn insert(&mut self, v: V) {
         let key = v.order_key();
-        // Common case: newest version appended at the front.
-        let pos = self
-            .versions
-            .iter()
-            .position(|existing| existing.order_key() <= key)
-            .unwrap_or(self.versions.len());
-        self.versions.insert(pos, v);
+        match self.entries.last() {
+            Some((tail, _)) if key < *tail => {
+                let pos = self.entries.partition_point(|(k, _)| *k <= key);
+                self.entries.insert(pos, (key, v));
+            }
+            _ => self.entries.push((key, v)),
+        }
     }
 
-    /// The newest version satisfying `visible`, i.e. the version a
-    /// transaction with that snapshot predicate must read under
-    /// last-writer-wins.
-    pub fn latest_visible<F: Fn(&V) -> bool>(&self, visible: F) -> Option<&V> {
-        self.versions.iter().find(|v| visible(v))
+    /// The newest version inside `bound`, i.e. the version a transaction
+    /// with that snapshot must read under last-writer-wins.
+    ///
+    /// Binary-searches to the bound's commit-timestamp ceiling, then
+    /// applies the bound's per-origin refinement downward from the newest
+    /// candidate (versions above the ceiling can never be admitted).
+    pub fn latest_visible(&self, bound: &SnapshotBound<'_>) -> Option<&V> {
+        let ceiling = bound.ceiling();
+        let mut idx = self.entries.partition_point(|(k, _)| k.0 <= ceiling);
+        while idx > 0 {
+            idx -= 1;
+            let (key, v) = &self.entries[idx];
+            if bound.admits(key, v.remote_dep()) {
+                return Some(v);
+            }
+        }
+        None
     }
 
     /// The newest version outright (what a causally-unconstrained reader
     /// would see).
     pub fn newest(&self) -> Option<&V> {
-        self.versions.first()
+        self.entries.last().map(|(_, v)| v)
     }
 
     /// Iterates newest to oldest.
     pub fn iter(&self) -> impl Iterator<Item = &V> {
-        self.versions.iter()
+        self.entries.iter().rev().map(|(_, v)| v)
     }
 
     /// Garbage-collects versions that no active or future snapshot can
     /// read.
     ///
-    /// `visible_at_oldest` must be the visibility predicate of the oldest
-    /// snapshot still visible to any running transaction (the aggregate
-    /// minimum the partitions gossip, §IV-B "Garbage collection"). The
-    /// chain keeps every version newer than the newest visible one, plus
-    /// that version itself, and drops the rest — exactly the paper's rule
-    /// ("keep all the versions up to and including the oldest one within
-    /// S_old").
+    /// `oldest_snapshot` must be the bound of the oldest snapshot still
+    /// visible to any running transaction (the aggregate minimum the
+    /// partitions gossip, §IV-B "Garbage collection"). The chain keeps
+    /// every version newer than the newest visible one, plus that version
+    /// itself, and drops the rest — exactly the paper's rule ("keep all
+    /// the versions up to and including the oldest one within S_old").
+    ///
+    /// Chains of length ≤ 1 return immediately: the rule always retains
+    /// the newest version, so there is nothing to drop.
     ///
     /// Returns the number of versions removed.
-    pub fn collect<F: Fn(&V) -> bool>(&mut self, visible_at_oldest: F) -> usize {
-        let Some(idx) = self.versions.iter().position(|v| visible_at_oldest(v)) else {
-            // No version is visible at the oldest snapshot: everything may
-            // still become visible (all in the "future"), keep it all.
+    pub fn collect(&mut self, oldest_snapshot: &SnapshotBound<'_>) -> usize {
+        if self.entries.len() <= 1 {
             return 0;
-        };
-        let removed = self.versions.len() - (idx + 1);
-        self.versions.truncate(idx + 1);
-        removed
+        }
+        let ceiling = oldest_snapshot.ceiling();
+        let mut idx = self.entries.partition_point(|(k, _)| k.0 <= ceiling);
+        while idx > 0 {
+            idx -= 1;
+            let (key, v) = &self.entries[idx];
+            if oldest_snapshot.admits(key, v.remote_dep()) {
+                // `idx` is the newest visible version: keep it and
+                // everything newer, drop the `idx` older entries.
+                self.entries.drain(..idx);
+                return idx;
+            }
+        }
+        // No version visible at the oldest snapshot: everything may still
+        // become visible (all in the "future"), keep it all.
+        0
     }
 }
 
@@ -116,7 +175,7 @@ mod tests {
     }
 
     impl Versioned for V {
-        fn order_key(&self) -> (Timestamp, u8, u64) {
+        fn order_key(&self) -> OrderKey {
             (Timestamp::from_micros(self.ct), self.sr, self.tx)
         }
     }
@@ -128,6 +187,10 @@ mod tests {
             tx: 0,
             tag,
         }
+    }
+
+    fn at_most(ct: u64) -> SnapshotBound<'static> {
+        SnapshotBound::at_most(Timestamp::from_micros(ct))
     }
 
     #[test]
@@ -160,9 +223,29 @@ mod tests {
         c.insert(v(10, "a"));
         c.insert(v(20, "b"));
         c.insert(v(30, "c"));
-        let seen = c.latest_visible(|x| x.ct <= 25);
+        let seen = c.latest_visible(&at_most(25));
         assert_eq!(seen.unwrap().tag, "b");
-        assert!(c.latest_visible(|x| x.ct <= 5).is_none());
+        assert!(c.latest_visible(&at_most(5)).is_none());
+    }
+
+    #[test]
+    fn bist_bound_skips_origin_mismatched_versions() {
+        // Remote version (sr=1) above rt sits newer than a visible local
+        // one: the refinement must step past it, not give up at the
+        // ceiling.
+        let mut c = VersionChain::new();
+        c.insert(V { ct: 40, sr: 0, tx: 0, tag: "local-old" });
+        c.insert(V { ct: 50, sr: 1, tx: 0, tag: "remote-too-new" });
+        c.insert(V { ct: 60, sr: 0, tx: 0, tag: "local-new" });
+        // Ceiling is lt = 55, so ct = 50 sits below it and the downward
+        // refinement must reject it via admits() (remote rule: ut ≤ rt =
+        // 45 fails) and continue to the older local version.
+        let bound = SnapshotBound::bist(
+            0,
+            Timestamp::from_micros(55),
+            Timestamp::from_micros(45),
+        );
+        assert_eq!(c.latest_visible(&bound).unwrap().tag, "local-old");
     }
 
     #[test]
@@ -172,7 +255,7 @@ mod tests {
             c.insert(v(ct, tag));
         }
         // Oldest active snapshot sees ct ≤ 25: keep b (newest visible), c, d.
-        let removed = c.collect(|x| x.ct <= 25);
+        let removed = c.collect(&at_most(25));
         assert_eq!(removed, 1);
         let tags: Vec<_> = c.iter().map(|x| x.tag).collect();
         assert_eq!(tags, vec!["d", "c", "b"]);
@@ -183,8 +266,17 @@ mod tests {
         let mut c = VersionChain::new();
         c.insert(v(10, "a"));
         c.insert(v(20, "b"));
-        assert_eq!(c.collect(|x| x.ct <= 5), 0);
+        assert_eq!(c.collect(&at_most(5)), 0);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn collect_early_outs_on_short_chains() {
+        let mut c = VersionChain::new();
+        assert_eq!(c.collect(&SnapshotBound::all()), 0);
+        c.insert(v(10, "only"));
+        assert_eq!(c.collect(&SnapshotBound::all()), 0);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]
@@ -192,6 +284,6 @@ mod tests {
         let c: VersionChain<V> = VersionChain::new();
         assert!(c.is_empty());
         assert!(c.newest().is_none());
-        assert!(c.latest_visible(|_| true).is_none());
+        assert!(c.latest_visible(&SnapshotBound::all()).is_none());
     }
 }

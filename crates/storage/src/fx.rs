@@ -1,0 +1,113 @@
+//! A fast, non-cryptographic hasher for the store's key map.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! HashDoS-resistant but costs tens of cycles per `u64` key — pure
+//! overhead on the storage hot path, where keys are workload-controlled
+//! integers, not attacker-controlled strings. This is the FxHash
+//! construction (a single multiply-xor round per word, as used by rustc),
+//! vendored here because the build environment has no registry access.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: 2^64 / φ, the usual Fibonacci-hashing
+/// multiplier, which spreads consecutive keys across the table.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One multiply-xor round per word of input (FxHash).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let build = FxBuildHasher::default();
+        let h = |k: u64| build.hash_one(k);
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: HashMap<u64, u64, FxBuildHasher> = HashMap::default();
+        for k in 0..1_000 {
+            m.insert(k, k * 2);
+        }
+        for k in 0..1_000 {
+            assert_eq!(m[&k], k * 2);
+        }
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Consecutive keys must not collide in the low bits the table
+        // actually indexes with.
+        let build = FxBuildHasher::default();
+        let mut low_bits: Vec<u64> = (0..64u64).map(|k| build.hash_one(k) & 0xFF).collect();
+        low_bits.sort_unstable();
+        low_bits.dedup();
+        assert!(low_bits.len() > 48, "low bits collide: {}", low_bits.len());
+    }
+}

@@ -12,19 +12,44 @@
 //! * [`Versioned`] — what storage needs from a version: a total
 //!   **last-writer-wins order key** `(commit timestamp, origin DC,
 //!   transaction id)`, matching the paper's conflict-resolution rule
-//!   (§II-C: ties settled by the id of the originating DC combined with
-//!   the transaction identifier);
-//! * [`VersionChain`] — the versions of one key, newest first;
-//! * [`MvStore`] — a partition's worth of chains, with watermark-based
-//!   garbage collection ([`MvStore::collect`]).
+//!   (§II-C), plus the remote dependency time consulted by BiST bounds;
+//! * [`SnapshotBound`] — a snapshot's visibility rule as first-class
+//!   data: Wren's `(lt, rt)` pair, Cure's dependency vector, or a plain
+//!   commit-timestamp cutoff;
+//! * [`VersionChain`] — the versions of one key;
+//! * [`MvStore`] — a partition's worth of chains behind an
+//!   [`FxHasher`]-keyed map, with watermark-based garbage collection
+//!   ([`MvStore::collect`]) and O(1) [`MvStore::stats`].
 //!
-//! Visibility is *not* baked in: readers pass a snapshot predicate, because
-//! visibility is exactly where Wren and Cure differ.
+//! # The ordering invariant behind the read path
+//!
+//! Every chain keeps its versions **sorted by the LWW order key**, with
+//! the key cached inline next to each version. The key's first component
+//! is the commit timestamp, so sorting by key is also sorting by commit
+//! timestamp (ties broken by origin DC, then transaction id — the same
+//! order LWW resolves conflicts in).
+//!
+//! Every [`SnapshotBound`] decomposes into
+//!
+//! 1. a **ceiling**: a commit timestamp no visible version can exceed
+//!    (`lt.max(rt)` for Wren, the vector maximum for Cure). Because the
+//!    chain is key-sorted, "everything at or below the ceiling" is a
+//!    **prefix** of the chain, found by `partition_point` binary search;
+//! 2. a cheap **per-origin refinement** (which of `lt`/`rt` applies, or
+//!    which vector entry), applied walking newest-to-oldest *within* that
+//!    prefix.
+//!
+//! For a pure cutoff bound ([`SnapshotBound::at_most`]) the refinement
+//! accepts the first candidate, so a read is exactly one binary search.
+//! For Wren/Cure bounds the refinement usually accepts the first or
+//! second candidate; the binary search has already skipped the (deep,
+//! under replication lag) suffix of too-new versions that the seed's
+//! closure-predicate API had to test one by one.
 //!
 //! # Example
 //!
 //! ```
-//! use wren_storage::{MvStore, Versioned};
+//! use wren_storage::{MvStore, SnapshotBound, Versioned};
 //! use wren_clock::Timestamp;
 //!
 //! #[derive(Clone, Debug)]
@@ -37,7 +62,8 @@
 //! store.insert(7, V { ct: Timestamp::from_micros(10), data: 1 });
 //! store.insert(7, V { ct: Timestamp::from_micros(20), data: 2 });
 //! // Read at a snapshot that only covers the first version:
-//! let seen = store.latest_visible(&7, |v| v.ct <= Timestamp::from_micros(15));
+//! let bound = SnapshotBound::at_most(Timestamp::from_micros(15));
+//! let seen = store.latest_visible(&7, &bound);
 //! assert_eq!(seen.unwrap().data, 1);
 //! ```
 
@@ -45,7 +71,11 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod fx;
+mod snapshot;
 mod store;
 
-pub use chain::{VersionChain, Versioned};
+pub use chain::{OrderKey, VersionChain, Versioned};
+pub use fx::{FxBuildHasher, FxHasher};
+pub use snapshot::SnapshotBound;
 pub use store::{MvStore, StoreStats};

@@ -1,0 +1,160 @@
+//! First-class snapshot bounds: the storage-level visibility rules of
+//! both protocols, expressed as data instead of closures.
+//!
+//! The seed implementation had readers pass `|v| v.ct <= bound` closures
+//! to [`VersionChain::latest_visible`](crate::VersionChain::latest_visible).
+//! That forced a linear scan: the chain cannot see inside an opaque
+//! predicate, so it has to test every version. A [`SnapshotBound`] makes
+//! the structure explicit — every rule both protocols use is a *commit-
+//! timestamp ceiling* (no version above it can ever be visible) plus a
+//! cheap per-version refinement — which lets the chain binary-search to
+//! the ceiling and only run the refinement on the handful of versions at
+//! or below it.
+
+use crate::chain::OrderKey;
+use wren_clock::{Timestamp, VersionVector};
+
+/// A snapshot's visibility rule against stored versions.
+///
+/// Construct one with [`SnapshotBound::all`], [`SnapshotBound::at_most`],
+/// [`SnapshotBound::bist`] (Wren's two-scalar snapshot) or
+/// [`SnapshotBound::vector`] (Cure's per-DC dependency vector). The
+/// commit-timestamp ceiling is precomputed at construction so per-version
+/// checks stay branch-cheap.
+#[derive(Clone, Debug)]
+pub struct SnapshotBound<'a> {
+    ceiling: Timestamp,
+    rule: Rule<'a>,
+}
+
+#[derive(Clone, Debug)]
+enum Rule<'a> {
+    /// Everything is visible.
+    All,
+    /// Visible iff commit timestamp ≤ ceiling, regardless of origin.
+    AtMost,
+    /// Wren's BiST rule (§IV-B): a local-origin version is visible iff
+    /// `ut ≤ lt ∧ rdt ≤ rt`; a remote-origin one iff `ut ≤ rt ∧ rdt ≤ lt`.
+    Bist {
+        local_dc: u8,
+        lt: Timestamp,
+        rt: Timestamp,
+    },
+    /// Cure's rule: visible iff `ut ≤ snapshot[origin DC]`.
+    Vector(&'a VersionVector),
+}
+
+impl<'a> SnapshotBound<'a> {
+    /// A bound admitting every version (causally-unconstrained reader).
+    #[inline]
+    pub fn all() -> Self {
+        SnapshotBound {
+            ceiling: Timestamp::MAX,
+            rule: Rule::All,
+        }
+    }
+
+    /// Admits versions whose commit timestamp is at most `bound`,
+    /// regardless of origin.
+    #[inline]
+    pub fn at_most(bound: Timestamp) -> Self {
+        SnapshotBound {
+            ceiling: bound,
+            rule: Rule::AtMost,
+        }
+    }
+
+    /// Wren's snapshot `(lt, rt)` evaluated at a partition of DC
+    /// `local_dc`: local-origin versions are bounded by `(lt, rt)` and
+    /// remote-origin ones by `(rt, lt)` on their `(ut, rdt)` pair.
+    #[inline]
+    pub fn bist(local_dc: u8, lt: Timestamp, rt: Timestamp) -> Self {
+        SnapshotBound {
+            // Either branch requires ut ≤ max(lt, rt), so that max is a
+            // sound ceiling for the binary-search cutoff.
+            ceiling: lt.max(rt),
+            rule: Rule::Bist { local_dc, lt, rt },
+        }
+    }
+
+    /// Cure's snapshot vector: a version is visible iff its commit
+    /// timestamp is covered by the entry of its origin DC.
+    #[inline]
+    pub fn vector(snapshot: &'a VersionVector) -> Self {
+        SnapshotBound {
+            ceiling: snapshot.iter().max().unwrap_or(Timestamp::ZERO),
+            rule: Rule::Vector(snapshot),
+        }
+    }
+
+    /// No version with a commit timestamp above this can be admitted.
+    #[inline]
+    pub fn ceiling(&self) -> Timestamp {
+        self.ceiling
+    }
+
+    /// Whether a version with LWW key `key` and remote dependency time
+    /// `remote_dep` is inside the snapshot.
+    #[inline]
+    pub fn admits(&self, key: &OrderKey, remote_dep: Timestamp) -> bool {
+        let (ut, origin, _) = *key;
+        match &self.rule {
+            Rule::All => true,
+            Rule::AtMost => ut <= self.ceiling,
+            Rule::Bist { local_dc, lt, rt } => {
+                if origin == *local_dc {
+                    ut <= *lt && remote_dep <= *rt
+                } else {
+                    ut <= *rt && remote_dep <= *lt
+                }
+            }
+            Rule::Vector(snapshot) => ut <= snapshot.get(origin as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(micros: u64) -> Timestamp {
+        Timestamp::from_micros(micros)
+    }
+
+    #[test]
+    fn all_admits_everything() {
+        let b = SnapshotBound::all();
+        assert_eq!(b.ceiling(), Timestamp::MAX);
+        assert!(b.admits(&(Timestamp::MAX, 3, 9), Timestamp::MAX));
+    }
+
+    #[test]
+    fn at_most_is_a_pure_prefix() {
+        let b = SnapshotBound::at_most(ts(50));
+        assert!(b.admits(&(ts(50), 0, 0), Timestamp::ZERO));
+        assert!(!b.admits(&(ts(51), 0, 0), Timestamp::ZERO));
+        assert_eq!(b.ceiling(), ts(50));
+    }
+
+    #[test]
+    fn bist_swaps_bounds_by_origin() {
+        let b = SnapshotBound::bist(1, ts(100), ts(40));
+        // Local version: ut vs lt, rdt vs rt.
+        assert!(b.admits(&(ts(90), 1, 0), ts(40)));
+        assert!(!b.admits(&(ts(90), 1, 0), ts(41)));
+        // Remote version: ut vs rt, rdt vs lt.
+        assert!(b.admits(&(ts(40), 0, 0), ts(100)));
+        assert!(!b.admits(&(ts(41), 0, 0), Timestamp::ZERO));
+        assert_eq!(b.ceiling(), ts(100));
+    }
+
+    #[test]
+    fn vector_bounds_by_origin_entry() {
+        let vv = VersionVector::from_entries(vec![ts(10), ts(30)]);
+        let b = SnapshotBound::vector(&vv);
+        assert_eq!(b.ceiling(), ts(30));
+        assert!(b.admits(&(ts(10), 0, 0), Timestamp::ZERO));
+        assert!(!b.admits(&(ts(11), 0, 0), Timestamp::ZERO));
+        assert!(b.admits(&(ts(30), 1, 0), Timestamp::ZERO));
+    }
+}

@@ -1,4 +1,4 @@
-use crate::{VersionChain, Versioned};
+use crate::{FxBuildHasher, SnapshotBound, VersionChain, Versioned};
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -18,16 +18,25 @@ pub struct StoreStats {
 ///
 /// Generic over the key and the version type so Wren items (two scalar
 /// timestamps) and Cure items (dependency vectors) share the same storage.
+///
+/// The map hashes with [`FxHasher`](crate::FxHasher) rather than the
+/// standard library's SipHash: keys are workload integers, and the read
+/// path is the system's hottest loop. The retained-version count is
+/// maintained incrementally on [`insert`](MvStore::insert) /
+/// [`collect`](MvStore::collect), so [`stats`](MvStore::stats) is O(1)
+/// instead of a scan over every chain.
 #[derive(Clone, Debug)]
 pub struct MvStore<K, V> {
-    chains: HashMap<K, VersionChain<V>>,
+    chains: HashMap<K, VersionChain<V>, FxBuildHasher>,
+    versions: usize,
     collected: u64,
 }
 
 impl<K, V> Default for MvStore<K, V> {
     fn default() -> Self {
         MvStore {
-            chains: HashMap::new(),
+            chains: HashMap::default(),
+            versions: 0,
             collected: 0,
         }
     }
@@ -36,21 +45,19 @@ impl<K, V> Default for MvStore<K, V> {
 impl<K: Eq + Hash + Clone, V: Versioned> MvStore<K, V> {
     /// Creates an empty store.
     pub fn new() -> Self {
-        MvStore {
-            chains: HashMap::new(),
-            collected: 0,
-        }
+        MvStore::default()
     }
 
     /// Inserts a new version of `key`.
     pub fn insert(&mut self, key: K, version: V) {
         self.chains.entry(key).or_default().insert(version);
+        self.versions += 1;
     }
 
-    /// The newest version of `key` satisfying the snapshot predicate
-    /// `visible`, or `None` if the key has no visible version.
-    pub fn latest_visible<F: Fn(&V) -> bool>(&self, key: &K, visible: F) -> Option<&V> {
-        self.chains.get(key).and_then(|c| c.latest_visible(visible))
+    /// The newest version of `key` inside the snapshot `bound`, or `None`
+    /// if the key has no visible version.
+    pub fn latest_visible(&self, key: &K, bound: &SnapshotBound<'_>) -> Option<&V> {
+        self.chains.get(key).and_then(|c| c.latest_visible(bound))
     }
 
     /// The newest version of `key` outright.
@@ -64,22 +71,26 @@ impl<K: Eq + Hash + Clone, V: Versioned> MvStore<K, V> {
     }
 
     /// Runs garbage collection over every chain with the oldest-active-
-    /// snapshot predicate (see [`VersionChain::collect`]). Returns the
-    /// number of versions removed by this call.
-    pub fn collect<F: Fn(&V) -> bool>(&mut self, visible_at_oldest: F) -> usize {
+    /// snapshot bound (see [`VersionChain::collect`]). Chains already at
+    /// length ≤ 1 are skipped outright. Returns the number of versions
+    /// removed by this call.
+    pub fn collect(&mut self, oldest_snapshot: &SnapshotBound<'_>) -> usize {
         let mut removed = 0;
         for chain in self.chains.values_mut() {
-            removed += chain.collect(&visible_at_oldest);
+            if chain.len() > 1 {
+                removed += chain.collect(oldest_snapshot);
+            }
         }
+        self.versions -= removed;
         self.collected += removed as u64;
         removed
     }
 
-    /// Current statistics.
+    /// Current statistics (O(1): counters are maintained incrementally).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             keys: self.chains.len(),
-            versions: self.chains.values().map(|c| c.len()).sum(),
+            versions: self.versions,
             collected: self.collected,
         }
     }
@@ -104,6 +115,10 @@ mod tests {
         }
     }
 
+    fn at_most(ct: u64) -> SnapshotBound<'static> {
+        SnapshotBound::at_most(Timestamp::from_micros(ct))
+    }
+
     #[test]
     fn insert_and_read_across_keys() {
         let mut s: MvStore<u64, V> = MvStore::new();
@@ -111,8 +126,8 @@ mod tests {
         s.insert(1, V(20));
         s.insert(2, V(5));
         assert_eq!(s.newest(&1).unwrap().0, 20);
-        assert_eq!(s.latest_visible(&1, |v| v.0 <= 15).unwrap().0, 10);
-        assert!(s.latest_visible(&3, |_| true).is_none());
+        assert_eq!(s.latest_visible(&1, &at_most(15)).unwrap().0, 10);
+        assert!(s.latest_visible(&3, &SnapshotBound::all()).is_none());
         assert_eq!(s.stats().keys, 2);
         assert_eq!(s.stats().versions, 3);
     }
@@ -126,11 +141,37 @@ mod tests {
         for ct in [15, 25] {
             s.insert(2, V(ct));
         }
-        let removed = s.collect(|v| v.0 <= 26);
+        let removed = s.collect(&at_most(26));
         // key 1: visible=20, drop 10 → 1 removed. key 2: visible=25, drop 15 → 1 removed.
         assert_eq!(removed, 2);
         assert_eq!(s.stats().collected, 2);
         assert_eq!(s.stats().versions, 3);
+    }
+
+    #[test]
+    fn stats_stay_consistent_across_interleaved_inserts_and_collects() {
+        let mut s: MvStore<u64, V> = MvStore::new();
+        let mut expected_live = 0usize;
+        let mut expected_collected = 0u64;
+        for round in 0u64..8 {
+            // Grow a few chains…
+            for k in 0..4u64 {
+                for i in 0..5u64 {
+                    s.insert(k, V(round * 100 + i * 10));
+                    expected_live += 1;
+                }
+            }
+            // …then GC at a watermark inside this round's versions.
+            let removed = s.collect(&at_most(round * 100 + 25));
+            expected_live -= removed;
+            expected_collected += removed as u64;
+            let stats = s.stats();
+            assert_eq!(stats.versions, expected_live, "round {round}");
+            assert_eq!(stats.collected, expected_collected, "round {round}");
+            // The incremental count must equal a full recount.
+            let recount: usize = s.iter().map(|(_, c)| c.len()).sum();
+            assert_eq!(stats.versions, recount, "round {round}");
+        }
     }
 
     #[test]

@@ -1,36 +1,80 @@
 //! Property-based tests for version chains: LWW ordering, visibility and
 //! GC invariants under arbitrary insertion orders.
+//!
+//! The binary-search read path is checked against a **naive linear-scan
+//! oracle** (`iter().filter(admits).max_by_key(order_key)`): for every
+//! randomized insertion order — including commit-timestamp ties broken by
+//! `(dc, tx)` — and every bound shape (`at_most`, `bist`, `vector`), the
+//! indexed `latest_visible`/`collect` must agree with the oracle exactly.
 
 use proptest::prelude::*;
-use wren_clock::Timestamp;
-use wren_storage::{MvStore, VersionChain, Versioned};
+use wren_clock::{Timestamp, VersionVector};
+use wren_storage::{MvStore, SnapshotBound, VersionChain, Versioned};
 
 #[derive(Clone, Debug, PartialEq)]
 struct V {
     ct: u64,
     sr: u8,
     tx: u64,
+    rdt: u64,
 }
 
 impl Versioned for V {
     fn order_key(&self) -> (Timestamp, u8, u64) {
         (Timestamp::from_micros(self.ct), self.sr, self.tx)
     }
+
+    fn remote_dep(&self) -> Timestamp {
+        Timestamp::from_micros(self.rdt)
+    }
 }
 
-fn arb_version() -> impl Strategy<Value = V> {
-    (0u64..500, 0u8..3, 0u64..1000).prop_map(|(ct, sr, tx)| V { ct, sr, tx })
+fn ts(micros: u64) -> Timestamp {
+    Timestamp::from_micros(micros)
+}
+
+/// Narrow domains on purpose: commit-timestamp ties (resolved by `(dc,
+/// tx)`) must actually occur. A strategy-level post-pass makes every
+/// transaction id unique, as in the real system — `(ct, sr, tx)` is a
+/// globally unique key there, and full-key duplicates would make "which
+/// equal-key twin survives" observable noise in the oracle comparison.
+fn arb_versions(max: usize) -> impl Strategy<Value = Vec<V>> {
+    proptest::collection::vec(
+        (0u64..500, 0u8..3, 0u64..8, 0u64..500)
+            .prop_map(|(ct, sr, tx, rdt)| V { ct, sr, tx, rdt: rdt.min(ct) }),
+        1..max,
+    )
+    .prop_map(|mut versions| {
+        for (i, v) in versions.iter_mut().enumerate() {
+            // Keep the low bits random (ties exercised), high bits unique.
+            v.tx += (i as u64) << 3;
+        }
+        versions
+    })
+}
+
+/// The linear-scan oracle: the LWW-max among versions a bound admits.
+fn oracle<'a>(versions: &'a [V], bound: &SnapshotBound<'_>) -> Option<&'a V> {
+    versions
+        .iter()
+        .filter(|v| bound.admits(&v.order_key(), v.remote_dep()))
+        .max_by_key(|v| v.order_key())
+}
+
+fn build_chain(versions: &[V]) -> VersionChain<V> {
+    let mut chain = VersionChain::new();
+    for v in versions {
+        chain.insert(v.clone());
+    }
+    chain
 }
 
 proptest! {
     /// Whatever the insertion order, the chain is sorted newest-first by
     /// the LWW key, and `newest` is the global maximum.
     #[test]
-    fn chain_is_always_lww_sorted(versions in proptest::collection::vec(arb_version(), 1..40)) {
-        let mut chain = VersionChain::new();
-        for v in &versions {
-            chain.insert(v.clone());
-        }
+    fn chain_is_always_lww_sorted(versions in arb_versions(40)) {
+        let chain = build_chain(&versions);
         let keys: Vec<_> = chain.iter().map(Versioned::order_key).collect();
         for w in keys.windows(2) {
             prop_assert!(w[0] >= w[1], "chain out of order: {:?}", keys);
@@ -39,45 +83,103 @@ proptest! {
         prop_assert_eq!(chain.newest().unwrap().order_key(), max);
     }
 
-    /// `latest_visible` returns exactly the LWW-max among versions
-    /// passing the predicate.
+    /// Binary-search `latest_visible` matches the linear-scan oracle for
+    /// plain commit-timestamp cutoffs.
     #[test]
-    fn latest_visible_is_lww_max_of_predicate(
-        versions in proptest::collection::vec(arb_version(), 1..40),
+    fn latest_visible_matches_oracle_at_most(
+        versions in arb_versions(40),
         cutoff in 0u64..500,
     ) {
-        let mut chain = VersionChain::new();
-        for v in &versions {
-            chain.insert(v.clone());
-        }
-        let visible = chain.latest_visible(|v| v.ct <= cutoff);
-        let expected = versions
-            .iter()
-            .filter(|v| v.ct <= cutoff)
-            .max_by_key(|v| v.order_key());
+        let chain = build_chain(&versions);
+        let bound = SnapshotBound::at_most(ts(cutoff));
+        let visible = chain.latest_visible(&bound);
+        let expected = oracle(&versions, &bound);
         match (visible, expected) {
             (None, None) => {}
             (Some(a), Some(b)) => prop_assert_eq!(a.order_key(), b.order_key()),
-            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a.map(|v| v.ct), b.map(|v| v.ct)),
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
         }
+    }
+
+    /// Binary-search `latest_visible` matches the oracle for Wren's BiST
+    /// bounds, whose per-origin refinement is *not* a pure key prefix.
+    #[test]
+    fn latest_visible_matches_oracle_bist(
+        versions in arb_versions(40),
+        local_dc in 0u8..3,
+        lt in 0u64..500,
+        rt in 0u64..500,
+    ) {
+        let chain = build_chain(&versions);
+        let bound = SnapshotBound::bist(local_dc, ts(lt), ts(rt));
+        let visible = chain.latest_visible(&bound);
+        let expected = oracle(&versions, &bound);
+        match (visible, expected) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.order_key(), b.order_key()),
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Binary-search `latest_visible` matches the oracle for Cure's
+    /// vector bounds.
+    #[test]
+    fn latest_visible_matches_oracle_vector(
+        versions in arb_versions(40),
+        e0 in 0u64..500,
+        e1 in 0u64..500,
+        e2 in 0u64..500,
+    ) {
+        let chain = build_chain(&versions);
+        let vv = VersionVector::from_entries(vec![ts(e0), ts(e1), ts(e2)]);
+        let bound = SnapshotBound::vector(&vv);
+        let visible = chain.latest_visible(&bound);
+        let expected = oracle(&versions, &bound);
+        match (visible, expected) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.order_key(), b.order_key()),
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// `collect` drops exactly the versions older than the oracle's
+    /// newest-visible version, for every bound shape.
+    #[test]
+    fn collect_matches_oracle(
+        versions in arb_versions(40),
+        local_dc in 0u8..3,
+        lt in 0u64..500,
+        rt in 0u64..500,
+    ) {
+        let mut chain = build_chain(&versions);
+        let bound = SnapshotBound::bist(local_dc, ts(lt), ts(rt));
+        let expected_keep = match oracle(&versions, &bound) {
+            // Keep the newest visible and everything newer.
+            Some(newest_visible) => {
+                let pivot = newest_visible.order_key();
+                versions.iter().filter(|v| v.order_key() >= pivot).count()
+            }
+            // Nothing visible: everything is retained.
+            None => versions.len(),
+        };
+        let removed = chain.collect(&bound);
+        prop_assert_eq!(chain.len(), expected_keep);
+        prop_assert_eq!(removed, versions.len() - expected_keep);
     }
 
     /// After GC at any watermark, every read at a snapshot at or above the
     /// watermark returns the same result as before GC.
     #[test]
     fn gc_preserves_reads_at_or_above_watermark(
-        versions in proptest::collection::vec(arb_version(), 1..40),
+        versions in arb_versions(40),
         watermark in 0u64..500,
         probe in 0u64..500,
     ) {
-        let mut chain = VersionChain::new();
-        for v in &versions {
-            chain.insert(v.clone());
-        }
+        let mut chain = build_chain(&versions);
         let probe = probe.max(watermark); // only snapshots ≥ watermark are promised
-        let before = chain.latest_visible(|v| v.ct <= probe).cloned();
-        chain.collect(|v| v.ct <= watermark);
-        let after = chain.latest_visible(|v| v.ct <= probe).cloned();
+        let before = chain.latest_visible(&SnapshotBound::at_most(ts(probe))).cloned();
+        chain.collect(&SnapshotBound::at_most(ts(watermark)));
+        let after = chain.latest_visible(&SnapshotBound::at_most(ts(probe))).cloned();
         prop_assert_eq!(before, after);
     }
 
@@ -85,15 +187,12 @@ proptest! {
     /// an unsorted state.
     #[test]
     fn gc_keeps_newest_and_order(
-        versions in proptest::collection::vec(arb_version(), 1..40),
+        versions in arb_versions(40),
         watermark in 0u64..500,
     ) {
-        let mut chain = VersionChain::new();
-        for v in &versions {
-            chain.insert(v.clone());
-        }
+        let mut chain = build_chain(&versions);
         let newest_before = chain.newest().unwrap().order_key();
-        chain.collect(|v| v.ct <= watermark);
+        chain.collect(&SnapshotBound::at_most(ts(watermark)));
         prop_assert_eq!(chain.newest().unwrap().order_key(), newest_before);
         let keys: Vec<_> = chain.iter().map(Versioned::order_key).collect();
         for w in keys.windows(2) {
@@ -104,18 +203,26 @@ proptest! {
     /// Store-level: stats track contents; collect sums per-chain removals.
     #[test]
     fn store_stats_are_consistent(
-        inserts in proptest::collection::vec((0u64..8, arb_version()), 1..60),
+        keys in proptest::collection::vec(0u64..8, 1..60),
+        versions in arb_versions(60),
         watermark in 0u64..500,
     ) {
+        let inserts: Vec<(u64, V)> = keys
+            .iter()
+            .zip(versions.iter().cycle())
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
         let mut store: MvStore<u64, V> = MvStore::new();
         for (k, v) in &inserts {
             store.insert(*k, v.clone());
         }
         let before = store.stats();
         prop_assert_eq!(before.versions, inserts.len());
-        let removed = store.collect(|v| v.ct <= watermark);
+        let removed = store.collect(&SnapshotBound::at_most(ts(watermark)));
         let after = store.stats();
         prop_assert_eq!(after.versions + removed, before.versions);
         prop_assert_eq!(after.collected, removed as u64);
+        let recount: usize = store.iter().map(|(_, c)| c.len()).sum();
+        prop_assert_eq!(after.versions, recount);
     }
 }

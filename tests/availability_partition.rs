@@ -36,14 +36,14 @@ fn transactions_commit_during_partition() {
     // Each client still reads its own writes via cache + local snapshot.
     let (res, _) = run_tx(&mut net, &mut alice, &[keys[0]], &[]);
     assert_eq!(
-        res[0].1.as_ref().map(|v| decode_marker(v)),
+        res[0].1.as_ref().map(decode_marker),
         Some((1, 10)),
         "alice must see her latest write during the partition"
     );
 
     // Remote updates are (of course) not visible yet.
     let (res, _) = run_tx(&mut net, &mut alice, &[keys[1]], &[]);
-    let saw = res[0].1.as_ref().map(|v| decode_marker(v));
+    let saw = res[0].1.as_ref().map(decode_marker);
     assert!(
         saw.is_none() || saw.unwrap().0 == 1,
         "no DC1 update can be visible in DC0 while partitioned"

@@ -88,6 +88,7 @@ impl WrenNet {
         self.drain(withheld);
     }
 
+    #[allow(clippy::wrong_self_convention)] // "from" = message provenance, not conversion
     pub fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: WrenMsg) {
         self.drain(vec![(Dest::Client(client), coordinator, msg)]);
     }
@@ -276,6 +277,7 @@ impl CureNet {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)] // "from" = message provenance, not conversion
     pub fn from_client(&mut self, client: ClientId, coordinator: ServerId, msg: CureMsg) {
         self.drain(vec![(Dest::Client(client), coordinator, msg)]);
     }

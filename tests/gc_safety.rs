@@ -31,7 +31,7 @@ fn gc_bounds_version_chains_under_overwrites() {
 
     // The latest version is intact.
     let (res, _) = run_tx(&mut net, &mut c, &[Key(0)], &[]);
-    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 100)));
+    assert_eq!(res[0].1.as_ref().map(decode_marker), Some((1, 100)));
 }
 
 #[test]
@@ -63,7 +63,7 @@ fn gc_never_collects_below_an_active_snapshot() {
     let req = outcome.request.expect("server read");
     net.from_client(hid, hcoord, req);
     let res = holder.on_read_resp(net.client_resp(hid));
-    let seen = res[0].1.as_ref().map(|v| decode_marker(v));
+    let seen = res[0].1.as_ref().map(decode_marker);
     assert_eq!(
         seen,
         Some((1, 1)),

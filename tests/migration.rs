@@ -45,7 +45,7 @@ fn migration_waits_for_new_dc_to_catch_up() {
     net.from_client(id, coord, req);
     let res = c.on_read_resp(net.client_resp(id));
     assert_eq!(
-        res[0].1.as_ref().map(|v| decode_marker(v)),
+        res[0].1.as_ref().map(decode_marker),
         Some((1, 7)),
         "migrated client must still read its own write"
     );

@@ -34,7 +34,7 @@ fn monotonic_writes_within_a_session() {
     let mut fresh = WrenClient::new(ClientId(2), ServerId::new(0, 1));
     let (res, _) = run_tx(&mut net, &mut fresh, &keys, &[]);
     assert_eq!(
-        res[0].1.as_ref().map(|v| decode_marker(v)),
+        res[0].1.as_ref().map(decode_marker),
         Some((1, 20)),
         "monotonic writes violated: stale own-write won LWW"
     );
@@ -91,14 +91,14 @@ fn read_your_writes_survives_cache_pruning() {
 
     // Phase 1: cache serves the read (LST has not covered the write).
     let (res, _) = run_tx(&mut net, &mut c, &keys, &[]);
-    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 9)));
+    assert_eq!(res[0].1.as_ref().map(decode_marker), Some((1, 9)));
     let cache_hits_before = c.stats().hits_cache;
     assert!(cache_hits_before > 0, "expected a cache hit before stabilization");
 
     // Phase 2: stabilize → cache pruned → server serves the same value.
     net.stabilize(5);
     let (res, _) = run_tx(&mut net, &mut c, &keys, &[]);
-    assert_eq!(res[0].1.as_ref().map(|v| decode_marker(v)), Some((1, 9)));
+    assert_eq!(res[0].1.as_ref().map(decode_marker), Some((1, 9)));
     assert_eq!(c.cache_len(), 0, "cache must be pruned once LST covers the write");
     assert!(c.stats().cache_pruned > 0);
 }
@@ -123,7 +123,7 @@ fn monotonic_reads_across_coordinator_partitions() {
     let mut last_seen = 0u32;
     for round in 0..6 {
         let (res, _) = run_tx(&mut net, &mut reader_a, &keys, &[]);
-        if let Some((_, seq)) = res[0].1.as_ref().map(|v| decode_marker(v)) {
+        if let Some((_, seq)) = res[0].1.as_ref().map(decode_marker) {
             assert!(
                 seq >= last_seen,
                 "monotonic reads violated at round {round}: {seq} < {last_seen}"

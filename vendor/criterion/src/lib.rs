@@ -1,0 +1,241 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of criterion's API the micro-benchmarks use:
+//! [`black_box`], [`Criterion::bench_function`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: after a short calibration, each benchmark runs
+//! several timed samples and reports the **median ns/iteration** (medians
+//! resist scheduler noise better than means). Environment knobs:
+//!
+//! * `CRITERION_SAMPLE_MS` — target milliseconds per sample (default 20);
+//! * `CRITERION_SAMPLES` — samples per benchmark (default 7);
+//! * `CRITERION_JSON` — if set, writes `{"results": [{name, ns_per_iter,
+//!   iters_per_sec}]}` to the given path on exit (used by the repo's
+//!   `BENCH_micro.json` tracking);
+//! * a positional CLI argument filters benchmarks by substring, matching
+//!   `cargo bench -- <filter>`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function preventing the optimizer from deleting a
+/// computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's timing context.
+pub struct Bencher {
+    sample_target: Duration,
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    measured_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_target: Duration, samples: usize) -> Self {
+        Bencher {
+            sample_target,
+            samples,
+            measured_ns: f64::NAN,
+        }
+    }
+
+    /// Times `routine`, storing the median ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count filling ~one sample window.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_target / 4 || iters >= 1 << 40 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = self.sample_target.as_secs_f64();
+                iters = ((target / per_iter.max(1e-12)) as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(8);
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// One finished benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_target: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20u64);
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7usize)
+            .max(1);
+        Criterion {
+            filter: None,
+            sample_target: Duration::from_millis(sample_ms),
+            samples,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (cargo-bench style:
+    /// flags are ignored, a positional argument is a name filter).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Runs one benchmark (skipped unless it matches the filter).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.sample_target, self.samples);
+        f(&mut b);
+        let ns = b.measured_ns;
+        if ns.is_nan() {
+            println!("{name:<40} (no measurement: routine never called iter)");
+            return self;
+        }
+        let per_sec = 1e9 / ns.max(1e-9);
+        println!("{name:<40} {ns:>14.1} ns/iter {per_sec:>16.0} iter/s");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: ns,
+        });
+        self
+    }
+
+    /// Finishes the run: writes the JSON report when `CRITERION_JSON`
+    /// is set.
+    pub fn finish(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters_per_sec\": {:.0}}}{}\n",
+                r.name,
+                r.ns_per_iter,
+                1e9 / r.ns_per_iter.max(1e-9),
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion: failed to write {path}: {e}");
+        }
+    }
+
+    /// Completed results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Groups benchmark target functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::remove_var("CRITERION_JSON");
+        let mut c = Criterion {
+            filter: None,
+            sample_target: Duration::from_micros(200),
+            samples: 3,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            sample_target: Duration::from_micros(100),
+            samples: 1,
+            results: Vec::new(),
+        };
+        c.bench_function("other", |b| b.iter(|| 1u64));
+        assert!(c.results().is_empty());
+    }
+}

@@ -1,0 +1,450 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of proptest's API its property tests use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, range / tuple / `any` /
+//! collection / option strategies, [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its generated inputs via
+//!   the panic message (`Debug`-formatted by the assertion), but is not
+//!   minimized;
+//! * **deterministic** — each test runs a fixed number of cases (default
+//!   256, override with `PROPTEST_CASES`) from a seed derived from the
+//!   test's name, so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The deterministic RNG driving every strategy.
+pub mod test_runner {
+    /// SplitMix64-based generator; deliberately tiny.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one test case, mixing the test's name hash
+        /// with the case index so every case sees a fresh stream.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        /// The next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `bound` (which must be non-zero).
+        #[inline]
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Per-file configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Cases each property runs.
+        pub cases: u64,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u64) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Number of cases each property runs: the `PROPTEST_CASES`
+    /// environment variable wins over `configured`.
+    pub fn cases_with(configured: u64) -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+    }
+
+    /// Number of cases with the default configuration.
+    pub fn cases() -> u64 {
+        cases_with(ProptestConfig::default().cases)
+    }
+}
+
+/// Strategies: generators of arbitrary values.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies ([`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for any value of a type ([`crate::arbitrary::any`]).
+    pub struct AnyStrategy<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the types it supports.
+pub mod arbitrary {
+    use super::strategy::AnyStrategy;
+    use super::test_runner::TestRng;
+
+    /// Types with a full-range generator.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// A strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A size specification: fixed or ranged.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`: ~25% `None`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy to also produce `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs many generated cases.
+///
+/// The attribute list is captured wholesale (it includes the `#[test]`
+/// the caller writes) and re-emitted on the expanded zero-argument test.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases_with(($cfg).cases);
+                for case in 0..cases {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    { $body }
+                }
+            }
+        )*
+    };
+    ($( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let mut __proptest_rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $pat =
+                        $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    { $body }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+// `Range` is re-exported so macro expansions referencing strategies keep
+// working without extra imports in user code.
+#[doc(hidden)]
+pub type __Range<T> = Range<T>;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5u64..10, v in crate::collection::vec(0u8..4, 1..9)) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0u32..3, 0u32..3).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(pair <= 22);
+        }
+
+        #[test]
+        fn oneof_covers_arms(x in prop_oneof![0u64..1, 10u64..11]) {
+            prop_assert!(x == 0u64 || x == 10u64);
+        }
+
+        #[test]
+        fn option_of_mixes(o in crate::option::of(1u8..2)) {
+            prop_assert!(o.is_none() || o == Some(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
