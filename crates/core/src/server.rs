@@ -5,7 +5,7 @@ use wren_protocol::{
     ClientId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId, Value,
     WrenMsg, WrenVersion,
 };
-use wren_storage::{MvStore, SnapshotBound};
+use wren_storage::{ShardedStore, SnapshotBound};
 
 /// Counters exposed by a server for test assertions and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -89,7 +89,7 @@ pub struct WrenServer {
     vv: VersionVector,
     lst: Timestamp,
     rst: Timestamp,
-    store: MvStore<Key, WrenVersion>,
+    store: ShardedStore<Key, WrenVersion>,
     prepared: HashMap<TxId, PreparedTx>,
     committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     next_seq: u64,
@@ -112,6 +112,9 @@ pub struct WrenServer {
     scratch_reads: Vec<Vec<Key>>,
     /// Scratch buckets for grouping a write-set by partition.
     scratch_writes: Vec<Vec<(Key, Value)>>,
+    /// Scratch buffer for flattening a replication batch before the
+    /// store-level batch apply, reused across batches.
+    scratch_apply: Vec<(Key, WrenVersion)>,
 }
 
 impl WrenServer {
@@ -143,7 +146,7 @@ impl WrenServer {
             vv: VersionVector::new(cfg.n_dcs as usize),
             lst: Timestamp::ZERO,
             rst: Timestamp::ZERO,
-            store: MvStore::new(),
+            store: ShardedStore::new(),
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -157,6 +160,7 @@ impl WrenServer {
             children,
             scratch_reads: vec![Vec::new(); n],
             scratch_writes: vec![Vec::new(); n],
+            scratch_apply: Vec::new(),
         }
     }
 
@@ -215,7 +219,7 @@ impl WrenServer {
     }
 
     /// Read-only access to the store (convergence checks in tests).
-    pub fn store(&self) -> &MvStore<Key, WrenVersion> {
+    pub fn store(&self) -> &ShardedStore<Key, WrenVersion> {
         &self.store
     }
 
@@ -661,25 +665,35 @@ impl WrenServer {
 
     /// Applies a replication batch from the sibling replica in `sibling`'s
     /// DC (Algorithm 4 lines 22–26).
+    ///
+    /// The whole batch shares one commit timestamp, so it is applied with
+    /// the store's batched splice ([`ShardedStore::apply_batch`]): the
+    /// writes are flattened into a reusable scratch buffer and each key's
+    /// run pays a single chain search instead of one per version.
     fn on_replicate(&mut self, sibling: ServerId, batch: ReplicateBatch) {
         let src = sibling.dc;
+        let ct = batch.ct;
+        let mut items = std::mem::take(&mut self.scratch_apply);
+        debug_assert!(items.is_empty());
         for rep in batch.txs {
             for (k, v) in rep.writes {
-                self.store.insert(
+                items.push((
                     k,
                     WrenVersion {
                         value: v,
-                        ut: batch.ct,
+                        ut: ct,
                         rdt: rep.rst,
                         tx: rep.tx,
                         sr: src,
                     },
-                );
-                self.stats.remote_versions_applied += 1;
+                ));
             }
-            self.vis.register_remote(batch.ct);
+            self.vis.register_remote(ct);
         }
-        self.vv.raise(src.index(), batch.ct);
+        let applied = self.store.apply_batch(&mut items);
+        self.stats.remote_versions_applied += applied as u64;
+        self.scratch_apply = items;
+        self.vv.raise(src.index(), ct);
     }
 
     /// Algorithm 4 lines 5–21 (Δ_R): apply committed transactions in

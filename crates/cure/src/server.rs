@@ -5,7 +5,7 @@ use wren_protocol::{
     ClientId, CureMsg, CureRepTx, CureReplicateBatch, CureVersion, Dest, Key, Outgoing,
     PartitionId, ServerId, TxId, Value,
 };
-use wren_storage::{MvStore, SnapshotBound};
+use wren_storage::{ShardedStore, SnapshotBound};
 
 /// Counters exposed by a Cure server.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -94,7 +94,7 @@ pub struct CureServer {
     /// Global stable snapshot: componentwise min of the DC's version
     /// vectors.
     gss: VersionVector,
-    store: MvStore<Key, CureVersion>,
+    store: ShardedStore<Key, CureVersion>,
     prepared: HashMap<TxId, PreparedTx>,
     committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     next_seq: u64,
@@ -118,6 +118,9 @@ pub struct CureServer {
     scratch_reads: Vec<Vec<Key>>,
     /// Scratch buckets for grouping a write-set by partition.
     scratch_writes: Vec<Vec<(Key, Value)>>,
+    /// Scratch buffer for flattening a replication batch before the
+    /// store-level batch apply, reused across batches.
+    scratch_apply: Vec<(Key, CureVersion)>,
 }
 
 impl CureServer {
@@ -147,7 +150,7 @@ impl CureServer {
             ts_source: HybridClock::new(),
             vv: VersionVector::new(m),
             gss: VersionVector::new(m),
-            store: MvStore::new(),
+            store: ShardedStore::new(),
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -163,6 +166,7 @@ impl CureServer {
             children,
             scratch_reads: vec![Vec::new(); n],
             scratch_writes: vec![Vec::new(); n],
+            scratch_apply: Vec::new(),
         }
     }
 
@@ -233,7 +237,7 @@ impl CureServer {
     }
 
     /// Read-only store access for tests.
-    pub fn store(&self) -> &MvStore<Key, CureVersion> {
+    pub fn store(&self) -> &ShardedStore<Key, CureVersion> {
         &self.store
     }
 
@@ -737,6 +741,9 @@ impl CureServer {
         self.stats.txs_cohort_committed += 1;
     }
 
+    /// Applies a replication batch with the store's batched splice: the
+    /// batch shares one commit timestamp, so each key's run pays a single
+    /// chain search ([`ShardedStore::apply_batch`]).
     fn on_replicate(
         &mut self,
         sibling: ServerId,
@@ -745,23 +752,28 @@ impl CureServer {
         out: &mut Vec<Outgoing<CureMsg>>,
     ) {
         let src = sibling.dc;
+        let ct = batch.ct;
+        let mut items = std::mem::take(&mut self.scratch_apply);
+        debug_assert!(items.is_empty());
         for rep in batch.txs {
             for (k, v) in rep.writes {
-                self.store.insert(
+                items.push((
                     k,
                     CureVersion {
                         value: v,
-                        ut: batch.ct,
+                        ut: ct,
                         deps: rep.deps.clone(),
                         tx: rep.tx,
                         sr: src,
                     },
-                );
-                self.stats.remote_versions_applied += 1;
+                ));
             }
-            self.vis.register_remote(src.index(), batch.ct);
+            self.vis.register_remote(src.index(), ct);
         }
-        self.vv.raise(src.index(), batch.ct);
+        let applied = self.store.apply_batch(&mut items);
+        self.stats.remote_versions_applied += applied as u64;
+        self.scratch_apply = items;
+        self.vv.raise(src.index(), ct);
         self.retry_pending_reads(now_micros, out);
     }
 

@@ -59,6 +59,15 @@ impl Enc {
         Enc::default()
     }
 
+    /// Creates an encoder whose buffer is preallocated to `capacity`
+    /// bytes. Message `encode` paths pass their exact `wire_size()`, so
+    /// the buffer never reallocates mid-encode.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Enc {
+            buf: BytesMut::with_capacity(capacity),
+        }
+    }
+
     /// Finishes encoding, returning the bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()

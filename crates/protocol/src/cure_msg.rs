@@ -268,8 +268,14 @@ impl CureMsg {
     }
 
     /// Encodes to the binary wire format.
+    ///
+    /// The buffer is preallocated to the exact [`wire_size`]
+    /// (which property tests pin to the encoded length), so encoding
+    /// never pays a growth realloc.
+    ///
+    /// [`wire_size`]: CureMsg::wire_size
     pub fn encode(&self) -> Bytes {
-        let mut e = Enc::new();
+        let mut e = Enc::with_capacity(self.wire_size());
         match self {
             CureMsg::StartTxReq { seen } => {
                 e.put_u8(TAG_START_REQ);

@@ -96,6 +96,54 @@ impl<V: Versioned> VersionChain<V> {
         }
     }
 
+    /// Splices a **sorted run** of versions into the chain with a single
+    /// binary search and at most one bulk shift.
+    ///
+    /// `run` must be sorted ascending by the LWW order key; it is drained
+    /// (capacity is kept, so callers can reuse the buffer). The intended
+    /// caller is replication apply: every version of a replication batch
+    /// shares one commit timestamp, so all of a key's versions land at one
+    /// splice point and the batched form turns `N × O(log n + shift)`
+    /// one-at-a-time inserts into `O(log n + N)` plus a single shift.
+    ///
+    /// Out-of-run interleavings are still correct: if existing entries
+    /// fall strictly between the run's first and last keys (possible only
+    /// on commit-timestamp ties with a different origin DC or transaction
+    /// id), the overlapping region is re-sorted after the splice.
+    pub fn apply_batch(&mut self, run: &mut Vec<V>) {
+        match run.len() {
+            0 => return,
+            1 => {
+                let v = run.pop().expect("len checked");
+                self.insert(v);
+                return;
+            }
+            _ => {}
+        }
+        let first = run[0].order_key();
+        let last = run[run.len() - 1].order_key();
+        debug_assert!(
+            run.windows(2).all(|w| w[0].order_key() <= w[1].order_key()),
+            "apply_batch run must be sorted ascending by order key"
+        );
+        // Fast path: the whole run is newer than the tail (in-order
+        // replication, the common case) — a bulk append.
+        if self.entries.last().is_none_or(|(tail, _)| first > *tail) {
+            self.entries.extend(run.drain(..).map(|v| (v.order_key(), v)));
+            return;
+        }
+        let lo = self.entries.partition_point(|(k, _)| *k <= first);
+        let hi = self.entries.partition_point(|(k, _)| *k <= last);
+        let run_len = run.len();
+        self.entries
+            .splice(lo..lo, run.drain(..).map(|v| (v.order_key(), v)));
+        if lo != hi {
+            // Existing entries with keys inside (first, last] were pushed
+            // behind the run by the splice; restore order locally.
+            self.entries[lo..hi + run_len].sort_unstable_by_key(|e| e.0);
+        }
+    }
+
     /// The newest version inside `bound`, i.e. the version a transaction
     /// with that snapshot must read under last-writer-wins.
     ///

@@ -17,9 +17,41 @@
 //!   data: Wren's `(lt, rt)` pair, Cure's dependency vector, or a plain
 //!   commit-timestamp cutoff;
 //! * [`VersionChain`] — the versions of one key;
-//! * [`MvStore`] — a partition's worth of chains behind an
-//!   [`FxHasher`]-keyed map, with watermark-based garbage collection
-//!   ([`MvStore::collect`]) and O(1) [`MvStore::stats`].
+//! * [`MvStore`] — a flat map of chains behind an [`FxHasher`]-keyed
+//!   map, with watermark-based garbage collection ([`MvStore::collect`])
+//!   and O(1) [`MvStore::stats`];
+//! * [`ShardedStore`] — a partition's worth of data as `S` power-of-two
+//!   key-hash **stripes**, each an independent [`MvStore`]. This is what
+//!   the protocol servers run on.
+//!
+//! # Stripe layout
+//!
+//! A [`ShardedStore`] picks a version's stripe from the **top
+//! `log2(S)` bits** of the key's FxHash; the inner maps index their
+//! tables with the same hash's low bits, so the two selections stay
+//! independent. Stripes are invisible to readers — `insert` /
+//! `latest_visible` / `newest` / `chain` / `stats` / `iter` behave
+//! exactly like the flat store (property-tested against it) — but give
+//! the write side independent units: per-stripe stats rollup, per-stripe
+//! GC sweeps ([`ShardedStore::collect_stripe`]), and per-stripe batch
+//! buckets, so a future multi-threaded server can serve slices
+//! concurrently without a global lock.
+//!
+//! # The batch-apply contract
+//!
+//! Replication applies versions in **commit-timestamp batches**: every
+//! version in a replication batch shares one commit timestamp.
+//! [`VersionChain::apply_batch`] exploits that: given a run
+//! of versions sorted ascending by LWW order key, it finds the splice
+//! point with a single binary search and bulk-inserts the run — turning
+//! `N × O(log n + shift)` one-at-a-time inserts into `O(log n + N)`
+//! plus at most one shift. [`MvStore::apply_batch`] sorts a whole batch
+//! once by `(key, order key)` and feeds each key's run to its chain;
+//! [`ShardedStore::apply_batch`] buckets by stripe first (buffers are
+//! reused, so steady-state batch apply allocates nothing). Callers need
+//! not pre-sort: the store-level entry points sort internally, and ties
+//! on the commit timestamp resolve exactly as repeated
+//! [`VersionChain::insert`] calls would.
 //!
 //! # The ordering invariant behind the read path
 //!
@@ -72,10 +104,12 @@
 
 mod chain;
 mod fx;
+mod sharded;
 mod snapshot;
 mod store;
 
 pub use chain::{OrderKey, VersionChain, Versioned};
 pub use fx::{FxBuildHasher, FxHasher};
+pub use sharded::ShardedStore;
 pub use snapshot::SnapshotBound;
 pub use store::{MvStore, StoreStats};

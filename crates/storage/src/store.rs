@@ -30,6 +30,12 @@ pub struct MvStore<K, V> {
     chains: HashMap<K, VersionChain<V>, FxBuildHasher>,
     versions: usize,
     collected: u64,
+    /// Reusable buffer for one key's run during [`apply_batch`]
+    /// (capacity survives across calls, so steady-state batch apply
+    /// allocates nothing).
+    ///
+    /// [`apply_batch`]: MvStore::apply_batch
+    run_scratch: Vec<V>,
 }
 
 impl<K, V> Default for MvStore<K, V> {
@@ -38,6 +44,7 @@ impl<K, V> Default for MvStore<K, V> {
             chains: HashMap::default(),
             versions: 0,
             collected: 0,
+            run_scratch: Vec::new(),
         }
     }
 }
@@ -52,6 +59,47 @@ impl<K: Eq + Hash + Clone, V: Versioned> MvStore<K, V> {
     pub fn insert(&mut self, key: K, version: V) {
         self.chains.entry(key).or_default().insert(version);
         self.versions += 1;
+    }
+
+    /// Applies a batch of versions, splicing each key's run into its
+    /// chain with one binary search and at most one bulk shift
+    /// ([`VersionChain::apply_batch`]).
+    ///
+    /// `items` is drained (capacity kept for reuse). The batch is sorted
+    /// once by `(key, order key)`; replication batches share one commit
+    /// timestamp, so a key written by several transactions in the batch
+    /// pays a single chain search instead of one per version. Returns the
+    /// number of versions applied.
+    pub fn apply_batch(&mut self, items: &mut Vec<(K, V)>) -> usize
+    where
+        K: Ord,
+    {
+        if items.is_empty() {
+            return 0;
+        }
+        let applied = items.len();
+        items.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.order_key().cmp(&b.1.order_key()))
+        });
+        let mut run = std::mem::take(&mut self.run_scratch);
+        debug_assert!(run.is_empty());
+        let mut drain = items.drain(..);
+        let (mut cur_key, first) = drain.next().expect("non-empty checked");
+        run.push(first);
+        for (k, v) in drain {
+            if k == cur_key {
+                run.push(v);
+            } else {
+                let done_key = std::mem::replace(&mut cur_key, k);
+                self.chains.entry(done_key).or_default().apply_batch(&mut run);
+                run.push(v);
+            }
+        }
+        self.chains.entry(cur_key).or_default().apply_batch(&mut run);
+        self.run_scratch = run;
+        self.versions += applied;
+        applied
     }
 
     /// The newest version of `key` inside the snapshot `bound`, or `None`

@@ -28,6 +28,19 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// Batch-size hint for [`Bencher::iter_batched`], mirroring real
+/// criterion's enum. The shim times each call individually, so the hint
+/// only exists for call compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are small; criterion would batch many per allocation.
+    SmallInput,
+    /// Inputs are large; criterion would batch few.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
 /// One benchmark's timing context.
 pub struct Bencher {
     sample_target: Duration,
@@ -43,6 +56,55 @@ impl Bencher {
             samples,
             measured_ns: f64::NAN,
         }
+    }
+
+    /// Times `routine` against fresh inputs produced by `setup`, with
+    /// both the setup cost and the **drop of the routine's output**
+    /// excluded from the measurement (matching real criterion's
+    /// `iter_batched` semantics; the batch-size hint is accepted for
+    /// call compatibility and ignored).
+    ///
+    /// Used by benchmarks whose routine consumes or mutates its input —
+    /// e.g. splicing a batch into a cloned version chain — where timing
+    /// `clone + routine + teardown` would dilute the comparison being
+    /// made. Routines should return any bulky state they want dropped
+    /// off the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut timed = |iters: u64| {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                let out = black_box(routine(input));
+                elapsed += start.elapsed();
+                drop(out); // off the clock
+            }
+            elapsed
+        };
+
+        // Calibrate the per-call cost (setup excluded) to size a sample.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = timed(iters);
+            if elapsed >= self.sample_target / 4 || iters >= 1 << 40 {
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = self.sample_target.as_secs_f64();
+                iters = ((target / per_iter.max(1e-12)) as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(8);
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            samples_ns.push(timed(iters).as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = samples_ns[samples_ns.len() / 2];
     }
 
     /// Times `routine`, storing the median ns/iteration.
