@@ -5,10 +5,13 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wren_clock::{HybridClock, SkewedClock, Timestamp, VersionVector};
 use wren_core::{WrenConfig, WrenServer};
 use wren_protocol::{ClientId, Dest, Key, ServerId, TxId, WrenMsg, WrenVersion};
-use wren_storage::{MvStore, ShardedStore, SnapshotBound, VersionChain, Versioned};
+use wren_storage::{
+    ConcurrentShardedStore, MvStore, ShardedStore, SnapshotBound, VersionChain, Versioned,
+};
 use wren_workload::Zipfian;
 
 fn bench_clocks(c: &mut Criterion) {
@@ -167,6 +170,63 @@ fn bench_sharded_store(c: &mut Criterion) {
     });
 }
 
+/// Keys in the parallel-read bench's store.
+const PR_KEYS: u64 = 4_096;
+/// Total slice reads per timed iteration of `parallel_read_slices_N`,
+/// split evenly across the N reader threads — the figure of merit is
+/// wall-clock for a fixed amount of read work, so more workers should
+/// finish sooner on a multi-core host.
+const PR_TOTAL_READS: u64 = 32_768;
+
+/// Read scaling on the stripe-locked concurrent store: N reader threads
+/// splitting a fixed slice workload, against a store shaped like the
+/// `store_latest_visible` one (4 versions per key, bound past all of
+/// them). `_1` is the single-threaded baseline the 4- and 8-reader
+/// variants are judged against; thread spawn/join is on the clock but
+/// amortized over thousands of reads per thread.
+fn bench_parallel_reads(c: &mut Criterion) {
+    let store = Arc::new(ConcurrentShardedStore::<Key, WrenVersion>::new());
+    for k in 0..PR_KEYS {
+        for ct in 0..4 {
+            store.insert(Key(k), sample_version(k * 10 + ct));
+        }
+    }
+    store.publish_stable(
+        Timestamp::from_micros(PR_KEYS * 10 + 100),
+        Timestamp::from_micros(PR_KEYS * 10 + 99),
+    );
+    for n_readers in [1usize, 4, 8] {
+        c.bench_function(&format!("parallel_read_slices_{n_readers}"), |b| {
+            let per_reader = PR_TOTAL_READS / n_readers as u64;
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for w in 0..n_readers {
+                        let store = Arc::clone(&store);
+                        s.spawn(move || {
+                            let (lt, rt) = store.stable();
+                            let bound = SnapshotBound::bist(0, lt, rt);
+                            // Per-thread xorshift: distinct key walks, no
+                            // shared RNG contention.
+                            let mut x = 0x9e37_79b9u64.wrapping_add(w as u64);
+                            let mut found = 0usize;
+                            for _ in 0..per_reader {
+                                x ^= x << 13;
+                                x ^= x >> 7;
+                                x ^= x << 17;
+                                let k = Key(x % PR_KEYS);
+                                if store.latest_visible(&k, &bound).is_some() {
+                                    found += 1;
+                                }
+                            }
+                            black_box(found)
+                        });
+                    }
+                });
+            })
+        });
+    }
+}
+
 /// Number of transactions in the modeled replication batch.
 const BATCH_TXS: u64 = 32;
 /// Hot keys the batch writes (zipfian workloads concentrate updates).
@@ -302,6 +362,7 @@ criterion_group!(
     bench_clocks,
     bench_storage,
     bench_sharded_store,
+    bench_parallel_reads,
     bench_replicate_apply,
     bench_codec,
     bench_workload,

@@ -60,5 +60,5 @@ mod visibility;
 
 pub use client::{ClientStats, ReadOutcome, WrenClient};
 pub use config::WrenConfig;
-pub use server::{ServerStats, WrenServer};
+pub use server::{ServerStats, SliceReader, WrenServer};
 pub use visibility::VisibilitySampler;

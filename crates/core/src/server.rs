@@ -1,11 +1,13 @@
 use crate::{VisibilitySampler, WrenConfig};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
 use wren_protocol::{
     ClientId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId, Value,
     WrenMsg, WrenVersion,
 };
-use wren_storage::{ShardedStore, SnapshotBound};
+use wren_storage::{ConcurrentShardedStore, SnapshotBound};
 
 /// Counters exposed by a server for test assertions and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,6 +30,94 @@ pub struct ServerStats {
     pub heartbeats_sent: u64,
     /// Versions removed by garbage collection.
     pub gc_versions_removed: u64,
+}
+
+/// The read-only slice path's counters, shared between the server and its
+/// [`SliceReader`] handles.
+///
+/// Atomics rather than plain fields so the slice path needs no `&mut`:
+/// with a parallel read engine, several workers bump them concurrently
+/// while the writer thread owns the rest of [`ServerStats`]. Relaxed
+/// ordering suffices — they are monotone counters, not synchronization.
+#[derive(Debug, Default)]
+struct ReadPathStats {
+    slices_served: AtomicU64,
+    keys_read: AtomicU64,
+}
+
+/// A cheap, cloneable handle answering read slices **straight from
+/// storage**, without touching the owning [`WrenServer`]'s mutable state.
+///
+/// This is the paper's nonblocking-read guarantee made thread-level: a
+/// slice at snapshot `(lt, rt)` only names versions every partition has
+/// already installed, so serving it needs the concurrent store (shared
+/// `Arc`), the DC id (fixed) and the slice counters (atomic) — nothing
+/// the writer thread mutates. `wren-rt`'s partition engine hands one
+/// handle to each of its read workers; [`WrenServer::handle`] uses the
+/// same code path for `SliceReq` when no engine is attached.
+#[derive(Debug, Clone)]
+pub struct SliceReader {
+    dc: u8,
+    store: Arc<ConcurrentShardedStore<Key, WrenVersion>>,
+    read_stats: Arc<ReadPathStats>,
+}
+
+impl SliceReader {
+    /// Algorithm 3 lines 1–12: the freshest visible version of each key
+    /// at snapshot `(lt, rt)`. Never blocks — neither on the protocol
+    /// (the snapshot is stable) nor on the writer thread (only stripe
+    /// read locks are taken).
+    ///
+    /// Also raises the store's published stable times to `(lt, rt)`,
+    /// mirroring what a `SliceReq` does on the writer path: a slice
+    /// request is proof those times are stable DC-wide. The one
+    /// writer-path side effect this handle cannot reproduce is the
+    /// [`VisibilitySampler`](crate::VisibilitySampler) advance — the
+    /// sampler is figures-only instrumentation, `&mut`, and disabled
+    /// (`sample_every = 0`) wherever engines run; drivers that sample
+    /// visibility (the simulator) serve slices on the writer path.
+    pub fn read_slice(
+        &self,
+        keys: &[Key],
+        lt: Timestamp,
+        rt: Timestamp,
+    ) -> Vec<(Key, Option<WrenVersion>)> {
+        self.store.publish_stable(lt, rt);
+        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
+        self.read_stats
+            .keys_read
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let bound = SnapshotBound::bist(self.dc, lt, rt);
+        let mut items = Vec::with_capacity(keys.len());
+        for &k in keys {
+            items.push((k, self.store.latest_visible(&k, &bound)));
+        }
+        items
+    }
+
+    /// Serves one `SliceReq`, producing the `SliceResp` to send back to
+    /// the coordinator.
+    pub fn serve(
+        &self,
+        tx: TxId,
+        lt: Timestamp,
+        rt: Timestamp,
+        keys: &[Key],
+    ) -> WrenMsg {
+        let items = self.read_slice(keys, lt, rt);
+        WrenMsg::SliceResp { tx, items }
+    }
+
+    /// Slice requests served so far through the shared counters (all
+    /// readers and the writer path combined).
+    pub fn slices_served(&self) -> u64 {
+        self.read_stats.slices_served.load(Ordering::Relaxed)
+    }
+
+    /// Keys read so far through the shared counters.
+    pub fn keys_read(&self) -> u64 {
+        self.read_stats.keys_read.load(Ordering::Relaxed)
+    }
 }
 
 /// Per-transaction coordinator context (the paper's `TX[id_T]`, extended
@@ -87,9 +177,12 @@ pub struct WrenServer {
     /// `VV[i]`: latest update applied from DC `i`'s sibling; `VV[m]` is the
     /// local version clock.
     vv: VersionVector,
-    lst: Timestamp,
-    rst: Timestamp,
-    store: ShardedStore<Key, WrenVersion>,
+    /// The partition's data plus the published LST/RST watermarks. Shared
+    /// (`Arc`) so [`SliceReader`] handles serve reads from other threads;
+    /// the server itself is the only writer.
+    store: Arc<ConcurrentShardedStore<Key, WrenVersion>>,
+    /// Slice-path counters, shared with [`SliceReader`] handles.
+    read_stats: Arc<ReadPathStats>,
     prepared: HashMap<TxId, PreparedTx>,
     committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     next_seq: u64,
@@ -144,9 +237,8 @@ impl WrenServer {
             clock,
             hlc: HybridClock::new(),
             vv: VersionVector::new(cfg.n_dcs as usize),
-            lst: Timestamp::ZERO,
-            rst: Timestamp::ZERO,
-            store: ShardedStore::new(),
+            store: Arc::new(ConcurrentShardedStore::new()),
+            read_stats: Arc::new(ReadPathStats::default()),
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -190,12 +282,12 @@ impl WrenServer {
 
     /// Current local stable time (LST) known to this server.
     pub fn lst(&self) -> Timestamp {
-        self.lst
+        self.store.lst()
     }
 
     /// Current remote stable time (RST) known to this server.
     pub fn rst(&self) -> Timestamp {
-        self.rst
+        self.store.rst()
     }
 
     /// The local version clock `VV[m]` (the snapshot installed locally).
@@ -203,9 +295,23 @@ impl WrenServer {
         self.vv.get(self.dc_index())
     }
 
-    /// Counters for reporting.
+    /// Counters for reporting. Slice-path counters are folded in from the
+    /// shared atomics, so reads served by engine workers are included.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.slices_served = self.read_stats.slices_served.load(Ordering::Relaxed);
+        stats.keys_read = self.read_stats.keys_read.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// A cheap handle serving read slices from any thread, straight from
+    /// this server's shared store (see [`SliceReader`]).
+    pub fn reader(&self) -> SliceReader {
+        SliceReader {
+            dc: self.id.dc.0,
+            store: Arc::clone(&self.store),
+            read_stats: Arc::clone(&self.read_stats),
+        }
     }
 
     /// The visibility sampler (Fig. 7b data).
@@ -219,7 +325,7 @@ impl WrenServer {
     }
 
     /// Read-only access to the store (convergence checks in tests).
-    pub fn store(&self) -> &ShardedStore<Key, WrenVersion> {
+    pub fn store(&self) -> &ConcurrentShardedStore<Key, WrenVersion> {
         &self.store
     }
 
@@ -249,13 +355,8 @@ impl WrenServer {
     }
 
     fn raise_stable(&mut self, lst: Timestamp, rst: Timestamp, now_micros: u64) {
-        if lst > self.lst {
-            self.lst = lst;
-        }
-        if rst > self.rst {
-            self.rst = rst;
-        }
-        self.vis.advance(self.lst, self.rst, now_micros);
+        self.store.publish_stable(lst, rst);
+        self.vis.advance(self.store.lst(), self.store.rst(), now_micros);
     }
 
     /// Handles one protocol message arriving from `from` at true time
@@ -374,11 +475,11 @@ impl WrenServer {
         self.raise_stable(lst_c, rst_c, now_micros);
         let tx = TxId::new(self.id, self.next_seq);
         self.next_seq += 1;
-        let lt = self.lst;
+        let lt = self.store.lst();
         // The remote snapshot is forced strictly below the local one so a
         // client-cache hit is always the freshest visible version under
         // last-writer-wins (§IV-B "Start").
-        let rt = self.rst.min(lt.predecessor());
+        let rt = self.store.rst().min(lt.predecessor());
         self.tx_ctx.insert(
             tx,
             TxCtx {
@@ -483,20 +584,23 @@ impl WrenServer {
     /// Algorithm 3 lines 1–12: the freshest visible version of each key.
     ///
     /// Never blocks: the snapshot `(lt, rt)` only names versions already
-    /// installed on every partition of the DC.
+    /// installed on every partition of the DC. Takes `&self` — this is
+    /// the read-only half of the handle/read split, the same code an
+    /// engine's [`SliceReader`] workers run off-thread.
     fn read_slice(
-        &mut self,
+        &self,
         keys: &[Key],
         lt: Timestamp,
         rt: Timestamp,
     ) -> Vec<(Key, Option<WrenVersion>)> {
-        self.stats.slices_served += 1;
+        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
+        self.read_stats
+            .keys_read
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         let bound = SnapshotBound::bist(self.id.dc.0, lt, rt);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
-            self.stats.keys_read += 1;
-            let version = self.store.latest_visible(&k, &bound);
-            items.push((k, version.cloned()));
+            items.push((k, self.store.latest_visible(&k, &bound)));
         }
         items
     }
@@ -840,7 +944,7 @@ impl WrenServer {
             None => {
                 // Root: the subtree minimum covers the whole DC.
                 self.raise_stable(sub_local, sub_remote, now_micros);
-                let (lst, rst) = (self.lst, self.rst);
+                let (lst, rst) = self.store.stable();
                 for &child in &self.children {
                     out.push(Outgoing::to_server(child, WrenMsg::GossipDown { lst, rst }));
                 }
@@ -882,7 +986,8 @@ impl WrenServer {
     /// Returns the number of versions collected.
     pub fn on_gc_tick(&mut self, _now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) -> usize {
         // Oldest active snapshot, or the current visible snapshot if idle.
-        let (mut oldest_lt, mut oldest_rt) = (self.lst, self.rst.min(self.lst.predecessor()));
+        let (lst, rst) = self.store.stable();
+        let (mut oldest_lt, mut oldest_rt) = (lst, rst.min(lst.predecessor()));
         for ctx in self.tx_ctx.values() {
             oldest_lt = oldest_lt.min(ctx.lt);
             oldest_rt = oldest_rt.min(ctx.rt);

@@ -426,7 +426,7 @@ fn stores_converge_across_dcs_after_quiescence() {
                 let got = server
                     .store()
                     .newest(key)
-                    .map(wren_storage::Versioned::order_key);
+                    .map(|v| wren_storage::Versioned::order_key(&v));
                 match (&newest, got) {
                     (None, Some(k)) => newest = Some(k),
                     (Some(prev), Some(k)) => {

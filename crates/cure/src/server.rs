@@ -1,11 +1,13 @@
 use crate::{CureConfig, CureVisibilitySampler};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
 use wren_protocol::{
     ClientId, CureMsg, CureRepTx, CureReplicateBatch, CureVersion, Dest, Key, Outgoing,
     PartitionId, ServerId, TxId, Value,
 };
-use wren_storage::{ShardedStore, SnapshotBound};
+use wren_storage::{ConcurrentShardedStore, SnapshotBound};
 
 /// Counters exposed by a Cure server.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +34,15 @@ pub struct CureServerStats {
     pub heartbeats_sent: u64,
     /// Versions removed by GC.
     pub gc_versions_removed: u64,
+}
+
+/// Read-only slice-path counters, mirroring `wren-core`'s split so the
+/// baseline pays the same atomic-counter costs on its read path as Wren
+/// does (a fair comparison — see `WrenServer`'s `ReadPathStats`).
+#[derive(Debug, Default)]
+struct ReadPathStats {
+    slices_served: AtomicU64,
+    keys_read: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -94,7 +105,11 @@ pub struct CureServer {
     /// Global stable snapshot: componentwise min of the DC's version
     /// vectors.
     gss: VersionVector,
-    store: ShardedStore<Key, CureVersion>,
+    /// Stripe-locked shared store: same storage layer as the Wren server,
+    /// so the protocol comparison is not skewed by lock costs.
+    store: Arc<ConcurrentShardedStore<Key, CureVersion>>,
+    /// Slice-path counters (the `&self` read path's half of the stats).
+    read_stats: Arc<ReadPathStats>,
     prepared: HashMap<TxId, PreparedTx>,
     committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     next_seq: u64,
@@ -150,7 +165,8 @@ impl CureServer {
             ts_source: HybridClock::new(),
             vv: VersionVector::new(m),
             gss: VersionVector::new(m),
-            store: ShardedStore::new(),
+            store: Arc::new(ConcurrentShardedStore::new()),
+            read_stats: Arc::new(ReadPathStats::default()),
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -204,9 +220,13 @@ impl CureServer {
         &self.gss
     }
 
-    /// Counters.
+    /// Counters. Slice-path counters are folded in from the shared
+    /// atomics (the `&self` read path's half of the split).
     pub fn stats(&self) -> CureServerStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.slices_served = self.read_stats.slices_served.load(Ordering::Relaxed);
+        stats.keys_read = self.read_stats.keys_read.load(Ordering::Relaxed);
+        stats
     }
 
     /// Reads currently blocked waiting for a snapshot.
@@ -237,7 +257,7 @@ impl CureServer {
     }
 
     /// Read-only store access for tests.
-    pub fn store(&self) -> &ShardedStore<Key, CureVersion> {
+    pub fn store(&self) -> &ConcurrentShardedStore<Key, CureVersion> {
         &self.store
     }
 
@@ -554,18 +574,25 @@ impl CureServer {
 
     /// Cure's visibility rule: a version is in the snapshot iff its commit
     /// timestamp is covered by the snapshot entry of its origin DC.
+    ///
+    /// Takes `&self`, mirroring `wren-core`'s handle/read split. Unlike
+    /// Wren, Cure cannot hand this to off-thread workers wholesale: the
+    /// *admission* check ([`snapshot_installed`](Self::snapshot_installed))
+    /// consults the writer-owned version vector, and a non-installed
+    /// snapshot must queue — blocking is the protocol's defining cost.
     fn read_slice(
-        &mut self,
+        &self,
         keys: &[Key],
         snapshot: &VersionVector,
     ) -> Vec<(Key, Option<CureVersion>)> {
-        self.stats.slices_served += 1;
+        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
+        self.read_stats
+            .keys_read
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
         let bound = SnapshotBound::vector(snapshot);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
-            self.stats.keys_read += 1;
-            let version = self.store.latest_visible(&k, &bound);
-            items.push((k, version.cloned()));
+            items.push((k, self.store.latest_visible(&k, &bound)));
         }
         items
     }

@@ -1,43 +1,82 @@
+use crate::engine::{PartitionEngine, ReadJob};
 use crate::Session;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wren_clock::SkewedClock;
-use wren_core::{ServerStats, WrenConfig, WrenServer};
+use wren_core::{ServerStats, WrenConfig};
 use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
 
-/// What travels on a server's inbox.
-enum RtMsg {
-    Proto { src: Dest, msg: WrenMsg },
+/// What travels on a writer thread's inbox.
+pub(crate) enum RtMsg {
+    /// A protocol message from `src`.
+    Proto {
+        /// The sender (a server or a client).
+        src: Dest,
+        /// The message itself.
+        msg: WrenMsg,
+    },
+    /// Stop the writer thread.
     Shutdown,
 }
 
-/// Shared routing state: server inboxes plus dynamically-registered
-/// client inboxes.
+/// Shared routing state: writer inboxes, per-partition read channels and
+/// dynamically-registered client inboxes.
+///
+/// The client map sits behind an [`RwLock`], not a mutex: every message
+/// delivered to a client takes the lock, and lookups (one per response)
+/// vastly outnumber register/unregister (one pair per session), so
+/// concurrently-responding servers and read workers must not serialize
+/// on it.
 pub(crate) struct Router {
     n_partitions: u16,
     server_txs: Vec<Sender<RtMsg>>,
-    clients: Mutex<HashMap<ClientId, Sender<WrenMsg>>>,
+    /// One MPMC read channel per partition when the cluster runs read
+    /// workers; empty when reads stay on the writer threads.
+    read_txs: Vec<Sender<ReadJob>>,
+    clients: RwLock<HashMap<ClientId, Sender<WrenMsg>>>,
 }
 
 impl Router {
+    fn index_of(&self, to: ServerId) -> usize {
+        to.dc.index() * self.n_partitions as usize + to.partition.index()
+    }
+
+    /// Routes one server-bound message: `SliceReq` is diverted to the
+    /// partition's read workers (when the engine runs any), everything
+    /// else lands in the writer's inbox.
     pub(crate) fn send_to_server(&self, src: Dest, to: ServerId, msg: WrenMsg) {
-        let idx = to.dc.index() * self.n_partitions as usize + to.partition.index();
+        let idx = self.index_of(to);
+        if !self.read_txs.is_empty() {
+            if let WrenMsg::SliceReq { tx, lt, rt, keys } = msg {
+                let Dest::Server(coordinator) = src else {
+                    debug_assert!(false, "SliceReq must come from a server");
+                    return;
+                };
+                // A send only fails during shutdown; drop the job then.
+                let _ = self.read_txs[idx].send(ReadJob::Slice {
+                    coordinator,
+                    tx,
+                    lt,
+                    rt,
+                    keys,
+                });
+                return;
+            }
+        }
         // A send only fails during shutdown; drop the message then.
         let _ = self.server_txs[idx].send(RtMsg::Proto { src, msg });
     }
 
     fn send_to_client(&self, to: ClientId, msg: WrenMsg) {
-        if let Some(tx) = self.clients.lock().get(&to) {
+        if let Some(tx) = self.clients.read().get(&to) {
             let _ = tx.send(msg);
         }
     }
 
-    fn dispatch(&self, src: ServerId, out: Vec<Outgoing<WrenMsg>>) {
+    pub(crate) fn dispatch(&self, src: ServerId, out: Vec<Outgoing<WrenMsg>>) {
         for Outgoing { to, msg } in out {
             match to {
                 Dest::Server(s) => self.send_to_server(Dest::Server(src), s, msg),
@@ -48,12 +87,12 @@ impl Router {
 
     pub(crate) fn register_client(&self, id: ClientId) -> Receiver<WrenMsg> {
         let (tx, rx) = unbounded();
-        self.clients.lock().insert(id, tx);
+        self.clients.write().insert(id, tx);
         rx
     }
 
     pub(crate) fn unregister_client(&self, id: ClientId) {
-        self.clients.lock().remove(&id);
+        self.clients.write().remove(&id);
     }
 }
 
@@ -67,6 +106,7 @@ pub struct ClusterBuilder {
     gc_tick: Duration,
     session_timeout: Duration,
     gossip_fanout: u16,
+    read_workers: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -79,6 +119,7 @@ impl Default for ClusterBuilder {
             gc_tick: Duration::from_millis(50),
             session_timeout: Duration::from_secs(5),
             gossip_fanout: 0,
+            read_workers: 2,
         }
     }
 }
@@ -133,14 +174,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Read workers per partition (default 2): threads answering
+    /// `SliceReq` concurrently, straight from the partition's
+    /// stripe-locked store, while the writer thread runs the mutating
+    /// protocol. 0 disables the pool and serves reads on the writer
+    /// thread, the pre-engine behaviour.
+    pub fn read_workers(mut self, n: usize) -> Self {
+        self.read_workers = n;
+        self
+    }
+
     /// Spawns the server threads and returns the running cluster.
     pub fn build(self) -> Cluster {
         Cluster::start(self)
     }
 }
 
-/// An in-process Wren cluster: one OS thread per partition server, real
-/// (shared) wall-clock time, crossbeam channels as the FIFO transport.
+/// An in-process Wren cluster: one partition **engine** per partition —
+/// a writer thread running the protocol state machine plus a pool of
+/// read workers serving slices straight from the stripe-locked store —
+/// with real (shared) wall-clock time and crossbeam channels as the
+/// FIFO transport.
 ///
 /// This is the deployable face of the library: the exact protocol state
 /// machines the simulator benchmarks, driven by threads instead of
@@ -169,7 +223,7 @@ impl ClusterBuilder {
 pub struct Cluster {
     cfg: ClusterBuilder,
     router: Arc<Router>,
-    handles: Vec<JoinHandle<ServerStats>>,
+    engines: Vec<PartitionEngine>,
     next_client: AtomicU32,
     next_coordinator: AtomicU32,
     shut_down: std::sync::atomic::AtomicBool,
@@ -185,10 +239,25 @@ impl Cluster {
             txs.push(tx);
             rxs.push(rx);
         }
+        // With read workers, every partition also gets an MPMC read
+        // channel the router diverts SliceReqs to; the sender is kept in
+        // the router (for routing) and in the engine (for shutdown).
+        let mut read_rxs = Vec::with_capacity(total);
+        let mut read_txs = Vec::new();
+        if cfg.read_workers > 0 {
+            for _ in 0..total {
+                let (tx, rx) = unbounded::<ReadJob>();
+                read_txs.push(tx);
+                read_rxs.push(Some(rx));
+            }
+        } else {
+            read_rxs.resize_with(total, || None);
+        }
         let router = Arc::new(Router {
             n_partitions: cfg.n_partitions,
             server_txs: txs,
-            clients: Mutex::new(HashMap::new()),
+            read_txs,
+            clients: RwLock::new(HashMap::new()),
         });
 
         let wren_cfg = WrenConfig {
@@ -202,12 +271,13 @@ impl Cluster {
         };
         let epoch = Instant::now();
 
-        let mut handles = Vec::with_capacity(total);
+        let mut engines = Vec::with_capacity(total);
         let mut rx_iter = rxs.into_iter();
+        let mut read_iter = read_rxs.into_iter();
         for dc in 0..cfg.n_dcs {
             for p in 0..cfg.n_partitions {
                 let rx = rx_iter.next().expect("one receiver per server");
-                let router = Arc::clone(&router);
+                let read_rx = read_iter.next().expect("one read channel slot per server");
                 let id = ServerId::new(dc, p);
                 let ticks = (
                     cfg.replication_tick,
@@ -218,16 +288,22 @@ impl Cluster {
                         Some(cfg.gc_tick)
                     },
                 );
-                handles.push(std::thread::spawn(move || {
-                    server_loop(id, wren_cfg, epoch, rx, router, ticks)
-                }));
+                engines.push(PartitionEngine::launch(
+                    id,
+                    wren_cfg,
+                    epoch,
+                    rx,
+                    read_rx.map(|rx| (rx, cfg.read_workers)),
+                    Arc::clone(&router),
+                    ticks,
+                ));
             }
         }
 
         Cluster {
             cfg,
             router,
-            handles,
+            engines,
             next_client: AtomicU32::new(0),
             next_coordinator: AtomicU32::new(0),
             shut_down: std::sync::atomic::AtomicBool::new(false),
@@ -267,9 +343,11 @@ impl Cluster {
         )
     }
 
-    /// Asks every server thread to stop. Threads are joined (and their
-    /// final [`ServerStats`] collected) when the cluster is dropped;
-    /// calling this twice is harmless.
+    /// Asks every engine to stop: a shutdown message to each writer
+    /// thread and a poison job per read worker (queued behind any
+    /// pending slices, which are still served). Threads are joined (and
+    /// their final [`ServerStats`] collected) in [`Cluster::stop`] or on
+    /// drop; calling this twice is harmless (idempotent).
     pub fn shutdown(&self) {
         if self.shut_down.swap(true, Ordering::SeqCst) {
             return;
@@ -277,101 +355,31 @@ impl Cluster {
         for tx in &self.router.server_txs {
             let _ = tx.send(RtMsg::Shutdown);
         }
+        for tx in &self.router.read_txs {
+            for _ in 0..self.cfg.read_workers {
+                let _ = tx.send(ReadJob::Shutdown);
+            }
+        }
     }
 
     /// Stops the cluster and returns each server's final statistics in
-    /// DC-major partition order. Consumes the cluster.
+    /// DC-major partition order (read-worker-served slices included —
+    /// the counters are shared). Consumes the cluster; every writer and
+    /// read-worker thread is joined before this returns, so no engine
+    /// thread outlives the call.
     pub fn stop(mut self) -> Vec<ServerStats> {
         self.shutdown();
-        self.handles.drain(..).map(|h| h.join().unwrap_or_default()).collect()
+        self.engines.drain(..).map(PartitionEngine::join).collect()
     }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-/// Upper bound on how many queued messages one wake-up drains before
-/// dispatching responses and re-checking the tick schedule. Bounded so a
-/// flooded inbox cannot starve replication/gossip ticks indefinitely.
-const MAX_DRAIN: usize = 64;
-
-/// The per-server thread: drains the inbox, fires ticks on schedule.
-///
-/// A wake-up consumes the whole pending burst (up to [`MAX_DRAIN`]) in
-/// one go rather than one message per loop turn: replication batches
-/// that queued up while the thread slept are applied back to back —
-/// each through the store's per-stripe batched splice — before any
-/// clock reads or tick checks are paid again.
-fn server_loop(
-    id: ServerId,
-    cfg: WrenConfig,
-    epoch: Instant,
-    rx: Receiver<RtMsg>,
-    router: Arc<Router>,
-    (repl, gossip, gc): (Duration, Duration, Option<Duration>),
-) -> ServerStats {
-    let mut server = WrenServer::new(id, cfg, SkewedClock::perfect());
-    let mut next_repl = epoch + repl;
-    let mut next_gossip = epoch + gossip;
-    let mut next_gc = gc.map(|d| epoch + d);
-    let mut out = Vec::new();
-
-    loop {
-        let now_inst = Instant::now();
-        let mut next_tick = next_repl.min(next_gossip);
-        if let Some(g) = next_gc {
-            next_tick = next_tick.min(g);
-        }
-        let wait = next_tick.saturating_duration_since(now_inst);
-
-        match rx.recv_timeout(wait) {
-            Ok(RtMsg::Proto { src, msg }) => {
-                let now = epoch.elapsed().as_micros() as u64;
-                server.handle(src, msg, now, &mut out);
-                // Drain the burst that accumulated while we slept.
-                for _ in 1..MAX_DRAIN {
-                    match rx.try_recv() {
-                        Some(RtMsg::Proto { src, msg }) => {
-                            server.handle(src, msg, now, &mut out);
-                        }
-                        Some(RtMsg::Shutdown) => {
-                            router.dispatch(id, std::mem::take(&mut out));
-                            return server.stats();
-                        }
-                        None => break,
-                    }
-                }
-                router.dispatch(id, std::mem::take(&mut out));
-            }
-            Ok(RtMsg::Shutdown) => return server.stats(),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return server.stats(),
-        }
-
-        let now_inst = Instant::now();
-        let now = epoch.elapsed().as_micros() as u64;
-        if now_inst >= next_repl {
-            server.on_replication_tick(now, &mut out);
-            router.dispatch(id, std::mem::take(&mut out));
-            next_repl = now_inst + repl;
-        }
-        if now_inst >= next_gossip {
-            server.on_gossip_tick(now, &mut out);
-            router.dispatch(id, std::mem::take(&mut out));
-            next_gossip = now_inst + gossip;
-        }
-        if let Some(g) = next_gc {
-            if now_inst >= g {
-                server.on_gc_tick(now, &mut out);
-                router.dispatch(id, std::mem::take(&mut out));
-                next_gc = Some(now_inst + gc.expect("gc enabled"));
-            }
+        // Deterministic teardown, workers before writer per engine: no
+        // detached read worker survives the cluster.
+        for engine in self.engines.drain(..) {
+            let _ = engine.join();
         }
     }
 }

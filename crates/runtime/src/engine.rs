@@ -1,0 +1,251 @@
+//! The parallel read engine: one writer thread plus a pool of read
+//! workers per partition.
+//!
+//! Wren's protocol guarantee is that read-only transactions never block
+//! — but through PR 2 the *runtime* still funneled every `SliceReq`
+//! through the partition's single protocol thread, so reads queued
+//! behind commits, replication applies, gossip and GC. This module makes
+//! the guarantee thread-level:
+//!
+//! * the **writer thread** owns the [`WrenServer`] state machine and all
+//!   mutating protocol handling — start/read fan-out, 2PC, replication,
+//!   gossip, GC ticks ([`server_loop`]);
+//! * **read workers** ([`read_worker`]) answer `SliceReq` straight from
+//!   storage through a [`SliceReader`] — an `Arc` of the partition's
+//!   stripe-locked `ConcurrentShardedStore` plus the atomic slice
+//!   counters — never touching the writer's state;
+//! * the [`Router`](crate::cluster::Router) diverts `SliceReq` messages
+//!   onto a per-partition MPMC channel the workers share; every other
+//!   message still lands in the writer's inbox.
+//!
+//! Why this is safe: a slice request names a snapshot `(lt, rt)` that is
+//! *stable* — every version inside it is already installed at every
+//! partition of the DC (the paper's central invariant, §IV-B). A
+//! concurrent writer can only be installing versions newer than any
+//! stable snapshot, so a worker either does not see them (they are above
+//! its visibility ceiling) or sees them fully spliced (the store's
+//! stripe locks rule out torn state). Stable-time watermarks flow
+//! through the store's atomics in both directions: workers observe the
+//! writer's published `lst`/`rst`, and a `SliceReq`'s carried stable
+//! times are published by the worker exactly as the writer path would.
+//!
+//! The writer's **GC tick cannot sweep a queued slice's versions**
+//! either, no matter how far the read channel lags: the GC watermark is
+//! the DC-wide minimum over every partition's *oldest active
+//! transaction* snapshot (`GcGossip`), and a `SliceReq` only exists
+//! while its coordinator still holds the transaction's context — whose
+//! `(lt, rt)` is exactly the queued read's bound. The coordinator
+//! therefore pins the watermark at or below every in-flight read, and a
+//! stale gossiped contribution only errs *lower* (safer). The pin lives
+//! at the coordinator, which is why the workers need no GC bookkeeping
+//! of their own.
+//!
+//! Shutdown is deterministic: the cluster queues one poison job per
+//! worker (behind any pending slices, which are still served), then
+//! [`PartitionEngine::join`] joins the workers before the writer — no
+//! detached reader can outlive the engine (and the store itself is kept
+//! alive by the workers' `Arc`s regardless).
+
+use crate::cluster::{Router, RtMsg};
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wren_clock::{SkewedClock, Timestamp};
+use wren_core::{ServerStats, SliceReader, WrenConfig, WrenServer};
+use wren_protocol::{Dest, Key, ServerId, TxId};
+
+/// What travels on a partition's read channel: a slice request peeled
+/// out of the protocol stream, or a poison pill stopping one worker.
+pub(crate) enum ReadJob {
+    /// Serve `keys` at snapshot `(lt, rt)` and answer `coordinator`.
+    Slice {
+        /// The coordinator awaiting the `SliceResp`.
+        coordinator: ServerId,
+        /// The transaction the slice belongs to.
+        tx: TxId,
+        /// Local stable snapshot time.
+        lt: Timestamp,
+        /// Remote stable snapshot time.
+        rt: Timestamp,
+        /// Keys this partition owns.
+        keys: Vec<Key>,
+    },
+    /// Stop the worker that receives this.
+    Shutdown,
+}
+
+/// One partition's running engine: the writer thread handle, the read
+/// worker handles, and a reader handle kept so [`join`](Self::join) can
+/// take the slice counters *after* every worker has finished.
+pub(crate) struct PartitionEngine {
+    writer: JoinHandle<ServerStats>,
+    workers: Vec<JoinHandle<()>>,
+    reader: SliceReader,
+}
+
+/// Tick intervals for a writer loop: replication, gossip, optional GC.
+pub(crate) type Ticks = (Duration, Duration, Option<Duration>);
+
+impl PartitionEngine {
+    /// Spawns the writer thread and the read workers for the partition
+    /// `id`. `read_pool` carries the receiving side of the channel the
+    /// router diverts this partition's `SliceReq`s to, plus the pool
+    /// size; `None` means the writer serves reads inline as before.
+    pub(crate) fn launch(
+        id: ServerId,
+        cfg: WrenConfig,
+        epoch: Instant,
+        rx: Receiver<RtMsg>,
+        read_pool: Option<(Receiver<ReadJob>, usize)>,
+        router: Arc<Router>,
+        ticks: Ticks,
+    ) -> PartitionEngine {
+        // Built on the spawning thread so reader handles can be taken
+        // before the state machine moves into the writer thread.
+        let server = WrenServer::new(id, cfg, SkewedClock::perfect());
+        let reader = server.reader();
+        let mut workers = Vec::new();
+        if let Some((read_rx, n_workers)) = read_pool {
+            workers.reserve(n_workers);
+            for _ in 0..n_workers {
+                let reader = server.reader();
+                let rx = read_rx.clone();
+                let router = Arc::clone(&router);
+                workers.push(std::thread::spawn(move || {
+                    read_worker(id, reader, rx, router)
+                }));
+            }
+        }
+        let writer =
+            std::thread::spawn(move || server_loop(id, server, epoch, rx, router, ticks));
+        PartitionEngine {
+            writer,
+            workers,
+            reader,
+        }
+    }
+
+    /// Joins the engine's threads deterministically — workers first
+    /// (they drain any queued slices, then hit the poison jobs
+    /// [`Cluster::shutdown`](crate::Cluster::shutdown) queued, one per
+    /// worker), then the writer — and returns the writer's final
+    /// statistics with the slice counters re-read *after* the worker
+    /// joins: the writer may snapshot its stats while a worker is still
+    /// mid-slice, so only a post-join load of the shared atomics counts
+    /// every served slice.
+    pub(crate) fn join(mut self) -> ServerStats {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let mut stats = self.writer.join().unwrap_or_default();
+        stats.slices_served = self.reader.slices_served();
+        stats.keys_read = self.reader.keys_read();
+        stats
+    }
+}
+
+/// A read worker: serves queued slice requests straight from storage
+/// until it receives a poison pill (or every sender disappears).
+///
+/// The loop is intentionally tiny — receive, read at the stable
+/// snapshot, reply — because everything protocol-shaped already
+/// happened: the coordinator chose the snapshot, and stability
+/// guarantees the answer is fully installed here.
+fn read_worker(id: ServerId, reader: SliceReader, rx: Receiver<ReadJob>, router: Arc<Router>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            ReadJob::Slice {
+                coordinator,
+                tx,
+                lt,
+                rt,
+                keys,
+            } => {
+                let resp = reader.serve(tx, lt, rt, &keys);
+                router.send_to_server(Dest::Server(id), coordinator, resp);
+            }
+            ReadJob::Shutdown => return,
+        }
+    }
+}
+
+/// Upper bound on how many queued messages one wake-up drains before
+/// dispatching responses and re-checking the tick schedule. Bounded so a
+/// flooded inbox cannot starve replication/gossip ticks indefinitely.
+const MAX_DRAIN: usize = 64;
+
+/// The writer thread: drains the inbox, fires ticks on schedule.
+///
+/// A wake-up consumes the whole pending burst (up to [`MAX_DRAIN`]) in
+/// one go rather than one message per loop turn: replication batches
+/// that queued up while the thread slept are applied back to back —
+/// each through the store's per-stripe batched splice — before any
+/// clock reads or tick checks are paid again. With read workers
+/// attached, `SliceReq`s never reach this loop at all.
+pub(crate) fn server_loop(
+    id: ServerId,
+    mut server: WrenServer,
+    epoch: Instant,
+    rx: Receiver<RtMsg>,
+    router: Arc<Router>,
+    (repl, gossip, gc): Ticks,
+) -> ServerStats {
+    let mut next_repl = epoch + repl;
+    let mut next_gossip = epoch + gossip;
+    let mut next_gc = gc.map(|d| epoch + d);
+    let mut out = Vec::new();
+
+    loop {
+        let now_inst = Instant::now();
+        let mut next_tick = next_repl.min(next_gossip);
+        if let Some(g) = next_gc {
+            next_tick = next_tick.min(g);
+        }
+        let wait = next_tick.saturating_duration_since(now_inst);
+
+        match rx.recv_timeout(wait) {
+            Ok(RtMsg::Proto { src, msg }) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                server.handle(src, msg, now, &mut out);
+                // Drain the burst that accumulated while we slept.
+                for _ in 1..MAX_DRAIN {
+                    match rx.try_recv() {
+                        Some(RtMsg::Proto { src, msg }) => {
+                            server.handle(src, msg, now, &mut out);
+                        }
+                        Some(RtMsg::Shutdown) => {
+                            router.dispatch(id, std::mem::take(&mut out));
+                            return server.stats();
+                        }
+                        None => break,
+                    }
+                }
+                router.dispatch(id, std::mem::take(&mut out));
+            }
+            Ok(RtMsg::Shutdown) => return server.stats(),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return server.stats(),
+        }
+
+        let now_inst = Instant::now();
+        let now = epoch.elapsed().as_micros() as u64;
+        if now_inst >= next_repl {
+            server.on_replication_tick(now, &mut out);
+            router.dispatch(id, std::mem::take(&mut out));
+            next_repl = now_inst + repl;
+        }
+        if now_inst >= next_gossip {
+            server.on_gossip_tick(now, &mut out);
+            router.dispatch(id, std::mem::take(&mut out));
+            next_gossip = now_inst + gossip;
+        }
+        if let Some(g) = next_gc {
+            if now_inst >= g {
+                server.on_gc_tick(now, &mut out);
+                router.dispatch(id, std::mem::take(&mut out));
+                next_gc = Some(now_inst + gc.expect("gc enabled"));
+            }
+        }
+    }
+}

@@ -21,8 +21,15 @@
 //!   map, with watermark-based garbage collection ([`MvStore::collect`])
 //!   and O(1) [`MvStore::stats`];
 //! * [`ShardedStore`] — a partition's worth of data as `S` power-of-two
-//!   key-hash **stripes**, each an independent [`MvStore`]. This is what
-//!   the protocol servers run on.
+//!   key-hash **stripes**, each an independent [`MvStore`] (the
+//!   single-threaded reference the benches and property tests pin the
+//!   stripe layout against);
+//! * [`ConcurrentShardedStore`] — the same stripe layout with each
+//!   stripe behind its own reader-writer lock and the stable-snapshot
+//!   timestamps published through atomics. This is what the protocol
+//!   servers run on: one writer thread applies the protocol while a pool
+//!   of read workers serves slices concurrently (see its type docs for
+//!   the safety argument).
 //!
 //! # Stripe layout
 //!
@@ -103,12 +110,14 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod concurrent;
 mod fx;
 mod sharded;
 mod snapshot;
 mod store;
 
 pub use chain::{OrderKey, VersionChain, Versioned};
+pub use concurrent::ConcurrentShardedStore;
 pub use fx::{FxBuildHasher, FxHasher};
 pub use sharded::ShardedStore;
 pub use snapshot::SnapshotBound;

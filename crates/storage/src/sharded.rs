@@ -20,6 +20,15 @@
 //! * batch apply ([`ShardedStore::apply_batch`]) fans a replication
 //!   batch out to per-stripe buckets and splices each key's run with one
 //!   binary search (see [`VersionChain::apply_batch`]).
+//!
+//! Since PR 3 the protocol servers run on the lock-striped
+//! [`ConcurrentShardedStore`](crate::ConcurrentShardedStore), which uses
+//! the same stripe layout with an `RwLock` around each stripe. This
+//! lock-free single-threaded variant remains the **reference point**:
+//! the `sharded_store_*` micro benches pin striping at flat-map speed
+//! against it, the property tests oracle it against the flat
+//! [`MvStore`], and any change to stripe selection or batch bucketing
+//! must land in both (the concurrent stress test cross-checks them).
 
 use crate::{FxBuildHasher, MvStore, SnapshotBound, StoreStats, VersionChain, Versioned};
 use std::hash::{BuildHasher, Hash};

@@ -26,6 +26,7 @@
 //! cargo run --release --example social_graph
 //! cargo run --release --example geo_visibility
 //! cargo run --release --example blocking_anatomy
+//! cargo run --release --example parallel_reads
 //! ```
 //!
 //! Reproduce the paper's figures:

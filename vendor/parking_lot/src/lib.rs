@@ -1,14 +1,17 @@
 //! Vendored minimal stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no network access, so the workspace vendors
-//! the subset it uses: a [`Mutex`] whose `lock()` returns the guard
-//! directly (no poisoning in the API). Backed by `std::sync::Mutex`;
-//! poisoned locks are transparently recovered, matching parking_lot's
-//! poison-free semantics.
+//! the subset it uses: a [`Mutex`] and an [`RwLock`] whose `lock()` /
+//! `read()` / `write()` return the guard directly (no poisoning in the
+//! API). Backed by the `std::sync` primitives; poisoned locks are
+//! transparently recovered, matching parking_lot's poison-free semantics.
 
 #![forbid(unsafe_code)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
 
 /// A mutual-exclusion lock without lock poisoning.
 #[derive(Debug, Default)]
@@ -33,6 +36,50 @@ impl<T> Mutex<T> {
     }
 
     /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock without lock poisoning: any number of concurrent
+/// readers, or one writer.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+/// Shared-access guard released on drop; derefs to the protected value.
+pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+
+/// Exclusive-access guard released on drop; derefs mutably.
+pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, blocking while a writer holds the
+    /// lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until all other guards
+    /// are released.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive access through `&mut self` without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the protected value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
@@ -66,5 +113,37 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(7u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (7, 7)); // concurrent readers coexist
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
+        assert_eq!(l.into_inner(), 8);
+    }
+
+    #[test]
+    fn rwlock_shared_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *l.write() += 1;
+                    let _ = *l.read();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4000);
     }
 }
