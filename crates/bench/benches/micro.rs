@@ -324,6 +324,20 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec_decode_slice_resp", |b| {
         b.iter(|| black_box(WrenMsg::decode(&bytes).unwrap()));
     });
+    // The transport's per-message cost: encode straight into a framed
+    // buffer (header + payload, one allocation), then reassemble the
+    // frame from the byte stream and decode — what every TCP hop pays
+    // on each side of the socket.
+    c.bench_function("codec_frame_roundtrip", |b| {
+        use wren_protocol::frame::{frame_wren, FrameDecoder};
+        b.iter(|| {
+            let framed = frame_wren(&msg);
+            let mut dec = FrameDecoder::new();
+            dec.extend(&framed);
+            let payload = dec.next_frame().unwrap().expect("complete frame");
+            black_box(WrenMsg::decode(&payload).unwrap())
+        });
+    });
 }
 
 fn bench_workload(c: &mut Criterion) {

@@ -508,7 +508,9 @@ impl WrenServer {
         out: &mut Vec<Outgoing<WrenMsg>>,
     ) {
         let Some(ctx) = self.tx_ctx.get(&tx) else {
-            debug_assert!(false, "read for unknown transaction");
+            // Unknown transaction: with a real transport this is
+            // remote-input-dependent (stale or forged id), so drop
+            // rather than assert.
             return;
         };
         let (lt, rt, client) = (ctx.lt, ctx.rt, ctx.client);
@@ -569,7 +571,8 @@ impl WrenServer {
         out: &mut Vec<Outgoing<WrenMsg>>,
     ) {
         let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
-            debug_assert!(false, "slice response for unknown transaction");
+            // Unknown transaction (stale or forged id over a real
+            // transport): drop.
             return;
         };
         ctx.read_acc.extend(items);
@@ -615,7 +618,8 @@ impl WrenServer {
         out: &mut Vec<Outgoing<WrenMsg>>,
     ) {
         let Some(ctx) = self.tx_ctx.get(&tx) else {
-            debug_assert!(false, "commit for unknown transaction");
+            // Unknown transaction (stale or forged id over a real
+            // transport): drop.
             return;
         };
         let (lt, rt, client) = (ctx.lt, ctx.rt, ctx.client);
@@ -722,7 +726,8 @@ impl WrenServer {
         out: &mut Vec<Outgoing<WrenMsg>>,
     ) {
         let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
-            debug_assert!(false, "prepare response for unknown transaction");
+            // Unknown transaction (stale or forged id over a real
+            // transport): drop.
             return;
         };
         ctx.max_pt = ctx.max_pt.max(pt);
@@ -754,7 +759,8 @@ impl WrenServer {
         let phys = self.clock.now_micros(now_micros);
         self.hlc.merge(phys, ct);
         let Some(prepared) = self.prepared.remove(&tx) else {
-            debug_assert!(false, "commit for unprepared transaction");
+            // Unknown/unprepared transaction (stale or forged id
+            // over a real transport): drop.
             return;
         };
         self.committed.insert(

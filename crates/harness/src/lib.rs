@@ -12,7 +12,11 @@
 //!   with warm-up exclusion and deterministic seeding;
 //! * [`RunResult`] — throughput, latency percentiles, per-transaction
 //!   blocking times (Fig. 3b), bytes on the wire by category (Fig. 7a)
-//!   and update-visibility samples (Fig. 7b).
+//!   and update-visibility samples (Fig. 7b);
+//! * [`RtSpec`] + [`run_rt`] — the same closed-loop client model against
+//!   the **real threaded runtime** (`wren-rt`), over in-process channels
+//!   or loopback TCP ([`RtTransport`]), measuring wall-clock throughput
+//!   and latency including every serialization and socket cost.
 //!
 //! # Example
 //!
@@ -33,11 +37,13 @@ pub mod csv;
 mod cure_cluster;
 mod experiment;
 mod metrics;
+mod rt_run;
 mod topology;
 mod wren_cluster;
 
 pub use cure_cluster::{CureClientNode, CureServerNode};
 pub use experiment::{run, ExperimentSpec, SystemKind};
+pub use rt_run::{run_rt, RtRunResult, RtSpec, RtTransport};
 pub use metrics::{cdf, BlockingSummary, BytesSummary, Histogram, LatencySummary, RunResult};
 pub use topology::{aws_latency_matrix, ServiceModel, Topology, AWS_REGIONS};
 pub use wren_cluster::{Ticks, WrenClientNode, WrenServerNode};

@@ -1,0 +1,35 @@
+//! Smoke for the threaded-runtime driver: both transports complete a
+//! small closed-loop workload and report sane numbers.
+
+use wren_harness::{run_rt, RtSpec, RtTransport};
+
+fn small(transport: RtTransport) -> RtSpec {
+    RtSpec {
+        dcs: 1,
+        partitions: 2,
+        read_workers: 2,
+        transport,
+        sessions_per_dc: 2,
+        txs_per_session: 40,
+        keys: 64,
+        reads_per_tx: 2,
+        writes_per_tx: 1,
+    }
+}
+
+#[test]
+fn rt_run_channel_smoke() {
+    let result = run_rt(&small(RtTransport::Channel));
+    assert_eq!(result.txs, 80);
+    assert!(result.throughput > 0.0);
+    assert!(result.mean_latency_ms > 0.0);
+    assert!(result.p99_latency_ms >= result.mean_latency_ms * 0.5);
+}
+
+#[test]
+fn rt_run_tcp_smoke() {
+    let result = run_rt(&small(RtTransport::Tcp));
+    assert_eq!(result.txs, 80);
+    assert!(result.throughput > 0.0);
+    assert!(result.mean_latency_ms > 0.0);
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+use wren_protocol::codec::CodecError;
+use wren_protocol::frame::FrameError;
+
+/// Errors surfaced by the TCP transport.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying socket failed (or timed out, for sockets with a
+    /// read timeout configured).
+    Io(std::io::Error),
+    /// The peer closed the connection in the middle of a frame.
+    TruncatedFrame,
+    /// A frame violated the framing rules (e.g. oversized).
+    Frame(FrameError),
+    /// A frame's payload failed to decode.
+    Codec(CodecError),
+    /// The first frame of a connection was not a valid handshake.
+    BadHello,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::TruncatedFrame => write!(f, "connection closed mid-frame"),
+            NetError::Frame(e) => write!(f, "framing error: {e}"),
+            NetError::Codec(e) => write!(f, "payload decode error: {e}"),
+            NetError::BadHello => write!(f, "connection did not start with a valid handshake"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl NetError {
+    /// True if this error is a read timeout (the socket had a read
+    /// timeout configured and it expired) rather than a dead peer.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+        )
+    }
+}

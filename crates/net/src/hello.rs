@@ -1,0 +1,123 @@
+//! The connection handshake: the first frame on every connection.
+//!
+//! A framed byte stream carries bare protocol messages — no per-message
+//! source field (the codec's byte accounting must match the simulator's,
+//! where transport identity is free). Source attribution instead rides
+//! on the connection itself: the dialing peer sends one [`Hello`] frame
+//! naming who it is, and every subsequent frame on that connection is
+//! attributed to that identity.
+
+use crate::NetError;
+use bytes::Bytes;
+use wren_protocol::codec::{Dec, Enc};
+use wren_protocol::frame::FRAME_HEADER_LEN;
+use wren_protocol::{ClientId, ServerId};
+
+/// Who is on the dialing end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// A client session (messages are `Dest::Client(id)`-sourced).
+    Client(ClientId),
+    /// A partition server's outbound link (messages are
+    /// `Dest::Server(id)`-sourced).
+    Server(ServerId),
+}
+
+/// Handshake tags live outside the protocol-message tag space (Wren
+/// uses 0–16, Cure 64–80) so a stray protocol frame can never pass as a
+/// hello.
+const TAG_HELLO_CLIENT: u8 = 0xC1;
+const TAG_HELLO_SERVER: u8 = 0xC5;
+
+impl Hello {
+    /// Encodes the handshake as a complete frame (header + payload),
+    /// ready to write as the first bytes on a connection.
+    pub fn encode_framed(&self) -> Bytes {
+        let payload_len = match self {
+            Hello::Client(_) => 5,
+            Hello::Server(_) => 4,
+        };
+        let mut e = Enc::with_capacity(FRAME_HEADER_LEN + payload_len);
+        e.put_u32(payload_len as u32);
+        match self {
+            Hello::Client(c) => {
+                e.put_u8(TAG_HELLO_CLIENT);
+                e.put_u32(c.0);
+            }
+            Hello::Server(s) => {
+                e.put_u8(TAG_HELLO_SERVER);
+                e.put_u8(s.dc.0);
+                e.put_u16(s.partition.0);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a handshake from the first frame's payload.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadHello`] if the payload is not a handshake.
+    pub fn decode(payload: &[u8]) -> Result<Hello, NetError> {
+        let mut d = Dec::new(payload);
+        let hello = match d.get_u8().map_err(|_| NetError::BadHello)? {
+            TAG_HELLO_CLIENT => {
+                Hello::Client(ClientId(d.get_u32().map_err(|_| NetError::BadHello)?))
+            }
+            TAG_HELLO_SERVER => {
+                let dc = d.get_u8().map_err(|_| NetError::BadHello)?;
+                let p = d.get_u16().map_err(|_| NetError::BadHello)?;
+                Hello::Server(ServerId::new(dc, p))
+            }
+            _ => return Err(NetError::BadHello),
+        };
+        d.expect_end().map_err(|_| NetError::BadHello)?;
+        Ok(hello)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wren_protocol::frame::FrameDecoder;
+
+    fn round_trip(h: Hello) -> Hello {
+        let framed = h.encode_framed();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed);
+        let payload = dec.next_frame().unwrap().expect("complete");
+        Hello::decode(&payload).expect("valid hello")
+    }
+
+    #[test]
+    fn client_hello_round_trips() {
+        let h = Hello::Client(ClientId(77));
+        assert_eq!(round_trip(h), h);
+    }
+
+    #[test]
+    fn server_hello_round_trips() {
+        let h = Hello::Server(ServerId::new(3, 12));
+        assert_eq!(round_trip(h), h);
+    }
+
+    #[test]
+    fn protocol_frames_are_rejected_as_hello() {
+        use wren_clock::Timestamp;
+        let msg = wren_protocol::WrenMsg::Heartbeat {
+            t: Timestamp::ZERO,
+        };
+        assert!(matches!(
+            Hello::decode(&msg.encode()),
+            Err(NetError::BadHello)
+        ));
+        assert!(matches!(Hello::decode(&[]), Err(NetError::BadHello)));
+        // Trailing garbage after a valid hello payload is rejected too.
+        let mut bytes = Hello::Client(ClientId(1)).encode_framed().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            Hello::decode(&bytes[FRAME_HEADER_LEN..]),
+            Err(NetError::BadHello)
+        ));
+    }
+}

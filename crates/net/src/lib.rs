@@ -1,0 +1,36 @@
+//! TCP transport primitives for the Wren reproduction.
+//!
+//! The protocol state machines are sans-io and the codec
+//! (`wren-protocol`) defines exact message bytes; this crate supplies
+//! the pieces that put those bytes on real sockets:
+//!
+//! * [`Hello`] — the one-frame connection handshake identifying the
+//!   dialing peer (a client session or a partition server), so the
+//!   accepting side can attribute every subsequent frame to a protocol
+//!   source without per-message envelopes;
+//! * [`Outbox`] — a bounded, **never-blocking** per-connection send
+//!   queue drained by a dedicated writer thread. A partition's writer
+//!   thread or read worker enqueues a framed response in O(1) and moves
+//!   on; a client that stops reading fills its own outbox and gets
+//!   disconnected — it can never stall the partition;
+//! * [`FramedReader`] — blocking framed reads over a [`TcpStream`],
+//!   reassembling length-prefixed frames from arbitrary chunk
+//!   boundaries via [`wren_protocol::frame::FrameDecoder`].
+//!
+//! The crate is deliberately runtime-agnostic: it knows sockets and
+//! frames, not engines or routers. `wren-rt` wires these pieces to its
+//! partition engines; anything else (tools, tests, future processes)
+//! can reuse them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod hello;
+mod outbox;
+mod reader;
+
+pub use error::NetError;
+pub use hello::Hello;
+pub use outbox::{Outbox, DEFAULT_OUTBOX_BYTES};
+pub use reader::FramedReader;

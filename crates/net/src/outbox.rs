@@ -1,0 +1,278 @@
+//! The per-connection send queue: bounded, never blocking the enqueuer.
+//!
+//! Wren's engine threads (the partition writer, the read workers) must
+//! never block on a peer's receive window — a slow or stalled client
+//! would otherwise transitively stall every other session on the
+//! partition. So nothing protocol-side ever calls `write(2)`: responses
+//! are enqueued on the connection's [`Outbox`] in O(1) and a dedicated
+//! writer thread drains the queue into the socket at whatever pace the
+//! peer sustains.
+//!
+//! The queue is **bounded by bytes**. A peer that stops reading backs
+//! its queue up to the cap, at which point the connection is declared
+//! dead: the outbox closes, the socket is shut down (waking the
+//! connection's reader thread too) and subsequent enqueues are dropped.
+//! That is the right failure mode for a transactional store — the
+//! session's requests time out client-side and the partition spends
+//! zero further resources on it.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Default outbox capacity: queued response bytes per connection.
+pub const DEFAULT_OUTBOX_BYTES: usize = 4 * 1024 * 1024;
+
+struct Queue {
+    frames: VecDeque<Bytes>,
+    queued_bytes: usize,
+    /// No further enqueues; the writer drains what is queued and exits.
+    closed: bool,
+    /// Drop everything immediately (overflow or hard shutdown).
+    discard: bool,
+}
+
+impl Queue {
+    /// Kills the queue: no more enqueues, nothing left to flush. The
+    /// overflow, hard-shutdown and write-error paths all converge here.
+    fn kill(&mut self) {
+        self.closed = true;
+        self.discard = true;
+        self.frames.clear();
+        self.queued_bytes = 0;
+    }
+}
+
+struct Inner {
+    q: Mutex<Queue>,
+    ready: Condvar,
+    max_bytes: usize,
+    /// Kept for `shutdown` (waking a writer blocked in `write(2)` and
+    /// the connection's reader thread).
+    stream: TcpStream,
+}
+
+/// Handle to a connection's send queue. Cloneable; all clones feed the
+/// same writer thread.
+#[derive(Clone)]
+pub struct Outbox {
+    inner: Arc<Inner>,
+}
+
+impl Outbox {
+    /// Creates the outbox for `stream` and spawns its writer thread.
+    ///
+    /// `max_bytes` bounds the queued (not yet written) bytes; an
+    /// enqueue that would exceed it kills the connection. The returned
+    /// join handle is the writer thread; join it after
+    /// [`close`](Self::close) or [`shutdown`](Self::shutdown) for
+    /// deterministic teardown.
+    pub fn spawn(stream: TcpStream, max_bytes: usize) -> std::io::Result<(Outbox, JoinHandle<()>)> {
+        let write_half = stream.try_clone()?;
+        let inner = Arc::new(Inner {
+            q: Mutex::new(Queue {
+                frames: VecDeque::new(),
+                queued_bytes: 0,
+                closed: false,
+                discard: false,
+            }),
+            ready: Condvar::new(),
+            max_bytes,
+            stream,
+        });
+        let outbox = Outbox {
+            inner: Arc::clone(&inner),
+        };
+        let handle = std::thread::spawn(move || writer_loop(inner, write_half));
+        Ok((outbox, handle))
+    }
+
+    /// Enqueues a framed message without ever blocking.
+    ///
+    /// Returns `false` if the connection is already closed **or** this
+    /// enqueue overflowed the cap (in which case the connection is torn
+    /// down: socket shut both ways, queue discarded). The caller treats
+    /// `false` like a send on a disconnected channel — the peer is gone.
+    ///
+    /// A frame offered to an **empty** queue is always admitted, even
+    /// one larger than the cap: the cap exists to catch a peer that
+    /// stopped *reading* (its queue only backs up when the writer is
+    /// stuck behind unread bytes), not to bound message size — a prompt
+    /// reader must never be disconnected for one large response.
+    pub fn enqueue(&self, frame: Bytes) -> bool {
+        let mut q = self.inner.q.lock().unwrap_or_else(|e| e.into_inner());
+        if q.closed {
+            return false;
+        }
+        if q.queued_bytes > 0 && q.queued_bytes + frame.len() > self.inner.max_bytes {
+            // Slow-client overflow: kill the connection, never block.
+            q.kill();
+            drop(q);
+            let _ = self.inner.stream.shutdown(Shutdown::Both);
+            self.inner.ready.notify_all();
+            return false;
+        }
+        q.queued_bytes += frame.len();
+        q.frames.push_back(frame);
+        drop(q);
+        self.inner.ready.notify_one();
+        true
+    }
+
+    /// Closes the outbox gracefully: queued frames are still flushed,
+    /// then the writer thread shuts the socket's write half and exits.
+    /// Idempotent.
+    pub fn close(&self) {
+        let mut q = self.inner.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.closed = true;
+        drop(q);
+        self.inner.ready.notify_all();
+    }
+
+    /// Hard shutdown: discards queued frames, shuts the socket both
+    /// ways (waking the reader thread as well as any blocked write) and
+    /// stops the writer thread. Idempotent.
+    pub fn shutdown(&self) {
+        let mut q = self.inner.q.lock().unwrap_or_else(|e| e.into_inner());
+        q.kill();
+        drop(q);
+        let _ = self.inner.stream.shutdown(Shutdown::Both);
+        self.inner.ready.notify_all();
+    }
+
+    /// True once the outbox is closed (gracefully or by overflow).
+    pub fn is_closed(&self) -> bool {
+        self.inner.q.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Bytes currently queued and unwritten.
+    pub fn queued_bytes(&self) -> usize {
+        self.inner
+            .q
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queued_bytes
+    }
+
+    /// True if `other` is a handle to the same connection.
+    pub fn same_as(&self, other: &Outbox) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+fn writer_loop(inner: Arc<Inner>, mut stream: TcpStream) {
+    loop {
+        let frame = {
+            let mut q = inner.q.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if q.discard {
+                    return;
+                }
+                if let Some(f) = q.frames.pop_front() {
+                    q.queued_bytes -= f.len();
+                    break f;
+                }
+                if q.closed {
+                    // Graceful drain complete: signal EOF to the peer.
+                    drop(q);
+                    let _ = stream.flush();
+                    let _ = inner.stream.shutdown(Shutdown::Write);
+                    return;
+                }
+                q = inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if stream.write_all(&frame).is_err() {
+            // Peer is gone: discard the rest, sever the read half too
+            // (so the connection's reader thread is not left waiting on
+            // a half-dead socket), and stop.
+            inner.q.lock().unwrap_or_else(|e| e.into_inner()).kill();
+            let _ = inner.stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dial = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        (dial, accepted)
+    }
+
+    #[test]
+    fn frames_flow_through() {
+        let (a, mut b) = pair();
+        let (outbox, handle) = Outbox::spawn(a, 1024).unwrap();
+        assert!(outbox.enqueue(Bytes::copy_from_slice(b"hello ")));
+        assert!(outbox.enqueue(Bytes::copy_from_slice(b"world")));
+        outbox.close();
+        handle.join().unwrap();
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"hello world");
+    }
+
+    #[test]
+    fn overflow_kills_the_connection_without_blocking() {
+        let (a, _b) = pair(); // peer never reads
+        let (outbox, handle) = Outbox::spawn(a, 64 * 1024).unwrap();
+        // Frames big enough that kernel socket buffering (a few MiB on
+        // loopback) saturates after a handful, making the writer block
+        // and the queue genuinely back up — deterministic overflow.
+        let chunk = Bytes::from(vec![7u8; 4 * 1024 * 1024]);
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if outbox.enqueue(chunk.clone()) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(
+            accepted < 100,
+            "a never-reading peer must eventually overflow the outbox"
+        );
+        assert!(outbox.is_closed());
+        assert!(!outbox.enqueue(chunk.clone()), "enqueue after overflow must fail");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn single_frame_beyond_cap_is_admitted_when_queue_is_empty() {
+        let (a, mut b) = pair();
+        let (outbox, handle) = Outbox::spawn(a, 16).unwrap(); // tiny cap
+        let big = Bytes::from(vec![9u8; 1024]); // 64x the cap
+        assert!(
+            outbox.enqueue(big.clone()),
+            "an empty queue must admit one frame of any size"
+        );
+        outbox.close();
+        handle.join().unwrap();
+        let mut got = Vec::new();
+        b.read_to_end(&mut got).unwrap();
+        assert_eq!(got.len(), big.len(), "the prompt reader got the whole frame");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins() {
+        let (a, _b) = pair();
+        let (outbox, handle) = Outbox::spawn(a, 1024).unwrap();
+        outbox.enqueue(Bytes::copy_from_slice(b"x"));
+        outbox.shutdown();
+        outbox.shutdown();
+        outbox.close();
+        handle.join().unwrap();
+        assert_eq!(outbox.queued_bytes(), 0);
+    }
+}

@@ -83,6 +83,11 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a little-endian `u32` (the frame length prefix).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -203,6 +208,12 @@ impl<'a> Dec<'a> {
     pub fn get_u16(&mut self) -> Result<u16, CodecError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32` (the frame length prefix).
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
     /// Reads a little-endian `u64`.

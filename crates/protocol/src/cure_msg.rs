@@ -276,6 +276,14 @@ impl CureMsg {
     /// [`wire_size`]: CureMsg::wire_size
     pub fn encode(&self) -> Bytes {
         let mut e = Enc::with_capacity(self.wire_size());
+        self.encode_into(&mut e);
+        e.finish()
+    }
+
+    /// Appends the encoding to an existing buffer. The transport frame
+    /// path ([`frame`](crate::frame)) uses this to write the length
+    /// header and the payload into one preallocated buffer.
+    pub fn encode_into(&self, e: &mut Enc) {
         match self {
             CureMsg::StartTxReq { seen } => {
                 e.put_u8(TAG_START_REQ);
@@ -297,12 +305,12 @@ impl CureMsg {
             CureMsg::TxReadResp { tx, items } => {
                 e.put_u8(TAG_READ_RESP);
                 e.put_tx(*tx);
-                put_items(&mut e, items);
+                put_items(e, items);
             }
             CureMsg::CommitReq { tx, writes } => {
                 e.put_u8(TAG_COMMIT_REQ);
                 e.put_tx(*tx);
-                put_writes(&mut e, writes);
+                put_writes(e, writes);
             }
             CureMsg::CommitResp { tx, commit_vec } => {
                 e.put_u8(TAG_COMMIT_RESP);
@@ -321,7 +329,7 @@ impl CureMsg {
             CureMsg::SliceResp { tx, items } => {
                 e.put_u8(TAG_SLICE_RESP);
                 e.put_tx(*tx);
-                put_items(&mut e, items);
+                put_items(e, items);
             }
             CureMsg::PrepareReq {
                 tx,
@@ -331,7 +339,7 @@ impl CureMsg {
                 e.put_u8(TAG_PREPARE_REQ);
                 e.put_tx(*tx);
                 e.put_vv(snapshot);
-                put_writes(&mut e, writes);
+                put_writes(e, writes);
             }
             CureMsg::PrepareResp { tx, pt } => {
                 e.put_u8(TAG_PREPARE_RESP);
@@ -350,7 +358,7 @@ impl CureMsg {
                 for t in &batch.txs {
                     e.put_tx(t.tx);
                     e.put_vv(&t.deps);
-                    put_writes(&mut e, &t.writes);
+                    put_writes(e, &t.writes);
                 }
             }
             CureMsg::Heartbeat { t } => {
@@ -374,7 +382,6 @@ impl CureMsg {
                 e.put_vv(gsv);
             }
         }
-        e.finish()
     }
 
     /// Decodes a message previously produced by [`CureMsg::encode`].

@@ -1,0 +1,297 @@
+//! Length-prefixed framing: how codec messages travel over a byte
+//! stream.
+//!
+//! TCP delivers an undelimited byte stream; the codec
+//! ([`WrenMsg::decode`]) needs exact message boundaries (it rejects
+//! trailing bytes). A frame restores the boundary: a 4-byte
+//! little-endian payload length followed by exactly that many payload
+//! bytes (one encoded message). Because every message knows its exact
+//! [`wire_size`](WrenMsg::wire_size), the frame writer preallocates a
+//! single buffer for header + payload and encodes straight into it —
+//! one allocation, one `write` per message.
+//!
+//! Decoding is incremental and split-agnostic: [`FrameDecoder`]
+//! accumulates whatever byte chunks the socket produces (a dribbling
+//! client may deliver one byte at a time; a fast one may deliver ten
+//! frames in one read) and yields complete payloads as they close.
+//! A length prefix above [`MAX_FRAME_LEN`] fails immediately — before
+//! any allocation — so a malicious or corrupt peer cannot make the
+//! receiver buffer unbounded garbage.
+
+use crate::codec::Enc;
+use crate::{CureMsg, WrenMsg};
+use bytes::Bytes;
+use std::fmt;
+
+/// Bytes in a frame header (the little-endian `u32` payload length).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default ceiling on a frame's payload length.
+///
+/// Small enough that a corrupt length prefix cannot commit the
+/// receiver to buffering gigabytes, yet roomy for real traffic: ~1000
+/// max-size (64 KiB) values in one response, or millions of
+/// normal-size items. The codec's own caps (64 KiB values, `u16::MAX`
+/// collection lengths) still admit pathological messages beyond ANY
+/// fixed ceiling (65 535 × 64 KiB ≈ 4 GiB), which is why the encode
+/// side has the non-panicking [`try_frame_wren`] for transport use —
+/// an oversized message is refused at the sender, mirroring the
+/// receiver's guard, instead of trusting workloads to stay sane.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Errors produced while reassembling frames from a byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A header announced a payload longer than the decoder's maximum.
+    TooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The decoder's configured ceiling.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes a [`WrenMsg`] directly into a single framed buffer
+/// (header + payload, preallocated to `4 + wire_size()`), or `None` if
+/// the message exceeds [`MAX_FRAME_LEN`] (the receiver would reject
+/// the frame anyway — refusing at the sender keeps the failure local
+/// to the one oversized message instead of panicking the thread).
+pub fn try_frame_wren(msg: &WrenMsg) -> Option<Bytes> {
+    let n = msg.wire_size();
+    if n > MAX_FRAME_LEN {
+        return None;
+    }
+    let mut e = Enc::with_capacity(FRAME_HEADER_LEN + n);
+    e.put_u32(n as u32);
+    msg.encode_into(&mut e);
+    Some(e.finish())
+}
+
+/// Like [`try_frame_wren`], panicking on an oversized message. For
+/// callers whose messages are size-bounded by construction (tests,
+/// benches); transports use the `try_` form.
+///
+/// # Panics
+///
+/// Panics if the encoded message would exceed [`MAX_FRAME_LEN`].
+pub fn frame_wren(msg: &WrenMsg) -> Bytes {
+    try_frame_wren(msg).expect("message too large to frame")
+}
+
+/// Encodes a [`CureMsg`] directly into a single framed buffer, or
+/// `None` if it exceeds [`MAX_FRAME_LEN`].
+pub fn try_frame_cure(msg: &CureMsg) -> Option<Bytes> {
+    let n = msg.wire_size();
+    if n > MAX_FRAME_LEN {
+        return None;
+    }
+    let mut e = Enc::with_capacity(FRAME_HEADER_LEN + n);
+    e.put_u32(n as u32);
+    msg.encode_into(&mut e);
+    Some(e.finish())
+}
+
+/// Like [`try_frame_cure`], panicking on an oversized message.
+///
+/// # Panics
+///
+/// Panics if the encoded message would exceed [`MAX_FRAME_LEN`].
+pub fn frame_cure(msg: &CureMsg) -> Bytes {
+    try_frame_cure(msg).expect("message too large to frame")
+}
+
+/// Incremental frame reassembler: feed it byte chunks in arrival order
+/// ([`extend`](Self::extend)), drain complete payloads
+/// ([`next_frame`](Self::next_frame)).
+///
+/// The decoder is transport-agnostic (it never touches a socket) and
+/// indifferent to chunk boundaries: bytes may arrive one at a time or
+/// many frames at once, and the reassembled payloads are identical —
+/// the frame property tests split encodings at every boundary to pin
+/// this down.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames.
+    start: usize,
+    max_len: usize,
+}
+
+/// Consumed-prefix length beyond which the buffer is compacted.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME_LEN`] ceiling.
+    pub fn new() -> Self {
+        FrameDecoder::with_max_len(MAX_FRAME_LEN)
+    }
+
+    /// A decoder with a custom payload ceiling (tests use tiny ones).
+    pub fn with_max_len(max_len: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_len,
+        }
+    }
+
+    /// Appends a chunk of received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Yields the next complete payload, `Ok(None)` if more bytes are
+    /// needed, or an error if the pending header announces an oversized
+    /// frame. After an error the decoder is poisoned in place (the bad
+    /// header stays at the front); callers drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        let avail = self.buf.len() - self.start;
+        if avail < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; FRAME_HEADER_LEN] = self.buf[self.start..self.start + FRAME_HEADER_LEN]
+            .try_into()
+            .expect("header length");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > self.max_len {
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_len,
+            });
+        }
+        if avail < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let body_start = self.start + FRAME_HEADER_LEN;
+        let frame = Bytes::copy_from_slice(&self.buf[body_start..body_start + len]);
+        self.start = body_start + len;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+
+    /// True if bytes of an incomplete frame are pending — a connection
+    /// that closes in this state was truncated mid-frame.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Bytes buffered but not yet yielded.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wren_clock::Timestamp;
+
+    #[test]
+    fn frame_round_trips_whole() {
+        let msg = WrenMsg::Heartbeat {
+            t: Timestamp::from_micros(9),
+        };
+        let framed = frame_wren(&msg);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + msg.wire_size());
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed);
+        let payload = dec.next_frame().unwrap().expect("complete frame");
+        assert_eq!(WrenMsg::decode(&payload).unwrap(), msg);
+        assert!(!dec.has_partial());
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_round_trips_byte_at_a_time() {
+        let msg = WrenMsg::StartTxResp {
+            tx: crate::TxId::new(crate::ServerId::new(0, 1), 7),
+            lst: Timestamp::from_micros(3),
+            rst: Timestamp::from_micros(2),
+        };
+        let framed = frame_wren(&msg);
+        let mut dec = FrameDecoder::new();
+        let mut yielded = None;
+        for (i, b) in framed.as_slice().iter().enumerate() {
+            dec.extend(std::slice::from_ref(b));
+            if let Some(p) = dec.next_frame().unwrap() {
+                assert_eq!(i, framed.len() - 1, "must only complete on the last byte");
+                yielded = Some(p);
+            }
+        }
+        assert_eq!(WrenMsg::decode(&yielded.unwrap()).unwrap(), msg);
+    }
+
+    #[test]
+    fn several_frames_in_one_chunk() {
+        let msgs: Vec<WrenMsg> = (0..5)
+            .map(|i| WrenMsg::Heartbeat {
+                t: Timestamp::from_micros(i),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&frame_wren(m));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        for m in &msgs {
+            let p = dec.next_frame().unwrap().expect("frame");
+            assert_eq!(&WrenMsg::decode(&p).unwrap(), m);
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::with_max_len(16);
+        dec.extend(&1024u32.to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge { len: 1024, max: 16 })
+        );
+    }
+
+    #[test]
+    fn partial_frame_is_reported() {
+        let framed = frame_wren(&WrenMsg::Heartbeat {
+            t: Timestamp::ZERO,
+        });
+        let mut dec = FrameDecoder::new();
+        dec.extend(&framed[..framed.len() - 1]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.has_partial());
+        assert_eq!(dec.pending_bytes(), framed.len() - 1);
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let e = FrameError::TooLarge { len: 10, max: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+}

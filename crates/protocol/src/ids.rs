@@ -66,6 +66,13 @@ impl ServerId {
             partition: PartitionId(partition),
         }
     }
+
+    /// This server's position in DC-major partition order — the layout
+    /// of every per-server table in the runtime (writer inboxes, read
+    /// channels, TCP listener addresses).
+    pub const fn dc_major_index(self, n_partitions: u16) -> usize {
+        self.dc.index() * n_partitions as usize + self.partition.index()
+    }
 }
 
 impl fmt::Debug for ServerId {

@@ -13,7 +13,10 @@
 //!   of the paper and the Cure baseline;
 //! * **Codec** — a compact binary encoding ([`codec`]) whose sizes are
 //!   exact, so the Fig. 7a bytes-on-the-wire comparison is measured, not
-//!   estimated.
+//!   estimated;
+//! * **Framing** — length-prefixed frames ([`frame`]) that carry the
+//!   codec over byte streams (TCP), with an incremental, split-agnostic
+//!   [`frame::FrameDecoder`] and an explicit max-frame-size guard.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 pub mod codec;
 mod cure_msg;
 mod data;
+pub mod frame;
 mod ids;
 mod wren_msg;
 

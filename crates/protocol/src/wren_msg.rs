@@ -292,6 +292,14 @@ impl WrenMsg {
     /// [`wire_size`]: WrenMsg::wire_size
     pub fn encode(&self) -> Bytes {
         let mut e = Enc::with_capacity(self.wire_size());
+        self.encode_into(&mut e);
+        e.finish()
+    }
+
+    /// Appends the encoding to an existing buffer. The transport frame
+    /// path ([`frame`](crate::frame)) uses this to write the length
+    /// header and the payload into one preallocated buffer.
+    pub fn encode_into(&self, e: &mut Enc) {
         match self {
             WrenMsg::StartTxReq { lst, rst } => {
                 e.put_u8(TAG_START_REQ);
@@ -315,13 +323,13 @@ impl WrenMsg {
             WrenMsg::TxReadResp { tx, items } => {
                 e.put_u8(TAG_READ_RESP);
                 e.put_tx(*tx);
-                put_items(&mut e, items);
+                put_items(e, items);
             }
             WrenMsg::CommitReq { tx, hwt, writes } => {
                 e.put_u8(TAG_COMMIT_REQ);
                 e.put_tx(*tx);
                 e.put_ts(*hwt);
-                put_writes(&mut e, writes);
+                put_writes(e, writes);
             }
             WrenMsg::CommitResp { tx, ct } => {
                 e.put_u8(TAG_COMMIT_RESP);
@@ -341,7 +349,7 @@ impl WrenMsg {
             WrenMsg::SliceResp { tx, items } => {
                 e.put_u8(TAG_SLICE_RESP);
                 e.put_tx(*tx);
-                put_items(&mut e, items);
+                put_items(e, items);
             }
             WrenMsg::PrepareReq {
                 tx,
@@ -355,7 +363,7 @@ impl WrenMsg {
                 e.put_ts(*lt);
                 e.put_ts(*rt);
                 e.put_ts(*ht);
-                put_writes(&mut e, writes);
+                put_writes(e, writes);
             }
             WrenMsg::PrepareResp { tx, pt } => {
                 e.put_u8(TAG_PREPARE_RESP);
@@ -374,7 +382,7 @@ impl WrenMsg {
                 for t in &batch.txs {
                     e.put_tx(t.tx);
                     e.put_ts(t.rst);
-                    put_writes(&mut e, &t.writes);
+                    put_writes(e, &t.writes);
                 }
             }
             WrenMsg::Heartbeat { t } => {
@@ -402,7 +410,6 @@ impl WrenMsg {
                 e.put_ts(*rst);
             }
         }
-        e.finish()
     }
 
     /// Decodes a message previously produced by [`WrenMsg::encode`].

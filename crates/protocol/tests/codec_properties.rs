@@ -1,170 +1,15 @@
 //! Property-based tests: every arbitrarily-generated message round-trips
 //! through the codec, and `wire_size` is always exactly the encoded
 //! length (the foundation of the Fig. 7a byte accounting).
+//!
+//! Message generators live in [`arb`], shared with the framing fuzz
+//! suite (`frame_properties.rs`).
 
-use bytes::Bytes;
+mod arb;
+
+use arb::{arb_wren_msg, arb_cure_msg};
 use proptest::prelude::*;
-use wren_clock::{Timestamp, VersionVector};
-use wren_protocol::{
-    CureMsg, CureRepTx, CureReplicateBatch, CureVersion, DcId, Key, RepTx, ReplicateBatch,
-    ServerId, TxId, Value, WrenMsg, WrenVersion,
-};
-
-fn arb_ts() -> impl Strategy<Value = Timestamp> {
-    (0u64..(1 << 40), any::<u16>()).prop_map(|(p, l)| Timestamp::from_parts(p, l))
-}
-
-fn arb_tx() -> impl Strategy<Value = TxId> {
-    (0u8..4, 0u16..16, 0u64..1 << 30)
-        .prop_map(|(dc, p, seq)| TxId::new(ServerId::new(dc, p), seq))
-}
-
-fn arb_key() -> impl Strategy<Value = Key> {
-    any::<u64>().prop_map(Key)
-}
-
-fn arb_value() -> impl Strategy<Value = Value> {
-    proptest::collection::vec(any::<u8>(), 0..64).prop_map(Bytes::from)
-}
-
-fn arb_vv() -> impl Strategy<Value = VersionVector> {
-    proptest::collection::vec(arb_ts(), 1..6).prop_map(VersionVector::from_entries)
-}
-
-fn arb_wren_version() -> impl Strategy<Value = Option<WrenVersion>> {
-    proptest::option::of(
-        (arb_value(), arb_ts(), arb_ts(), arb_tx(), 0u8..5).prop_map(
-            |(value, ut, rdt, tx, sr)| WrenVersion {
-                value,
-                ut,
-                rdt,
-                tx,
-                sr: DcId(sr),
-            },
-        ),
-    )
-}
-
-fn arb_cure_version() -> impl Strategy<Value = Option<CureVersion>> {
-    proptest::option::of(
-        (arb_value(), arb_ts(), arb_vv(), arb_tx(), 0u8..5).prop_map(
-            |(value, ut, deps, tx, sr)| CureVersion {
-                value,
-                ut,
-                deps,
-                tx,
-                sr: DcId(sr),
-            },
-        ),
-    )
-}
-
-fn arb_writes() -> impl Strategy<Value = Vec<(Key, Value)>> {
-    proptest::collection::vec((arb_key(), arb_value()), 0..8)
-}
-
-fn arb_wren_msg() -> impl Strategy<Value = WrenMsg> {
-    prop_oneof![
-        (arb_ts(), arb_ts()).prop_map(|(lst, rst)| WrenMsg::StartTxReq { lst, rst }),
-        (arb_tx(), arb_ts(), arb_ts())
-            .prop_map(|(tx, lst, rst)| WrenMsg::StartTxResp { tx, lst, rst }),
-        (arb_tx(), proptest::collection::vec(arb_key(), 0..12))
-            .prop_map(|(tx, keys)| WrenMsg::TxReadReq { tx, keys }),
-        (
-            arb_tx(),
-            proptest::collection::vec((arb_key(), arb_wren_version()), 0..8)
-        )
-            .prop_map(|(tx, items)| WrenMsg::TxReadResp { tx, items }),
-        (arb_tx(), arb_ts(), arb_writes())
-            .prop_map(|(tx, hwt, writes)| WrenMsg::CommitReq { tx, hwt, writes }),
-        (arb_tx(), arb_ts()).prop_map(|(tx, ct)| WrenMsg::CommitResp { tx, ct }),
-        (arb_tx(), arb_ts(), arb_ts(), proptest::collection::vec(arb_key(), 0..12))
-            .prop_map(|(tx, lt, rt, keys)| WrenMsg::SliceReq { tx, lt, rt, keys }),
-        (
-            arb_tx(),
-            proptest::collection::vec((arb_key(), arb_wren_version()), 0..8)
-        )
-            .prop_map(|(tx, items)| WrenMsg::SliceResp { tx, items }),
-        (arb_tx(), arb_ts(), arb_ts(), arb_ts(), arb_writes()).prop_map(
-            |(tx, lt, rt, ht, writes)| WrenMsg::PrepareReq {
-                tx,
-                lt,
-                rt,
-                ht,
-                writes
-            }
-        ),
-        (arb_tx(), arb_ts()).prop_map(|(tx, pt)| WrenMsg::PrepareResp { tx, pt }),
-        (arb_tx(), arb_ts()).prop_map(|(tx, ct)| WrenMsg::Commit { tx, ct }),
-        (
-            arb_ts(),
-            proptest::collection::vec((arb_tx(), arb_ts(), arb_writes()), 0..4)
-        )
-            .prop_map(|(ct, txs)| WrenMsg::Replicate {
-                batch: ReplicateBatch {
-                    ct,
-                    txs: txs
-                        .into_iter()
-                        .map(|(tx, rst, writes)| RepTx { tx, rst, writes })
-                        .collect(),
-                }
-            }),
-        arb_ts().prop_map(|t| WrenMsg::Heartbeat { t }),
-        (arb_ts(), arb_ts()).prop_map(|(local, remote)| WrenMsg::StableGossip { local, remote }),
-        (arb_ts(), arb_ts()).prop_map(|(oldest_lt, oldest_rt)| WrenMsg::GcGossip {
-            oldest_lt,
-            oldest_rt
-        }),
-    ]
-}
-
-fn arb_cure_msg() -> impl Strategy<Value = CureMsg> {
-    prop_oneof![
-        arb_vv().prop_map(|seen| CureMsg::StartTxReq { seen }),
-        (arb_tx(), arb_vv()).prop_map(|(tx, snapshot)| CureMsg::StartTxResp { tx, snapshot }),
-        (arb_tx(), proptest::collection::vec(arb_key(), 0..12))
-            .prop_map(|(tx, keys)| CureMsg::TxReadReq { tx, keys }),
-        (
-            arb_tx(),
-            proptest::collection::vec((arb_key(), arb_cure_version()), 0..6)
-        )
-            .prop_map(|(tx, items)| CureMsg::TxReadResp { tx, items }),
-        (arb_tx(), arb_writes()).prop_map(|(tx, writes)| CureMsg::CommitReq { tx, writes }),
-        (arb_tx(), arb_vv()).prop_map(|(tx, commit_vec)| CureMsg::CommitResp { tx, commit_vec }),
-        (arb_tx(), arb_vv(), proptest::collection::vec(arb_key(), 0..12))
-            .prop_map(|(tx, snapshot, keys)| CureMsg::SliceReq { tx, snapshot, keys }),
-        (
-            arb_tx(),
-            proptest::collection::vec((arb_key(), arb_cure_version()), 0..6)
-        )
-            .prop_map(|(tx, items)| CureMsg::SliceResp { tx, items }),
-        (arb_tx(), arb_vv(), arb_writes()).prop_map(|(tx, snapshot, writes)| {
-            CureMsg::PrepareReq {
-                tx,
-                snapshot,
-                writes,
-            }
-        }),
-        (arb_tx(), arb_ts()).prop_map(|(tx, pt)| CureMsg::PrepareResp { tx, pt }),
-        (arb_tx(), arb_ts()).prop_map(|(tx, ct)| CureMsg::Commit { tx, ct }),
-        (
-            arb_ts(),
-            proptest::collection::vec((arb_tx(), arb_vv(), arb_writes()), 0..4)
-        )
-            .prop_map(|(ct, txs)| CureMsg::Replicate {
-                batch: CureReplicateBatch {
-                    ct,
-                    txs: txs
-                        .into_iter()
-                        .map(|(tx, deps, writes)| CureRepTx { tx, deps, writes })
-                        .collect(),
-                }
-            }),
-        arb_ts().prop_map(|t| CureMsg::Heartbeat { t }),
-        arb_vv().prop_map(|vv| CureMsg::StableGossip { vv }),
-        arb_vv().prop_map(|oldest| CureMsg::GcGossip { oldest }),
-    ]
-}
+use wren_protocol::{CureMsg, WrenMsg};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]

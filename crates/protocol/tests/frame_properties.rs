@@ -1,0 +1,200 @@
+//! Framing fuzz suite: encode → frame → split the byte stream at
+//! arbitrary boundaries → reassemble → decode must be the identity, for
+//! both protocols' messages; and malformed, truncated or oversized
+//! frames must surface as errors, never panics.
+//!
+//! This is the evidence behind putting the codec on TCP: a socket
+//! delivers chunks at boundaries the sender never chose, and a hostile
+//! peer can deliver anything at all.
+
+mod arb;
+
+use arb::{arb_cure_msg, arb_wren_msg};
+use proptest::prelude::*;
+use wren_protocol::frame::{
+    frame_cure, frame_wren, FrameDecoder, FrameError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
+use wren_protocol::{CureMsg, WrenMsg};
+
+/// Feeds `wire` into a decoder in chunks cut by `splits` (cycled), and
+/// returns every payload yielded. Panics inside count as test failures.
+fn reassemble(wire: &[u8], splits: &[usize]) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut split_idx = 0;
+    while pos < wire.len() {
+        let step = if splits.is_empty() {
+            wire.len()
+        } else {
+            splits[split_idx % splits.len()].max(1)
+        };
+        split_idx += 1;
+        let end = (pos + step).min(wire.len());
+        dec.extend(&wire[pos..end]);
+        pos = end;
+        while let Some(payload) = dec.next_frame()? {
+            out.push(payload.to_vec());
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// One Wren message through any chunking of its framed bytes.
+    #[test]
+    fn wren_frames_survive_arbitrary_splits(
+        msg in arb_wren_msg(),
+        splits in proptest::collection::vec(1usize..48, 0..16),
+    ) {
+        let framed = frame_wren(&msg);
+        prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + msg.wire_size());
+        let payloads = reassemble(&framed, &splits).expect("well-formed stream");
+        prop_assert_eq!(payloads.len(), 1);
+        prop_assert_eq!(WrenMsg::decode(&payloads[0]).expect("decodes"), msg);
+    }
+
+    /// One Cure message through any chunking of its framed bytes.
+    #[test]
+    fn cure_frames_survive_arbitrary_splits(
+        msg in arb_cure_msg(),
+        splits in proptest::collection::vec(1usize..48, 0..16),
+    ) {
+        let framed = frame_cure(&msg);
+        prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + msg.wire_size());
+        let payloads = reassemble(&framed, &splits).expect("well-formed stream");
+        prop_assert_eq!(payloads.len(), 1);
+        prop_assert_eq!(CureMsg::decode(&payloads[0]).expect("decodes"), msg);
+    }
+
+    /// A whole stream of messages, chunked arbitrarily, reassembles to
+    /// exactly the original sequence — the per-connection FIFO a real
+    /// transport must preserve.
+    #[test]
+    fn message_streams_reassemble_in_order(
+        msgs in proptest::collection::vec(arb_wren_msg(), 0..12),
+        splits in proptest::collection::vec(1usize..64, 0..24),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&frame_wren(m));
+        }
+        let payloads = reassemble(&wire, &splits).expect("well-formed stream");
+        prop_assert_eq!(payloads.len(), msgs.len());
+        for (payload, msg) in payloads.iter().zip(&msgs) {
+            prop_assert_eq!(&WrenMsg::decode(payload).expect("decodes"), msg);
+        }
+    }
+
+    /// Truncating a stream anywhere never panics: complete frames still
+    /// decode, and the tail is reported as a partial frame (or nothing),
+    /// exactly what a connection reader needs to flag `TruncatedFrame`.
+    #[test]
+    fn truncated_streams_never_panic(
+        msgs in proptest::collection::vec(arb_wren_msg(), 1..6),
+        cut_seed in any::<u64>(),
+        splits in proptest::collection::vec(1usize..32, 0..8),
+    ) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&frame_wren(m));
+        }
+        let cut = (cut_seed as usize) % wire.len();
+        let truncated = &wire[..cut];
+
+        let mut dec = FrameDecoder::new();
+        let mut pos = 0;
+        let mut split_idx = 0;
+        let mut complete = 0usize;
+        while pos < truncated.len() {
+            let step = if splits.is_empty() {
+                truncated.len()
+            } else {
+                splits[split_idx % splits.len()]
+            };
+            split_idx += 1;
+            let end = (pos + step).min(truncated.len());
+            dec.extend(&truncated[pos..end]);
+            pos = end;
+            while let Some(payload) = dec.next_frame().expect("within size limits") {
+                // Every complete frame is an intact original message.
+                prop_assert_eq!(&WrenMsg::decode(&payload).expect("decodes"), &msgs[complete]);
+                complete += 1;
+            }
+        }
+        prop_assert!(complete <= msgs.len());
+        // The leftover bytes are exactly the truncation tail.
+        let consumed: usize = msgs[..complete]
+            .iter()
+            .map(|m| FRAME_HEADER_LEN + m.wire_size())
+            .sum();
+        prop_assert_eq!(dec.pending_bytes(), cut - consumed);
+        prop_assert_eq!(dec.has_partial(), cut != consumed);
+    }
+
+    /// Arbitrary garbage fed to the decoder either yields frames (whose
+    /// payloads may then fail message decoding — cleanly) or an
+    /// oversized-frame error. Never a panic, never unbounded buffering.
+    #[test]
+    fn garbage_streams_are_total(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(1usize..32, 0..8),
+    ) {
+        match reassemble(&garbage, &splits) {
+            Ok(payloads) => {
+                for p in payloads {
+                    let _ = WrenMsg::decode(&p); // total: Ok or Err, no panic
+                    let _ = CureMsg::decode(&p);
+                }
+            }
+            Err(FrameError::TooLarge { len, max }) => {
+                prop_assert!(len > max);
+            }
+        }
+    }
+
+    /// Corrupting a frame's length header never panics: the decoder
+    /// either errors (oversized), stalls waiting for more bytes, or
+    /// yields a reframed payload whose decode is itself total.
+    #[test]
+    fn corrupt_length_prefix_is_total(
+        msg in arb_wren_msg(),
+        byte in 0usize..4,
+        xor in 1u8..255,
+    ) {
+        let framed = frame_wren(&msg);
+        let mut corrupted = framed.to_vec();
+        corrupted[byte] ^= xor;
+        match reassemble(&corrupted, &[]) {
+            Ok(payloads) => {
+                for p in payloads {
+                    let _ = WrenMsg::decode(&p);
+                }
+            }
+            Err(FrameError::TooLarge { len, max }) => {
+                prop_assert!(len > max);
+            }
+        }
+    }
+}
+
+/// The explicit max-frame-size guard: a header one past the limit is
+/// rejected before any payload is buffered.
+#[test]
+fn oversized_frame_is_rejected_at_the_header() {
+    let mut dec = FrameDecoder::new();
+    dec.extend(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+    assert_eq!(
+        dec.next_frame(),
+        Err(FrameError::TooLarge {
+            len: MAX_FRAME_LEN + 1,
+            max: MAX_FRAME_LEN
+        })
+    );
+    // Exactly at the limit is fine (it just waits for the payload).
+    let mut dec = FrameDecoder::new();
+    dec.extend(&(MAX_FRAME_LEN as u32).to_le_bytes());
+    assert_eq!(dec.next_frame(), Ok(None));
+}

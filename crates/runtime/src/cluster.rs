@@ -1,8 +1,10 @@
 use crate::engine::{PartitionEngine, ReadJob};
+use crate::tcp::{bind_listeners, spawn_acceptors, TcpFabric};
 use crate::Session;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,22 +39,53 @@ pub(crate) struct Router {
     /// workers; empty when reads stay on the writer threads.
     read_txs: Vec<Sender<ReadJob>>,
     clients: RwLock<HashMap<ClientId, Sender<WrenMsg>>>,
+    /// In TCP mode, the socket fabric every inter-node hop crosses.
+    tcp: Option<TcpFabric>,
 }
 
 impl Router {
     fn index_of(&self, to: ServerId) -> usize {
-        to.dc.index() * self.n_partitions as usize + to.partition.index()
+        to.dc_major_index(self.n_partitions)
     }
 
-    /// Routes one server-bound message: `SliceReq` is diverted to the
-    /// partition's read workers (when the engine runs any), everything
-    /// else lands in the writer's inbox.
+    /// The TCP fabric, when the cluster runs over sockets.
+    pub(crate) fn tcp(&self) -> Option<&TcpFabric> {
+        self.tcp.as_ref()
+    }
+
+    /// Routes one server-bound message from a local engine or session.
+    ///
+    /// Channel mode delivers straight into the destination's inbox; TCP
+    /// mode frames the message onto the sender's outbound link — it
+    /// re-enters via [`deliver_local`](Self::deliver_local) on the
+    /// destination's connection reader thread.
     pub(crate) fn send_to_server(&self, src: Dest, to: ServerId, msg: WrenMsg) {
+        if let Some(fabric) = &self.tcp {
+            let Dest::Server(s) = src else {
+                // Sessions in TCP mode hold their own sockets and never
+                // route through here.
+                debug_assert!(false, "client sends must use the session's TCP link");
+                return;
+            };
+            fabric.send_server(s, to, &msg);
+            return;
+        }
+        self.deliver_local(src, to, msg);
+    }
+
+    /// Delivers a message to a **local** engine: `SliceReq` is diverted
+    /// to the partition's read workers (when the engine runs any),
+    /// everything else lands in the writer's inbox. In TCP mode this is
+    /// the wire's exit point, called by connection reader threads.
+    pub(crate) fn deliver_local(&self, src: Dest, to: ServerId, msg: WrenMsg) {
         let idx = self.index_of(to);
         if !self.read_txs.is_empty() {
             if let WrenMsg::SliceReq { tx, lt, rt, keys } = msg {
                 let Dest::Server(coordinator) = src else {
-                    debug_assert!(false, "SliceReq must come from a server");
+                    // Only a coordinator legitimately sends SliceReq,
+                    // but over TCP this arm is reachable by any client
+                    // that frames one — drop it (no assert: remote
+                    // input must never panic a server thread).
                     return;
                 };
                 // A send only fails during shutdown; drop the job then.
@@ -71,6 +104,10 @@ impl Router {
     }
 
     fn send_to_client(&self, to: ClientId, msg: WrenMsg) {
+        if let Some(fabric) = &self.tcp {
+            fabric.send_client(to, &msg);
+            return;
+        }
         if let Some(tx) = self.clients.read().get(&to) {
             let _ = tx.send(msg);
         }
@@ -107,6 +144,8 @@ pub struct ClusterBuilder {
     session_timeout: Duration,
     gossip_fanout: u16,
     read_workers: usize,
+    tcp: bool,
+    tcp_client_outbox_bytes: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -120,6 +159,8 @@ impl Default for ClusterBuilder {
             session_timeout: Duration::from_secs(5),
             gossip_fanout: 0,
             read_workers: 2,
+            tcp: false,
+            tcp_client_outbox_bytes: wren_net::DEFAULT_OUTBOX_BYTES,
         }
     }
 }
@@ -184,6 +225,30 @@ impl ClusterBuilder {
         self
     }
 
+    /// Runs the cluster over real TCP sockets on 127.0.0.1 instead of
+    /// in-process channels: one listener + acceptor thread per
+    /// partition, length-prefixed framed sessions, and every protocol
+    /// hop — client↔coordinator, slices, 2PC, replication, gossip —
+    /// encoded onto the wire and decoded back. The engines themselves
+    /// (writer thread + read workers) are identical in both modes.
+    ///
+    /// [`Cluster::server_addrs`] exposes the bound addresses so
+    /// sessions in *other processes* can join via
+    /// [`Session::connect_tcp`](crate::Session::connect_tcp).
+    pub fn tcp(mut self) -> Self {
+        self.tcp = true;
+        self
+    }
+
+    /// Cap on queued (unwritten) response bytes per client connection
+    /// in TCP mode (default 4 MiB). A client that stops reading fills
+    /// its outbox and is disconnected — it can never block a partition
+    /// thread. Tiny caps make slow-client tests deterministic.
+    pub fn tcp_client_outbox_bytes(mut self, bytes: usize) -> Self {
+        self.tcp_client_outbox_bytes = bytes;
+        self
+    }
+
     /// Spawns the server threads and returns the running cluster.
     pub fn build(self) -> Cluster {
         Cluster::start(self)
@@ -224,6 +289,8 @@ pub struct Cluster {
     cfg: ClusterBuilder,
     router: Arc<Router>,
     engines: Vec<PartitionEngine>,
+    /// Listener addresses in TCP mode (DC-major partition order).
+    addrs: Arc<Vec<SocketAddr>>,
     next_client: AtomicU32,
     next_coordinator: AtomicU32,
     shut_down: std::sync::atomic::AtomicBool,
@@ -253,12 +320,34 @@ impl Cluster {
         } else {
             read_rxs.resize_with(total, || None);
         }
+        // TCP mode: bind every server's loopback listener up front so
+        // the fabric knows all addresses before any engine (or lazy
+        // dial) runs; acceptors spawn right after the router exists.
+        let (listeners, addrs) = if cfg.tcp {
+            let (listeners, addrs) = bind_listeners(cfg.n_dcs, cfg.n_partitions)
+                .expect("bind loopback listeners");
+            (Some(listeners), addrs)
+        } else {
+            (None, Vec::new())
+        };
+        let addrs = Arc::new(addrs);
+
         let router = Arc::new(Router {
             n_partitions: cfg.n_partitions,
             server_txs: txs,
             read_txs,
             clients: RwLock::new(HashMap::new()),
+            tcp: cfg.tcp.then(|| {
+                TcpFabric::new(
+                    addrs.as_ref().clone(),
+                    cfg.n_partitions,
+                    cfg.tcp_client_outbox_bytes,
+                )
+            }),
         });
+        if let Some(listeners) = listeners {
+            spawn_acceptors(&router, listeners);
+        }
 
         let wren_cfg = WrenConfig {
             n_dcs: cfg.n_dcs,
@@ -304,10 +393,28 @@ impl Cluster {
             cfg,
             router,
             engines,
+            addrs,
             next_client: AtomicU32::new(0),
             next_coordinator: AtomicU32::new(0),
             shut_down: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// The servers' listen addresses in TCP mode, DC-major partition
+    /// order (empty for a channel-transport cluster). Hand these to
+    /// [`Session::connect_tcp`] in another process to join the cluster
+    /// over the network.
+    pub fn server_addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Inter-server messages the TCP fabric refused to frame (always 0
+    /// on a healthy run — legitimate traffic cannot exceed the frame
+    /// ceiling; see `wren_protocol::frame::MAX_FRAME_LEN`). Always 0 in
+    /// channel mode. The loopback oracle tests assert on this: the
+    /// transport must be loss-free while the invariants are checked.
+    pub fn tcp_dropped_frames(&self) -> u64 {
+        self.router.tcp().map_or(0, |f| f.dropped_frames())
     }
 
     /// Number of DCs in the cluster.
@@ -333,8 +440,19 @@ impl Cluster {
         let p = (self.next_coordinator.fetch_add(1, Ordering::Relaxed)
             % self.cfg.n_partitions as u32) as u16;
         let coordinator = ServerId::new(dc, p);
+        if self.cfg.tcp {
+            // Same API, real sockets: the session dials its coordinator
+            // exactly as a remote process would.
+            return Session::tcp(
+                id,
+                coordinator,
+                Arc::clone(&self.addrs),
+                self.cfg.n_partitions,
+                self.cfg.session_timeout,
+            );
+        }
         let rx = self.router.register_client(id);
-        Session::new(
+        Session::channel(
             id,
             coordinator,
             Arc::clone(&self.router),
@@ -351,6 +469,12 @@ impl Cluster {
     pub fn shutdown(&self) {
         if self.shut_down.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // TCP first: close listeners and sever every connection (in
+        // flight included) so no new work reaches the engines while
+        // they drain their inboxes towards the poison messages below.
+        if let Some(fabric) = self.router.tcp() {
+            fabric.shutdown();
         }
         for tx in &self.router.server_txs {
             let _ = tx.send(RtMsg::Shutdown);
@@ -369,7 +493,15 @@ impl Cluster {
     /// thread outlives the call.
     pub fn stop(mut self) -> Vec<ServerStats> {
         self.shutdown();
-        self.engines.drain(..).map(PartitionEngine::join).collect()
+        let stats = self
+            .engines
+            .drain(..)
+            .map(PartitionEngine::join)
+            .collect();
+        if let Some(fabric) = self.router.tcp() {
+            fabric.join_threads();
+        }
+        stats
     }
 }
 
@@ -380,6 +512,11 @@ impl Drop for Cluster {
         // detached read worker survives the cluster.
         for engine in self.engines.drain(..) {
             let _ = engine.join();
+        }
+        // Then the fabric: acceptors, connection readers and outbox
+        // writers — no socket thread survives either.
+        if let Some(fabric) = self.router.tcp() {
+            fabric.join_threads();
         }
     }
 }

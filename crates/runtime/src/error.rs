@@ -8,6 +8,9 @@ pub enum RtError {
     Timeout,
     /// The cluster has been shut down.
     Shutdown,
+    /// The request exceeds the TCP transport's maximum frame size
+    /// (`wren_protocol::frame::MAX_FRAME_LEN`); shrink the operation.
+    TooLarge,
 }
 
 impl fmt::Display for RtError {
@@ -15,6 +18,7 @@ impl fmt::Display for RtError {
         match self {
             RtError::Timeout => write!(f, "timed out waiting for a server reply"),
             RtError::Shutdown => write!(f, "cluster is shut down"),
+            RtError::TooLarge => write!(f, "request exceeds the transport's frame limit"),
         }
     }
 }

@@ -16,7 +16,12 @@
 //!   partition's read pool);
 //! * [`Session`] — the paper's client API (`START` / `READ` / `WRITE` /
 //!   `COMMIT`) as blocking calls, with CANToR's client-side cache giving
-//!   read-your-writes over the lagging stable snapshot.
+//!   read-your-writes over the lagging stable snapshot;
+//! * [`ClusterBuilder::tcp`] — the same engines behind **real sockets**:
+//!   one listener + acceptor per partition, length-prefixed framed
+//!   sessions (`wren-net`), bounded per-connection outboxes so slow
+//!   clients cannot stall a partition, and [`Session::connect_tcp`] to
+//!   join from another process knowing only [`Cluster::server_addrs`].
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@ mod cluster;
 mod engine;
 mod error;
 mod session;
+mod tcp;
 
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::RtError;

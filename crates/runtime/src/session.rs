@@ -1,28 +1,48 @@
 use crate::cluster::Router;
+use crate::tcp::TcpLink;
 use crate::RtError;
 use crossbeam_channel::Receiver;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 use wren_clock::Timestamp;
 use wren_core::{ClientStats, WrenClient};
 use wren_protocol::{ClientId, Dest, Key, ServerId, Value, WrenMsg};
 
+/// The transport a session speaks: in-process channels (through the
+/// cluster's router) or framed TCP to the coordinators' listeners.
+/// Either way the protocol bytes and the state machine are identical.
+enum Link {
+    Channel {
+        router: Arc<Router>,
+        rx: Receiver<WrenMsg>,
+        timeout: Duration,
+    },
+    Tcp(TcpLink),
+}
+
 /// A blocking client session against a running [`Cluster`](crate::Cluster).
 ///
 /// Wraps the sans-io [`WrenClient`] state machine: every method sends the
-/// message the state machine produces and blocks on the session's inbox
-/// for the reply. One transaction may be active at a time, exactly as in
-/// the paper's client model ("c does not issue another operation until it
-/// receives the reply to the current one", §II-A).
+/// message the state machine produces and blocks on the reply. One
+/// transaction may be active at a time, exactly as in the paper's client
+/// model ("c does not issue another operation until it receives the reply
+/// to the current one", §II-A).
+///
+/// Sessions come in two transports with one API: [`Cluster::session`]
+/// hands out a channel- or TCP-backed session to match the cluster, and
+/// [`Session::connect_tcp`] joins a TCP cluster from anywhere — another
+/// thread, another process, another machine — knowing only socket
+/// addresses.
+///
+/// [`Cluster::session`]: crate::Cluster::session
 pub struct Session {
     client: WrenClient,
-    router: Arc<Router>,
-    rx: Receiver<WrenMsg>,
-    timeout: Duration,
+    link: Link,
 }
 
 impl Session {
-    pub(crate) fn new(
+    pub(crate) fn channel(
         id: ClientId,
         coordinator: ServerId,
         router: Arc<Router>,
@@ -31,10 +51,50 @@ impl Session {
     ) -> Self {
         Session {
             client: WrenClient::new(id, coordinator),
-            router,
-            rx,
-            timeout,
+            link: Link::Channel {
+                router,
+                rx,
+                timeout,
+            },
         }
+    }
+
+    pub(crate) fn tcp(
+        id: ClientId,
+        coordinator: ServerId,
+        addrs: Arc<Vec<SocketAddr>>,
+        n_partitions: u16,
+        timeout: Duration,
+    ) -> Self {
+        Session {
+            client: WrenClient::new(id, coordinator),
+            link: Link::Tcp(TcpLink::new(id, addrs, n_partitions, timeout)),
+        }
+    }
+
+    /// Joins a TCP-mode cluster over the network, with no handle to the
+    /// [`Cluster`](crate::Cluster) object at all — only its listener
+    /// addresses ([`Cluster::server_addrs`], DC-major partition order).
+    /// This is how a session in a *different process* participates.
+    ///
+    /// `id` must be unique across every session of the cluster (the
+    /// cluster's own sessions count up from 0, so remote processes
+    /// should use a disjoint range). The connection is dialed lazily on
+    /// the first operation.
+    ///
+    /// [`Cluster::server_addrs`]: crate::Cluster::server_addrs
+    pub fn connect_tcp(
+        addrs: Vec<SocketAddr>,
+        n_partitions: u16,
+        id: ClientId,
+        coordinator: ServerId,
+        timeout: Duration,
+    ) -> Self {
+        assert!(
+            !addrs.is_empty() && addrs.len().is_multiple_of(n_partitions as usize),
+            "need every server's address, DC-major partition order"
+        );
+        Session::tcp(id, coordinator, Arc::new(addrs), n_partitions, timeout)
     }
 
     /// This session's client id.
@@ -52,24 +112,40 @@ impl Session {
         self.client.stats()
     }
 
-    fn send(&self, msg: WrenMsg) {
-        self.router
-            .send_to_server(Dest::Client(self.client.id()), self.client.coordinator(), msg);
+    fn send(&mut self, msg: WrenMsg) -> Result<(), RtError> {
+        let coordinator = self.client.coordinator();
+        match &mut self.link {
+            Link::Channel { router, .. } => {
+                router.send_to_server(Dest::Client(self.client.id()), coordinator, msg);
+                Ok(())
+            }
+            Link::Tcp(link) => link.send(coordinator, &msg),
+        }
     }
 
-    fn recv(&self) -> Result<WrenMsg, RtError> {
-        self.rx.recv_timeout(self.timeout).map_err(|_| RtError::Timeout)
+    fn recv(&mut self) -> Result<WrenMsg, RtError> {
+        match &mut self.link {
+            Link::Channel { rx, timeout, .. } => {
+                rx.recv_timeout(*timeout).map_err(|_| RtError::Timeout)
+            }
+            Link::Tcp(link) => link.recv(),
+        }
+    }
+
+    fn round_trip(&mut self, msg: WrenMsg) -> Result<WrenMsg, RtError> {
+        self.send(msg)?;
+        self.recv()
     }
 
     /// Starts an interactive transaction (the paper's `START`).
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    /// [`RtError::Timeout`] if the coordinator does not reply in time,
+    /// [`RtError::Shutdown`] if it is unreachable.
     pub fn begin(&mut self) -> Result<(), RtError> {
         let msg = self.client.start();
-        self.send(msg);
-        let resp = self.recv()?;
+        let resp = self.round_trip(msg)?;
         self.client.on_start_resp(resp);
         Ok(())
     }
@@ -80,7 +156,10 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    /// [`RtError::Timeout`] if the coordinator does not reply in time,
+    /// [`RtError::Shutdown`] if it is unreachable. Over TCP,
+    /// [`RtError::TooLarge`] if more than 512 keys need a server fetch
+    /// in one call (the transport bounds response sizes).
     ///
     /// # Panics
     ///
@@ -89,8 +168,7 @@ impl Session {
         let outcome = self.client.read(keys);
         let mut results = outcome.local;
         if let Some(req) = outcome.request {
-            self.send(req);
-            let resp = self.recv()?;
+            let resp = self.round_trip(req)?;
             results.extend(self.client.on_read_resp(resp));
         }
         // Return in the caller's key order.
@@ -107,7 +185,8 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    /// [`RtError::Timeout`] if the coordinator does not reply in time,
+    /// [`RtError::Shutdown`] if it is unreachable.
     pub fn read_one(&mut self, key: Key) -> Result<Option<Value>, RtError> {
         Ok(self.read(&[key])?.pop().and_then(|(_, v)| v))
     }
@@ -134,7 +213,8 @@ impl Session {
     /// Moves this session to a coordinator in another DC (the paper's
     /// §II-A footnote-1 extension), blocking until the new DC has
     /// installed everything the session has seen or written. Returns the
-    /// number of probe transactions it took.
+    /// number of probe transactions it took. Over TCP, this dials the
+    /// new coordinator's listener.
     ///
     /// # Errors
     ///
@@ -146,18 +226,27 @@ impl Session {
     /// Panics if a transaction is active or `coordinator` is invalid.
     pub fn migrate(&mut self, coordinator: ServerId) -> Result<u32, RtError> {
         self.client.migrate_to(coordinator);
-        let deadline = std::time::Instant::now() + self.timeout;
+        let timeout = match &mut self.link {
+            Link::Channel { timeout, .. } => *timeout,
+            Link::Tcp(link) => {
+                // Helloing the new coordinator severs this client's old
+                // registration cluster-side; drop every cached conn so
+                // a later migration back redials instead of hitting the
+                // dead socket.
+                link.reset();
+                link.timeout()
+            }
+        };
+        let deadline = std::time::Instant::now() + timeout;
         let mut probes = 0;
         loop {
             probes += 1;
             let msg = self.client.start();
-            self.send(msg);
-            let resp = self.recv()?;
+            let resp = self.round_trip(msg)?;
             self.client.on_start_resp(resp);
             // Tear the probe transaction down either way.
             let msg = self.client.commit();
-            self.send(msg);
-            let resp = self.recv()?;
+            let resp = self.round_trip(msg)?;
             let _ = self.client.on_commit_resp(resp);
             if self.client.migration_ready() {
                 return Ok(probes);
@@ -174,21 +263,26 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// [`RtError::Timeout`] if the coordinator does not reply in time.
+    /// [`RtError::Timeout`] if the coordinator does not reply in time,
+    /// [`RtError::Shutdown`] if it is unreachable.
     ///
     /// # Panics
     ///
     /// Panics if no transaction is active.
     pub fn commit(&mut self) -> Result<Timestamp, RtError> {
         let msg = self.client.commit();
-        self.send(msg);
-        let resp = self.recv()?;
+        let resp = self.round_trip(msg)?;
         Ok(self.client.on_commit_resp(resp))
     }
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.router.unregister_client(self.client.id());
+        match &self.link {
+            Link::Channel { router, .. } => router.unregister_client(self.client.id()),
+            // TCP: dropping the sockets closes the connections; the
+            // server side unregisters on EOF.
+            Link::Tcp(_) => {}
+        }
     }
 }

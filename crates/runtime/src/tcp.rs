@@ -1,0 +1,614 @@
+//! The TCP fabric: the cluster's engines behind real sockets.
+//!
+//! In channel mode every hop is a crossbeam send; in TCP mode every
+//! protocol message — client↔coordinator, coordinator↔cohort,
+//! replication, gossip, GC — is **encoded, framed, written to a socket,
+//! read back, decoded and dispatched**, exactly as it would be between
+//! machines. The engines themselves are untouched: the writer thread
+//! and the read workers keep consuming from the same channels; the
+//! fabric's connection reader threads feed those channels from the
+//! wire, and outgoing dispatches are framed onto per-connection
+//! outboxes instead of channel sends.
+//!
+//! Topology:
+//!
+//! * **One `TcpListener` + acceptor thread per partition server.** The
+//!   acceptor only accepts; it never reads, so a peer that dribbles its
+//!   handshake byte-by-byte wedges nothing but its own connection
+//!   thread.
+//! * **Per-connection reader threads.** The first frame is a
+//!   [`Hello`] naming the peer; every later frame is a bare protocol
+//!   message attributed to that identity and delivered into the
+//!   partition's inbox (read slices divert to the read workers, as in
+//!   channel mode).
+//! * **Outbound links are dialed lazily**, one per (local engine,
+//!   remote server) pair, and writes go through a bounded, never-
+//!   blocking [`Outbox`] drained by a dedicated writer thread — a slow
+//!   peer fills its own queue and is disconnected; the engine threads
+//!   never block on `write(2)`.
+//! * **Client connections** register their outbox under the client id
+//!   at hello time, so coordinator responses find the socket without
+//!   any per-message addressing bytes.
+//!
+//! Shutdown is idempotent and total: the fabric flags itself closing,
+//! wakes every acceptor with a self-connection, shuts every registered
+//! socket (waking reader threads and any blocked writes), closes every
+//! outbox, and [`TcpFabric::join_threads`] then joins acceptors,
+//! readers and outbox writers — no fabric thread outlives the cluster.
+
+use crate::cluster::Router;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wren_net::{FramedReader, Hello, Outbox};
+use wren_protocol::frame::{frame_wren, try_frame_wren};
+use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
+
+/// Cap on a server↔server link's outbox. Effectively unbounded: the
+/// protocol's tick pacing flow-controls inter-server traffic, and
+/// dropping replication or 2PC messages would violate the lossless-FIFO
+/// link assumption the state machines are built on. (Client links are
+/// the untrusted ones — they get the small, configurable cap.)
+const SERVER_OUTBOX_BYTES: usize = usize::MAX;
+
+/// How long shutdown waits for the self-connection that wakes an
+/// acceptor thread.
+const WAKE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Ceiling on one client *request*: the frame limit minus headroom for
+/// protocol amplification, so every server-side message derived from a
+/// single admitted request (`PrepareReq` = `CommitReq` + 24 bytes, a
+/// one-transaction `Replicate` = + 28 bytes, `SliceReq` fan-out ≤ the
+/// original `TxReadReq`) is guaranteed to stay frameable. Enforced in
+/// the session library ([`TcpLink::send`]) *and* mirrored at the
+/// server's accepting boundary ([`legal_from_client`]), so raw peers
+/// get the same bound as library clients.
+const CLIENT_REQ_MAX: usize = wren_protocol::frame::MAX_FRAME_LEN - 1024;
+
+/// Ceiling on keys per read request. Bounds *response* size, which the
+/// request's own size cannot: each returned item costs at most
+/// ~65 571 bytes (a 64 KiB value plus version metadata), so a response
+/// to `MAX_READ_KEYS` keys tops out near 33.6 MiB — comfortably under
+/// [`MAX_FRAME_LEN`](wren_protocol::frame::MAX_FRAME_LEN). Without
+/// this, a ~16 KB request naming thousands of fat keys would demand an
+/// unframeable reply. Enforced client-side and at the boundary, for
+/// both `TxReadReq` (client conns) and `SliceReq` (server conns).
+const MAX_READ_KEYS: usize = 512;
+
+/// One outbound link's slot. The per-slot mutex serializes dial +
+/// enqueue for that (engine, peer) pair only — it preserves the pair's
+/// FIFO order (one connection at a time) without making unrelated pairs
+/// (or the read workers' concurrent `SliceResp`s) queue on a global
+/// lock, and without ever holding the fabric-wide map lock across a
+/// blocking `connect`.
+type PeerSlot = Arc<Mutex<Option<Outbox>>>;
+
+/// Per-process TCP state: listener addresses, live connections, and
+/// every thread the fabric has spawned.
+pub(crate) struct TcpFabric {
+    /// All servers' listen addresses, DC-major partition order.
+    addrs: Vec<SocketAddr>,
+    n_partitions: u16,
+    client_outbox_bytes: usize,
+    /// Outbound links, one slot per (local engine, remote server) pair.
+    /// Behind an `RwLock` because steady-state sends only *look up*
+    /// their slot (every read worker's `SliceResp`, every tick's
+    /// replication/gossip); the write lock is taken once per pair, on
+    /// first dial.
+    peers: RwLock<HashMap<(ServerId, ServerId), PeerSlot>>,
+    /// Response sinks for connected clients, registered at hello time.
+    clients: RwLock<HashMap<ClientId, Outbox>>,
+    /// Clones of every *live* accepted stream, for shutdown severing;
+    /// each connection's entry is reaped when its reader exits, so a
+    /// long-running cluster with session churn does not accumulate fds.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: std::sync::atomic::AtomicU64,
+    /// Acceptors, connection readers and outbox writers. Finished
+    /// handles are swept opportunistically on accept.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Server→server messages refused because they exceeded the frame
+    /// ceiling — 0 on any healthy run (see `send_server`).
+    dropped_frames: std::sync::atomic::AtomicU64,
+    closing: AtomicBool,
+}
+
+impl TcpFabric {
+    pub(crate) fn new(
+        addrs: Vec<SocketAddr>,
+        n_partitions: u16,
+        client_outbox_bytes: usize,
+    ) -> TcpFabric {
+        TcpFabric {
+            addrs,
+            n_partitions,
+            client_outbox_bytes,
+            peers: RwLock::new(HashMap::new()),
+            clients: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: std::sync::atomic::AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            dropped_frames: std::sync::atomic::AtomicU64::new(0),
+            closing: AtomicBool::new(false),
+        }
+    }
+
+    /// Ships one engine-originated message to a peer server over the
+    /// (lazily dialed) outbound link. Failures degrade exactly like a
+    /// channel send during shutdown: the message is dropped.
+    pub(crate) fn send_server(&self, src: ServerId, to: ServerId, msg: &WrenMsg) {
+        let Some(frame) = try_frame_wren(msg) else {
+            // Beyond the frame ceiling, which legitimate traffic cannot
+            // reach: client requests are capped with amplification
+            // headroom at their own transport ([`CLIENT_REQ_MAX`]), so
+            // every per-transaction server message derived from one
+            // stays under the ceiling, and multi-transaction `Replicate`
+            // batches share one commit timestamp (HLC ties — a handful
+            // at most, not 64 MiB). Splitting such a batch here would
+            // be UNSOUND: the receiver raises its replication watermark
+            // to `ct` after each message, so a half-applied batch could
+            // become visible as a stable — and torn — snapshot. Drop
+            // instead, and make it observable.
+            self.dropped_frames
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return;
+        };
+        // Shared map lock only long enough to fetch (or, first time,
+        // create) the slot; the (blocking) dial happens under the
+        // slot's own lock, never the map's.
+        let key = (src, to);
+        // The read guard must drop before any write() — binding the
+        // lookup first keeps the scrutinee temporary from holding the
+        // read lock across the write arm.
+        let existing = self.peers.read().get(&key).map(Arc::clone);
+        let slot: PeerSlot = match existing {
+            Some(slot) => slot,
+            None => Arc::clone(self.peers.write().entry(key).or_default()),
+        };
+        let mut link = slot.lock();
+        if let Some(out) = link.as_ref() {
+            if out.enqueue(frame.clone()) {
+                return;
+            }
+            // The link died (peer gone / overflow); redial once below.
+            *link = None;
+        }
+        if self.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(out) = self.dial(src, to) {
+            out.enqueue(frame);
+            // Shutdown may have drained the peers map while we dialed
+            // (our slot Arc would then no longer be reachable from it);
+            // the re-check ensures the new link cannot escape severing.
+            if self.closing.load(Ordering::SeqCst) {
+                out.shutdown();
+                return;
+            }
+            *link = Some(out);
+        }
+    }
+
+    fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<Outbox> {
+        let stream = TcpStream::connect(self.addrs[to.dc_major_index(self.n_partitions)])?;
+        stream.set_nodelay(true)?;
+        let (outbox, writer) = Outbox::spawn(stream, SERVER_OUTBOX_BYTES)?;
+        outbox.enqueue(Hello::Server(src).encode_framed());
+        self.threads.lock().push(writer);
+        Ok(outbox)
+    }
+
+    /// Ships a response to a connected client; silently dropped if the
+    /// client is gone (its session will time out, as in channel mode).
+    pub(crate) fn send_client(&self, to: ClientId, msg: &WrenMsg) {
+        if let Some(out) = self.clients.read().get(&to) {
+            match try_frame_wren(msg) {
+                Some(frame) => {
+                    out.enqueue(frame);
+                }
+                // A response beyond the frame ceiling cannot be
+                // delivered; sever the connection so the client fails
+                // fast instead of waiting out its timeout.
+                None => out.shutdown(),
+            }
+        }
+    }
+
+    /// Flags the fabric closed and severs everything: wakes acceptors,
+    /// shuts accepted sockets (waking their reader threads), kills
+    /// outbound and client outboxes. Idempotent — every step tolerates
+    /// having already run.
+    pub(crate) fn shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for addr in &self.addrs {
+            // Wake the acceptor blocked in accept(); it re-checks the
+            // closing flag and exits. The dummy connection is dropped
+            // unserved.
+            let _ = TcpStream::connect_timeout(addr, WAKE_TIMEOUT);
+        }
+        for (_, slot) in self.peers.write().drain() {
+            if let Some(out) = slot.lock().take() {
+                out.shutdown();
+            }
+        }
+        for (_, out) in self.clients.write().drain() {
+            out.shutdown();
+        }
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Server→server messages refused for exceeding the frame ceiling
+    /// (0 on any healthy run; the loopback oracle suite asserts it).
+    pub(crate) fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Joins every fabric thread. Loops because connection threads can
+    /// register their outbox writer handles concurrently; once a batch
+    /// is joined, nothing can add more, so the queue drains to empty.
+    pub(crate) fn join_threads(&self) {
+        loop {
+            let batch: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+            if batch.is_empty() {
+                return;
+            }
+            for handle in batch {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn register_client(&self, id: ClientId, outbox: Outbox) {
+        if let Some(old) = self.clients.write().insert(id, outbox.clone()) {
+            // A reconnect (e.g. after migration) displaces the old
+            // registration; sever the stale connection.
+            old.shutdown();
+        }
+        // Shutdown may have drained the client map between the insert
+        // and its sweep; re-checking after the insert guarantees one
+        // side sees the other (the closing store precedes the sweep).
+        if self.closing.load(Ordering::SeqCst) {
+            outbox.shutdown();
+        }
+    }
+
+    fn unregister_client(&self, id: ClientId, outbox: &Outbox) {
+        let mut clients = self.clients.write();
+        if clients.get(&id).is_some_and(|cur| cur.same_as(outbox)) {
+            clients.remove(&id);
+        }
+    }
+}
+
+/// Spawns the acceptor threads, one per local server, after the router
+/// (and its fabric) exist. Handles are parked in the fabric.
+pub(crate) fn spawn_acceptors(router: &Arc<Router>, listeners: Vec<(ServerId, TcpListener)>) {
+    let fabric = router.tcp().expect("acceptors need a TCP fabric");
+    let mut threads = fabric.threads.lock();
+    for (me, listener) in listeners {
+        let router = Arc::clone(router);
+        threads.push(std::thread::spawn(move || accept_loop(me, listener, router)));
+    }
+}
+
+fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
+    let fabric = router.tcp().expect("TCP fabric");
+    loop {
+        if fabric.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Transient (EMFILE under fd pressure, EINTR): back off
+                // briefly instead of burning a core on the error.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Register the raw socket for shutdown *before* any reads, so
+        // even a connection still dribbling its hello is severable. A
+        // conn we cannot register we must not serve: its reader thread
+        // would be un-severable and hang join_threads at shutdown.
+        let conn_id = fabric
+            .next_conn
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match stream.try_clone() {
+            Ok(clone) => {
+                fabric.conns.lock().insert(conn_id, clone);
+            }
+            Err(_) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                continue;
+            }
+        }
+        // Re-check AFTER registering: shutdown stores the closing flag
+        // before sweeping `conns`, so a connection accepted during the
+        // race is severed by exactly one side — the sweep (if the push
+        // won) or this branch (if it lost). Without the ordering, a
+        // conn accepted mid-shutdown could escape severing and leave
+        // its reader thread blocking `join_threads` forever.
+        if fabric.closing.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            fabric.conns.lock().remove(&conn_id);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let router = Arc::clone(&router);
+        let handle = std::thread::spawn(move || serve_conn(me, conn_id, stream, router));
+        // Sweep finished reader/writer handles while we are here, so
+        // session churn does not grow the join list without bound
+        // (dropping a finished handle just detaches a dead thread).
+        let mut threads = fabric.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
+    }
+}
+
+/// One accepted connection: handshake, then frames → local dispatch
+/// until EOF, error, or fabric shutdown. Reaps the connection's
+/// shutdown-registry entry on the way out, whatever the exit path.
+fn serve_conn(me: ServerId, conn_id: u64, stream: TcpStream, router: Arc<Router>) {
+    let fabric = router.tcp().expect("TCP fabric");
+    let mut reader = FramedReader::new(stream);
+    if let Ok(hello) = reader.read_hello() {
+        match hello {
+            // A forged out-of-range ServerId would index out of bounds
+            // in version vectors and the address table downstream —
+            // validate at the boundary, sever on nonsense.
+            Hello::Server(src)
+                if src.partition.index() < fabric.n_partitions as usize
+                    && src.dc_major_index(fabric.n_partitions) < fabric.addrs.len() =>
+            {
+                // Inbound server links are read-only: replies travel on
+                // the replier's own outbound link, so no outbox here.
+                read_frames(&mut reader, legal_from_server, |msg| {
+                    router.deliver_local(Dest::Server(src), me, msg);
+                });
+            }
+            Hello::Server(_) => {}
+            Hello::Client(id) => serve_client_conn(me, id, &mut reader, &router, fabric),
+        }
+    }
+    fabric.conns.lock().remove(&conn_id);
+}
+
+/// The client half of [`serve_conn`]: outbox + registration around the
+/// frame loop.
+fn serve_client_conn(
+    me: ServerId,
+    id: ClientId,
+    reader: &mut FramedReader,
+    router: &Arc<Router>,
+    fabric: &TcpFabric,
+) {
+    let Ok(write_half) = reader.stream().try_clone() else {
+        return;
+    };
+    let Ok((outbox, writer)) = Outbox::spawn(write_half, fabric.client_outbox_bytes) else {
+        return;
+    };
+    fabric.threads.lock().push(writer);
+    fabric.register_client(id, outbox.clone());
+    read_frames(reader, legal_from_client, |msg| {
+        router.deliver_local(Dest::Client(id), me, msg);
+    });
+    fabric.unregister_client(id, &outbox);
+    // Hard shutdown, not a graceful flush: the reader only exits when
+    // the client is gone or misbehaving, and a half-closed client that
+    // stopped reading would otherwise leave the outbox writer blocked
+    // in write(2) with its socket already gone from every registry —
+    // unjoinable at cluster stop.
+    outbox.shutdown();
+}
+
+/// Messages a client session may legitimately send its coordinator,
+/// within the transport's amplification bounds. Anything else on a
+/// client connection (a `SliceReq`, a response type, gossip, an
+/// oversized or over-wide request…) would reach engine paths the state
+/// machines only expect from trusted sources, or force the engine to
+/// build an unframeable reply — filtered at the boundary so remote
+/// frames can never trip a server-side `debug_assert` or the
+/// server→server frame ceiling.
+fn legal_from_client(msg: &WrenMsg) -> bool {
+    match msg {
+        WrenMsg::StartTxReq { .. } => true,
+        WrenMsg::TxReadReq { keys, .. } => keys.len() <= MAX_READ_KEYS,
+        WrenMsg::CommitReq { .. } => msg.wire_size() <= CLIENT_REQ_MAX,
+        _ => false,
+    }
+}
+
+/// Messages one partition server may legitimately send another: the
+/// intra-DC transaction traffic, replication, and gossip — not the
+/// client-only requests and not the client-bound responses. `SliceReq`
+/// carries the same keys bound as the client read it derives from.
+fn legal_from_server(msg: &WrenMsg) -> bool {
+    match msg {
+        WrenMsg::SliceReq { keys, .. } => keys.len() <= MAX_READ_KEYS,
+        WrenMsg::SliceResp { .. }
+        | WrenMsg::PrepareReq { .. }
+        | WrenMsg::PrepareResp { .. }
+        | WrenMsg::Commit { .. }
+        | WrenMsg::Replicate { .. }
+        | WrenMsg::Heartbeat { .. }
+        | WrenMsg::StableGossip { .. }
+        | WrenMsg::GcGossip { .. }
+        | WrenMsg::GossipUp { .. }
+        | WrenMsg::GossipDown { .. } => true,
+        WrenMsg::StartTxReq { .. }
+        | WrenMsg::TxReadReq { .. }
+        | WrenMsg::CommitReq { .. }
+        | WrenMsg::StartTxResp { .. }
+        | WrenMsg::TxReadResp { .. }
+        | WrenMsg::CommitResp { .. } => false,
+    }
+}
+
+/// Reads frames until EOF/error, delivering each decoded message that
+/// passes the connection's legality filter; a corrupt or
+/// protocol-illegal frame severs the connection instead.
+fn read_frames(
+    reader: &mut FramedReader,
+    legal: fn(&WrenMsg) -> bool,
+    mut deliver: impl FnMut(WrenMsg),
+) {
+    loop {
+        match reader.next_frame() {
+            Ok(Some(payload)) => match WrenMsg::decode(&payload) {
+                Ok(msg) if legal(&msg) => deliver(msg),
+                _ => return, // corrupt or protocol-illegal peer: sever
+            },
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// A bound listener tagged with the server it serves.
+pub(crate) type BoundListeners = Vec<(ServerId, TcpListener)>;
+
+/// Binds one loopback listener per server, DC-major partition order.
+pub(crate) fn bind_listeners(
+    n_dcs: u8,
+    n_partitions: u16,
+) -> std::io::Result<(BoundListeners, Vec<SocketAddr>)> {
+    let mut listeners = Vec::new();
+    let mut addrs = Vec::new();
+    for dc in 0..n_dcs {
+        for p in 0..n_partitions {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(listener.local_addr()?);
+            listeners.push((ServerId::new(dc, p), listener));
+        }
+    }
+    Ok((listeners, addrs))
+}
+
+// ---------------------------------------------------------------------
+// Client side: a session's framed link to its coordinators.
+// ---------------------------------------------------------------------
+
+/// A client session's socket bundle to one server.
+struct PeerIo {
+    write: TcpStream,
+    reader: FramedReader,
+}
+
+/// The TCP leg of a [`Session`](crate::Session): lazily-dialed framed
+/// connections to whichever coordinators the session talks to (one,
+/// until it migrates), with blocking timed receives.
+///
+/// The session layer is strictly request-response (one in-flight
+/// operation, as in the paper's client model), so a plain blocking read
+/// with `SO_RCVTIMEO` is the whole receive path — no demultiplexing.
+pub(crate) struct TcpLink {
+    id: ClientId,
+    addrs: Arc<Vec<SocketAddr>>,
+    n_partitions: u16,
+    timeout: Duration,
+    conns: HashMap<ServerId, PeerIo>,
+    /// The server the last request went to (whose link `recv` reads).
+    active: Option<ServerId>,
+}
+
+impl TcpLink {
+    pub(crate) fn new(
+        id: ClientId,
+        addrs: Arc<Vec<SocketAddr>>,
+        n_partitions: u16,
+        timeout: Duration,
+    ) -> TcpLink {
+        TcpLink {
+            id,
+            addrs,
+            n_partitions,
+            timeout,
+            conns: HashMap::new(),
+            active: None,
+        }
+    }
+
+    pub(crate) fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Drops every cached connection: the next operation redials. The
+    /// session layer calls this on migration, because helloing a new
+    /// coordinator makes the cluster sever the displaced registration's
+    /// socket — any conn cached before the migration is (or will be)
+    /// dead, and a migration back would otherwise hit it and surface a
+    /// spurious `Shutdown`.
+    pub(crate) fn reset(&mut self) {
+        self.conns.clear();
+        self.active = None;
+    }
+
+    fn connect(&mut self, to: ServerId) -> std::io::Result<()> {
+        use std::io::Write;
+        let addr = self.addrs[to.dc_major_index(self.n_partitions)];
+        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.write_all(&Hello::Client(self.id).encode_framed())?;
+        let write = stream.try_clone()?;
+        self.conns.insert(
+            to,
+            PeerIo {
+                write,
+                reader: FramedReader::new(stream),
+            },
+        );
+        Ok(())
+    }
+
+    /// Frames and writes one request. [`RtError::Shutdown`] means the
+    /// server is unreachable (cluster down); [`RtError::TooLarge`]
+    /// means the request exceeds the transport's ceilings (total size,
+    /// or keys per read). The same bounds are enforced at the server's
+    /// accepting boundary; checking here turns a would-be severed
+    /// connection into a clean client-side error.
+    pub(crate) fn send(&mut self, to: ServerId, msg: &WrenMsg) -> Result<(), crate::RtError> {
+        use std::io::Write;
+        if !legal_from_client(msg) {
+            return Err(crate::RtError::TooLarge);
+        }
+        // Within CLIENT_REQ_MAX < MAX_FRAME_LEN, so framing can't fail.
+        let frame = frame_wren(msg);
+        if !self.conns.contains_key(&to) {
+            self.connect(to).map_err(|_| crate::RtError::Shutdown)?;
+        }
+        self.active = Some(to);
+        let conn = self.conns.get_mut(&to).expect("just ensured");
+        if conn.write.write_all(&frame).is_err() {
+            self.conns.remove(&to);
+            return Err(crate::RtError::Shutdown);
+        }
+        Ok(())
+    }
+
+    /// Blocks for the response to the last request.
+    pub(crate) fn recv(&mut self) -> Result<WrenMsg, crate::RtError> {
+        let active = self.active.ok_or(crate::RtError::Shutdown)?;
+        let conn = self.conns.get_mut(&active).ok_or(crate::RtError::Shutdown)?;
+        match conn.reader.next_frame() {
+            Ok(Some(payload)) => {
+                WrenMsg::decode(&payload).map_err(|_| crate::RtError::Shutdown)
+            }
+            Ok(None) => {
+                self.conns.remove(&active);
+                Err(crate::RtError::Shutdown)
+            }
+            Err(e) if e.is_timeout() => Err(crate::RtError::Timeout),
+            Err(_) => {
+                self.conns.remove(&active);
+                Err(crate::RtError::Shutdown)
+            }
+        }
+    }
+}

@@ -8,7 +8,8 @@
 //! |---|---|---|
 //! | [`core`] | `wren-core` | CANToR transactions, BDT, BiST (the paper's contribution) |
 //! | [`cure`] | `wren-cure` | the Cure and H-Cure baselines |
-//! | [`protocol`] | `wren-protocol` | data model, messages, binary codec |
+//! | [`protocol`] | `wren-protocol` | data model, messages, binary codec, framing |
+//! | [`net`] | `wren-net` | TCP transport primitives: handshake, outboxes, framed reads |
 //! | [`clock`] | `wren-clock` | hybrid logical clocks, version vectors |
 //! | [`storage`] | `wren-storage` | multi-version chains with GC |
 //! | [`sim`] | `wren-sim` | deterministic discrete-event simulator |
@@ -27,6 +28,7 @@
 //! cargo run --release --example geo_visibility
 //! cargo run --release --example blocking_anatomy
 //! cargo run --release --example parallel_reads
+//! cargo run --release --example tcp_cluster
 //! ```
 //!
 //! Reproduce the paper's figures:
@@ -42,6 +44,7 @@ pub use wren_clock as clock;
 pub use wren_core as core;
 pub use wren_cure as cure;
 pub use wren_harness as harness;
+pub use wren_net as net;
 pub use wren_protocol as protocol;
 pub use wren_rt as rt;
 pub use wren_sim as sim;

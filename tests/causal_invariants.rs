@@ -3,136 +3,18 @@
 //! oracle validating **causal closure**, **atomic visibility** and the
 //! four session guarantees on every single read.
 //!
-//! The oracle tracks, for every committed transaction, its write-set and
-//! its causal dependencies (values it read + its session predecessor) and
-//! checks that whenever a snapshot reveals a transaction T, it also
-//! reveals (at least) everything T causally depends on — the paper's
-//! §II-C definition of a causal snapshot.
+//! The oracle itself lives in [`common::oracle`] — the TCP transport
+//! suite (`tcp_cluster.rs`) runs the same checks against a live
+//! socket-backed cluster.
 
 mod common;
 
+use common::oracle::{Oracle, SessionOracle};
 use common::{decode_marker, keys_on_distinct_partitions, marker, run_tx, WrenNet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
-use wren::clock::Timestamp;
 use wren::core::WrenClient;
 use wren::protocol::{ClientId, Key, ServerId};
-
-/// Oracle record for one committed transaction.
-#[derive(Debug, Clone)]
-struct TxRecord {
-    /// LWW order key of this transaction's writes: (ct, dc, seq-id).
-    order: (Timestamp, u8, u32),
-    /// Keys written.
-    writes: Vec<Key>,
-    /// Direct causal dependencies (other committed markers).
-    deps: Vec<(u32, u32)>,
-}
-
-/// The oracle: every committed transaction by its (client, seq) marker.
-#[derive(Default)]
-struct Oracle {
-    txs: HashMap<(u32, u32), TxRecord>,
-}
-
-impl Oracle {
-    /// All transitive dependencies of `m`, including itself.
-    fn causal_past(&self, m: (u32, u32)) -> HashSet<(u32, u32)> {
-        let mut past = HashSet::new();
-        let mut stack = vec![m];
-        while let Some(cur) = stack.pop() {
-            if past.insert(cur) {
-                if let Some(rec) = self.txs.get(&cur) {
-                    stack.extend(rec.deps.iter().copied());
-                }
-            }
-        }
-        past
-    }
-
-    /// Asserts that one transaction's reads form a causal snapshot.
-    ///
-    /// For every observed writer W and every transaction X in W's causal
-    /// past that wrote a key `k` this transaction also read: the observed
-    /// version of `k` must be X's write or something LWW-newer. (If the
-    /// read returned `None`, X must not exist.)
-    fn check_causal_snapshot(&self, observed: &[(Key, Option<(u32, u32)>)]) {
-        let observed_map: HashMap<Key, Option<(u32, u32)>> =
-            observed.iter().cloned().collect();
-        for (_, seen) in observed {
-            let Some(writer) = seen else { continue };
-            for dep in self.causal_past(*writer) {
-                let Some(dep_rec) = self.txs.get(&dep) else {
-                    continue;
-                };
-                for k in &dep_rec.writes {
-                    let Some(seen_for_k) = observed_map.get(k) else {
-                        continue; // this tx did not read k
-                    };
-                    match seen_for_k {
-                        None => panic!(
-                            "causal violation: snapshot shows {writer:?} but read of \
-                             {k:?} returned nothing, despite dependency {dep:?} writing it"
-                        ),
-                        Some(seen_writer) => {
-                            let seen_order = self.txs[seen_writer].order;
-                            assert!(
-                                seen_order >= dep_rec.order,
-                                "causal violation: snapshot shows {writer:?} (which \
-                                 depends on {dep:?} writing {k:?} at {:?}) but the read \
-                                 of {k:?} returned the older {seen_writer:?} at {:?}",
-                                dep_rec.order,
-                                seen_order
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Asserts atomic visibility: if the snapshot shows writer W for key
-    /// k, then for every other key k2 ∈ W.writes that was also read, the
-    /// observed version is W's or LWW-newer.
-    fn check_atomicity(&self, observed: &[(Key, Option<(u32, u32)>)]) {
-        let observed_map: HashMap<Key, Option<(u32, u32)>> =
-            observed.iter().cloned().collect();
-        for (_, seen) in observed {
-            let Some(writer) = seen else { continue };
-            let rec = &self.txs[writer];
-            for k2 in &rec.writes {
-                if let Some(seen2) = observed_map.get(k2) {
-                    match seen2 {
-                        None => panic!(
-                            "atomicity violation: {writer:?} visible on one key but \
-                             its write of {k2:?} is absent"
-                        ),
-                        Some(w2) => assert!(
-                            self.txs[w2].order >= rec.order,
-                            "atomicity violation: {writer:?} visible but {k2:?} shows \
-                             older {w2:?}"
-                        ),
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// One client's session state for the oracle.
-struct SessionOracle {
-    /// Last committed marker of this session (session order dependency).
-    last_commit: Option<(u32, u32)>,
-    /// Everything this session has observed (for read dependencies).
-    observed: Vec<(u32, u32)>,
-    /// Per key: the newest order key this session has ever observed
-    /// (monotonic reads check).
-    high_water: HashMap<Key, (Timestamp, u8, u32)>,
-    /// Per key: this session's own latest write (read-your-writes check).
-    own_writes: HashMap<Key, (u32, u32)>,
-    seq: u32,
-}
 
 fn random_history(seed: u64, m: u8, n: u16, clients_per_dc: usize, txs: usize) {
     random_history_cfg(seed, wren::core::WrenConfig::new(m, n), clients_per_dc, txs)
@@ -156,13 +38,7 @@ fn random_history_cfg(
             let id = ClientId((dc as u32) * 100 + c as u32);
             let coord = ServerId::new(dc, rng.gen_range(0..n));
             clients.push(WrenClient::new(id, coord));
-            sessions.push(SessionOracle {
-                last_commit: None,
-                observed: Vec::new(),
-                high_water: HashMap::new(),
-                own_writes: HashMap::new(),
-                seq: 0,
-            });
+            sessions.push(SessionOracle::new());
         }
     }
     let mut oracle = Oracle::default();
@@ -193,64 +69,14 @@ fn random_history_cfg(
 
         let (results, ct) = run_tx(&mut net, &mut clients[ci], &reads, &kvs);
 
-        // Decode observations.
+        // Decode observations, check every invariant, record the commit.
         let observed: Vec<(Key, Option<(u32, u32)>)> = results
             .iter()
             .map(|(k, v)| (*k, v.as_ref().map(decode_marker)))
             .collect();
-
-        // ---- Invariant checks on this read snapshot ----
-        oracle.check_causal_snapshot(&observed);
-        oracle.check_atomicity(&observed);
-
-        for (k, seen) in &observed {
-            // Read-your-writes: must observe own write or newer.
-            if let Some(own) = session.own_writes.get(k) {
-                match seen {
-                    None => panic!("read-your-writes violated: own write of {k:?} lost"),
-                    Some(w) => {
-                        let own_order = oracle.txs[own].order;
-                        assert!(
-                            oracle.txs[w].order >= own_order,
-                            "read-your-writes violated on {k:?}: saw {w:?}, own {own:?}"
-                        );
-                    }
-                }
-            }
-            // Monotonic reads per key.
-            if let Some(w) = seen {
-                let order = oracle.txs[w].order;
-                if let Some(high) = session.high_water.get(k) {
-                    assert!(
-                        order >= *high,
-                        "monotonic reads violated on {k:?}: {order:?} < {high:?}"
-                    );
-                }
-                session.high_water.insert(*k, order);
-                session.observed.push(*w);
-            }
-        }
-
-        // ---- Record the committed transaction ----
-        assert!(!ct.is_zero(), "update transaction must get a timestamp");
-        let mut deps: Vec<(u32, u32)> = session.observed.clone();
-        if let Some(prev) = session.last_commit {
-            deps.push(prev);
-        }
-        deps.sort_unstable();
-        deps.dedup();
-        oracle.txs.insert(
-            me,
-            TxRecord {
-                order: (ct, clients[ci].coordinator().dc.0, me.0),
-                writes: writes.clone(),
-                deps,
-            },
-        );
-        session.last_commit = Some(me);
-        for k in &writes {
-            session.own_writes.insert(*k, me);
-        }
+        session.observe(&oracle, &observed);
+        let dc = clients[ci].coordinator().dc.0;
+        session.record_commit(&mut oracle, me, ct, dc, writes);
     }
 }
 

@@ -2,6 +2,8 @@
 //! server state machines, with optional withholding of cross-DC traffic
 //! (to exercise network partitions between DCs).
 
+pub mod oracle;
+
 use bytes::Bytes;
 use wren::clock::{SkewedClock, Timestamp};
 use wren::core::{WrenClient, WrenConfig, WrenServer};
