@@ -340,6 +340,94 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
+/// A framed echo server's response: the payload re-wrapped in a length
+/// header, as one preallocated buffer.
+fn reframe(payload: &[u8]) -> bytes::Bytes {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    bytes::Bytes::from(out)
+}
+
+/// Framed request→response over loopback through each socket fabric:
+/// the full per-operation transport bill — encode, frame, write(2),
+/// wakeup, decode, re-frame, write back, read back — that a session
+/// pays on every server round trip. `threaded_roundtrip` drives the
+/// per-connection-thread pieces (`FramedReader` + `Outbox`);
+/// `reactor_roundtrip` the epoll reactor. Same message as
+/// `codec_frame_roundtrip`, so (roundtrip − 2×frame-cost) isolates the
+/// thread-topology overhead.
+fn bench_transport(c: &mut Criterion) {
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use wren_net::{ConnHandle, FramedReader, Outbox, Reactor, ReactorHandler};
+    use wren_protocol::frame::frame_wren;
+
+    let msg = WrenMsg::SliceResp {
+        tx: TxId::new(ServerId::new(0, 3), 77),
+        items: (0..8)
+            .map(|i| (Key(i), Some(sample_version(i * 5))))
+            .collect(),
+    };
+
+    c.bench_function("threaded_roundtrip", |b| {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nodelay(true).unwrap();
+            let (outbox, writer) =
+                Outbox::spawn(stream.try_clone().unwrap(), 16 * 1024 * 1024).unwrap();
+            let mut reader = FramedReader::new(stream);
+            while let Ok(Some(payload)) = reader.next_frame() {
+                outbox.enqueue(reframe(&payload));
+            }
+            outbox.close();
+            writer.join().unwrap();
+        });
+        let mut write = TcpStream::connect(addr).unwrap();
+        write.set_nodelay(true).unwrap();
+        let mut reader = FramedReader::new(write.try_clone().unwrap());
+        b.iter(|| {
+            write.write_all(&frame_wren(&msg)).unwrap();
+            let payload = reader.next_frame().unwrap().expect("echo");
+            black_box(WrenMsg::decode(&payload).unwrap())
+        });
+        drop(write);
+        drop(reader);
+        server.join().unwrap();
+    });
+
+    struct Echo;
+    impl ReactorHandler for Echo {
+        type Conn = ();
+        fn on_accept(&self, _ctx: u64, _h: &ConnHandle) -> Option<()> {
+            Some(())
+        }
+        fn on_frame(&self, _c: &mut (), h: &ConnHandle, payload: bytes::Bytes) -> bool {
+            h.enqueue(reframe(&payload))
+        }
+        fn on_close(&self, _c: &mut (), _h: &ConnHandle) {}
+    }
+
+    c.bench_function("reactor_roundtrip", |b| {
+        let reactor = Reactor::start(2, Echo).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.add_listener(listener, 0, 16 * 1024 * 1024).unwrap();
+        let mut write = TcpStream::connect(addr).unwrap();
+        write.set_nodelay(true).unwrap();
+        let mut reader = FramedReader::new(write.try_clone().unwrap());
+        b.iter(|| {
+            write.write_all(&frame_wren(&msg)).unwrap();
+            let payload = reader.next_frame().unwrap().expect("echo");
+            black_box(WrenMsg::decode(&payload).unwrap())
+        });
+        reactor.shutdown();
+        reactor.join();
+    });
+}
+
 fn bench_workload(c: &mut Criterion) {
     c.bench_function("zipfian_sample", |b| {
         let zipf = Zipfian::new(10_000, 0.99);
@@ -379,6 +467,7 @@ criterion_group!(
     bench_parallel_reads,
     bench_replicate_apply,
     bench_codec,
+    bench_transport,
     bench_workload,
     bench_server
 );

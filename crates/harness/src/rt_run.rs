@@ -8,9 +8,14 @@
 //! * [`RtTransport::Channel`] — in-process crossbeam channels (the
 //!   zero-copy upper bound);
 //! * [`RtTransport::Tcp`] — loopback TCP with length-prefixed framed
-//!   sessions, so the measured cost includes encode/frame/syscall/
-//!   decode on **every** protocol hop, exactly what separate processes
-//!   would pay.
+//!   sessions served by the epoll **reactor** fabric (fixed thread
+//!   pool), so the measured cost includes encode/frame/syscall/decode
+//!   on **every** protocol hop, exactly what separate processes would
+//!   pay;
+//! * [`RtTransport::TcpThreaded`] — the same wire protocol on the
+//!   two-threads-per-connection fabric, isolating what the thread
+//!   topology (context switches vs. event loops) costs at a given
+//!   connection count.
 //!
 //! Each session is one closed-loop thread (the paper's client model):
 //! begin → multi-key read → multi-key write → commit, repeated, with
@@ -28,8 +33,12 @@ use wren_rt::ClusterBuilder;
 pub enum RtTransport {
     /// In-process crossbeam channels.
     Channel,
-    /// Loopback TCP: framed sessions over real sockets.
+    /// Loopback TCP: framed sessions over real sockets, served by the
+    /// epoll reactor fabric (fixed thread pool).
     Tcp,
+    /// Loopback TCP on the threaded fabric (one reader + one writer
+    /// thread per connection) — the reactor's baseline.
+    TcpThreaded,
 }
 
 /// A closed-loop workload against the threaded runtime.
@@ -94,8 +103,10 @@ pub fn run_rt(spec: &RtSpec) -> RtRunResult {
         .dcs(spec.dcs)
         .partitions(spec.partitions)
         .read_workers(spec.read_workers);
-    if spec.transport == RtTransport::Tcp {
-        builder = builder.tcp();
+    match spec.transport {
+        RtTransport::Channel => {}
+        RtTransport::Tcp => builder = builder.tcp(),
+        RtTransport::TcpThreaded => builder = builder.tcp_threaded(),
     }
     let cluster = std::sync::Arc::new(builder.build());
 

@@ -33,3 +33,11 @@ fn rt_run_tcp_smoke() {
     assert!(result.throughput > 0.0);
     assert!(result.mean_latency_ms > 0.0);
 }
+
+#[test]
+fn rt_run_tcp_threaded_smoke() {
+    let result = run_rt(&small(RtTransport::TcpThreaded));
+    assert_eq!(result.txs, 80);
+    assert!(result.throughput > 0.0);
+    assert!(result.mean_latency_ms > 0.0);
+}

@@ -2,7 +2,25 @@
 //!
 //! The protocol state machines are sans-io and the codec
 //! (`wren-protocol`) defines exact message bytes; this crate supplies
-//! the pieces that put those bytes on real sockets:
+//! the pieces that put those bytes on real sockets, layered so that
+//! each level is testable without the one above:
+//!
+//! ```text
+//! frame   (wren-protocol::frame)  bytes ⇄ message boundaries.
+//!   FrameDecoder is push-based: feed it whatever chunks arrive,
+//!   drain complete payloads. It never touches a socket.
+//! outbox  (this crate)            who may write, and when.
+//!   A bounded send queue per connection; protocol threads enqueue
+//!   in O(1) and never call write(2). A peer that stops reading
+//!   backs its queue past the cap and is severed.
+//! reactor (this crate)            which thread does the I/O.
+//!   Either one reader + one writer thread per connection
+//!   (Outbox/FramedReader, the threaded fabric) or a fixed pool of
+//!   epoll event loops serving every fd (Reactor) — same frames,
+//!   same outbox contract, different thread topology.
+//! ```
+//!
+//! The pieces:
 //!
 //! * [`Hello`] — the one-frame connection handshake identifying the
 //!   dialing peer (a client session or a partition server), so the
@@ -15,22 +33,34 @@
 //!   disconnected — it can never stall the partition;
 //! * [`FramedReader`] — blocking framed reads over a [`TcpStream`],
 //!   reassembling length-prefixed frames from arbitrary chunk
-//!   boundaries via [`wren_protocol::frame::FrameDecoder`].
+//!   boundaries via [`wren_protocol::frame::FrameDecoder`];
+//! * [`poll`] — a minimal safe wrapper over raw `epoll` + `eventfd`
+//!   (direct FFI; the build has no registry access for `mio`);
+//! * [`reactor`] — the fixed-thread-pool event loop: [`Reactor`] owns
+//!   every connection fd, feeds readable bytes through per-connection
+//!   `FrameDecoder`s into a [`ReactorHandler`], and drains each
+//!   connection's queue on writable readiness with partial-write
+//!   state, preserving the outbox's bounded-overflow semantics.
 //!
 //! The crate is deliberately runtime-agnostic: it knows sockets and
 //! frames, not engines or routers. `wren-rt` wires these pieces to its
 //! partition engines; anything else (tools, tests, future processes)
 //! can reuse them directly.
+//!
+//! [`TcpStream`]: std::net::TcpStream
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed only in poll::sys, the FFI boundary
 #![warn(missing_docs)]
 
 mod error;
 mod hello;
 mod outbox;
+pub mod poll;
+pub mod reactor;
 mod reader;
 
 pub use error::NetError;
 pub use hello::Hello;
 pub use outbox::{Outbox, DEFAULT_OUTBOX_BYTES};
+pub use reactor::{ConnHandle, Reactor, ReactorHandler};
 pub use reader::FramedReader;

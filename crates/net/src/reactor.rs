@@ -1,0 +1,1079 @@
+//! The epoll reactor: every connection of a process served by a fixed
+//! thread pool.
+//!
+//! The threaded transport ([`Outbox`](crate::Outbox) +
+//! [`FramedReader`](crate::FramedReader)) spends two OS threads per
+//! connection; this module serves *all* connections — listeners,
+//! accepted sessions, dialed peer links — from `reactor_threads` event
+//! loops, so the fabric's thread count is a deployment constant instead
+//! of a function of client count. The sans-io layering is unchanged:
+//! frames are reassembled by the same
+//! [`FrameDecoder`](wren_protocol::frame::FrameDecoder), and the send
+//! side keeps the outbox contract exactly — bounded queue, enqueue
+//! never blocks, a frame offered to an empty queue is always admitted,
+//! and a peer whose queue backs past the cap is severed.
+//!
+//! Topology per reactor thread: one [`Poller`] (level-triggered), one
+//! [`Waker`] (eventfd) for cross-thread nudges, and a private map of
+//! the fds assigned to it. Listeners and connections are distributed
+//! round-robin at registration; an fd never migrates, so all of its
+//! socket I/O stays on one thread and per-connection state needs no
+//! locks. Other threads interact only through two shared queues — new
+//! registrations and tiny commands (flush X, sever Y) — plus the
+//! connection's own send queue, all waker-protected.
+//!
+//! Protocol logic stays out: a [`ReactorHandler`] is called with each
+//! complete frame (and on accept/close), and writes happen through the
+//! cloneable [`ConnHandle`] from any thread. `wren-rt` implements the
+//! handler to route frames into its partition engines.
+
+use crate::poll::{PollEvents, Poller, Waker};
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wren_protocol::frame::FrameDecoder;
+
+/// The poller token reserved for each thread's waker.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Read-side chunk size, matching [`crate::FramedReader`]'s.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Per-readiness-event read budget: after this many bytes the loop
+/// yields to other connections; level-triggered readiness re-reports
+/// the leftover immediately, so nothing is lost — one firehose peer
+/// just cannot monopolize its reactor thread.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Per-flush write budget, the send-side mirror of [`READ_BUDGET`]:
+/// a connection whose peer drains promptly (so `write(2)` never blocks)
+/// while producers keep its queue non-empty would otherwise hold its
+/// reactor thread forever. Past the budget the flush arms write
+/// interest and yields; the still-writable socket re-reports on the
+/// next wait, after every other fd got its turn.
+const WRITE_BUDGET: usize = 256 * 1024;
+
+/// How the reactor reacts to connection events. One handler instance
+/// serves every connection; per-connection protocol state lives in
+/// [`Self::Conn`], owned by the connection's reactor thread and handed
+/// to each callback — no locking required to use it.
+pub trait ReactorHandler: Send + Sync + 'static {
+    /// Per-connection state (e.g. "awaiting handshake" → identity).
+    type Conn: Send + 'static;
+
+    /// A listener registered with `listener_ctx` accepted a connection.
+    /// Return its initial state, or `None` to refuse (the socket is
+    /// dropped). `handle` is the connection's send handle — cloning it
+    /// here is how response paths later find the socket.
+    fn on_accept(&self, listener_ctx: u64, handle: &ConnHandle) -> Option<Self::Conn>;
+
+    /// A complete frame payload arrived. Return `false` to sever the
+    /// connection (protocol violation, decode failure, …).
+    fn on_frame(&self, conn: &mut Self::Conn, handle: &ConnHandle, payload: Bytes) -> bool;
+
+    /// The connection is gone — EOF, I/O error, overflow, an explicit
+    /// [`ConnHandle::sever`], or reactor shutdown. Called exactly once
+    /// per connection that had state, after which the fd is closed.
+    fn on_close(&self, conn: &mut Self::Conn, handle: &ConnHandle);
+}
+
+/// The send-queue state behind one connection, shared between the
+/// enqueueing threads and the connection's reactor thread.
+struct SendState {
+    frames: VecDeque<Bytes>,
+    /// Unwritten bytes across all queued frames (the front frame's
+    /// already-written prefix is excluded — the partial-write cursor
+    /// itself lives in the connection, owned by its reactor thread).
+    queued_bytes: usize,
+    /// No further enqueues succeed; the connection is (being) severed.
+    closed: bool,
+    /// A flush command is already queued with the reactor thread, so
+    /// further enqueues need not send another.
+    kick_pending: bool,
+}
+
+impl SendState {
+    fn kill(&mut self) {
+        self.closed = true;
+        self.frames.clear();
+        self.queued_bytes = 0;
+    }
+}
+
+struct SendQueue {
+    s: Mutex<SendState>,
+    max_bytes: usize,
+}
+
+impl SendQueue {
+    fn new(max_bytes: usize) -> SendQueue {
+        SendQueue {
+            s: Mutex::new(SendState {
+                frames: VecDeque::new(),
+                queued_bytes: 0,
+                closed: false,
+                kick_pending: false,
+            }),
+            max_bytes,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SendState> {
+        self.s.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Cross-thread commands to a reactor thread. Registrations travel on a
+/// separate (handler-generic) queue; these are the non-generic ones a
+/// [`ConnHandle`] can issue.
+enum Cmd {
+    /// Try writing connection `token`'s queued frames now.
+    Flush(u64),
+    /// Close connection `token` (overflow or explicit sever).
+    Sever(u64),
+}
+
+/// The non-generic, handle-reachable part of one reactor thread.
+struct ThreadShared {
+    cmds: Mutex<Vec<Cmd>>,
+    waker: Waker,
+}
+
+impl ThreadShared {
+    fn push(&self, cmd: Cmd) {
+        self.cmds.lock().unwrap_or_else(|e| e.into_inner()).push(cmd);
+        self.waker.wake();
+    }
+}
+
+/// Handle to one reactor-served connection's send side. Cloneable and
+/// sendable; all clones feed the same queue. The contract is the
+/// [`Outbox`](crate::Outbox) contract: enqueues never block, a frame
+/// offered to an empty queue is always admitted (the cap catches peers
+/// that stop *reading*, it does not bound message size), and an enqueue
+/// that would push a non-empty queue past the cap severs the
+/// connection.
+#[derive(Clone)]
+pub struct ConnHandle {
+    token: u64,
+    out: Arc<SendQueue>,
+    thread: Arc<ThreadShared>,
+}
+
+impl ConnHandle {
+    /// Enqueues a framed message without ever blocking. Returns `false`
+    /// if the connection is closed **or** this enqueue overflowed the
+    /// cap (severing the connection); the caller treats `false` like a
+    /// send to a disconnected channel.
+    pub fn enqueue(&self, frame: Bytes) -> bool {
+        let mut s = self.out.lock();
+        if s.closed {
+            return false;
+        }
+        if s.queued_bytes > 0 && s.queued_bytes + frame.len() > self.out.max_bytes {
+            // Slow-peer overflow: sever, never block.
+            s.kill();
+            drop(s);
+            self.thread.push(Cmd::Sever(self.token));
+            return false;
+        }
+        s.queued_bytes += frame.len();
+        s.frames.push_back(frame);
+        let kick = !s.kick_pending;
+        s.kick_pending = true;
+        drop(s);
+        if kick {
+            self.thread.push(Cmd::Flush(self.token));
+        }
+        true
+    }
+
+    /// Severs the connection: queued frames are discarded, the fd is
+    /// closed by its reactor thread, and the handler's `on_close` runs.
+    /// Idempotent.
+    pub fn sever(&self) {
+        let mut s = self.out.lock();
+        let was_closed = s.closed;
+        s.kill();
+        drop(s);
+        if !was_closed {
+            self.thread.push(Cmd::Sever(self.token));
+        }
+    }
+
+    /// True once the connection is closed (EOF, error, overflow, sever
+    /// or shutdown).
+    pub fn is_closed(&self) -> bool {
+        self.out.lock().closed
+    }
+
+    /// Bytes currently queued and unwritten.
+    pub fn queued_bytes(&self) -> usize {
+        self.out.lock().queued_bytes
+    }
+
+    /// The connection's reactor token (a process-unique id).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// True if `other` is a handle to the same connection.
+    pub fn same_as(&self, other: &ConnHandle) -> bool {
+        Arc::ptr_eq(&self.out, &other.out)
+    }
+}
+
+/// A connection that exists but is not yet installed in its reactor
+/// thread's entry map.
+struct NewConn<C> {
+    stream: TcpStream,
+    state: C,
+    out: Arc<SendQueue>,
+    token: u64,
+}
+
+/// A pending cross-thread registration (generic in the handler's
+/// per-connection state, so it travels on its own queue).
+enum Pending<C> {
+    Conn(NewConn<C>),
+    Listener {
+        listener: TcpListener,
+        ctx: u64,
+        conn_max_bytes: usize,
+        token: u64,
+    },
+}
+
+impl<C> Pending<C> {
+    fn token(&self) -> u64 {
+        match self {
+            Pending::Conn(c) => c.token,
+            Pending::Listener { token, .. } => *token,
+        }
+    }
+}
+
+/// One reactor thread's shared-side state.
+struct ThreadState<C> {
+    shared: Arc<ThreadShared>,
+    pending: Mutex<Vec<Pending<C>>>,
+}
+
+struct Shared<H: ReactorHandler> {
+    threads: Vec<ThreadState<H::Conn>>,
+    handler: H,
+    closing: AtomicBool,
+    next_token: AtomicU64,
+    next_thread: AtomicUsize,
+}
+
+impl<H: ReactorHandler> Shared<H> {
+    fn token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn pick_thread(&self) -> usize {
+        self.next_thread.fetch_add(1, Ordering::Relaxed) % self.threads.len()
+    }
+
+    /// Queues a registration with thread `ti`, closing the
+    /// register-vs-shutdown race: if the reactor began closing, the
+    /// entry is pulled back out (the thread may already have swept its
+    /// queues) and returned for the caller to
+    /// [`discard_pending`](Self::discard_pending). Exactly one side
+    /// ends up holding the entry — this retraction or the thread's
+    /// closing sweep — so the cleanup (and `on_close`) runs once.
+    fn submit(&self, ti: usize, pending: Pending<H::Conn>) -> Option<Pending<H::Conn>> {
+        let t = &self.threads[ti];
+        let token = pending.token();
+        t.pending.lock().unwrap_or_else(|e| e.into_inner()).push(pending);
+        t.shared.waker.wake();
+        if self.closing.load(Ordering::SeqCst) {
+            let mut q = t.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(pos) = q.iter().position(|p| p.token() == token) {
+                return Some(q.remove(pos));
+            }
+        }
+        None
+    }
+
+    /// Disposes of a registration that will never reach thread `ti`'s
+    /// event loop (shutdown won the race): the send queue dies so every
+    /// outstanding handle reports closed, and a connection's state gets
+    /// its `on_close` — the handler may have registered the handle at
+    /// accept time and must hear it is gone. Dropping the socket closes
+    /// the fd.
+    fn discard_pending(&self, ti: usize, pending: Pending<H::Conn>) {
+        if let Pending::Conn(mut c) = pending {
+            c.out.lock().kill();
+            let handle = ConnHandle {
+                token: c.token,
+                out: c.out,
+                thread: Arc::clone(&self.threads[ti].shared),
+            };
+            self.handler.on_close(&mut c.state, &handle);
+        }
+    }
+}
+
+/// A fixed pool of epoll event-loop threads serving listeners and
+/// framed connections. See the [module docs](self) for the topology.
+pub struct Reactor<H: ReactorHandler> {
+    shared: Arc<Shared<H>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<H: ReactorHandler> Reactor<H> {
+    /// Starts `threads` reactor threads (at least one) over `handler`.
+    ///
+    /// # Errors
+    ///
+    /// Poller/eventfd creation errors (fd exhaustion).
+    pub fn start(threads: usize, handler: H) -> io::Result<Reactor<H>> {
+        let n = threads.max(1);
+        let mut thread_states = Vec::with_capacity(n);
+        let mut pollers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let poller = Poller::new()?;
+            let waker = Waker::new()?;
+            waker.register(&poller, WAKER_TOKEN)?;
+            thread_states.push(ThreadState {
+                shared: Arc::new(ThreadShared {
+                    cmds: Mutex::new(Vec::new()),
+                    waker,
+                }),
+                pending: Mutex::new(Vec::new()),
+            });
+            pollers.push(poller);
+        }
+        let shared = Arc::new(Shared {
+            threads: thread_states,
+            handler,
+            closing: AtomicBool::new(false),
+            next_token: AtomicU64::new(0),
+            next_thread: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(n);
+        for (i, poller) in pollers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wren-reactor-{i}"))
+                    .spawn(move || reactor_loop(shared, i, poller))
+                    .expect("spawn reactor thread"),
+            );
+        }
+        Ok(Reactor {
+            shared,
+            handles: Mutex::new(handles),
+        })
+    }
+
+    /// Registers a listening socket. Accepted connections get a send
+    /// queue capped at `conn_max_bytes` and are distributed round-robin
+    /// across the pool; `ctx` is echoed to
+    /// [`ReactorHandler::on_accept`].
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration errors; a listener registered during
+    /// shutdown is silently dropped.
+    pub fn add_listener(
+        &self,
+        listener: TcpListener,
+        ctx: u64,
+        conn_max_bytes: usize,
+    ) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let token = self.shared.token();
+        let ti = self.shared.pick_thread();
+        if let Some(retracted) = self.shared.submit(
+            ti,
+            Pending::Listener {
+                listener,
+                ctx,
+                conn_max_bytes,
+                token,
+            },
+        ) {
+            self.shared.discard_pending(ti, retracted);
+        }
+        Ok(())
+    }
+
+    /// Registers an already-connected (e.g. freshly dialed) socket with
+    /// initial handler state `state` and send cap `max_bytes`. The
+    /// returned handle is immediately enqueueable — frames queued
+    /// before the reactor thread picks the connection up are kept in
+    /// order. During shutdown the handle comes back dead (enqueues
+    /// return `false`), mirroring a channel send to a stopped cluster.
+    ///
+    /// # Errors
+    ///
+    /// Socket configuration errors.
+    pub fn add_conn(
+        &self,
+        stream: TcpStream,
+        state: H::Conn,
+        max_bytes: usize,
+    ) -> io::Result<ConnHandle> {
+        stream.set_nonblocking(true)?;
+        let token = self.shared.token();
+        let ti = self.shared.pick_thread();
+        let out = Arc::new(SendQueue::new(max_bytes));
+        let handle = ConnHandle {
+            token,
+            out: Arc::clone(&out),
+            thread: Arc::clone(&self.shared.threads[ti].shared),
+        };
+        if let Some(retracted) = self.shared.submit(
+            ti,
+            Pending::Conn(NewConn {
+                stream,
+                state,
+                out,
+                token,
+            }),
+        ) {
+            // Shutdown won the race: the queue dies (so this handle —
+            // and any clone the handler took — reports closed) and
+            // on_close runs, before the handle is even returned.
+            self.shared.discard_pending(ti, retracted);
+        }
+        Ok(handle)
+    }
+
+    /// Flags the reactor closed and wakes every thread; each severs all
+    /// of its connections (running `on_close` for each), drops its
+    /// listeners and exits. Idempotent. [`join`](Self::join) afterwards
+    /// for deterministic teardown.
+    pub fn shutdown(&self) {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        for t in &self.shared.threads {
+            t.shared.waker.wake();
+        }
+    }
+
+    /// Joins every reactor thread. Call after [`shutdown`](Self::shutdown)
+    /// (joining a running reactor would block forever). Idempotent.
+    pub fn join(&self) {
+        let handles: Vec<_> = std::mem::take(
+            &mut *self.handles.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One registered fd on a reactor thread.
+enum Entry<C> {
+    Listener {
+        listener: TcpListener,
+        ctx: u64,
+        conn_max_bytes: usize,
+    },
+    Conn(Conn<C>),
+}
+
+struct Conn<C> {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Arc<SendQueue>,
+    state: C,
+    token: u64,
+    /// Bytes of the queue's front frame already written to the socket.
+    /// Lives here, not in `SendState`: only this connection's reactor
+    /// thread writes, so the cursor needs no lock — which is what lets
+    /// `write_ready` run `write(2)` outside the queue mutex.
+    front_written: usize,
+    /// Whether EPOLLOUT is currently part of the fd's interest set.
+    write_armed: bool,
+}
+
+impl<C> Conn<C> {
+    fn handle(&self, thread: &Arc<ThreadShared>) -> ConnHandle {
+        ConnHandle {
+            token: self.token,
+            out: Arc::clone(&self.out),
+            thread: Arc::clone(thread),
+        }
+    }
+}
+
+/// What to do with a connection after a read/write pass.
+#[derive(PartialEq)]
+enum After {
+    KeepOpen,
+    Close,
+}
+
+fn reactor_loop<H: ReactorHandler>(shared: Arc<Shared<H>>, idx: usize, poller: Poller) {
+    let me = &shared.threads[idx];
+    let mut entries: HashMap<u64, Entry<H::Conn>> = HashMap::new();
+    let mut events = PollEvents::with_capacity(256);
+    let mut buf = vec![0u8; READ_CHUNK];
+
+    loop {
+        if shared.closing.load(Ordering::SeqCst) {
+            // Sever everything: queued sends are discarded, every fd is
+            // closed (dropping it), every live connection's state gets
+            // its on_close. Pending registrations and commands are
+            // swept too — their sockets close on drop.
+            for (_, entry) in entries.drain() {
+                if let Entry::Conn(mut c) = entry {
+                    c.out.lock().kill();
+                    let handle = c.handle(&me.shared);
+                    shared.handler.on_close(&mut c.state, &handle);
+                }
+            }
+            let swept: Vec<Pending<H::Conn>> = std::mem::take(
+                &mut *me.pending.lock().unwrap_or_else(|e| e.into_inner()),
+            );
+            for pending in swept {
+                // Same cleanup as a submitter-side retraction: queue
+                // dead, on_close delivered, fd closed on drop.
+                shared.discard_pending(idx, pending);
+            }
+            me.shared.cmds.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            return;
+        }
+
+        // New fds assigned to this thread.
+        let pending: Vec<Pending<H::Conn>> = std::mem::take(
+            &mut *me.pending.lock().unwrap_or_else(|e| e.into_inner()),
+        );
+        for p in pending {
+            match p {
+                Pending::Conn(nc) => install_conn(&shared, me, &poller, &mut entries, nc),
+                Pending::Listener {
+                    listener,
+                    ctx,
+                    conn_max_bytes,
+                    token,
+                } => {
+                    if poller.add(&listener, token, false).is_ok() {
+                        entries.insert(
+                            token,
+                            Entry::Listener {
+                                listener,
+                                ctx,
+                                conn_max_bytes,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Cross-thread commands (flush/sever kicks from enqueuers).
+        let cmds: Vec<Cmd> =
+            std::mem::take(&mut *me.shared.cmds.lock().unwrap_or_else(|e| e.into_inner()));
+        for cmd in cmds {
+            match cmd {
+                Cmd::Flush(token) => flush_conn(&shared, me, &poller, &mut entries, token),
+                Cmd::Sever(token) => close_conn(&shared, me, &mut entries, token),
+            }
+        }
+
+        if poller.wait(&mut events, None).is_err() {
+            // Only pathological states (EBADF after poller corruption)
+            // land here; back off instead of spinning.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        for ev in events.iter() {
+            if ev.token == WAKER_TOKEN {
+                me.shared.waker.drain();
+                continue;
+            }
+            // The entry may have been severed by an earlier event or
+            // command in this same batch.
+            match entries.get_mut(&ev.token) {
+                Some(Entry::Listener { .. }) => {
+                    accept_ready(&shared, me, &poller, &mut entries, ev.token)
+                }
+                Some(Entry::Conn(conn)) => {
+                    let mut after = After::KeepOpen;
+                    if ev.readable {
+                        after = read_ready(&shared, me, conn, &mut buf);
+                    }
+                    if after == After::KeepOpen && ev.writable {
+                        after = write_ready(&poller, conn);
+                    }
+                    if after == After::Close {
+                        close_conn(&shared, me, &mut entries, ev.token);
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+}
+
+/// Installs a connection into this thread's entry map — the single
+/// path shared by cross-thread registrations and a listener's
+/// same-thread accepts, so the failure cleanup (queue kill + `on_close`)
+/// and the eager first flush cannot drift apart.
+fn install_conn<H: ReactorHandler>(
+    shared: &Arc<Shared<H>>,
+    me: &ThreadState<H::Conn>,
+    poller: &Poller,
+    entries: &mut HashMap<u64, Entry<H::Conn>>,
+    nc: NewConn<H::Conn>,
+) {
+    let mut conn = Conn {
+        stream: nc.stream,
+        decoder: FrameDecoder::new(),
+        out: nc.out,
+        state: nc.state,
+        token: nc.token,
+        front_written: 0,
+        write_armed: false,
+    };
+    if poller.add(&conn.stream, conn.token, false).is_ok() {
+        let token = conn.token;
+        entries.insert(token, Entry::Conn(conn));
+        // Frames may already be queued (a dialer's hello, a greeting
+        // enqueued from on_accept); flush eagerly rather than waiting
+        // for a kick that may have arrived before the insert.
+        flush_conn(shared, me, poller, entries, token);
+    } else {
+        conn.out.lock().kill();
+        let handle = conn.handle(&me.shared);
+        shared.handler.on_close(&mut conn.state, &handle);
+    }
+}
+
+/// Accepts a listener's pending connections, capped per readiness
+/// event: like [`READ_BUDGET`] for reads, the cap keeps a connect storm
+/// against one listener from monopolizing its reactor thread —
+/// level-triggered readiness re-reports the remaining backlog on the
+/// next wait.
+const ACCEPT_BUDGET: usize = 64;
+
+/// Drains (up to [`ACCEPT_BUDGET`] of) the accept backlog of the
+/// listener registered under `token`.
+fn accept_ready<H: ReactorHandler>(
+    shared: &Arc<Shared<H>>,
+    me: &ThreadState<H::Conn>,
+    poller: &Poller,
+    entries: &mut HashMap<u64, Entry<H::Conn>>,
+    token: u64,
+) {
+    for _ in 0..ACCEPT_BUDGET {
+        let (ctx, conn_max_bytes, accepted) = match entries.get(&token) {
+            Some(Entry::Listener {
+                listener,
+                ctx,
+                conn_max_bytes,
+            }) => match listener.accept() {
+                Ok((stream, _)) => (*ctx, *conn_max_bytes, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e)
+                    if e.kind() == io::ErrorKind::ConnectionAborted
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    // Routine under session churn (the peer reset before
+                    // we accepted): just move to the next pending conn —
+                    // sleeping here would stall every fd on this thread.
+                    continue;
+                }
+                Err(_) => {
+                    // Hard accept failure (EMFILE/ENFILE fd exhaustion):
+                    // level-triggered readiness would re-report the
+                    // backlog immediately and spin the loop; a brief
+                    // pause is the lesser evil, and only this path —
+                    // an already-sick process — pays it.
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            },
+            _ => return,
+        };
+        if shared.closing.load(Ordering::SeqCst) {
+            // Dropped unserved; the top of the loop sweeps everything.
+            return;
+        }
+        let _ = accepted.set_nodelay(true);
+        if accepted.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let conn_token = shared.token();
+        let ti = shared.pick_thread();
+        let out = Arc::new(SendQueue::new(conn_max_bytes));
+        let handle = ConnHandle {
+            token: conn_token,
+            out: Arc::clone(&out),
+            thread: Arc::clone(&shared.threads[ti].shared),
+        };
+        let Some(state) = shared.handler.on_accept(ctx, &handle) else {
+            continue; // refused: socket drops, fd closes
+        };
+        let nc = NewConn {
+            stream: accepted,
+            state,
+            out,
+            token: conn_token,
+        };
+        if std::ptr::eq(me, &shared.threads[ti]) {
+            // Assigned to this thread: install directly.
+            install_conn(shared, me, poller, entries, nc);
+        } else {
+            // Assigned elsewhere: hand it over like a dialed conn. If
+            // shutdown retracts it, the cleanup (queue kill + on_close,
+            // matching `add_conn`'s) runs here — the handler saw
+            // on_accept, so it must hear on_close.
+            if let Some(retracted) = shared.submit(ti, Pending::Conn(nc)) {
+                shared.discard_pending(ti, retracted);
+            }
+        }
+    }
+}
+
+/// Reads until drained (or the fairness budget is spent), feeding the
+/// decoder and the handler.
+fn read_ready<H: ReactorHandler>(
+    shared: &Arc<Shared<H>>,
+    me: &ThreadState<H::Conn>,
+    conn: &mut Conn<H::Conn>,
+    buf: &mut [u8],
+) -> After {
+    let mut read_bytes = 0usize;
+    loop {
+        match conn.stream.read(buf) {
+            Ok(0) => return After::Close, // EOF
+            Ok(n) => {
+                conn.decoder.extend(&buf[..n]);
+                loop {
+                    match conn.decoder.next_frame() {
+                        Ok(Some(payload)) => {
+                            let handle = conn.handle(&me.shared);
+                            if !shared.handler.on_frame(&mut conn.state, &handle, payload) {
+                                return After::Close;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Oversized frame: the guard fires before any
+                        // buffering; sever like the threaded reader.
+                        Err(_) => return After::Close,
+                    }
+                }
+                read_bytes += n;
+                if read_bytes >= READ_BUDGET || n < buf.len() {
+                    // Budget spent or likely drained; LT re-reports any
+                    // leftover on the next wait.
+                    return After::KeepOpen;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return After::KeepOpen,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return After::Close,
+        }
+    }
+}
+
+/// Writes queued frames until the socket would block or the queue is
+/// empty, then arms/disarms write interest to match what is left.
+///
+/// The queue mutex is only ever held for O(1) bookkeeping — never
+/// across `write(2)` — so a protocol thread's `enqueue` stays O(1)
+/// even while a multi-megabyte backlog is being flushed here. The
+/// front frame is grabbed under the lock (a refcount bump), written
+/// outside it, and the accounting settled under a fresh lock; a
+/// concurrent sever (overflow, explicit) is detected at each re-lock.
+fn write_ready<C>(poller: &Poller, conn: &mut Conn<C>) -> After {
+    let mut written = 0usize;
+    loop {
+        let front = {
+            let mut s = conn.out.lock();
+            s.kick_pending = false;
+            if s.closed {
+                return After::Close;
+            }
+            match s.frames.front().cloned() {
+                Some(f) => f,
+                None => break,
+            }
+        };
+        if written >= WRITE_BUDGET {
+            // Fairness: yield the thread with write interest armed; the
+            // still-writable socket re-reports next wait.
+            if !conn.write_armed && poller.modify(&conn.stream, conn.token, true).is_ok() {
+                conn.write_armed = true;
+            }
+            return After::KeepOpen;
+        }
+        let offset = conn.front_written;
+        match conn.stream.write(&front[offset..]) {
+            Ok(n) if n > 0 || offset == front.len() => {
+                conn.front_written += n;
+                written += n;
+                let mut s = conn.out.lock();
+                if s.closed {
+                    // Severed while we were writing; the queue (and its
+                    // accounting) is already dead.
+                    return After::Close;
+                }
+                s.queued_bytes -= n;
+                if conn.front_written == front.len() {
+                    s.frames.pop_front();
+                    conn.front_written = 0;
+                }
+            }
+            // A zero-byte write of a nonempty remainder: the socket is
+            // not making progress; treat it like a write error.
+            Ok(_) => {
+                conn.out.lock().kill();
+                return After::Close;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Unflushed bytes remain: arm write interest and wait
+                // for writable readiness.
+                if !conn.write_armed
+                    && poller.modify(&conn.stream, conn.token, true).is_ok()
+                {
+                    conn.write_armed = true;
+                }
+                return After::KeepOpen;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.out.lock().kill();
+                return After::Close;
+            }
+        }
+    }
+    // Queue fully drained: stop watching for writable readiness.
+    if conn.write_armed && poller.modify(&conn.stream, conn.token, false).is_ok() {
+        conn.write_armed = false;
+    }
+    After::KeepOpen
+}
+
+/// A flush kick for `token` (fresh enqueue or writable readiness).
+fn flush_conn<H: ReactorHandler>(
+    shared: &Arc<Shared<H>>,
+    me: &ThreadState<H::Conn>,
+    poller: &Poller,
+    entries: &mut HashMap<u64, Entry<H::Conn>>,
+    token: u64,
+) {
+    if let Some(Entry::Conn(conn)) = entries.get_mut(&token) {
+        if write_ready(poller, conn) == After::Close {
+            close_conn(shared, me, entries, token);
+        }
+    }
+}
+
+/// Removes and closes connection `token`, running the handler's
+/// `on_close`. Dropping the stream closes the fd, which also removes it
+/// from the epoll interest list.
+fn close_conn<H: ReactorHandler>(
+    shared: &Arc<Shared<H>>,
+    me: &ThreadState<H::Conn>,
+    entries: &mut HashMap<u64, Entry<H::Conn>>,
+    token: u64,
+) {
+    if let Some(Entry::Conn(mut c)) = entries.remove(&token) {
+        c.out.lock().kill();
+        let handle = c.handle(&me.shared);
+        shared.handler.on_close(&mut c.state, &handle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FramedReader;
+    use std::sync::Mutex as StdMutex;
+    use std::time::Instant;
+    use wren_clock::Timestamp;
+    use wren_protocol::frame::frame_wren;
+    use wren_protocol::WrenMsg;
+
+    /// Echoes every frame back and records accepted handles.
+    struct Echo {
+        handles: StdMutex<Vec<ConnHandle>>,
+    }
+
+    impl Echo {
+        fn new() -> Echo {
+            Echo {
+                handles: StdMutex::new(Vec::new()),
+            }
+        }
+    }
+
+    fn reframe(payload: &[u8]) -> Bytes {
+        let mut out = Vec::with_capacity(4 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        Bytes::from(out)
+    }
+
+    impl ReactorHandler for Echo {
+        type Conn = ();
+        fn on_accept(&self, _ctx: u64, handle: &ConnHandle) -> Option<()> {
+            self.handles.lock().unwrap().push(handle.clone());
+            Some(())
+        }
+        fn on_frame(&self, _c: &mut (), handle: &ConnHandle, payload: Bytes) -> bool {
+            handle.enqueue(reframe(&payload))
+        }
+        fn on_close(&self, _c: &mut (), _handle: &ConnHandle) {}
+    }
+
+    fn start_echo(threads: usize, conn_cap: usize) -> (Reactor<Echo>, std::net::SocketAddr) {
+        let reactor = Reactor::start(threads, Echo::new()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.add_listener(listener, 0, conn_cap).unwrap();
+        (reactor, addr)
+    }
+
+    fn connect(addr: std::net::SocketAddr) -> TcpStream {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => return s,
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2))
+                }
+                Err(e) => panic!("connect: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn echo_round_trip_over_many_connections() {
+        let (reactor, addr) = start_echo(2, 1024 * 1024);
+        let mut clients: Vec<(TcpStream, FramedReader)> = (0..8)
+            .map(|_| {
+                let s = connect(addr);
+                let r = FramedReader::new(s.try_clone().unwrap());
+                (s, r)
+            })
+            .collect();
+        for round in 0..3u64 {
+            for (i, (w, _)) in clients.iter_mut().enumerate() {
+                let msg = WrenMsg::Heartbeat {
+                    t: Timestamp::from_micros(round * 100 + i as u64),
+                };
+                w.write_all(&frame_wren(&msg)).unwrap();
+            }
+            for (i, (_, r)) in clients.iter_mut().enumerate() {
+                let payload = r.next_frame().unwrap().expect("echoed frame");
+                assert_eq!(
+                    WrenMsg::decode(&payload).unwrap(),
+                    WrenMsg::Heartbeat {
+                        t: Timestamp::from_micros(round * 100 + i as u64)
+                    }
+                );
+            }
+        }
+        reactor.shutdown();
+        reactor.join();
+    }
+
+    #[test]
+    fn dribbled_bytes_reassemble_exactly() {
+        let (reactor, addr) = start_echo(1, 1024 * 1024);
+        let mut stream = connect(addr);
+        let msg = WrenMsg::Heartbeat {
+            t: Timestamp::from_micros(99),
+        };
+        for b in frame_wren(&msg).iter() {
+            stream.write_all(&[*b]).unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut reader = FramedReader::new(stream);
+        let payload = reader.next_frame().unwrap().expect("frame");
+        assert_eq!(WrenMsg::decode(&payload).unwrap(), msg);
+        reactor.shutdown();
+        reactor.join();
+    }
+
+    #[test]
+    fn overflow_severs_a_non_reading_peer() {
+        let (reactor, addr) = start_echo(1, 64 * 1024);
+        let stream = connect(addr); // never reads
+        // Nudge the server so on_accept definitely ran and we can grab
+        // the server-side handle.
+        {
+            let mut w = stream.try_clone().unwrap();
+            w.write_all(&frame_wren(&WrenMsg::Heartbeat {
+                t: Timestamp::ZERO,
+            }))
+            .unwrap();
+        }
+        let handle = {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Some(h) = reactor.shared.handler.handles.lock().unwrap().first() {
+                    break h.clone();
+                }
+                assert!(Instant::now() < deadline, "on_accept never ran");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        // 4 MiB frames back up far beyond kernel buffering + the 64 KiB
+        // cap: the enqueue must eventually report the sever, without
+        // ever blocking.
+        let chunk = Bytes::from(vec![7u8; 4 * 1024 * 1024]);
+        let mut accepted = 0;
+        for _ in 0..100 {
+            if handle.enqueue(chunk.clone()) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(accepted < 100, "a non-reading peer must overflow the cap");
+        assert!(handle.is_closed());
+        assert!(!handle.enqueue(chunk), "enqueue after sever must fail");
+        reactor.shutdown();
+        reactor.join();
+    }
+
+    #[test]
+    fn single_frame_beyond_cap_is_admitted_when_queue_is_empty() {
+        let (reactor, addr) = start_echo(1, 16); // tiny cap
+        let mut stream = connect(addr);
+        // An echoed frame far beyond the cap still arrives: the empty
+        // queue admits it and the prompt reader drains it.
+        let msg = WrenMsg::TxReadReq {
+            tx: wren_protocol::TxId::new(wren_protocol::ServerId::new(0, 0), 1),
+            keys: (0..64).map(wren_protocol::Key).collect(),
+        };
+        stream.write_all(&frame_wren(&msg)).unwrap();
+        let mut reader = FramedReader::new(stream);
+        let payload = reader.next_frame().unwrap().expect("frame");
+        assert_eq!(WrenMsg::decode(&payload).unwrap(), msg);
+        reactor.shutdown();
+        reactor.join();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_kills_late_registrations() {
+        let (reactor, addr) = start_echo(2, 1024);
+        let _alive = connect(addr);
+        reactor.shutdown();
+        reactor.shutdown();
+        reactor.join();
+        // A dial registered after shutdown comes back dead, not leaked.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let target = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(target).unwrap();
+        let handle = reactor.add_conn(stream, (), 1024).unwrap();
+        assert!(!handle.enqueue(Bytes::from_static(b"x")));
+        assert!(handle.is_closed());
+        reactor.join(); // second join is a no-op
+    }
+}

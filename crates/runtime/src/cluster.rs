@@ -1,4 +1,5 @@
 use crate::engine::{PartitionEngine, ReadJob};
+use crate::reactor_fabric::ReactorFabric;
 use crate::tcp::{bind_listeners, spawn_acceptors, TcpFabric};
 use crate::Session;
 use crossbeam_channel::{unbounded, Receiver, Sender};
@@ -24,6 +25,61 @@ pub(crate) enum RtMsg {
     Shutdown,
 }
 
+/// Which thread topology serves the TCP sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FabricKind {
+    /// Two OS threads per connection (reader + outbox writer).
+    Threaded,
+    /// A fixed pool of epoll reactor threads serving every fd.
+    Reactor,
+}
+
+/// The socket fabric behind a TCP-mode cluster: same wire format, same
+/// handshake, same slow-client semantics — different thread topology.
+pub(crate) enum Fabric {
+    /// The per-connection-thread fabric ([`crate::tcp`]).
+    Threaded(TcpFabric),
+    /// The epoll reactor fabric ([`crate::reactor_fabric`]).
+    Reactor(ReactorFabric),
+}
+
+impl Fabric {
+    pub(crate) fn send_server(&self, src: ServerId, to: ServerId, msg: &WrenMsg) {
+        match self {
+            Fabric::Threaded(f) => f.send_server(src, to, msg),
+            Fabric::Reactor(f) => f.send_server(src, to, msg),
+        }
+    }
+
+    pub(crate) fn send_client(&self, to: ClientId, msg: &WrenMsg) {
+        match self {
+            Fabric::Threaded(f) => f.send_client(to, msg),
+            Fabric::Reactor(f) => f.send_client(to, msg),
+        }
+    }
+
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Fabric::Threaded(f) => f.shutdown(),
+            Fabric::Reactor(f) => f.shutdown(),
+        }
+    }
+
+    pub(crate) fn join_threads(&self) {
+        match self {
+            Fabric::Threaded(f) => f.join_threads(),
+            Fabric::Reactor(f) => f.join_threads(),
+        }
+    }
+
+    pub(crate) fn dropped_frames(&self) -> u64 {
+        match self {
+            Fabric::Threaded(f) => f.dropped_frames(),
+            Fabric::Reactor(f) => f.dropped_frames(),
+        }
+    }
+}
+
 /// Shared routing state: writer inboxes, per-partition read channels and
 /// dynamically-registered client inboxes.
 ///
@@ -40,7 +96,7 @@ pub(crate) struct Router {
     read_txs: Vec<Sender<ReadJob>>,
     clients: RwLock<HashMap<ClientId, Sender<WrenMsg>>>,
     /// In TCP mode, the socket fabric every inter-node hop crosses.
-    tcp: Option<TcpFabric>,
+    tcp: Option<Fabric>,
 }
 
 impl Router {
@@ -49,8 +105,17 @@ impl Router {
     }
 
     /// The TCP fabric, when the cluster runs over sockets.
-    pub(crate) fn tcp(&self) -> Option<&TcpFabric> {
+    pub(crate) fn tcp(&self) -> Option<&Fabric> {
         self.tcp.as_ref()
+    }
+
+    /// The threaded fabric specifically — what the acceptor/reader
+    /// thread machinery in [`crate::tcp`] runs against.
+    pub(crate) fn tcp_threaded(&self) -> Option<&TcpFabric> {
+        match self.tcp.as_ref() {
+            Some(Fabric::Threaded(f)) => Some(f),
+            _ => None,
+        }
     }
 
     /// Routes one server-bound message from a local engine or session.
@@ -144,8 +209,9 @@ pub struct ClusterBuilder {
     session_timeout: Duration,
     gossip_fanout: u16,
     read_workers: usize,
-    tcp: bool,
+    tcp: Option<FabricKind>,
     tcp_client_outbox_bytes: usize,
+    reactor_threads: usize,
 }
 
 impl Default for ClusterBuilder {
@@ -159,8 +225,9 @@ impl Default for ClusterBuilder {
             session_timeout: Duration::from_secs(5),
             gossip_fanout: 0,
             read_workers: 2,
-            tcp: false,
+            tcp: None,
             tcp_client_outbox_bytes: wren_net::DEFAULT_OUTBOX_BYTES,
+            reactor_threads: 2,
         }
     }
 }
@@ -226,17 +293,44 @@ impl ClusterBuilder {
     }
 
     /// Runs the cluster over real TCP sockets on 127.0.0.1 instead of
-    /// in-process channels: one listener + acceptor thread per
-    /// partition, length-prefixed framed sessions, and every protocol
-    /// hop — client↔coordinator, slices, 2PC, replication, gossip —
-    /// encoded onto the wire and decoded back. The engines themselves
-    /// (writer thread + read workers) are identical in both modes.
+    /// in-process channels: one listener per partition, length-prefixed
+    /// framed sessions, and every protocol hop — client↔coordinator,
+    /// slices, 2PC, replication, gossip — encoded onto the wire and
+    /// decoded back. The engines themselves (writer thread + read
+    /// workers) are identical in every mode.
+    ///
+    /// Sockets are served by the **epoll reactor fabric**: a fixed pool
+    /// of [`reactor_threads`](Self::reactor_threads) event-loop threads
+    /// owns every listener, accepted connection and dialed peer link,
+    /// so fabric threads are O(reactor_threads), not O(connections).
+    /// [`Self::tcp_threaded`] selects the older two-threads-per-
+    /// connection fabric instead (same wire format and semantics).
     ///
     /// [`Cluster::server_addrs`] exposes the bound addresses so
     /// sessions in *other processes* can join via
     /// [`Session::connect_tcp`](crate::Session::connect_tcp).
     pub fn tcp(mut self) -> Self {
-        self.tcp = true;
+        self.tcp = Some(FabricKind::Reactor);
+        self
+    }
+
+    /// Runs the cluster over TCP with the **threaded fabric**: one
+    /// acceptor thread per partition plus a reader thread and an outbox
+    /// writer thread per connection. Byte-for-byte the same protocol as
+    /// [`Self::tcp`]; kept for apples-to-apples comparison (the
+    /// channel / threaded-TCP / reactor-TCP oracle suites) and as the
+    /// simplest-possible reference transport.
+    pub fn tcp_threaded(mut self) -> Self {
+        self.tcp = Some(FabricKind::Threaded);
+        self
+    }
+
+    /// Size of the reactor thread pool in TCP mode (default 2, minimum
+    /// 1): the event-loop threads serving **all** connections. More
+    /// threads spread socket I/O across cores; connections are
+    /// distributed round-robin and never migrate.
+    pub fn reactor_threads(mut self, n: usize) -> Self {
+        self.reactor_threads = n.max(1);
         self
     }
 
@@ -322,8 +416,9 @@ impl Cluster {
         }
         // TCP mode: bind every server's loopback listener up front so
         // the fabric knows all addresses before any engine (or lazy
-        // dial) runs; acceptors spawn right after the router exists.
-        let (listeners, addrs) = if cfg.tcp {
+        // dial) runs; acceptors (threaded) or listener registrations
+        // (reactor) follow as soon as the router exists.
+        let (listeners, addrs) = if cfg.tcp.is_some() {
             let (listeners, addrs) = bind_listeners(cfg.n_dcs, cfg.n_partitions)
                 .expect("bind loopback listeners");
             (Some(listeners), addrs)
@@ -332,20 +427,37 @@ impl Cluster {
         };
         let addrs = Arc::new(addrs);
 
-        let router = Arc::new(Router {
+        // `new_cyclic` because the reactor fabric's handler needs a way
+        // back to the router (to deliver decoded frames into the
+        // engines) while the router owns the fabric: the handler gets a
+        // `Weak`, so there is no leak-forming Arc ring. The reactor's
+        // loops start inside the closure, but nothing can reach them
+        // until sessions dial — and a frame arriving before the Arc is
+        // live is dropped, exactly like one arriving after shutdown.
+        let mut listeners = listeners;
+        let router = Arc::new_cyclic(|weak: &std::sync::Weak<Router>| Router {
             n_partitions: cfg.n_partitions,
             server_txs: txs,
             read_txs,
             clients: RwLock::new(HashMap::new()),
-            tcp: cfg.tcp.then(|| {
-                TcpFabric::new(
+            tcp: cfg.tcp.map(|kind| match kind {
+                FabricKind::Threaded => Fabric::Threaded(TcpFabric::new(
                     addrs.as_ref().clone(),
                     cfg.n_partitions,
                     cfg.tcp_client_outbox_bytes,
-                )
+                )),
+                FabricKind::Reactor => Fabric::Reactor(ReactorFabric::start(
+                    addrs.as_ref().clone(),
+                    cfg.n_partitions,
+                    cfg.tcp_client_outbox_bytes,
+                    cfg.reactor_threads,
+                    listeners.take().expect("TCP mode binds listeners"),
+                    weak.clone(),
+                )),
             }),
         });
         if let Some(listeners) = listeners {
+            // Threaded fabric: the reactor consumed them otherwise.
             spawn_acceptors(&router, listeners);
         }
 
@@ -440,7 +552,7 @@ impl Cluster {
         let p = (self.next_coordinator.fetch_add(1, Ordering::Relaxed)
             % self.cfg.n_partitions as u32) as u16;
         let coordinator = ServerId::new(dc, p);
-        if self.cfg.tcp {
+        if self.cfg.tcp.is_some() {
             // Same API, real sockets: the session dials its coordinator
             // exactly as a remote process would.
             return Session::tcp(

@@ -11,6 +11,12 @@ pub enum RtError {
     /// The request exceeds the TCP transport's maximum frame size
     /// (`wren_protocol::frame::MAX_FRAME_LEN`); shrink the operation.
     TooLarge,
+    /// The named partition server refused connections even after the
+    /// dial's bounded retries — it is down, not yet listening, or the
+    /// address is wrong. Carries the unreachable address so a
+    /// misconfigured or half-started cluster is diagnosable from the
+    /// error alone.
+    Unreachable(std::net::SocketAddr),
 }
 
 impl fmt::Display for RtError {
@@ -19,6 +25,9 @@ impl fmt::Display for RtError {
             RtError::Timeout => write!(f, "timed out waiting for a server reply"),
             RtError::Shutdown => write!(f, "cluster is shut down"),
             RtError::TooLarge => write!(f, "request exceeds the transport's frame limit"),
+            RtError::Unreachable(addr) => {
+                write!(f, "partition server {addr} refused connections (after retries)")
+            }
         }
     }
 }

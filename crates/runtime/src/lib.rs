@@ -18,10 +18,15 @@
 //!   `COMMIT`) as blocking calls, with CANToR's client-side cache giving
 //!   read-your-writes over the lagging stable snapshot;
 //! * [`ClusterBuilder::tcp`] — the same engines behind **real sockets**:
-//!   one listener + acceptor per partition, length-prefixed framed
-//!   sessions (`wren-net`), bounded per-connection outboxes so slow
-//!   clients cannot stall a partition, and [`Session::connect_tcp`] to
-//!   join from another process knowing only [`Cluster::server_addrs`].
+//!   one listener per partition, length-prefixed framed sessions
+//!   (`wren-net`), bounded per-connection send queues so slow clients
+//!   cannot stall a partition, and [`Session::connect_tcp`] to join
+//!   from another process knowing only [`Cluster::server_addrs`]. All
+//!   sockets are served by a fixed pool of epoll reactor threads
+//!   ([`ClusterBuilder::reactor_threads`]) — fabric threads are
+//!   O(reactor_threads + partitions), not O(connections);
+//!   [`ClusterBuilder::tcp_threaded`] keeps the two-threads-per-
+//!   connection fabric for comparison.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@
 mod cluster;
 mod engine;
 mod error;
+mod reactor_fabric;
 mod session;
 mod tcp;
 

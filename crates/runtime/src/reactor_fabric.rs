@@ -1,0 +1,328 @@
+//! The reactor TCP fabric: the cluster's engines behind real sockets,
+//! served by a **fixed pool of epoll threads** instead of two OS
+//! threads per connection.
+//!
+//! The wire semantics are identical to the threaded fabric
+//! ([`crate::tcp`]): every protocol hop is encoded, framed, written to
+//! a socket, read back, decoded and dispatched; the first frame on a
+//! connection is a [`Hello`]; client links get the bounded outbox cap
+//! (overflow = disconnect the slow client); inter-server links are
+//! effectively unbounded and lossless. What changes is the thread
+//! topology:
+//!
+//! * **No acceptor threads.** Every partition's listener is registered
+//!   with the shared [`Reactor`]; accepts happen on readable readiness.
+//! * **No per-connection reader threads.** Readable bytes are fed
+//!   through the connection's `FrameDecoder` on a reactor thread, and
+//!   each decoded frame is delivered into the destination engine's
+//!   inbox (read slices divert to the read workers, as everywhere).
+//! * **No per-connection writer threads.** Responses are enqueued on
+//!   the connection's bounded queue ([`ConnHandle`]) and drained by the
+//!   reactor on writable readiness, with partial-write state per fd.
+//!
+//! Total fabric threads: `reactor_threads` (default 2), independent of
+//! the number of sessions — O(reactor_threads + partitions) process
+//! threads overall, where the threaded fabric needs O(connections).
+//!
+//! Shutdown is idempotent: flag, reactor shutdown (wakes every loop,
+//! severs every fd, drops every listener), registry sweep, join. The
+//! accept/dial/register-vs-sweep races close the same way as in the
+//! threaded fabric: re-check the closing flag *after* publishing, so
+//! exactly one side severs.
+
+use crate::cluster::{Fabric, Router};
+use crate::tcp::{legal_from_client, legal_from_server, SERVER_OUTBOX_BYTES};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use wren_net::{ConnHandle, Hello, Reactor, ReactorHandler};
+use wren_protocol::frame::try_frame_wren;
+use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
+
+/// One outbound link's slot: serializes dial + enqueue for its
+/// (engine, peer) pair only, exactly like the threaded fabric's.
+type PeerSlot = Arc<Mutex<Option<ConnHandle>>>;
+
+/// Per-process reactor-fabric state: listener addresses, live link and
+/// client registries, and the reactor itself.
+pub(crate) struct ReactorFabric {
+    /// All servers' listen addresses, DC-major partition order.
+    addrs: Vec<SocketAddr>,
+    n_partitions: u16,
+    /// Outbound links, one slot per (local engine, remote server) pair.
+    peers: RwLock<HashMap<(ServerId, ServerId), PeerSlot>>,
+    /// Response sinks for connected clients, registered at hello time.
+    clients: RwLock<HashMap<ClientId, ConnHandle>>,
+    /// Server→server messages refused for exceeding the frame ceiling —
+    /// 0 on any healthy run (see [`crate::tcp::TcpFabric::send_server`]
+    /// for why splitting would be unsound).
+    dropped_frames: AtomicU64,
+    closing: AtomicBool,
+    reactor: Reactor<RtHandler>,
+}
+
+impl ReactorFabric {
+    /// Starts the reactor pool and registers every listener with it.
+    /// Called inside the router's `Arc::new_cyclic`, which is why the
+    /// handler gets a `Weak` — frames arriving before the router Arc
+    /// finishes construction (or after it drops) are simply dropped,
+    /// like sends during shutdown.
+    pub(crate) fn start(
+        addrs: Vec<SocketAddr>,
+        n_partitions: u16,
+        client_outbox_bytes: usize,
+        reactor_threads: usize,
+        listeners: Vec<(ServerId, TcpListener)>,
+        router: Weak<Router>,
+    ) -> ReactorFabric {
+        let handler = RtHandler {
+            router,
+            n_partitions,
+            n_servers: addrs.len(),
+        };
+        let reactor = Reactor::start(reactor_threads, handler).expect("start reactor pool");
+        for (me, listener) in listeners {
+            reactor
+                .add_listener(
+                    listener,
+                    me.dc_major_index(n_partitions) as u64,
+                    client_outbox_bytes,
+                )
+                .expect("register listener with reactor");
+        }
+        ReactorFabric {
+            addrs,
+            n_partitions,
+            peers: RwLock::new(HashMap::new()),
+            clients: RwLock::new(HashMap::new()),
+            dropped_frames: AtomicU64::new(0),
+            closing: AtomicBool::new(false),
+            reactor,
+        }
+    }
+
+    /// Ships one engine-originated message to a peer server over the
+    /// (lazily dialed) outbound link; drops it during shutdown, like a
+    /// channel send to a stopped cluster.
+    pub(crate) fn send_server(&self, src: ServerId, to: ServerId, msg: &WrenMsg) {
+        let Some(frame) = try_frame_wren(msg) else {
+            // Unframeable server→server message: dropping beats a torn
+            // half-applied batch (see the threaded fabric's comment).
+            self.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let key = (src, to);
+        let existing = self.peers.read().get(&key).map(Arc::clone);
+        let slot: PeerSlot = match existing {
+            Some(slot) => slot,
+            None => Arc::clone(self.peers.write().entry(key).or_default()),
+        };
+        let mut link = slot.lock();
+        if let Some(conn) = link.as_ref() {
+            if conn.enqueue(frame.clone()) {
+                return;
+            }
+            // The link died (peer gone / overflow); redial once below.
+            *link = None;
+        }
+        if self.closing.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(conn) = self.dial(src, to) {
+            conn.enqueue(frame);
+            // Shutdown may have drained the peers map while we dialed;
+            // re-checking ensures the new link cannot escape severing.
+            if self.closing.load(Ordering::SeqCst) {
+                conn.sever();
+                return;
+            }
+            *link = Some(conn);
+        }
+    }
+
+    fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<ConnHandle> {
+        let stream = TcpStream::connect(self.addrs[to.dc_major_index(self.n_partitions)])?;
+        stream.set_nodelay(true)?;
+        let conn = self.reactor.add_conn(
+            stream,
+            RtConn {
+                me: src,
+                identity: RtIdentity::Dialed,
+            },
+            SERVER_OUTBOX_BYTES,
+        )?;
+        conn.enqueue(Hello::Server(src).encode_framed());
+        Ok(conn)
+    }
+
+    /// Ships a response to a connected client; silently dropped if the
+    /// client is gone (its session times out, as in channel mode).
+    pub(crate) fn send_client(&self, to: ClientId, msg: &WrenMsg) {
+        if let Some(conn) = self.clients.read().get(&to) {
+            match try_frame_wren(msg) {
+                Some(frame) => {
+                    conn.enqueue(frame);
+                }
+                // Undeliverable response: sever so the client fails
+                // fast instead of waiting out its timeout.
+                None => conn.sever(),
+            }
+        }
+    }
+
+    /// Flags the fabric closed and severs everything. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        // The reactor sweep severs every registered fd and closes every
+        // listener; the registry sweeps below catch links that were
+        // created but not yet (or no longer) known to the reactor.
+        self.reactor.shutdown();
+        for (_, slot) in self.peers.write().drain() {
+            if let Some(conn) = slot.lock().take() {
+                conn.sever();
+            }
+        }
+        for (_, conn) in self.clients.write().drain() {
+            conn.sever();
+        }
+    }
+
+    /// Server→server messages refused for exceeding the frame ceiling
+    /// (0 on any healthy run; the loopback oracle suite asserts it).
+    pub(crate) fn dropped_frames(&self) -> u64 {
+        self.dropped_frames.load(Ordering::Relaxed)
+    }
+
+    /// Joins the reactor threads (after [`shutdown`](Self::shutdown)).
+    pub(crate) fn join_threads(&self) {
+        self.reactor.join();
+    }
+
+    fn register_client(&self, id: ClientId, conn: ConnHandle) {
+        if let Some(old) = self.clients.write().insert(id, conn.clone()) {
+            // A reconnect (e.g. after migration) displaces the old
+            // registration; sever the stale connection.
+            old.sever();
+        }
+        // Shutdown may have swept the client map between the insert and
+        // its sweep; re-checking after the insert guarantees one side
+        // sees the other (the closing store precedes the sweep).
+        if self.closing.load(Ordering::SeqCst) {
+            conn.sever();
+        }
+    }
+
+    fn unregister_client(&self, id: ClientId, conn: &ConnHandle) {
+        let mut clients = self.clients.write();
+        if clients.get(&id).is_some_and(|cur| cur.same_as(conn)) {
+            clients.remove(&id);
+        }
+    }
+}
+
+/// Who is on the other end of a reactor-served connection.
+enum RtIdentity {
+    /// Accepted, handshake not yet received.
+    AwaitingHello,
+    /// A client session; frames are `Dest::Client`-sourced requests.
+    Client(ClientId),
+    /// A peer server's inbound link; read-only for us — replies travel
+    /// on our own outbound link to that peer.
+    Peer(ServerId),
+    /// Our own outbound link; the peer never sends frames back on it.
+    Dialed,
+}
+
+/// Per-connection protocol state, owned by the connection's reactor
+/// thread (no locks — see [`ReactorHandler`]).
+struct RtConn {
+    /// The local server whose listener accepted (or engine dialed) the
+    /// connection.
+    me: ServerId,
+    identity: RtIdentity,
+}
+
+/// Routes reactor events into the cluster: hellos establish identity,
+/// later frames are legality-filtered and delivered to the local
+/// engines exactly as the threaded fabric's reader threads would.
+struct RtHandler {
+    router: Weak<Router>,
+    n_partitions: u16,
+    n_servers: usize,
+}
+
+impl RtHandler {
+    fn with_fabric<R>(&self, f: impl FnOnce(&Arc<Router>, &ReactorFabric) -> R) -> Option<R> {
+        let router = self.router.upgrade()?;
+        let fabric = match router.tcp() {
+            Some(Fabric::Reactor(fabric)) => fabric,
+            _ => return None,
+        };
+        Some(f(&router, fabric))
+    }
+}
+
+impl ReactorHandler for RtHandler {
+    type Conn = RtConn;
+
+    fn on_accept(&self, listener_ctx: u64, _handle: &ConnHandle) -> Option<RtConn> {
+        let idx = listener_ctx as usize;
+        let dc = (idx / self.n_partitions as usize) as u8;
+        let p = (idx % self.n_partitions as usize) as u16;
+        Some(RtConn {
+            me: ServerId::new(dc, p),
+            identity: RtIdentity::AwaitingHello,
+        })
+    }
+
+    fn on_frame(&self, conn: &mut RtConn, handle: &ConnHandle, payload: bytes::Bytes) -> bool {
+        match conn.identity {
+            RtIdentity::AwaitingHello => match Hello::decode(&payload) {
+                // A forged out-of-range ServerId would index out of
+                // bounds downstream — validate at the boundary.
+                Ok(Hello::Server(src))
+                    if src.partition.index() < self.n_partitions as usize
+                        && src.dc_major_index(self.n_partitions) < self.n_servers =>
+                {
+                    conn.identity = RtIdentity::Peer(src);
+                    true
+                }
+                Ok(Hello::Server(_)) | Err(_) => false,
+                Ok(Hello::Client(id)) => {
+                    conn.identity = RtIdentity::Client(id);
+                    self.with_fabric(|_, fabric| {
+                        fabric.register_client(id, handle.clone());
+                    })
+                    .is_some()
+                }
+            },
+            RtIdentity::Client(id) => match WrenMsg::decode(&payload) {
+                Ok(msg) if legal_from_client(&msg) => self
+                    .with_fabric(|router, _| {
+                        router.deliver_local(Dest::Client(id), conn.me, msg);
+                    })
+                    .is_some(),
+                // Corrupt or protocol-illegal client: sever.
+                _ => false,
+            },
+            RtIdentity::Peer(src) => match WrenMsg::decode(&payload) {
+                Ok(msg) if legal_from_server(&msg) => self
+                    .with_fabric(|router, _| {
+                        router.deliver_local(Dest::Server(src), conn.me, msg);
+                    })
+                    .is_some(),
+                _ => false,
+            },
+            // Nothing legitimate ever arrives on our outbound links.
+            RtIdentity::Dialed => false,
+        }
+    }
+
+    fn on_close(&self, conn: &mut RtConn, handle: &ConnHandle) {
+        if let RtIdentity::Client(id) = conn.identity {
+            self.with_fabric(|_, fabric| fabric.unregister_client(id, handle));
+        }
+    }
+}

@@ -142,7 +142,10 @@ impl Session {
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
-    /// [`RtError::Shutdown`] if it is unreachable.
+    /// [`RtError::Shutdown`] if the connection failed; over TCP, a
+    /// coordinator address that refuses connections beyond the dial's
+    /// bounded retries surfaces as [`RtError::Unreachable`] naming the
+    /// address.
     pub fn begin(&mut self) -> Result<(), RtError> {
         let msg = self.client.start();
         let resp = self.round_trip(msg)?;
@@ -157,7 +160,9 @@ impl Session {
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
-    /// [`RtError::Shutdown`] if it is unreachable. Over TCP,
+    /// [`RtError::Shutdown`] if the connection failed. Over TCP,
+    /// [`RtError::Unreachable`] if the coordinator's address refused
+    /// connections beyond the dial's bounded retries, and
     /// [`RtError::TooLarge`] if more than 512 keys need a server fetch
     /// in one call (the transport bounds response sizes).
     ///
@@ -186,7 +191,10 @@ impl Session {
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
-    /// [`RtError::Shutdown`] if it is unreachable.
+    /// [`RtError::Shutdown`] if the connection failed; over TCP, a
+    /// coordinator address that refuses connections beyond the dial's
+    /// bounded retries surfaces as [`RtError::Unreachable`] naming the
+    /// address.
     pub fn read_one(&mut self, key: Key) -> Result<Option<Value>, RtError> {
         Ok(self.read(&[key])?.pop().and_then(|(_, v)| v))
     }
@@ -264,7 +272,10 @@ impl Session {
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
-    /// [`RtError::Shutdown`] if it is unreachable.
+    /// [`RtError::Shutdown`] if the connection failed; over TCP, a
+    /// coordinator address that refuses connections beyond the dial's
+    /// bounded retries surfaces as [`RtError::Unreachable`] naming the
+    /// address.
     ///
     /// # Panics
     ///

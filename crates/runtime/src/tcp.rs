@@ -1,4 +1,16 @@
-//! The TCP fabric: the cluster's engines behind real sockets.
+//! The **threaded** TCP fabric (plus the transport pieces both fabrics
+//! share): the cluster's engines behind real sockets, one reader and
+//! one outbox-writer thread per connection.
+//!
+//! This is the original, simplest-possible socket fabric, selected by
+//! [`ClusterBuilder::tcp_threaded`](crate::ClusterBuilder::tcp_threaded)
+//! and kept as the reference point for the epoll reactor fabric
+//! ([`crate::reactor_fabric`]), which serves the identical wire
+//! protocol from a fixed thread pool and is what
+//! [`ClusterBuilder::tcp`](crate::ClusterBuilder::tcp) now builds. The
+//! boundary rules ([`legal_from_client`], [`legal_from_server`], the
+//! request/read ceilings) and the session-side [`TcpLink`] live here
+//! and are shared by both.
 //!
 //! In channel mode every hop is a crossbeam send; in TCP mode every
 //! protocol message — client↔coordinator, coordinator↔cohort,
@@ -52,12 +64,21 @@ use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
 /// protocol's tick pacing flow-controls inter-server traffic, and
 /// dropping replication or 2PC messages would violate the lossless-FIFO
 /// link assumption the state machines are built on. (Client links are
-/// the untrusted ones — they get the small, configurable cap.)
-const SERVER_OUTBOX_BYTES: usize = usize::MAX;
+/// the untrusted ones — they get the small, configurable cap.) Shared
+/// with the reactor fabric, which keeps the same link taxonomy.
+pub(crate) const SERVER_OUTBOX_BYTES: usize = usize::MAX;
 
 /// How long shutdown waits for the self-connection that wakes an
 /// acceptor thread.
 const WAKE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Dial attempts a session makes against a refusing listener before
+/// reporting [`RtError::Unreachable`](crate::RtError::Unreachable).
+/// With the 1 ms starting backoff doubling each round, the budget is
+/// ~31 ms of retrying — enough to absorb a startup race (a listener
+/// binds in microseconds), short enough that a genuinely dead
+/// partition fails fast.
+const DIAL_ATTEMPTS: u32 = 6;
 
 /// Ceiling on one client *request*: the frame limit minus headroom for
 /// protocol amplification, so every server-side message derived from a
@@ -289,7 +310,7 @@ impl TcpFabric {
 /// Spawns the acceptor threads, one per local server, after the router
 /// (and its fabric) exist. Handles are parked in the fabric.
 pub(crate) fn spawn_acceptors(router: &Arc<Router>, listeners: Vec<(ServerId, TcpListener)>) {
-    let fabric = router.tcp().expect("acceptors need a TCP fabric");
+    let fabric = router.tcp_threaded().expect("acceptors need a threaded TCP fabric");
     let mut threads = fabric.threads.lock();
     for (me, listener) in listeners {
         let router = Arc::clone(router);
@@ -298,7 +319,7 @@ pub(crate) fn spawn_acceptors(router: &Arc<Router>, listeners: Vec<(ServerId, Tc
 }
 
 fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
-    let fabric = router.tcp().expect("TCP fabric");
+    let fabric = router.tcp_threaded().expect("threaded TCP fabric");
     loop {
         if fabric.closing.load(Ordering::SeqCst) {
             return;
@@ -355,7 +376,7 @@ fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
 /// until EOF, error, or fabric shutdown. Reaps the connection's
 /// shutdown-registry entry on the way out, whatever the exit path.
 fn serve_conn(me: ServerId, conn_id: u64, stream: TcpStream, router: Arc<Router>) {
-    let fabric = router.tcp().expect("TCP fabric");
+    let fabric = router.tcp_threaded().expect("threaded TCP fabric");
     let mut reader = FramedReader::new(stream);
     if let Ok(hello) = reader.read_hello() {
         match hello {
@@ -415,8 +436,10 @@ fn serve_client_conn(
 /// machines only expect from trusted sources, or force the engine to
 /// build an unframeable reply — filtered at the boundary so remote
 /// frames can never trip a server-side `debug_assert` or the
-/// server→server frame ceiling.
-fn legal_from_client(msg: &WrenMsg) -> bool {
+/// server→server frame ceiling. Shared with the reactor fabric: the
+/// boundary rules are a property of the protocol, not of the thread
+/// topology serving the socket.
+pub(crate) fn legal_from_client(msg: &WrenMsg) -> bool {
     match msg {
         WrenMsg::StartTxReq { .. } => true,
         WrenMsg::TxReadReq { keys, .. } => keys.len() <= MAX_READ_KEYS,
@@ -429,7 +452,8 @@ fn legal_from_client(msg: &WrenMsg) -> bool {
 /// intra-DC transaction traffic, replication, and gossip — not the
 /// client-only requests and not the client-bound responses. `SliceReq`
 /// carries the same keys bound as the client read it derives from.
-fn legal_from_server(msg: &WrenMsg) -> bool {
+/// Shared with the reactor fabric.
+pub(crate) fn legal_from_server(msg: &WrenMsg) -> bool {
     match msg {
         WrenMsg::SliceReq { keys, .. } => keys.len() <= MAX_READ_KEYS,
         WrenMsg::SliceResp { .. }
@@ -549,28 +573,56 @@ impl TcpLink {
         self.active = None;
     }
 
-    fn connect(&mut self, to: ServerId) -> std::io::Result<()> {
+    /// Dials `to`'s listener, retrying a bounded number of times on
+    /// `ECONNREFUSED` with exponential backoff. During cluster startup
+    /// a session can legitimately race the listener into existence
+    /// (separate processes especially: addresses are exchanged before
+    /// every partition is up); a refused dial inside the retry window
+    /// is a race, beyond it the partition is genuinely down and the
+    /// error names its address ([`RtError::Unreachable`]).
+    fn connect(&mut self, to: ServerId) -> Result<(), crate::RtError> {
         use std::io::Write;
         let addr = self.addrs[to.dc_major_index(self.n_partitions)];
-        let mut stream = TcpStream::connect_timeout(&addr, self.timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.timeout))?;
-        stream.write_all(&Hello::Client(self.id).encode_framed())?;
-        let write = stream.try_clone()?;
-        self.conns.insert(
-            to,
-            PeerIo {
+        let mut backoff = Duration::from_millis(1);
+        let mut stream = None;
+        for attempt in 0..DIAL_ATTEMPTS {
+            match TcpStream::connect_timeout(&addr, self.timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                    if attempt + 1 == DIAL_ATTEMPTS {
+                        return Err(crate::RtError::Unreachable(addr));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+                Err(_) => return Err(crate::RtError::Shutdown),
+            }
+        }
+        let mut stream = stream.expect("loop returns or breaks with a stream");
+        let io = (|| -> std::io::Result<PeerIo> {
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.write_all(&Hello::Client(self.id).encode_framed())?;
+            let write = stream.try_clone()?;
+            Ok(PeerIo {
                 write,
                 reader: FramedReader::new(stream),
-            },
-        );
+            })
+        })()
+        .map_err(|_| crate::RtError::Shutdown)?;
+        self.conns.insert(to, io);
         Ok(())
     }
 
-    /// Frames and writes one request. [`RtError::Shutdown`] means the
-    /// server is unreachable (cluster down); [`RtError::TooLarge`]
-    /// means the request exceeds the transport's ceilings (total size,
-    /// or keys per read). The same bounds are enforced at the server's
+    /// Frames and writes one request. [`RtError::Unreachable`] means
+    /// the server's address refused connections beyond the dial's retry
+    /// budget; [`RtError::Shutdown`] covers other transport failures
+    /// (cluster down mid-connection); [`RtError::TooLarge`] means the
+    /// request exceeds the transport's ceilings (total size, or keys
+    /// per read). The size bounds are also enforced at the server's
     /// accepting boundary; checking here turns a would-be severed
     /// connection into a clean client-side error.
     pub(crate) fn send(&mut self, to: ServerId, msg: &WrenMsg) -> Result<(), crate::RtError> {
@@ -581,7 +633,7 @@ impl TcpLink {
         // Within CLIENT_REQ_MAX < MAX_FRAME_LEN, so framing can't fail.
         let frame = frame_wren(msg);
         if !self.conns.contains_key(&to) {
-            self.connect(to).map_err(|_| crate::RtError::Shutdown)?;
+            self.connect(to)?;
         }
         self.active = Some(to);
         let conn = self.conns.get_mut(&to).expect("just ensured");

@@ -1,18 +1,35 @@
 //! Adversarial transport clients: a peer that dribbles bytes one at a
 //! time and a peer that stops reading its responses. Neither may wedge
-//! the acceptor, the partition writer thread, or the read workers; the
-//! slow reader is disconnected by its bounded outbox, and shutdown
+//! the acceptor path, the partition writer thread, or the read workers;
+//! the slow reader is disconnected by its bounded outbox, and shutdown
 //! still joins every thread deterministically afterwards.
+//!
+//! Every scenario runs against **both socket fabrics** — the threaded
+//! one (reader + outbox-writer thread per connection) and the epoll
+//! reactor (fixed thread pool) — with identical assertions: the
+//! slow-client semantics are a contract of the transport, not of the
+//! thread topology serving it.
 
 use bytes::Bytes;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+use wren_clock::Timestamp;
 use wren_net::Hello;
 use wren_protocol::frame::{frame_wren, FrameDecoder};
 use wren_protocol::{ClientId, Key, WrenMsg};
 use wren_rt::ClusterBuilder;
-use wren_clock::Timestamp;
+
+/// How a scenario turns a builder into a TCP-mode cluster: each fabric
+/// appears once, tagged for assertion messages.
+type FabricCfg = (&'static str, fn(ClusterBuilder) -> ClusterBuilder);
+
+fn fabrics() -> [FabricCfg; 2] {
+    [
+        ("threaded", ClusterBuilder::tcp_threaded),
+        ("reactor", ClusterBuilder::tcp),
+    ]
+}
 
 /// Joins a thread but panics (instead of hanging the suite) if it takes
 /// longer than `secs` — the watchdog for "deterministic shutdown".
@@ -44,12 +61,12 @@ fn read_one_msg(stream: &mut TcpStream) -> WrenMsg {
 }
 
 /// A client that dribbles its handshake and requests one byte at a time
-/// must not wedge the acceptor: sessions connecting *after* the
+/// must not wedge the accept path: sessions connecting *after* the
 /// dribbler keep transacting at full speed, and the dribbler still gets
 /// its (correct) response eventually.
-#[test]
-fn dribbling_client_wedges_nothing() {
-    let cluster = ClusterBuilder::new().dcs(1).partitions(2).tcp().build();
+fn dribbling_client_wedges_nothing_on(fabric: FabricCfg) {
+    let (name, tcp) = fabric;
+    let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
     let addr = cluster.server_addrs()[0];
 
     let dribbler = std::thread::spawn(move || {
@@ -72,14 +89,14 @@ fn dribbling_client_wedges_nothing() {
     });
 
     // While the dribbler crawls, fresh sessions connect to the same
-    // partition's acceptor and transact freely.
+    // partition's listener and transact freely.
     let mut s = cluster.session(0);
     for i in 0..30u64 {
         s.begin().unwrap();
         s.write(Key(i), Bytes::from(i.to_le_bytes().to_vec()));
         s.commit().unwrap();
     }
-    assert_eq!(s.stats().txs_committed, 30);
+    assert_eq!(s.stats().txs_committed, 30, "[{name}] healthy session starved");
 
     join_within(dribbler, 30, "dribbling client");
     drop(s);
@@ -87,20 +104,26 @@ fn dribbling_client_wedges_nothing() {
     join_within(stop, 30, "cluster stop after dribbling client");
 }
 
+#[test]
+fn dribbling_client_wedges_nothing() {
+    for fabric in fabrics() {
+        dribbling_client_wedges_nothing_on(fabric);
+    }
+}
+
 /// A client that requests data and then stops reading must back up its
 /// own bounded outbox and get disconnected — while the partition writer
 /// thread keeps serving everyone else, and shutdown still joins
 /// everything.
-#[test]
-fn stalled_reader_is_disconnected_not_blocking() {
+fn stalled_reader_is_disconnected_on(fabric: FabricCfg) {
+    let (name, tcp) = fabric;
     // Tiny outbox so the overflow trips long before the test's data
     // volume; big values so kernel socket buffers saturate quickly.
-    let cluster = ClusterBuilder::new()
+    let cluster = tcp(ClusterBuilder::new()
         .dcs(1)
         .partitions(2)
-        .tcp_client_outbox_bytes(64 * 1024)
-        .tcp()
-        .build();
+        .tcp_client_outbox_bytes(64 * 1024))
+    .build();
     let n_partitions = 2u16;
 
     // A key owned by partition 0, whose listener the stalled client
@@ -127,7 +150,7 @@ fn stalled_reader_is_disconnected_not_blocking() {
         if got.as_ref().map(|v| v.len()) == Some(big_value.len()) {
             break;
         }
-        assert!(Instant::now() < deadline, "seed value never stabilized");
+        assert!(Instant::now() < deadline, "[{name}] seed value never stabilized");
         std::thread::sleep(Duration::from_millis(2));
     }
     drop(prober);
@@ -198,7 +221,7 @@ fn stalled_reader_is_disconnected_not_blocking() {
         healthy.commit().unwrap();
         assert!(
             Instant::now() < healthy_deadline,
-            "healthy session starved by a stalled peer"
+            "[{name}] healthy session starved by a stalled peer"
         );
     }
 
@@ -210,18 +233,24 @@ fn stalled_reader_is_disconnected_not_blocking() {
     assert_eq!(stats.len(), 2, "deterministic shutdown joined every engine");
 }
 
+#[test]
+fn stalled_reader_is_disconnected_not_blocking() {
+    for fabric in fabrics() {
+        stalled_reader_is_disconnected_on(fabric);
+    }
+}
+
 /// A prompt reader is never disconnected for one large response: a
 /// single response frame bigger than the client outbox cap is admitted
 /// when the queue is empty (the cap catches stalled readers, not big
 /// messages).
-#[test]
-fn large_response_to_prompt_reader_survives_tiny_outbox_cap() {
-    let cluster = ClusterBuilder::new()
+fn large_response_survives_tiny_cap_on(fabric: FabricCfg) {
+    let (name, tcp) = fabric;
+    let cluster = tcp(ClusterBuilder::new()
         .dcs(1)
         .partitions(2)
-        .tcp_client_outbox_bytes(1024) // far below the response size
-        .tcp()
-        .build();
+        .tcp_client_outbox_bytes(1024)) // far below the response size
+    .build();
     let big = Bytes::from(vec![0x5A; 32 * 1024]);
     let mut writer = cluster.session(0);
     writer.begin().unwrap();
@@ -236,7 +265,10 @@ fn large_response_to_prompt_reader_survives_tiny_outbox_cap() {
         if got.as_ref().map(|v| v.len()) == Some(big.len()) {
             break;
         }
-        assert!(Instant::now() < deadline, "32 KiB response never arrived");
+        assert!(
+            Instant::now() < deadline,
+            "[{name}] 32 KiB response never arrived"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
     drop(writer);
@@ -245,22 +277,29 @@ fn large_response_to_prompt_reader_survives_tiny_outbox_cap() {
     join_within(stop, 30, "cluster stop after large response");
 }
 
+#[test]
+fn large_response_to_prompt_reader_survives_tiny_outbox_cap() {
+    for fabric in fabrics() {
+        large_response_survives_tiny_cap_on(fabric);
+    }
+}
+
 /// The transport's request bounds are enforced at the server boundary,
 /// not just in the session library: a raw client pushing an over-wide
 /// read is severed, and the library surfaces the same bound as a clean
 /// error instead.
-#[test]
-fn over_wide_read_is_bounded_at_both_ends() {
-    let cluster = ClusterBuilder::new().dcs(1).partitions(2).tcp().build();
+fn over_wide_read_is_bounded_on(fabric: FabricCfg) {
+    let (name, tcp) = fabric;
+    let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
 
     // Library side: > 512 uncached keys in one read errors cleanly.
     let mut session = cluster.session(0);
     session.begin().unwrap();
     let keys: Vec<Key> = (0..600).map(Key).collect();
-    assert!(matches!(
-        session.read(&keys),
-        Err(wren_rt::RtError::TooLarge)
-    ));
+    assert!(
+        matches!(session.read(&keys), Err(wren_rt::RtError::TooLarge)),
+        "[{name}] over-wide library read must error cleanly"
+    );
     drop(session); // tx intentionally abandoned
 
     // Raw side: the same over-wide request from a hand-rolled client is
@@ -291,7 +330,7 @@ fn over_wide_read_is_bounded_at_both_ends() {
     let mut sink = [0u8; 256];
     match stream.read(&mut sink) {
         Ok(0) | Err(_) => {} // severed
-        Ok(n) => panic!("expected severed connection, got {n} bytes"),
+        Ok(n) => panic!("[{name}] expected severed connection, got {n} bytes"),
     }
 
     // The partition is unharmed either way.
@@ -304,11 +343,19 @@ fn over_wide_read_is_bounded_at_both_ends() {
     join_within(stop, 30, "cluster stop after over-wide reads");
 }
 
-/// A client that vanishes mid-frame (truncated request) is dropped
-/// without poisoning the partition.
 #[test]
-fn truncated_request_is_severed_cleanly() {
-    let cluster = ClusterBuilder::new().dcs(1).partitions(2).tcp().build();
+fn over_wide_read_is_bounded_at_both_ends() {
+    for fabric in fabrics() {
+        over_wide_read_is_bounded_on(fabric);
+    }
+}
+
+/// A client that vanishes mid-frame (truncated request) is dropped
+/// without poisoning the partition; an oversized length prefix is
+/// rejected before any buffering.
+fn truncated_request_is_severed_on(fabric: FabricCfg) {
+    let (name, tcp) = fabric;
+    let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
     let addr = cluster.server_addrs()[0];
     {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -336,7 +383,7 @@ fn truncated_request_is_severed_cleanly() {
         // Server severs: EOF (or reset) rather than a response.
         match stream.read(&mut sink) {
             Ok(0) | Err(_) => {}
-            Ok(n) => panic!("expected severed connection, got {n} bytes"),
+            Ok(n) => panic!("[{name}] expected severed connection, got {n} bytes"),
         }
     }
     // The partition is unharmed.
@@ -347,4 +394,11 @@ fn truncated_request_is_severed_cleanly() {
     drop(s);
     let stop = std::thread::spawn(move || cluster.stop());
     join_within(stop, 30, "cluster stop after truncated client");
+}
+
+#[test]
+fn truncated_request_is_severed_cleanly() {
+    for fabric in fabrics() {
+        truncated_request_is_severed_on(fabric);
+    }
 }

@@ -239,7 +239,43 @@ fn session_surfaces_shutdown_on_dead_cluster() {
     s.commit().unwrap();
     cluster.stop();
     match s.begin() {
-        Err(RtError::Shutdown) | Err(RtError::Timeout) => {}
+        Err(RtError::Shutdown) | Err(RtError::Timeout) | Err(RtError::Unreachable(_)) => {}
         other => panic!("expected an error against a dead cluster, got {other:?}"),
     }
+}
+
+/// Satellite (this PR): dial hardening. A session pointed at an address
+/// nobody listens on retries with bounded backoff (absorbing cluster-
+/// startup races), then reports [`RtError::Unreachable`] naming the
+/// exact refusing address instead of an opaque failure.
+#[test]
+fn unreachable_partition_is_named_after_bounded_retries() {
+    use wren_protocol::ClientId;
+    // Reserve a loopback address, then free it: nothing listens there,
+    // so every dial is refused.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+
+    let mut s = Session::connect_tcp(
+        vec![addr, addr],
+        2,
+        ClientId(90_000),
+        ServerId::new(0, 0),
+        Duration::from_secs(2),
+    );
+    let started = Instant::now();
+    match s.begin() {
+        Err(RtError::Unreachable(a)) => {
+            assert_eq!(a, addr, "the error must name the refusing address");
+        }
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+    // The bounded retry budget actually ran: the backoff schedule
+    // (1+2+4+8+16 ms between the 6 attempts) puts a floor on how fast
+    // the error can surface.
+    assert!(
+        started.elapsed() >= Duration::from_millis(25),
+        "refused dials must be retried with backoff before giving up"
+    );
 }

@@ -3,12 +3,13 @@
 //! What this demo does, step by step:
 //!
 //! 1. **Build a TCP-mode cluster** (`ClusterBuilder::new().tcp()`): one
-//!    `TcpListener` + acceptor thread per partition on 127.0.0.1, and
-//!    every protocol hop — client↔coordinator, read slices, 2PC,
-//!    replication, gossip — encoded, length-prefix framed, written to a
-//!    socket, read back and decoded. The partition engines (writer
-//!    thread + read-worker pool) are byte-for-byte the ones the channel
-//!    transport drives.
+//!    `TcpListener` per partition on 127.0.0.1, all served by a fixed
+//!    pool of epoll reactor threads (default 2 — thread count does not
+//!    grow with connections), and every protocol hop —
+//!    client↔coordinator, read slices, 2PC, replication, gossip —
+//!    encoded, length-prefix framed, written to a socket, read back and
+//!    decoded. The partition engines (writer thread + read-worker pool)
+//!    are byte-for-byte the ones the channel transport drives.
 //! 2. **Join by address only** (`Session::connect_tcp`): a session is
 //!    built from nothing but the listener addresses printed in step 1 —
 //!    no handle to the `Cluster` object. Run the same calls from a
@@ -18,15 +19,15 @@
 //! 3. **Transact over the wire**: read-your-writes through the client
 //!    cache, multi-partition snapshot reads fanned out to the read
 //!    workers, cross-session visibility once BiST stabilizes a write.
-//! 4. **Measure both transports** (`wren_harness::run_rt`): the same
-//!    closed-loop workload over channels and over loopback TCP. The gap
-//!    between the two columns is the end-to-end price of serialization
-//!    plus kernel round-trips — the cost the paper's cluster
-//!    experiments pay on every operation (and the channel column is the
-//!    upper bound a kernel-bypass transport could chase).
+//! 4. **Measure all three transports** (`wren_harness::run_rt`): the
+//!    same closed-loop workload over channels, reactor TCP and
+//!    threaded TCP. Channel→TCP is the end-to-end price of
+//!    serialization plus kernel round-trips — the cost the paper's
+//!    cluster experiments pay on every operation; reactor→threaded is
+//!    the thread-topology difference at the same wire cost.
 //! 5. **Shut down deterministically**: listeners closed, in-flight
-//!    connections severed, every acceptor/reader/outbox-writer thread
-//!    joined. Run it twice; `shutdown` is idempotent.
+//!    connections severed, every reactor thread joined. Run it twice;
+//!    `shutdown` is idempotent.
 //!
 //! ```bash
 //! cargo run --release --example tcp_cluster
@@ -103,14 +104,15 @@ fn main() {
     cluster.shutdown();
     drop(cluster);
 
-    // --- 4. The transport bill: same closed-loop workload, both
+    // --- 4. The transport bill: same closed-loop workload, all three
     // transports. (Loopback TCP still pays encode + frame + two syscall
     // crossings per hop; real NICs would add propagation on top.)
     println!("\nclosed-loop comparison (4 sessions x 300 tx, 1 DC x 4 partitions):");
-    println!("  {:<10} {:>12} {:>12} {:>12}", "transport", "tx/s", "mean ms", "p99 ms");
+    println!("  {:<14} {:>12} {:>12} {:>12}", "transport", "tx/s", "mean ms", "p99 ms");
     for (name, transport) in [
         ("channel", RtTransport::Channel),
-        ("tcp", RtTransport::Tcp),
+        ("tcp-reactor", RtTransport::Tcp),
+        ("tcp-threaded", RtTransport::TcpThreaded),
     ] {
         let result = run_rt(&RtSpec {
             dcs: 1,
@@ -124,7 +126,7 @@ fn main() {
             writes_per_tx: 2,
         });
         println!(
-            "  {:<10} {:>12.0} {:>12.3} {:>12.3}",
+            "  {:<14} {:>12.0} {:>12.3} {:>12.3}",
             name, result.throughput, result.mean_latency_ms, result.p99_latency_ms
         );
     }

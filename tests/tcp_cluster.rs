@@ -88,42 +88,61 @@ fn random_live_history(cluster: &Cluster, seed: u64, sessions_per_dc: usize, txs
     server_reads
 }
 
-/// The headline satellite: the full causal/session oracle against a
-/// TCP-backed loopback cluster, multi-DC, with zero blocked reads.
+/// The headline check: the full causal/session oracle against a
+/// TCP-backed loopback cluster, multi-DC, with zero blocked reads and
+/// a loss-free transport — over **both** socket fabrics (the epoll
+/// reactor behind [`ClusterBuilder::tcp`] and the per-connection-thread
+/// fabric behind [`ClusterBuilder::tcp_threaded`]).
 #[test]
 fn tcp_loopback_cluster_passes_causal_oracle() {
-    let cluster = ClusterBuilder::new().dcs(2).partitions(2).tcp().build();
-    let reads = random_live_history(&cluster, 42, 2, 150);
-    assert!(reads > 0);
-    assert_eq!(
-        cluster.tcp_dropped_frames(),
-        0,
-        "the transport must be loss-free while the oracle holds"
-    );
-    let stats = cluster.stop();
-    let slices: u64 = stats.iter().map(|s| s.slices_served).sum();
-    assert!(slices > 0, "reads were served by the engines");
-}
-
-/// Single-DC, more partitions, read workers on the floor and the
-/// ceiling — the oracle must hold in every engine configuration.
-#[test]
-fn tcp_oracle_across_engine_configs() {
-    for read_workers in [0usize, 3] {
-        let cluster = ClusterBuilder::new()
-            .dcs(1)
-            .partitions(4)
-            .read_workers(read_workers)
-            .tcp()
-            .build();
-        random_live_history(&cluster, 7 + read_workers as u64, 3, 120);
-        cluster.stop();
+    for (seed, fabric) in [
+        (42u64, ClusterBuilder::tcp as fn(ClusterBuilder) -> ClusterBuilder),
+        (43u64, ClusterBuilder::tcp_threaded),
+    ] {
+        let cluster = fabric(ClusterBuilder::new().dcs(2).partitions(2)).build();
+        let reads = random_live_history(&cluster, seed, 2, 150);
+        assert!(reads > 0);
+        assert_eq!(
+            cluster.tcp_dropped_frames(),
+            0,
+            "the transport must be loss-free while the oracle holds"
+        );
+        let stats = cluster.stop();
+        let slices: u64 = stats.iter().map(|s| s.slices_served).sum();
+        assert!(slices > 0, "reads were served by the engines");
     }
 }
 
-/// The same seeded schedule against both transports: the oracle holds
-/// on each, and the deterministic fragment (a session's own final
-/// reads after quiescence) is identical.
+/// Single-DC, more partitions, read workers on the floor and the
+/// ceiling, reactor pools of one and three threads — the oracle must
+/// hold in every engine × fabric configuration.
+#[test]
+fn tcp_oracle_across_engine_configs() {
+    for read_workers in [0usize, 3] {
+        for reactor_threads in [1usize, 3] {
+            let cluster = ClusterBuilder::new()
+                .dcs(1)
+                .partitions(4)
+                .read_workers(read_workers)
+                .reactor_threads(reactor_threads)
+                .tcp()
+                .build();
+            random_live_history(
+                &cluster,
+                7 + read_workers as u64 + 13 * reactor_threads as u64,
+                3,
+                120,
+            );
+            assert_eq!(cluster.tcp_dropped_frames(), 0);
+            cluster.stop();
+        }
+    }
+}
+
+/// The same seeded schedule against all three transports — in-process
+/// channels, threaded TCP, reactor TCP: the oracle holds on each, and
+/// the deterministic fragment (a session's own final reads after
+/// quiescence) is identical across the three.
 #[test]
 fn channel_and_tcp_agree_on_scripted_results() {
     fn scripted(cluster: &Cluster) -> Vec<(Key, Option<Vec<u8>>)> {
@@ -162,15 +181,23 @@ fn channel_and_tcp_agree_on_scripted_results() {
     }
 
     let channel_cluster = ClusterBuilder::new().dcs(1).partitions(3).build();
-    let tcp_cluster = ClusterBuilder::new().dcs(1).partitions(3).tcp().build();
+    let threaded_cluster = ClusterBuilder::new().dcs(1).partitions(3).tcp_threaded().build();
+    let reactor_cluster = ClusterBuilder::new().dcs(1).partitions(3).tcp().build();
     let via_channel = scripted(&channel_cluster);
-    let via_tcp = scripted(&tcp_cluster);
+    let via_threaded = scripted(&threaded_cluster);
+    let via_reactor = scripted(&reactor_cluster);
     assert_eq!(
-        via_channel, via_tcp,
-        "the transport must not change what a quiesced cluster serves"
+        via_channel, via_threaded,
+        "the threaded fabric must not change what a quiesced cluster serves"
     );
+    assert_eq!(
+        via_channel, via_reactor,
+        "the reactor fabric must not change what a quiesced cluster serves"
+    );
+    assert_eq!(reactor_cluster.tcp_dropped_frames(), 0);
     channel_cluster.stop();
-    tcp_cluster.stop();
+    threaded_cluster.stop();
+    reactor_cluster.stop();
 }
 
 /// The explicit session guarantees (`session_guarantees.rs` logic) over
