@@ -459,6 +459,53 @@ fn bench_server(c: &mut Criterion) {
     });
 }
 
+fn bench_wal(c: &mut Criterion) {
+    use wren_core::{DurableLog, FsyncPolicy};
+    use wren_protocol::RepTx;
+
+    let batch: Vec<RepTx> = (0..32u64)
+        .map(|i| RepTx {
+            tx: TxId::new(ServerId::new(1, 0), i),
+            rst: Timestamp::from_micros(i),
+            writes: vec![(Key(i), bytes::Bytes::from(vec![0u8; 64]))],
+        })
+        .collect();
+
+    // Buffered logging throughput: encode + append a 32-tx replication
+    // batch and hit the commit point, with fsync off so the cost
+    // measured is the codec and the write path, not the disk.
+    c.bench_function("wal_append_batch", |b| {
+        let dir = std::env::temp_dir().join(format!("wren-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut log = DurableLog::open(&dir, FsyncPolicy::Off).unwrap().log;
+        let mut ct = 0u64;
+        b.iter(|| {
+            ct += 10;
+            log.log_remote_batch(1, true, Timestamp::from_micros(ct), black_box(&batch));
+            log.commit_point().unwrap();
+        });
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // The same batch under the durable default: every commit point is
+    // an fsync, so this is the floor on acknowledged-write latency.
+    c.bench_function("wal_append_batch_fsync", |b| {
+        let dir =
+            std::env::temp_dir().join(format!("wren-bench-walsync-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut log = DurableLog::open(&dir, FsyncPolicy::Always).unwrap().log;
+        let mut ct = 0u64;
+        b.iter(|| {
+            ct += 10;
+            log.log_remote_batch(1, true, Timestamp::from_micros(ct), black_box(&batch));
+            log.commit_point().unwrap();
+        });
+        drop(log);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}
+
 criterion_group!(
     benches,
     bench_clocks,
@@ -469,6 +516,7 @@ criterion_group!(
     bench_codec,
     bench_transport,
     bench_workload,
-    bench_server
+    bench_server,
+    bench_wal
 );
 criterion_main!(benches);

@@ -1,0 +1,625 @@
+//! The typed durability layer: WAL records, checkpoint payloads and the
+//! generation machinery tying them together.
+//!
+//! Layering (mirroring the sans-io split of the network stack):
+//!
+//! * `wren_storage::wal` / `wren_storage::checkpoint` — byte-level files:
+//!   CRC-framed records with a total valid-prefix reader, atomically
+//!   renamed snapshot files. They know nothing about Wren.
+//! * **this module** — the typed record set ([`WalOp`]) encoded with the
+//!   protocol codec (`wire_size`-exact, same discipline as [`WrenMsg`]
+//!   (`wren_protocol::WrenMsg`)), plus [`DurableLog`]: one partition's
+//!   durability directory holding paired generations `ckpt.N`/`wal.N`.
+//! * `WrenServer` (in [`server`](crate::server)) — decides *what* to log
+//!   (local commits, replication batches, stable advances), encodes its
+//!   full state into checkpoint payloads, and replays records onto a
+//!   fresh instance at boot ([`WrenServer::recover`]).
+//!
+//! # Generations
+//!
+//! A checkpoint at sequence `N` captures all state produced by records
+//! in `wal.0 .. wal.{N-1}`; `wal.N` is the log that starts empty at that
+//! moment. Boot therefore loads the newest *valid* `ckpt.N` and replays
+//! `wal.N, wal.{N+1}, …` in order — if the newest checkpoint is corrupt,
+//! the previous generation (always retained by
+//! [`checkpoint::prune_generations`]) plus its longer log chain recovers
+//! the same state. A torn record tail is truncated by the storage layer;
+//! a record that fails *typed* decoding ends replay at the last good
+//! record (totality over panics, at the cost of dropping a suffix that
+//! could only exist under version skew or silent corruption).
+//!
+//! [`WrenServer::recover`]: crate::WrenServer::recover
+//! [`checkpoint::prune_generations`]: wren_storage::checkpoint::prune_generations
+
+use std::path::{Path, PathBuf};
+use wren_clock::Timestamp;
+use wren_protocol::codec::{size, CodecError, Dec, Enc};
+use wren_protocol::{Key, RepTx, TxId, Value};
+use wren_storage::checkpoint;
+use wren_storage::{FsyncPolicy, Wal};
+
+const OP_PREPARED: u8 = 1;
+const OP_DECIDED: u8 = 2;
+const OP_COMMIT: u8 = 3;
+const OP_APPLIED: u8 = 4;
+const OP_REMOTE_BATCH: u8 = 5;
+const OP_STABLE: u8 = 6;
+const OP_CATCH_UP_DONE: u8 = 7;
+
+/// One WAL record: everything a partition must remember across a crash
+/// that is not yet covered by a checkpoint.
+///
+/// The record set follows the server's write path: a cohort logs
+/// [`WalOp::Prepared`] before its `PrepareResp` leaves, a coordinator
+/// logs [`WalOp::Decided`] before fanning out `Commit`/`CommitResp`, a
+/// cohort logs [`WalOp::Commit`] when the decision arrives, the
+/// replication tick logs one [`WalOp::Applied`] per data-bearing tick
+/// and one [`WalOp::RemoteBatch`] per incoming `apply_batch`, and BiST
+/// advances log [`WalOp::Stable`]. Group commit makes a batch of these
+/// durable before the messages they justify are dispatched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// A transaction entered the prepared list (Algorithm 3 line 18).
+    Prepared {
+        /// The transaction.
+        tx: TxId,
+        /// The proposed commit timestamp.
+        pt: Timestamp,
+        /// The snapshot's remote component (becomes the items' `rdt`).
+        rst: Timestamp,
+        /// Writes owned by this cohort.
+        writes: Vec<(Key, Value)>,
+    },
+    /// This server, as coordinator, fixed a transaction's outcome.
+    /// Logged before any `Commit`/`CommitResp` leaves, so a recovered
+    /// cohort can always learn the decision by re-asking.
+    Decided {
+        /// The transaction.
+        tx: TxId,
+        /// The decided commit timestamp (never zero).
+        ct: Timestamp,
+    },
+    /// A prepared transaction moved to the committed list (`ct` nonzero)
+    /// or was aborted (`ct` zero).
+    Commit {
+        /// The transaction.
+        tx: TxId,
+        /// Final commit timestamp, or zero for an abort.
+        ct: Timestamp,
+    },
+    /// A replication tick applied every committed transaction with
+    /// `ct ≤ ub` to the store and advanced the local version clock.
+    Applied {
+        /// The new local version clock.
+        ub: Timestamp,
+    },
+    /// One incoming replication batch was applied (Algorithm 4 lines
+    /// 22–26); one record per `apply_batch`, the PR-2 batching unit.
+    RemoteBatch {
+        /// Origin DC index.
+        src: u8,
+        /// Whether the version-vector entry for `src` was raised to
+        /// `ct` (false during a catch-up window, where the vector only
+        /// advances at [`WalOp::CatchUpDone`]).
+        raise: bool,
+        /// The batch's shared commit timestamp.
+        ct: Timestamp,
+        /// The transactions, exactly as received.
+        txs: Vec<RepTx>,
+    },
+    /// The published stable snapshot advanced (logged at gossip ticks,
+    /// only when changed).
+    Stable {
+        /// Local stable time.
+        lst: Timestamp,
+        /// Remote stable time.
+        rst: Timestamp,
+    },
+    /// A post-restart catch-up from DC `src` completed covering
+    /// everything up to `t`.
+    CatchUpDone {
+        /// Origin DC index.
+        src: u8,
+        /// The sibling's version clock at the end of its re-scan.
+        t: Timestamp,
+    },
+}
+
+pub(crate) fn put_writes(e: &mut Enc, writes: &[(Key, Value)]) {
+    e.put_len(writes.len());
+    for (k, v) in writes {
+        e.put_key(*k);
+        e.put_value(v);
+    }
+}
+
+pub(crate) fn get_writes(d: &mut Dec<'_>) -> Result<Vec<(Key, Value)>, CodecError> {
+    let n = d.get_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((d.get_key()?, d.get_value()?));
+    }
+    Ok(out)
+}
+
+fn writes_size(writes: &[(Key, Value)]) -> usize {
+    2 + writes.iter().map(size::write_pair).sum::<usize>()
+}
+
+impl WalOp {
+    /// Exact encoded size in bytes (same discipline as
+    /// `WrenMsg::wire_size`; the encoder preallocates exactly this).
+    pub fn wire_size(&self) -> usize {
+        1 + match self {
+            WalOp::Prepared { writes, .. } => 8 + 8 + 8 + writes_size(writes),
+            WalOp::Decided { .. } => 16,
+            WalOp::Commit { .. } => 16,
+            WalOp::Applied { .. } => 8,
+            WalOp::RemoteBatch { txs, .. } => {
+                1 + 1
+                    + 8
+                    + 2
+                    + txs
+                        .iter()
+                        .map(|t| 8 + 8 + writes_size(&t.writes))
+                        .sum::<usize>()
+            }
+            WalOp::Stable { .. } => 16,
+            WalOp::CatchUpDone { .. } => 9,
+        }
+    }
+
+    /// Appends the encoding to `e`.
+    pub fn encode_into(&self, e: &mut Enc) {
+        match self {
+            WalOp::Prepared { tx, pt, rst, writes } => {
+                e.put_u8(OP_PREPARED);
+                e.put_tx(*tx);
+                e.put_ts(*pt);
+                e.put_ts(*rst);
+                put_writes(e, writes);
+            }
+            WalOp::Decided { tx, ct } => {
+                e.put_u8(OP_DECIDED);
+                e.put_tx(*tx);
+                e.put_ts(*ct);
+            }
+            WalOp::Commit { tx, ct } => {
+                e.put_u8(OP_COMMIT);
+                e.put_tx(*tx);
+                e.put_ts(*ct);
+            }
+            WalOp::Applied { ub } => {
+                e.put_u8(OP_APPLIED);
+                e.put_ts(*ub);
+            }
+            WalOp::RemoteBatch { src, raise, ct, txs } => {
+                e.put_u8(OP_REMOTE_BATCH);
+                e.put_u8(*src);
+                e.put_u8(u8::from(*raise));
+                e.put_ts(*ct);
+                e.put_len(txs.len());
+                for t in txs {
+                    e.put_tx(t.tx);
+                    e.put_ts(t.rst);
+                    put_writes(e, &t.writes);
+                }
+            }
+            WalOp::Stable { lst, rst } => {
+                e.put_u8(OP_STABLE);
+                e.put_ts(*lst);
+                e.put_ts(*rst);
+            }
+            WalOp::CatchUpDone { src, t } => {
+                e.put_u8(OP_CATCH_UP_DONE);
+                e.put_u8(*src);
+                e.put_ts(*t);
+            }
+        }
+    }
+
+    /// Encodes to a standalone record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(self.wire_size());
+        self.encode_into(&mut e);
+        e.finish().to_vec()
+    }
+
+    /// Decodes a record payload previously produced by [`WalOp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated input, unknown tags or
+    /// trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(bytes);
+        let op = match d.get_u8()? {
+            OP_PREPARED => WalOp::Prepared {
+                tx: d.get_tx()?,
+                pt: d.get_ts()?,
+                rst: d.get_ts()?,
+                writes: get_writes(&mut d)?,
+            },
+            OP_DECIDED => WalOp::Decided {
+                tx: d.get_tx()?,
+                ct: d.get_ts()?,
+            },
+            OP_COMMIT => WalOp::Commit {
+                tx: d.get_tx()?,
+                ct: d.get_ts()?,
+            },
+            OP_APPLIED => WalOp::Applied { ub: d.get_ts()? },
+            OP_REMOTE_BATCH => {
+                let src = d.get_u8()?;
+                let raise = d.get_u8()? != 0;
+                let ct = d.get_ts()?;
+                let n = d.get_len()?;
+                let mut txs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    txs.push(RepTx {
+                        tx: d.get_tx()?,
+                        rst: d.get_ts()?,
+                        writes: get_writes(&mut d)?,
+                    });
+                }
+                WalOp::RemoteBatch { src, raise, ct, txs }
+            }
+            OP_STABLE => WalOp::Stable {
+                lst: d.get_ts()?,
+                rst: d.get_ts()?,
+            },
+            OP_CATCH_UP_DONE => WalOp::CatchUpDone {
+                src: d.get_u8()?,
+                t: d.get_ts()?,
+            },
+            tag => return Err(CodecError::BadTag(tag)),
+        };
+        d.expect_end()?;
+        Ok(op)
+    }
+}
+
+/// A partition's durability directory: the active WAL generation plus
+/// the checkpoint machinery, with typed append/replay.
+pub struct DurableLog {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    /// Active generation: appends go to `wal.{seq}`; `ckpt.{seq}` (if
+    /// present) captured all earlier state.
+    seq: u64,
+    wal: Wal,
+    /// Records appended over this log's lifetime (reporting).
+    records: u64,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("dir", &self.dir)
+            .field("seq", &self.seq)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`DurableLog::open`] recovered from disk.
+pub struct DurableBoot {
+    /// The log, positioned to append after the last valid record.
+    pub log: DurableLog,
+    /// The newest valid checkpoint payload, if any generation had one.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Every decodable record after that checkpoint, oldest first.
+    pub ops: Vec<WalOp>,
+}
+
+impl DurableLog {
+    /// Opens (or creates) the durability directory: loads the newest
+    /// valid checkpoint, replays every WAL generation after it, and
+    /// opens the newest generation for appending (truncating any torn
+    /// tail).
+    pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<DurableBoot> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let ckpt = checkpoint::load_latest(&dir);
+        let base = ckpt.as_ref().map(|(seq, _)| *seq).unwrap_or(0);
+        let newest_wal = wal_generations(&dir).into_iter().max().unwrap_or(base).max(base);
+
+        let mut ops = Vec::new();
+        // Replay sealed generations [base, newest) read-only…
+        for seq in base..newest_wal {
+            let log = wren_storage::wal::read_records(checkpoint::wal_path(&dir, seq))?;
+            decode_ops(&log.records, &mut ops);
+        }
+        // …and the active generation with torn-tail truncation.
+        let (wal, records) =
+            Wal::open_for_append(checkpoint::wal_path(&dir, newest_wal), policy)?;
+        decode_ops(&records, &mut ops);
+
+        Ok(DurableBoot {
+            log: DurableLog {
+                dir,
+                policy,
+                seq: newest_wal,
+                wal,
+                records: 0,
+            },
+            checkpoint: ckpt.map(|(_, payload)| payload),
+            ops,
+        })
+    }
+
+    /// Appends one typed record (buffered until the next commit point).
+    pub fn append(&mut self, op: &WalOp) {
+        let mut e = Enc::with_capacity(op.wire_size());
+        op.encode_into(&mut e);
+        self.wal.append(&e.finish());
+        self.records += 1;
+    }
+
+    /// Appends a [`WalOp::Prepared`] record without cloning the write
+    /// set (the hot path: one record per cohort prepare).
+    pub fn log_prepared(&mut self, tx: TxId, pt: Timestamp, rst: Timestamp, writes: &[(Key, Value)]) {
+        let mut e = Enc::with_capacity(1 + 24 + writes_size(writes));
+        e.put_u8(OP_PREPARED);
+        e.put_tx(tx);
+        e.put_ts(pt);
+        e.put_ts(rst);
+        put_writes(&mut e, writes);
+        self.wal.append(&e.finish());
+        self.records += 1;
+    }
+
+    /// Appends a [`WalOp::RemoteBatch`] record without cloning the
+    /// batch (one record per incoming `apply_batch`).
+    pub fn log_remote_batch(&mut self, src: u8, raise: bool, ct: Timestamp, txs: &[RepTx]) {
+        let size = 1
+            + 1
+            + 1
+            + 8
+            + 2
+            + txs
+                .iter()
+                .map(|t| 16 + writes_size(&t.writes))
+                .sum::<usize>();
+        let mut e = Enc::with_capacity(size);
+        e.put_u8(OP_REMOTE_BATCH);
+        e.put_u8(src);
+        e.put_u8(u8::from(raise));
+        e.put_ts(ct);
+        e.put_len(txs.len());
+        for t in txs {
+            e.put_tx(t.tx);
+            e.put_ts(t.rst);
+            put_writes(&mut e, &t.writes);
+        }
+        self.wal.append(&e.finish());
+        self.records += 1;
+    }
+
+    /// Marks a commit point ([`Wal::commit_point`]): the fsync policy
+    /// decides whether the buffered records become durable now.
+    pub fn commit_point(&mut self) -> std::io::Result<()> {
+        self.wal.commit_point()
+    }
+
+    /// Flushes and fsyncs everything regardless of policy (graceful
+    /// stop).
+    pub fn seal(&mut self) -> std::io::Result<()> {
+        self.wal.seal()
+    }
+
+    /// Writes checkpoint generation `seq + 1` with `payload`, rotates to
+    /// a fresh `wal.{seq + 1}`, and prunes generations older than `seq`
+    /// (the previous generation stays as the corruption fallback).
+    pub fn rotate(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        // Seal the old generation first: the checkpoint claims to cover
+        // everything in it.
+        self.wal.seal()?;
+        let next = self.seq + 1;
+        checkpoint::write_checkpoint(&self.dir, next, payload)?;
+        self.wal = Wal::create(checkpoint::wal_path(&self.dir, next), self.policy)?;
+        self.seq = next;
+        checkpoint::prune_generations(&self.dir, next.saturating_sub(1));
+        Ok(())
+    }
+
+    /// The active generation number.
+    pub fn generation(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records appended through this handle.
+    pub fn records_logged(&self) -> u64 {
+        self.records
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Decodes records into ops, stopping at the first undecodable record
+/// (replay totality: a suffix that no longer parses is treated exactly
+/// like a torn tail).
+fn decode_ops(records: &[Vec<u8>], ops: &mut Vec<WalOp>) {
+    for rec in records {
+        match WalOp::decode(rec) {
+            Ok(op) => ops.push(op),
+            Err(_) => break,
+        }
+    }
+}
+
+/// WAL generation numbers present in `dir` (unordered).
+fn wal_generations(dir: &Path) -> Vec<u64> {
+    let mut seqs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return seqs };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name.strip_prefix("wal.") {
+            if let Ok(seq) = seq.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wren_protocol::ServerId;
+    use wren_storage::FsyncPolicy;
+
+    fn sample_ops() -> Vec<WalOp> {
+        let tx = TxId::new(ServerId::new(1, 2), 77);
+        vec![
+            WalOp::Prepared {
+                tx,
+                pt: Timestamp::from_parts(10, 1),
+                rst: Timestamp::from_micros(5),
+                writes: vec![(Key(9), Bytes::from_static(b"payload"))],
+            },
+            WalOp::Decided {
+                tx,
+                ct: Timestamp::from_micros(12),
+            },
+            WalOp::Commit {
+                tx,
+                ct: Timestamp::from_micros(12),
+            },
+            WalOp::Commit {
+                tx,
+                ct: Timestamp::ZERO,
+            },
+            WalOp::Applied {
+                ub: Timestamp::from_micros(15),
+            },
+            WalOp::RemoteBatch {
+                src: 1,
+                raise: true,
+                ct: Timestamp::from_micros(20),
+                txs: vec![RepTx {
+                    tx,
+                    rst: Timestamp::from_micros(3),
+                    writes: vec![(Key(1), Bytes::new()), (Key(2), Bytes::from_static(b"x"))],
+                }],
+            },
+            WalOp::Stable {
+                lst: Timestamp::from_micros(30),
+                rst: Timestamp::from_micros(25),
+            },
+            WalOp::CatchUpDone {
+                src: 2,
+                t: Timestamp::from_micros(40),
+            },
+        ]
+    }
+
+    #[test]
+    fn ops_round_trip_and_size_exact() {
+        for op in sample_ops() {
+            let bytes = op.encode();
+            assert_eq!(bytes.len(), op.wire_size(), "size mismatch for {op:?}");
+            assert_eq!(WalOp::decode(&bytes).expect("decodes"), op);
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_trailing_bytes_rejected() {
+        assert!(WalOp::decode(&[99]).is_err());
+        let mut bytes = WalOp::Applied { ub: Timestamp::ZERO }.encode();
+        bytes.push(0);
+        assert!(WalOp::decode(&bytes).is_err());
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wren-durable-log-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn reference_log_methods_match_owned_encoding() {
+        let dir = tmp_dir("refenc");
+        let mut boot = DurableLog::open(&dir, FsyncPolicy::Off).unwrap();
+        let ops = sample_ops();
+        let (WalOp::Prepared { tx, pt, rst, writes }, WalOp::RemoteBatch { src, raise, ct, txs }) =
+            (&ops[0], &ops[5])
+        else {
+            panic!("sample op order changed");
+        };
+        boot.log.log_prepared(*tx, *pt, *rst, writes);
+        boot.log.log_remote_batch(*src, *raise, *ct, txs);
+        boot.log.seal().unwrap();
+        drop(boot);
+        let boot = DurableLog::open(&dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(boot.ops, vec![ops[0].clone(), ops[5].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn log_survives_seal_and_reopen() {
+        let dir = tmp_dir("reopen");
+        let mut boot = DurableLog::open(&dir, FsyncPolicy::Off).unwrap();
+        assert!(boot.ops.is_empty());
+        for op in sample_ops() {
+            boot.log.append(&op);
+        }
+        boot.log.seal().unwrap();
+        drop(boot);
+        let boot = DurableLog::open(&dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(boot.ops, sample_ops());
+        assert!(boot.checkpoint.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_pairs_checkpoint_with_fresh_wal() {
+        let dir = tmp_dir("rotate");
+        let mut boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        boot.log.append(&sample_ops()[0]);
+        boot.log.commit_point().unwrap();
+        boot.log.rotate(b"state-at-gen-1").unwrap();
+        assert_eq!(boot.log.generation(), 1);
+        boot.log.append(&sample_ops()[4]);
+        boot.log.commit_point().unwrap();
+        drop(boot);
+
+        let boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(boot.checkpoint.as_deref(), Some(&b"state-at-gen-1"[..]));
+        // Only the post-checkpoint op replays.
+        assert_eq!(boot.ops, vec![sample_ops()[4].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_previous_generation() {
+        let dir = tmp_dir("fallback");
+        let mut boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        boot.log.rotate(b"gen1").unwrap();
+        boot.log.append(&sample_ops()[1]);
+        boot.log.commit_point().unwrap();
+        boot.log.rotate(b"gen2").unwrap();
+        boot.log.append(&sample_ops()[2]);
+        boot.log.commit_point().unwrap();
+        drop(boot);
+        // Corrupt ckpt.2's payload.
+        let p = checkpoint::checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0x10;
+        std::fs::write(&p, &bytes).unwrap();
+
+        let boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        // Falls back to gen1 and replays wal.1 (the Decided) + wal.2
+        // (the Commit) to reach the same state.
+        assert_eq!(boot.checkpoint.as_deref(), Some(&b"gen1"[..]));
+        assert_eq!(boot.ops, vec![sample_ops()[1].clone(), sample_ops()[2].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

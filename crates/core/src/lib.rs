@@ -55,10 +55,13 @@
 
 mod client;
 mod config;
+pub mod durability;
 mod server;
 mod visibility;
 
 pub use client::{ClientStats, ReadOutcome, WrenClient};
 pub use config::WrenConfig;
+pub use durability::{DurableBoot, DurableLog, WalOp};
+pub use wren_storage::FsyncPolicy;
 pub use server::{ServerStats, SliceReader, WrenServer};
 pub use visibility::VisibilitySampler;

@@ -1,13 +1,16 @@
+use crate::durability::{get_writes, put_writes, DurableLog, WalOp};
 use crate::{VisibilitySampler, WrenConfig};
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
+use wren_protocol::codec::{CodecError, Dec, Enc};
 use wren_protocol::{
-    ClientId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId, Value,
-    WrenMsg, WrenVersion,
+    ClientId, DcId, Dest, Key, Outgoing, PartitionId, RepTx, ReplicateBatch, ServerId, TxId,
+    Value, WrenMsg, WrenVersion,
 };
-use wren_storage::{ConcurrentShardedStore, SnapshotBound};
+use wren_storage::{ConcurrentShardedStore, FsyncPolicy, SnapshotBound};
 
 /// Counters exposed by a server for test assertions and reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -30,6 +33,10 @@ pub struct ServerStats {
     pub heartbeats_sent: u64,
     /// Versions removed by garbage collection.
     pub gc_versions_removed: u64,
+    /// WAL records appended (0 unless the server runs durable).
+    pub wal_records_logged: u64,
+    /// Checkpoints written (0 unless the server runs durable).
+    pub checkpoints_written: u64,
 }
 
 /// The read-only slice path's counters, shared between the server and its
@@ -134,6 +141,9 @@ struct TxCtx {
     pending_prepares: usize,
     max_pt: Timestamp,
     cohorts: Vec<PartitionId>,
+    /// Cohorts whose network vote already arrived, so a recovered
+    /// cohort's periodic re-send cannot double-count.
+    responded: Vec<PartitionId>,
 }
 
 /// A prepared transaction awaiting its commit message (the paper's
@@ -143,6 +153,9 @@ struct PreparedTx {
     pt: Timestamp,
     rst: Timestamp,
     writes: Vec<(Key, Value)>,
+    /// When the vote was (last) sent, for the durable-mode re-send of
+    /// `PrepareResp` after a coordinator restart.
+    since: u64,
 }
 
 /// A committed transaction awaiting application (the paper's `Committed`
@@ -208,6 +221,22 @@ pub struct WrenServer {
     /// Scratch buffer for flattening a replication batch before the
     /// store-level batch apply, reused across batches.
     scratch_apply: Vec<(Key, WrenVersion)>,
+    /// The durability log, when this server runs durable (see the
+    /// [`durability`](crate::durability) module docs for the layering).
+    log: Option<DurableLog>,
+    /// Commit decisions made here as coordinator (logged durably before
+    /// any `Commit` leaves), kept so a recovered cohort can re-learn an
+    /// outcome by re-sending its vote. Pruned once the LST passes `ct`:
+    /// a cohort still waiting would pin its `ub` — hence the DC's LST —
+    /// below `ct`, so LST > ct proves every cohort committed.
+    decided: HashMap<TxId, Timestamp>,
+    /// Per-DC flags: `true` while a post-restart catch-up from that
+    /// DC's sibling is in flight (its heartbeats are ignored and its
+    /// version-vector entry frozen until `CatchUpDone`).
+    awaiting: Vec<bool>,
+    /// The last `(lst, rst)` written to the WAL, so stable advances are
+    /// logged only when they change.
+    last_logged_stable: (Timestamp, Timestamp),
 }
 
 impl WrenServer {
@@ -253,6 +282,10 @@ impl WrenServer {
             scratch_reads: vec![Vec::new(); n],
             scratch_writes: vec![Vec::new(); n],
             scratch_apply: Vec::new(),
+            log: None,
+            decided: HashMap::new(),
+            awaiting: vec![false; cfg.n_dcs as usize],
+            last_logged_stable: (Timestamp::ZERO, Timestamp::ZERO),
         }
     }
 
@@ -301,6 +334,7 @@ impl WrenServer {
         let mut stats = self.stats;
         stats.slices_served = self.read_stats.slices_served.load(Ordering::Relaxed);
         stats.keys_read = self.read_stats.keys_read.load(Ordering::Relaxed);
+        stats.wal_records_logged = self.log.as_ref().map_or(0, |l| l.records_logged());
         stats
     }
 
@@ -404,7 +438,13 @@ impl WrenServer {
                 let pt = self.prepare(tx, lt, rt, ht, writes, now_micros);
                 out.push(Outgoing::to_server(coord, WrenMsg::PrepareResp { tx, pt }));
             }
-            WrenMsg::PrepareResp { tx, pt } => self.on_prepare_resp(tx, pt, now_micros, out),
+            WrenMsg::PrepareResp { tx, pt } => {
+                let Dest::Server(cohort) = from else {
+                    debug_assert!(false, "PrepareResp must come from a server");
+                    return;
+                };
+                self.on_prepare_resp(tx, pt, Some(cohort), now_micros, out)
+            }
             WrenMsg::Commit { tx, ct } => self.commit(tx, ct, now_micros),
             WrenMsg::Replicate { batch } => {
                 let Dest::Server(sibling) = from else {
@@ -418,7 +458,13 @@ impl WrenServer {
                     debug_assert!(false, "Heartbeat must come from a server");
                     return;
                 };
-                self.vv.raise(sibling.dc.index(), t);
+                // During a catch-up window that DC's heartbeats are
+                // ignored: `t` vouches for versions that may have died
+                // in the crashed process's inbox and are still being
+                // re-shipped; the vector entry unfreezes at CatchUpDone.
+                if !self.awaiting[sibling.dc.index()] {
+                    self.vv.raise(sibling.dc.index(), t);
+                }
             }
             WrenMsg::StableGossip { local, remote } => {
                 let Dest::Server(peer) = from else {
@@ -453,6 +499,20 @@ impl WrenServer {
                     return;
                 };
                 self.gc_contrib[peer.partition.index()] = (oldest_lt, oldest_rt);
+            }
+            WrenMsg::CatchUpReq { from: horizon } => {
+                let Dest::Server(requester) = from else {
+                    debug_assert!(false, "CatchUpReq must come from a server");
+                    return;
+                };
+                self.on_catch_up_req(requester, horizon, out);
+            }
+            WrenMsg::CatchUpDone { t } => {
+                let Dest::Server(sibling) = from else {
+                    debug_assert!(false, "CatchUpDone must come from a server");
+                    return;
+                };
+                self.on_catch_up_done(sibling, t);
             }
             // Responses flowing to clients never reach a server.
             WrenMsg::StartTxResp { .. }
@@ -491,6 +551,7 @@ impl WrenServer {
                 pending_prepares: 0,
                 max_pt: Timestamp::ZERO,
                 cohorts: Vec::new(),
+                responded: Vec::new(),
             },
         );
         out.push(Outgoing::to_client(
@@ -661,6 +722,7 @@ impl WrenServer {
             ctx.pending_prepares = cohorts.len();
             ctx.cohorts = cohorts;
             ctx.max_pt = Timestamp::ZERO;
+            ctx.responded.clear();
         }
 
         let mut local_writes = Vec::new();
@@ -687,7 +749,7 @@ impl WrenServer {
         self.scratch_writes = groups;
         if has_local {
             let pt = self.prepare(tx, lt, rt, ht, local_writes, now_micros);
-            self.on_prepare_resp(tx, pt, now_micros, out);
+            self.on_prepare_resp(tx, pt, None, now_micros, out);
         }
     }
 
@@ -705,31 +767,57 @@ impl WrenServer {
         let phys = self.clock.now_micros(now_micros);
         let pt = self.hlc.tick_at_least(phys, ht);
         self.raise_stable(lt, rt, now_micros);
+        // The Prepared record must be durable before the vote escapes
+        // (the engine's group-commit point sits between handle() and
+        // dispatch), or a recovered cohort could disown a transaction
+        // the coordinator already committed.
+        if let Some(log) = &mut self.log {
+            log.log_prepared(tx, pt, rt, &writes);
+        }
         self.prepared.insert(
             tx,
             PreparedTx {
                 pt,
                 rst: rt,
                 writes,
+                since: now_micros,
             },
         );
         pt
     }
 
-    /// Gathers prepare responses; on the last one, commits everywhere and
-    /// answers the client (Algorithm 2 lines 25–28).
+    /// Gathers prepare responses; on the last one, fixes the outcome
+    /// (durably, when a log is attached), commits everywhere and answers
+    /// the client (Algorithm 2 lines 25–28).
+    ///
+    /// `cohort` is `Some` for votes arriving over the network and `None`
+    /// for the coordinator's own in-line prepare. An unknown transaction
+    /// with a named cohort is answered from the decision map: after a
+    /// coordinator restart, recovered cohorts re-send their votes, and
+    /// the decision record (written before any `Commit` left) — or its
+    /// absence — is the outcome.
     fn on_prepare_resp(
         &mut self,
         tx: TxId,
         pt: Timestamp,
+        cohort: Option<ServerId>,
         now_micros: u64,
         out: &mut Vec<Outgoing<WrenMsg>>,
     ) {
         let Some(ctx) = self.tx_ctx.get_mut(&tx) else {
-            // Unknown transaction (stale or forged id over a real
-            // transport): drop.
+            if let Some(cohort) = cohort {
+                let ct = self.decided.get(&tx).copied().unwrap_or(Timestamp::ZERO);
+                out.push(Outgoing::to_server(cohort, WrenMsg::Commit { tx, ct }));
+            }
             return;
         };
+        if let Some(cohort) = cohort {
+            if ctx.responded.contains(&cohort.partition) {
+                // Duplicate vote (cohort-side re-send racing the commit).
+                return;
+            }
+            ctx.responded.push(cohort.partition);
+        }
         ctx.max_pt = ctx.max_pt.max(pt);
         ctx.pending_prepares -= 1;
         if ctx.pending_prepares > 0 {
@@ -739,6 +827,12 @@ impl WrenServer {
         let client = ctx.client;
         let cohorts = std::mem::take(&mut ctx.cohorts);
         self.tx_ctx.remove(&tx);
+        // Fix the outcome before any Commit message leaves, so a cohort
+        // that asks again always gets the same answer.
+        self.decided.insert(tx, ct);
+        if let Some(log) = &mut self.log {
+            log.append(&WalOp::Decided { tx, ct });
+        }
         for partition in cohorts {
             if partition == self.id.partition {
                 self.commit(tx, ct, now_micros);
@@ -754,15 +848,33 @@ impl WrenServer {
     }
 
     /// Algorithm 3 lines 20–24: move a transaction from the pending to the
-    /// commit list.
+    /// commit list — or drop it when `ct` is zero (the 2PC abort verdict a
+    /// restarted coordinator gives for transactions it never decided).
     fn commit(&mut self, tx: TxId, ct: Timestamp, now_micros: u64) {
+        if ct.is_zero() {
+            // Abort: release the prepared entry so it stops pinning this
+            // partition's ub (and with it the DC's LST) forever.
+            if self.prepared.remove(&tx).is_some() {
+                if let Some(log) = &mut self.log {
+                    log.append(&WalOp::Commit {
+                        tx,
+                        ct: Timestamp::ZERO,
+                    });
+                }
+            }
+            return;
+        }
         let phys = self.clock.now_micros(now_micros);
         self.hlc.merge(phys, ct);
         let Some(prepared) = self.prepared.remove(&tx) else {
-            // Unknown/unprepared transaction (stale or forged id
-            // over a real transport): drop.
+            // Unknown/unprepared transaction (stale or forged id over a
+            // real transport, or a duplicate Commit after a vote
+            // re-send): drop.
             return;
         };
+        if let Some(log) = &mut self.log {
+            log.append(&WalOp::Commit { tx, ct });
+        }
         self.committed.insert(
             (ct, tx),
             CommittedTx {
@@ -783,6 +895,35 @@ impl WrenServer {
     fn on_replicate(&mut self, sibling: ServerId, batch: ReplicateBatch) {
         let src = sibling.dc;
         let ct = batch.ct;
+        let catching_up = self.awaiting[src.index()];
+        if let Some(log) = &mut self.log {
+            log.log_remote_batch(src.0, !catching_up, ct, &batch.txs);
+        }
+        if catching_up {
+            // Catch-up re-delivery: versions may already be present
+            // (applied and logged before the crash), so the idempotent
+            // insert dedups on the LWW order key. The vector entry for
+            // `src` stays frozen — these batches sit *below* the
+            // pre-crash `VV[src]`, which only advances again at
+            // CatchUpDone.
+            let mut applied = 0u64;
+            for rep in batch.txs {
+                for (k, v) in rep.writes {
+                    let version = WrenVersion {
+                        value: v,
+                        ut: ct,
+                        rdt: rep.rst,
+                        tx: rep.tx,
+                        sr: src,
+                    };
+                    if self.store.insert_if_new(k, version) {
+                        applied += 1;
+                    }
+                }
+            }
+            self.stats.remote_versions_applied += applied;
+            return;
+        }
         let mut items = std::mem::take(&mut self.scratch_apply);
         debug_assert!(items.is_empty());
         for rep in batch.txs {
@@ -883,6 +1024,13 @@ impl WrenServer {
             self.ship_batch(batch_ct, batch, out);
         }
         self.vv.set(self.dc_index(), ub);
+        // One Applied record per data-bearing tick: replay re-installs
+        // the covered transactions and re-raises the version clock. The
+        // heartbeat path above intentionally logs nothing — its ub
+        // carries no data, and the clock re-advances after recovery.
+        if let Some(log) = &mut self.log {
+            log.append(&WalOp::Applied { ub });
+        }
         applied
     }
 
@@ -914,6 +1062,7 @@ impl WrenServer {
     /// and the root's result cascades back down, reducing the per-round
     /// message count from N(N−1) to 2(N−1).
     pub fn on_gossip_tick(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
+        self.durability_tick(now_micros, out);
         let local = self.version_clock();
         let remote = self.vv.min_except(self.dc_index());
         self.gossip_contrib[self.id.partition.index()] = (local, remote);
@@ -1028,5 +1177,458 @@ impl WrenServer {
         let removed = self.store.collect(&oldest);
         self.stats.gc_versions_removed += removed as u64;
         removed
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: recovery, checkpoints and crash-resolution plumbing.
+    // See the `durability` module docs for the WAL → checkpoint →
+    // recovery layering; the engine in `wren-rt` drives the commit
+    // points and checkpoint ticks.
+    // ------------------------------------------------------------------
+
+    /// Rebuilds the partition from its durability directory and attaches
+    /// the log: loads the newest valid checkpoint, replays every WAL
+    /// record after it, resolves transactions this server coordinated
+    /// whose outcome is in doubt, and restores the causal cut — all
+    /// before the server accepts traffic. An empty or missing directory
+    /// yields a fresh durable server.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a checkpoint whose CRC validates
+    /// but whose typed payload no longer decodes.
+    pub fn recover(
+        id: ServerId,
+        cfg: WrenConfig,
+        clock: SkewedClock,
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let boot = DurableLog::open(dir, policy)?;
+        let mut s = WrenServer::new(id, cfg, clock);
+        if let Some(payload) = &boot.checkpoint {
+            s.apply_checkpoint(payload).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("checkpoint: {e}"))
+            })?;
+        }
+        let mut max_seen = s.hlc.current();
+        let mut max_own_seq = s.next_seq;
+        for op in &boot.ops {
+            s.replay(op, &mut max_seen, &mut max_own_seq);
+        }
+        // Resolve transactions this server coordinated that are still
+        // prepared locally. The decision record was durable before any
+        // Commit left, so: a decision says commit; no decision says the
+        // decision point was never reached — abort, releasing the pin
+        // on ub. Either way the resolution is deterministic, so it need
+        // not be re-logged (a second crash replays to the same point).
+        let own_prepared: Vec<TxId> = s
+            .prepared
+            .keys()
+            .filter(|tx| tx.dc() == id.dc && tx.partition() == id.partition)
+            .copied()
+            .collect();
+        for tx in own_prepared {
+            match s.decided.get(&tx).copied() {
+                Some(ct) => {
+                    s.replay(&WalOp::Commit { tx, ct }, &mut max_seen, &mut max_own_seq);
+                }
+                None => {
+                    s.prepared.remove(&tx);
+                }
+            }
+        }
+        // Clock floor: every pt this server issued is ≤ max_seen under
+        // `FsyncPolicy::Always` (the record is durable before the vote
+        // escapes); the one-second jump also absorbs the EveryN/Off
+        // loss window so a reissued proposal cannot order below a
+        // pre-crash one that escaped unlogged.
+        s.hlc = HybridClock::starting_at(Timestamp::from_parts(
+            max_seen.physical_micros() + 1_000_000,
+            0,
+        ));
+        // Never reuse a transaction id: coordinator contexts are
+        // volatile, so ids above the highest logged one may have been
+        // handed out and lost — the margin jumps past them.
+        s.next_seq = max_own_seq + (1 << 20);
+        s.last_logged_stable = s.store.stable();
+        s.log = Some(boot.log);
+        Ok(s)
+    }
+
+    /// Applies one WAL record to the recovering state. `max_seen`
+    /// accumulates every timestamp this server may have issued;
+    /// `max_own_seq` the highest own-coordinated sequence plus one.
+    fn replay(&mut self, op: &WalOp, max_seen: &mut Timestamp, max_own_seq: &mut u64) {
+        match op {
+            WalOp::Prepared { tx, pt, rst, writes } => {
+                *max_seen = (*max_seen).max(*pt);
+                self.note_own_seq(*tx, max_own_seq);
+                self.prepared.insert(
+                    *tx,
+                    PreparedTx {
+                        pt: *pt,
+                        rst: *rst,
+                        writes: writes.clone(),
+                        since: 0,
+                    },
+                );
+            }
+            WalOp::Decided { tx, ct } => {
+                *max_seen = (*max_seen).max(*ct);
+                self.note_own_seq(*tx, max_own_seq);
+                self.decided.insert(*tx, *ct);
+            }
+            WalOp::Commit { tx, ct } => {
+                *max_seen = (*max_seen).max(*ct);
+                self.note_own_seq(*tx, max_own_seq);
+                if ct.is_zero() {
+                    self.prepared.remove(tx);
+                } else if let Some(p) = self.prepared.remove(tx) {
+                    self.committed.insert(
+                        (*ct, *tx),
+                        CommittedTx {
+                            rst: p.rst,
+                            writes: p.writes,
+                        },
+                    );
+                }
+            }
+            WalOp::Applied { ub } => {
+                *max_seen = (*max_seen).max(*ub);
+                let keep = self.committed.split_off(&(ub.successor(), TxId::from_raw(0)));
+                let ready = std::mem::replace(&mut self.committed, keep);
+                for ((ct, tx), ctx) in ready {
+                    for (k, v) in ctx.writes {
+                        self.store.insert_if_new(
+                            k,
+                            WrenVersion {
+                                value: v,
+                                ut: ct,
+                                rdt: ctx.rst,
+                                tx,
+                                sr: self.id.dc,
+                            },
+                        );
+                    }
+                }
+                self.vv.raise(self.dc_index(), *ub);
+            }
+            WalOp::RemoteBatch { src, raise, ct, txs } => {
+                for rep in txs {
+                    for (k, v) in &rep.writes {
+                        self.store.insert_if_new(
+                            *k,
+                            WrenVersion {
+                                value: v.clone(),
+                                ut: *ct,
+                                rdt: rep.rst,
+                                tx: rep.tx,
+                                sr: DcId(*src),
+                            },
+                        );
+                    }
+                }
+                if *raise {
+                    self.vv.raise(DcId(*src).index(), *ct);
+                }
+            }
+            WalOp::Stable { lst, rst } => {
+                self.store.publish_stable(*lst, *rst);
+            }
+            WalOp::CatchUpDone { src, t } => {
+                self.vv.raise(DcId(*src).index(), *t);
+            }
+        }
+    }
+
+    fn note_own_seq(&self, tx: TxId, max_own_seq: &mut u64) {
+        if tx.dc() == self.id.dc && tx.partition() == self.id.partition {
+            *max_own_seq = (*max_own_seq).max(tx.seq() + 1);
+        }
+    }
+
+    /// Serializes the partition's complete durable state: clocks, vector,
+    /// stable cut, 2PC lists, decision map, and the store dumped stripe
+    /// by stripe (each stripe under its read lock, so concurrent read
+    /// workers stall on at most one stripe at a time).
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut e = Enc::with_capacity(1024 + self.store.stats().versions * 48);
+        e.put_vv(&self.vv);
+        e.put_ts(self.hlc.current());
+        let (lst, rst) = self.store.stable();
+        e.put_ts(lst);
+        e.put_ts(rst);
+        e.put_u64(self.next_seq);
+        e.put_u32(self.prepared.len() as u32);
+        for (tx, p) in &self.prepared {
+            e.put_tx(*tx);
+            e.put_ts(p.pt);
+            e.put_ts(p.rst);
+            put_writes(&mut e, &p.writes);
+        }
+        e.put_u32(self.committed.len() as u32);
+        for ((ct, tx), c) in &self.committed {
+            e.put_ts(*ct);
+            e.put_tx(*tx);
+            e.put_ts(c.rst);
+            put_writes(&mut e, &c.writes);
+        }
+        e.put_u32(self.decided.len() as u32);
+        for (tx, ct) in &self.decided {
+            e.put_tx(*tx);
+            e.put_ts(*ct);
+        }
+        e.put_u32(self.store.n_stripes() as u32);
+        for stripe in 0..self.store.n_stripes() {
+            self.store.with_stripe(stripe, |s| {
+                e.put_u32(s.stats().versions as u32);
+                for (key, chain) in s.iter() {
+                    for v in chain.iter() {
+                        e.put_key(*key);
+                        e.put_value(&v.value);
+                        e.put_ts(v.ut);
+                        e.put_ts(v.rdt);
+                        e.put_tx(v.tx);
+                        e.put_dc(v.sr);
+                    }
+                }
+            });
+        }
+        e.finish().to_vec()
+    }
+
+    /// Restores [`encode_checkpoint`](Self::encode_checkpoint) state onto
+    /// a fresh server (recovery only).
+    fn apply_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut d = Dec::new(bytes);
+        self.vv = d.get_vv()?;
+        self.hlc = HybridClock::starting_at(d.get_ts()?);
+        let lst = d.get_ts()?;
+        let rst = d.get_ts()?;
+        self.store.publish_stable(lst, rst);
+        self.next_seq = d.get_u64()?;
+        for _ in 0..d.get_u32()? {
+            let tx = d.get_tx()?;
+            let pt = d.get_ts()?;
+            let p_rst = d.get_ts()?;
+            let writes = get_writes(&mut d)?;
+            self.prepared.insert(
+                tx,
+                PreparedTx {
+                    pt,
+                    rst: p_rst,
+                    writes,
+                    since: 0,
+                },
+            );
+        }
+        for _ in 0..d.get_u32()? {
+            let ct = d.get_ts()?;
+            let tx = d.get_tx()?;
+            let c_rst = d.get_ts()?;
+            let writes = get_writes(&mut d)?;
+            self.committed.insert((ct, tx), CommittedTx { rst: c_rst, writes });
+        }
+        for _ in 0..d.get_u32()? {
+            let tx = d.get_tx()?;
+            let ct = d.get_ts()?;
+            self.decided.insert(tx, ct);
+        }
+        for _ in 0..d.get_u32()? {
+            for _ in 0..d.get_u32()? {
+                let key = d.get_key()?;
+                let value = d.get_value()?;
+                let ut = d.get_ts()?;
+                let rdt = d.get_ts()?;
+                let tx = d.get_tx()?;
+                let sr = d.get_dc()?;
+                self.store.insert_if_new(key, WrenVersion { value, ut, rdt, tx, sr });
+            }
+        }
+        d.expect_end()?;
+        Ok(())
+    }
+
+    /// Snapshots the partition into a new checkpoint generation and
+    /// rotates the WAL (no-op without a log). The previous generation is
+    /// retained as the corruption fallback.
+    pub fn write_checkpoint(&mut self) -> std::io::Result<()> {
+        if self.log.is_none() {
+            return Ok(());
+        }
+        let payload = self.encode_checkpoint();
+        self.log.as_mut().expect("checked").rotate(&payload)?;
+        self.stats.checkpoints_written += 1;
+        Ok(())
+    }
+
+    /// Marks a group-commit point: buffered WAL records become durable
+    /// per the fsync policy (no-op without a log). The engine calls this
+    /// after a burst of handled messages, before dispatching the outputs
+    /// those records justify — so nothing ACKed or shipped can outrun
+    /// the log.
+    pub fn log_commit_point(&mut self) -> std::io::Result<()> {
+        match &mut self.log {
+            Some(l) => l.commit_point(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes and fsyncs the WAL regardless of policy (graceful stop).
+    pub fn seal_log(&mut self) -> std::io::Result<()> {
+        match &mut self.log {
+            Some(l) => l.seal(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether a durability log is attached.
+    pub fn is_durable(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Begins post-restart catch-up: asks every sibling to re-ship its
+    /// local transactions above our recovered version-vector entry, and
+    /// freezes that entry (heartbeats included) until the sibling's
+    /// `CatchUpDone` closes the window.
+    pub fn begin_rejoin(&mut self, out: &mut Vec<Outgoing<WrenMsg>>) {
+        for i in 0..self.siblings.len() {
+            let sib = self.siblings[i];
+            self.awaiting[sib.dc.index()] = true;
+            out.push(Outgoing::to_server(
+                sib,
+                WrenMsg::CatchUpReq {
+                    from: self.vv.get(sib.dc.index()),
+                },
+            ));
+        }
+    }
+
+    /// Serves a restarted sibling's catch-up: re-ship every local-origin
+    /// version with `ut > horizon` as ordinary `Replicate` batches (one
+    /// per distinct commit timestamp, chunked), closed by a
+    /// `CatchUpDone` carrying this server's version clock. Every such
+    /// version has `ut ≤ VV[m]` — only applied transactions reach the
+    /// store — so the closing clock covers exactly what was re-sent;
+    /// committed-but-unapplied transactions have `ct > VV[m]` and flow
+    /// through normal replication afterwards.
+    fn on_catch_up_req(
+        &mut self,
+        requester: ServerId,
+        horizon: Timestamp,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let own_dc = self.id.dc;
+        let mut by_tx: BTreeMap<(Timestamp, TxId), RepTx> = BTreeMap::new();
+        for stripe in 0..self.store.n_stripes() {
+            self.store.with_stripe(stripe, |s| {
+                for (key, chain) in s.iter() {
+                    for v in chain.iter() {
+                        if v.sr == own_dc && v.ut > horizon {
+                            by_tx
+                                .entry((v.ut, v.tx))
+                                .or_insert_with(|| RepTx {
+                                    tx: v.tx,
+                                    rst: v.rdt,
+                                    writes: Vec::new(),
+                                })
+                                .writes
+                                .push((*key, v.value.clone()));
+                        }
+                    }
+                }
+            });
+        }
+        const CATCH_UP_CHUNK: usize = 1024;
+        let mut batch: Vec<RepTx> = Vec::new();
+        let mut batch_ct = Timestamp::ZERO;
+        for ((ct, _), rep) in by_tx {
+            if (ct != batch_ct || batch.len() >= CATCH_UP_CHUNK) && !batch.is_empty() {
+                out.push(Outgoing::to_server(
+                    requester,
+                    WrenMsg::Replicate {
+                        batch: ReplicateBatch {
+                            ct: batch_ct,
+                            txs: std::mem::take(&mut batch),
+                        },
+                    },
+                ));
+            }
+            batch_ct = ct;
+            batch.push(rep);
+        }
+        if !batch.is_empty() {
+            out.push(Outgoing::to_server(
+                requester,
+                WrenMsg::Replicate {
+                    batch: ReplicateBatch {
+                        ct: batch_ct,
+                        txs: batch,
+                    },
+                },
+            ));
+        }
+        out.push(Outgoing::to_server(
+            requester,
+            WrenMsg::CatchUpDone {
+                t: self.version_clock(),
+            },
+        ));
+    }
+
+    /// Closes a catch-up window: everything the sibling vouches for (its
+    /// version clock at scan time) is applied, so the frozen vector
+    /// entry may advance again.
+    fn on_catch_up_done(&mut self, sibling: ServerId, t: Timestamp) {
+        let src = sibling.dc;
+        if self.awaiting[src.index()] {
+            self.awaiting[src.index()] = false;
+            if let Some(log) = &mut self.log {
+                log.append(&WalOp::CatchUpDone { src: src.0, t });
+            }
+        }
+        self.vv.raise(src.index(), t);
+    }
+
+    /// Durable-mode periodic work, run at every gossip tick: prune the
+    /// decision map below the LST, re-send votes for transactions
+    /// prepared but undecided for too long (their coordinator — or the
+    /// vote itself — may have died in a crash), and log stable advances.
+    fn durability_tick(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
+        let lst = self.store.lst();
+        self.decided.retain(|_, ct| *ct > lst);
+        if self.log.is_none() {
+            return;
+        }
+        const RESEND_AFTER_MICROS: u64 = 100_000;
+        let own = self.id;
+        let mut resend: Vec<(TxId, Timestamp)> = Vec::new();
+        for (tx, p) in self.prepared.iter_mut() {
+            let coordinated_here = tx.dc() == own.dc && tx.partition() == own.partition;
+            if !coordinated_here && now_micros.saturating_sub(p.since) > RESEND_AFTER_MICROS {
+                p.since = now_micros;
+                resend.push((*tx, p.pt));
+            }
+        }
+        for (tx, pt) in resend {
+            out.push(Outgoing::to_server(
+                ServerId {
+                    dc: tx.dc(),
+                    partition: tx.partition(),
+                },
+                WrenMsg::PrepareResp { tx, pt },
+            ));
+        }
+        let stable = self.store.stable();
+        if stable != self.last_logged_stable {
+            self.last_logged_stable = stable;
+            if let Some(log) = &mut self.log {
+                log.append(&WalOp::Stable {
+                    lst: stable.0,
+                    rst: stable.1,
+                });
+            }
+        }
     }
 }

@@ -136,6 +136,11 @@ impl ServiceModel {
             | WrenMsg::GossipUp { .. }
             | WrenMsg::GossipDown { .. } => self.gossip_recv,
             WrenMsg::GcGossip { .. } => self.gossip_recv,
+            // Crash-recovery catch-up: the request costs a store scan
+            // (priced like a heartbeat here — the simulator never
+            // crashes processes, so these only matter for the runtime),
+            // the close costs a vector touch.
+            WrenMsg::CatchUpReq { .. } | WrenMsg::CatchUpDone { .. } => self.heartbeat,
             // Client-bound messages are handled by (cost-free) client nodes.
             WrenMsg::StartTxResp { .. }
             | WrenMsg::TxReadResp { .. }

@@ -37,7 +37,12 @@ pub const FRAME_HEADER_LEN: usize = 4;
 /// side has the non-panicking [`try_frame_wren`] for transport use —
 /// an oversized message is refused at the sender, mirroring the
 /// receiver's guard, instead of trusting workloads to stay sane.
-pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+///
+/// This is the **one** size-guard constant for length-prefixed byte
+/// containers: it aliases [`wren_storage::MAX_RECORD_LEN`], so a WAL
+/// record and a wire frame share the identical ceiling and both sides
+/// reject an announced length before buffering a byte of payload.
+pub const MAX_FRAME_LEN: usize = wren_storage::MAX_RECORD_LEN;
 
 /// Errors produced while reassembling frames from a byte stream.
 #[derive(Debug, Clone, PartialEq, Eq)]

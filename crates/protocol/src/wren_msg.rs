@@ -157,6 +157,26 @@ pub enum WrenMsg {
         /// The DC-wide remote stable time.
         rst: Timestamp,
     },
+    /// Recovered partition → sibling replica: re-send every transaction
+    /// you originated with update time above `from` (the recovering
+    /// replica's version-vector entry for your DC). The crash-recovery
+    /// extension of Algorithm 4's FIFO replication channel: the sibling
+    /// answers with ordinary `Replicate` batches and closes with
+    /// [`WrenMsg::CatchUpDone`].
+    CatchUpReq {
+        /// Highest update time of the sender's durable state for the
+        /// target's DC.
+        from: Timestamp,
+    },
+    /// Sibling replica → recovered partition: the catch-up re-send is
+    /// complete and covered everything up to `t` (the sibling's version
+    /// clock); the recovering replica may raise its version-vector
+    /// entry to `t` and treat the channel as an ordinary FIFO
+    /// replication stream again.
+    CatchUpDone {
+        /// The sender's version clock at the end of the re-scan.
+        t: Timestamp,
+    },
 }
 
 const TAG_START_REQ: u8 = 0;
@@ -176,6 +196,8 @@ const TAG_STABLE_GOSSIP: u8 = 13;
 const TAG_GC_GOSSIP: u8 = 14;
 const TAG_GOSSIP_UP: u8 = 15;
 const TAG_GOSSIP_DOWN: u8 = 16;
+const TAG_CATCH_UP_REQ: u8 = 17;
+const TAG_CATCH_UP_DONE: u8 = 18;
 
 fn version_size(v: &Option<WrenVersion>) -> usize {
     1 + match v {
@@ -280,6 +302,8 @@ impl WrenMsg {
             WrenMsg::GcGossip { .. } => 16,
             WrenMsg::GossipUp { .. } => 16,
             WrenMsg::GossipDown { .. } => 16,
+            WrenMsg::CatchUpReq { .. } => 8,
+            WrenMsg::CatchUpDone { .. } => 8,
         }
     }
 
@@ -409,6 +433,14 @@ impl WrenMsg {
                 e.put_ts(*lst);
                 e.put_ts(*rst);
             }
+            WrenMsg::CatchUpReq { from } => {
+                e.put_u8(TAG_CATCH_UP_REQ);
+                e.put_ts(*from);
+            }
+            WrenMsg::CatchUpDone { t } => {
+                e.put_u8(TAG_CATCH_UP_DONE);
+                e.put_ts(*t);
+            }
         }
     }
 
@@ -514,6 +546,8 @@ impl WrenMsg {
                 lst: d.get_ts()?,
                 rst: d.get_ts()?,
             },
+            TAG_CATCH_UP_REQ => WrenMsg::CatchUpReq { from: d.get_ts()? },
+            TAG_CATCH_UP_DONE => WrenMsg::CatchUpDone { t: d.get_ts()? },
             tag => return Err(CodecError::BadTag(tag)),
         };
         d.expect_end()?;
@@ -539,7 +573,9 @@ impl Message for WrenMsg {
             | WrenMsg::PrepareReq { .. }
             | WrenMsg::PrepareResp { .. }
             | WrenMsg::Commit { .. } => MsgCategory::IntraDcTransaction,
-            WrenMsg::Replicate { .. } => MsgCategory::Replication,
+            WrenMsg::Replicate { .. }
+            | WrenMsg::CatchUpReq { .. }
+            | WrenMsg::CatchUpDone { .. } => MsgCategory::Replication,
             WrenMsg::Heartbeat { .. } => MsgCategory::Heartbeat,
             WrenMsg::StableGossip { .. }
             | WrenMsg::GossipUp { .. }
@@ -645,6 +681,12 @@ mod tests {
             WrenMsg::GossipDown {
                 lst: Timestamp::from_micros(18),
                 rst: Timestamp::from_micros(19),
+            },
+            WrenMsg::CatchUpReq {
+                from: Timestamp::from_micros(20),
+            },
+            WrenMsg::CatchUpDone {
+                t: Timestamp::from_micros(21),
             },
         ]
     }

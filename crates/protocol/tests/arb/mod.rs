@@ -114,6 +114,8 @@ pub fn arb_wren_msg() -> impl Strategy<Value = WrenMsg> {
             oldest_lt,
             oldest_rt
         }),
+        arb_ts().prop_map(|from| WrenMsg::CatchUpReq { from }),
+        arb_ts().prop_map(|t| WrenMsg::CatchUpDone { t }),
     ]
 }
 

@@ -1,4 +1,4 @@
-use crate::engine::{PartitionEngine, ReadJob};
+use crate::engine::{Durability, PartitionEngine, ReadJob};
 use crate::reactor_fabric::ReactorFabric;
 use crate::tcp::{bind_listeners, spawn_acceptors, TcpFabric};
 use crate::Session;
@@ -6,11 +6,13 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wren_core::{ServerStats, WrenConfig};
 use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
+use wren_core::FsyncPolicy;
 
 /// What travels on a writer thread's inbox.
 pub(crate) enum RtMsg {
@@ -21,8 +23,13 @@ pub(crate) enum RtMsg {
         /// The message itself.
         msg: WrenMsg,
     },
-    /// Stop the writer thread.
+    /// Stop the writer thread gracefully: drain the inbox, flush and
+    /// seal the WAL, then exit.
     Shutdown,
+    /// Crash the writer thread: exit immediately, dropping queued inbox
+    /// messages, undispatched responses and unflushed WAL bytes — the
+    /// in-process stand-in for `kill -9`.
+    Kill,
 }
 
 /// Which thread topology serves the TCP sockets.
@@ -212,6 +219,9 @@ pub struct ClusterBuilder {
     tcp: Option<FabricKind>,
     tcp_client_outbox_bytes: usize,
     reactor_threads: usize,
+    durable_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    checkpoint_interval: Duration,
 }
 
 impl Default for ClusterBuilder {
@@ -228,6 +238,9 @@ impl Default for ClusterBuilder {
             tcp: None,
             tcp_client_outbox_bytes: wren_net::DEFAULT_OUTBOX_BYTES,
             reactor_threads: 2,
+            durable_dir: None,
+            fsync: FsyncPolicy::Always,
+            checkpoint_interval: Duration::from_millis(500),
         }
     }
 }
@@ -343,10 +356,68 @@ impl ClusterBuilder {
         self
     }
 
+    /// Makes every partition durable: each engine keeps a per-partition
+    /// write-ahead log and periodic checkpoints under
+    /// `dir/dc{d}_p{p}/`, replays them on boot, and can therefore
+    /// survive [`Cluster::kill_partition`] /
+    /// [`Cluster::restart_partition`] cycles. The directory is created
+    /// on demand; an existing one is **recovered from**, so pointing
+    /// two live clusters at the same directory is a caller bug.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Group-commit fsync policy for durable clusters (default
+    /// [`FsyncPolicy::Always`]: an acknowledged write is on disk before
+    /// the acknowledgement leaves the partition). Ignored without
+    /// [`Self::durable`].
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// How often each durable partition rotates its WAL behind a fresh
+    /// checkpoint (default 500 ms; zero disables rotation, leaving one
+    /// ever-growing log generation). Ignored without [`Self::durable`].
+    pub fn checkpoint_interval(mut self, d: Duration) -> Self {
+        self.checkpoint_interval = d;
+        self
+    }
+
     /// Spawns the server threads and returns the running cluster.
     pub fn build(self) -> Cluster {
         Cluster::start(self)
     }
+}
+
+/// Tick intervals an engine launched under `cfg` runs with.
+fn ticks_of(cfg: &ClusterBuilder) -> crate::engine::Ticks {
+    (
+        cfg.replication_tick,
+        cfg.gossip_tick,
+        if cfg.gc_tick.is_zero() {
+            None
+        } else {
+            Some(cfg.gc_tick)
+        },
+        // Checkpoint rotation only makes sense with a log to rotate.
+        cfg.durable_dir
+            .as_ref()
+            .filter(|_| !cfg.checkpoint_interval.is_zero())
+            .map(|_| cfg.checkpoint_interval),
+    )
+}
+
+/// The durability opening for partition `id` under `cfg`, if any:
+/// every partition logs into its own subdirectory of the cluster's
+/// durability root.
+fn durability_of(cfg: &ClusterBuilder, id: ServerId, rejoin: bool) -> Option<Durability> {
+    cfg.durable_dir.as_ref().map(|root| Durability {
+        dir: root.join(format!("dc{}_p{}", id.dc.0, id.partition.0)),
+        policy: cfg.fsync,
+        rejoin,
+    })
 }
 
 /// An in-process Wren cluster: one partition **engine** per partition —
@@ -382,7 +453,19 @@ impl ClusterBuilder {
 pub struct Cluster {
     cfg: ClusterBuilder,
     router: Arc<Router>,
-    engines: Vec<PartitionEngine>,
+    /// `None` marks a killed partition awaiting
+    /// [`restart_partition`](Self::restart_partition).
+    engines: Vec<Option<PartitionEngine>>,
+    /// Receiver clones retained so a restarted engine can re-attach to
+    /// the same inbox channel (the vendored channel is MPMC); also what
+    /// [`restart_partition`](Self::restart_partition) drains to model
+    /// the dead process's lost inbox.
+    server_rxs: Vec<Receiver<RtMsg>>,
+    /// Same, for the per-partition read channels (empty slots when the
+    /// cluster runs without read workers).
+    read_rxs: Vec<Option<Receiver<ReadJob>>>,
+    wren_cfg: WrenConfig,
+    epoch: Instant,
     /// Listener addresses in TCP mode (DC-major partition order).
     addrs: Arc<Vec<SocketAddr>>,
     next_client: AtomicU32,
@@ -473,31 +556,20 @@ impl Cluster {
         let epoch = Instant::now();
 
         let mut engines = Vec::with_capacity(total);
-        let mut rx_iter = rxs.into_iter();
-        let mut read_iter = read_rxs.into_iter();
         for dc in 0..cfg.n_dcs {
             for p in 0..cfg.n_partitions {
-                let rx = rx_iter.next().expect("one receiver per server");
-                let read_rx = read_iter.next().expect("one read channel slot per server");
                 let id = ServerId::new(dc, p);
-                let ticks = (
-                    cfg.replication_tick,
-                    cfg.gossip_tick,
-                    if cfg.gc_tick.is_zero() {
-                        None
-                    } else {
-                        Some(cfg.gc_tick)
-                    },
-                );
-                engines.push(PartitionEngine::launch(
+                let idx = id.dc_major_index(cfg.n_partitions);
+                engines.push(Some(PartitionEngine::launch(
                     id,
                     wren_cfg,
                     epoch,
-                    rx,
-                    read_rx.map(|rx| (rx, cfg.read_workers)),
+                    rxs[idx].clone(),
+                    read_rxs[idx].clone().map(|rx| (rx, cfg.read_workers)),
                     Arc::clone(&router),
-                    ticks,
-                ));
+                    ticks_of(&cfg),
+                    durability_of(&cfg, id, false),
+                )));
             }
         }
 
@@ -505,6 +577,10 @@ impl Cluster {
             cfg,
             router,
             engines,
+            server_rxs: rxs,
+            read_rxs,
+            wren_cfg,
+            epoch,
             addrs,
             next_client: AtomicU32::new(0),
             next_coordinator: AtomicU32::new(0),
@@ -573,6 +649,85 @@ impl Cluster {
         )
     }
 
+    /// Abruptly kills one partition's engine — the in-process stand-in
+    /// for `kill -9` on the partition's process — and returns its final
+    /// statistics. The writer thread exits without draining its inbox,
+    /// without dispatching pending responses and **without flushing or
+    /// sealing its WAL**: whatever bytes the fsync policy left buffered
+    /// are lost, exactly as a crash would lose them. Read workers are
+    /// stopped too (reads are stateless, so nothing is lost there).
+    ///
+    /// Only meaningful on a [durable](ClusterBuilder::durable) cluster
+    /// — a killed non-durable partition has nothing to recover from —
+    /// but allowed on any channel-mode cluster for testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in TCP mode (socket teardown for a single partition is
+    /// not modelled), if `dc`/`p` are out of range, or if the partition
+    /// is already down.
+    pub fn kill_partition(&mut self, dc: u8, p: u16) -> ServerStats {
+        assert!(
+            self.cfg.tcp.is_none(),
+            "kill/restart is supported on the channel transport only"
+        );
+        let id = ServerId::new(dc, p);
+        let idx = id.dc_major_index(self.cfg.n_partitions);
+        let engine = self.engines[idx].take().expect("partition already down");
+        let _ = self.router.server_txs[idx].send(RtMsg::Kill);
+        if !self.router.read_txs.is_empty() {
+            for _ in 0..self.cfg.read_workers {
+                let _ = self.router.read_txs[idx].send(ReadJob::Shutdown);
+            }
+        }
+        engine.join()
+    }
+
+    /// Restarts a partition previously taken down by
+    /// [`kill_partition`](Self::kill_partition): recovers the engine
+    /// from its WAL + newest checkpoint, then has it ask its sibling
+    /// replicas to re-ship whatever replicated commits died in the old
+    /// process's inbox (catch-up), after which it serves traffic as if
+    /// it had never been away. Everything queued to the partition while
+    /// it was down is discarded first — messages to a dead process are
+    /// lost, and recovering them from the channel would let the test
+    /// pass without the WAL working.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition is still running, if the cluster is not
+    /// [durable](ClusterBuilder::durable), or in TCP mode.
+    pub fn restart_partition(&mut self, dc: u8, p: u16) {
+        assert!(
+            self.cfg.tcp.is_none(),
+            "kill/restart is supported on the channel transport only"
+        );
+        assert!(
+            self.cfg.durable_dir.is_some(),
+            "restart requires a durable cluster"
+        );
+        let id = ServerId::new(dc, p);
+        let idx = id.dc_major_index(self.cfg.n_partitions);
+        assert!(self.engines[idx].is_none(), "partition still running");
+        // Process-down semantics: the dead process's inboxes are gone.
+        while self.server_rxs[idx].try_recv().is_some() {}
+        if let Some(rrx) = &self.read_rxs[idx] {
+            while rrx.try_recv().is_some() {}
+        }
+        self.engines[idx] = Some(PartitionEngine::launch(
+            id,
+            self.wren_cfg,
+            self.epoch,
+            self.server_rxs[idx].clone(),
+            self.read_rxs[idx]
+                .clone()
+                .map(|rx| (rx, self.cfg.read_workers)),
+            Arc::clone(&self.router),
+            ticks_of(&self.cfg),
+            durability_of(&self.cfg, id, true),
+        ));
+    }
+
     /// Asks every engine to stop: a shutdown message to each writer
     /// thread and a poison job per read worker (queued behind any
     /// pending slices, which are still served). Threads are joined (and
@@ -608,7 +763,7 @@ impl Cluster {
         let stats = self
             .engines
             .drain(..)
-            .map(PartitionEngine::join)
+            .map(|e| e.map_or_else(ServerStats::default, PartitionEngine::join))
             .collect();
         if let Some(fabric) = self.router.tcp() {
             fabric.join_threads();
@@ -622,7 +777,7 @@ impl Drop for Cluster {
         self.shutdown();
         // Deterministic teardown, workers before writer per engine: no
         // detached read worker survives the cluster.
-        for engine in self.engines.drain(..) {
+        for engine in self.engines.drain(..).flatten() {
             let _ = engine.join();
         }
         // Then the fabric: acceptors, connection readers and outbox

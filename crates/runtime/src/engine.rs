@@ -48,12 +48,14 @@
 
 use crate::cluster::{Router, RtMsg};
 use crossbeam_channel::{Receiver, RecvTimeoutError};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wren_clock::{SkewedClock, Timestamp};
 use wren_core::{ServerStats, SliceReader, WrenConfig, WrenServer};
-use wren_protocol::{Dest, Key, ServerId, TxId};
+use wren_protocol::{Dest, Key, Outgoing, ServerId, TxId, WrenMsg};
+use wren_core::FsyncPolicy;
 
 /// What travels on a partition's read channel: a slice request peeled
 /// out of the protocol stream, or a poison pill stopping one worker.
@@ -84,14 +86,29 @@ pub(crate) struct PartitionEngine {
     reader: SliceReader,
 }
 
-/// Tick intervals for a writer loop: replication, gossip, optional GC.
-pub(crate) type Ticks = (Duration, Duration, Option<Duration>);
+/// Tick intervals for a writer loop: replication, gossip, optional GC,
+/// optional checkpoint rotation.
+pub(crate) type Ticks = (Duration, Duration, Option<Duration>, Option<Duration>);
+
+/// How a durable partition engine opens (or re-opens) its log.
+pub(crate) struct Durability {
+    /// The partition's durability directory (`wal.N` / `ckpt.N` pairs).
+    pub dir: PathBuf,
+    /// Group-commit fsync policy.
+    pub policy: FsyncPolicy,
+    /// Whether to run post-restart catch-up: ask the sibling replicas to
+    /// re-ship what died in the crashed process's inbox. `false` on a
+    /// cluster-wide cold start (nothing was lost), `true` on
+    /// [`Cluster::restart_partition`](crate::Cluster::restart_partition).
+    pub rejoin: bool,
+}
 
 impl PartitionEngine {
     /// Spawns the writer thread and the read workers for the partition
     /// `id`. `read_pool` carries the receiving side of the channel the
     /// router diverts this partition's `SliceReq`s to, plus the pool
     /// size; `None` means the writer serves reads inline as before.
+    #[allow(clippy::too_many_arguments)] // internal: one call site per mode
     pub(crate) fn launch(
         id: ServerId,
         cfg: WrenConfig,
@@ -100,10 +117,18 @@ impl PartitionEngine {
         read_pool: Option<(Receiver<ReadJob>, usize)>,
         router: Arc<Router>,
         ticks: Ticks,
+        durable: Option<Durability>,
     ) -> PartitionEngine {
         // Built on the spawning thread so reader handles can be taken
-        // before the state machine moves into the writer thread.
-        let server = WrenServer::new(id, cfg, SkewedClock::perfect());
+        // before the state machine moves into the writer thread — and so
+        // recovery (checkpoint load + WAL replay) completes before any
+        // traffic can reach the partition.
+        let rejoin = durable.as_ref().is_some_and(|d| d.rejoin);
+        let server = match &durable {
+            Some(d) => WrenServer::recover(id, cfg, SkewedClock::perfect(), &d.dir, d.policy)
+                .expect("durable partition recovery"),
+            None => WrenServer::new(id, cfg, SkewedClock::perfect()),
+        };
         let reader = server.reader();
         let mut workers = Vec::new();
         if let Some((read_rx, n_workers)) = read_pool {
@@ -118,7 +143,7 @@ impl PartitionEngine {
             }
         }
         let writer =
-            std::thread::spawn(move || server_loop(id, server, epoch, rx, router, ticks));
+            std::thread::spawn(move || server_loop(id, server, epoch, rx, router, ticks, rejoin));
         PartitionEngine {
             writer,
             workers,
@@ -183,24 +208,55 @@ const MAX_DRAIN: usize = 64;
 /// each through the store's per-stripe batched splice — before any
 /// clock reads or tick checks are paid again. With read workers
 /// attached, `SliceReq`s never reach this loop at all.
+///
+/// **Durability discipline**: every `router.dispatch` is preceded by a
+/// [`WrenServer::log_commit_point`], so by the time any effect of a
+/// message burst or tick leaves this thread — a `CommitResp` to a
+/// client, a replication batch to a sibling — the WAL records behind it
+/// are flushed as far as the fsync policy promises. Under
+/// `FsyncPolicy::Always` an acknowledged write is therefore on disk
+/// before the acknowledgement exists.
+///
+/// Shutdown comes in two shapes, mirroring the crash model:
+/// * `RtMsg::Shutdown` is graceful — the remaining inbox is drained and
+///   handled (messages queued behind the pill are real traffic from
+///   still-live peers, not noise), a final commit point flushes, the
+///   responses go out, and the log is sealed.
+/// * `RtMsg::Kill` is abrupt — return *immediately*, dropping undrained
+///   inbox messages, any undispatched responses, and whatever WAL bytes
+///   the fsync policy left buffered. This is the kill-and-restart
+///   oracle's process-crash stand-in.
 pub(crate) fn server_loop(
     id: ServerId,
     mut server: WrenServer,
     epoch: Instant,
     rx: Receiver<RtMsg>,
     router: Arc<Router>,
-    (repl, gossip, gc): Ticks,
+    (repl, gossip, gc, ckpt): Ticks,
+    rejoin: bool,
 ) -> ServerStats {
     let mut next_repl = epoch + repl;
     let mut next_gossip = epoch + gossip;
     let mut next_gc = gc.map(|d| epoch + d);
+    let mut next_ckpt = ckpt.map(|d| Instant::now() + d);
     let mut out = Vec::new();
+
+    if rejoin {
+        // First thing on the wire after a restart: ask every sibling
+        // replica to re-ship what was lost with the dead process's
+        // inbox, before any new traffic interleaves.
+        server.begin_rejoin(&mut out);
+        commit_and_dispatch(id, &mut server, &router, &mut out);
+    }
 
     loop {
         let now_inst = Instant::now();
         let mut next_tick = next_repl.min(next_gossip);
         if let Some(g) = next_gc {
             next_tick = next_tick.min(g);
+        }
+        if let Some(c) = next_ckpt {
+            next_tick = next_tick.min(c);
         }
         let wait = next_tick.saturating_duration_since(now_inst);
 
@@ -215,15 +271,16 @@ pub(crate) fn server_loop(
                             server.handle(src, msg, now, &mut out);
                         }
                         Some(RtMsg::Shutdown) => {
-                            router.dispatch(id, std::mem::take(&mut out));
-                            return server.stats();
+                            return finish(id, server, epoch, &rx, &router, out);
                         }
+                        Some(RtMsg::Kill) => return server.stats(),
                         None => break,
                     }
                 }
-                router.dispatch(id, std::mem::take(&mut out));
+                commit_and_dispatch(id, &mut server, &router, &mut out);
             }
-            Ok(RtMsg::Shutdown) => return server.stats(),
+            Ok(RtMsg::Shutdown) => return finish(id, server, epoch, &rx, &router, out),
+            Ok(RtMsg::Kill) => return server.stats(),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return server.stats(),
         }
@@ -232,20 +289,67 @@ pub(crate) fn server_loop(
         let now = epoch.elapsed().as_micros() as u64;
         if now_inst >= next_repl {
             server.on_replication_tick(now, &mut out);
-            router.dispatch(id, std::mem::take(&mut out));
+            commit_and_dispatch(id, &mut server, &router, &mut out);
             next_repl = now_inst + repl;
         }
         if now_inst >= next_gossip {
             server.on_gossip_tick(now, &mut out);
-            router.dispatch(id, std::mem::take(&mut out));
+            commit_and_dispatch(id, &mut server, &router, &mut out);
             next_gossip = now_inst + gossip;
         }
         if let Some(g) = next_gc {
             if now_inst >= g {
                 server.on_gc_tick(now, &mut out);
-                router.dispatch(id, std::mem::take(&mut out));
+                commit_and_dispatch(id, &mut server, &router, &mut out);
                 next_gc = Some(now_inst + gc.expect("gc enabled"));
             }
         }
+        if let Some(c) = next_ckpt {
+            if now_inst >= c {
+                server
+                    .write_checkpoint()
+                    .expect("checkpoint rotation failed");
+                next_ckpt = Some(now_inst + ckpt.expect("checkpoint enabled"));
+            }
+        }
     }
+}
+
+/// Flush the WAL to the fsync policy's promise, then let the responses
+/// leave the thread. The order is the whole point: dispatch is the
+/// moment effects become observable, so the flush must come first.
+fn commit_and_dispatch(
+    id: ServerId,
+    server: &mut WrenServer,
+    router: &Arc<Router>,
+    out: &mut Vec<Outgoing<WrenMsg>>,
+) {
+    server.log_commit_point().expect("wal commit point failed");
+    router.dispatch(id, std::mem::take(out));
+}
+
+/// Graceful shutdown: handle everything still queued behind the poison
+/// pill (peers may have sent real traffic before they themselves were
+/// told to stop), flush, answer, and seal the log so the tail is on
+/// disk regardless of fsync policy. A `Kill` found while draining wins
+/// — abrupt beats graceful.
+fn finish(
+    id: ServerId,
+    mut server: WrenServer,
+    epoch: Instant,
+    rx: &Receiver<RtMsg>,
+    router: &Arc<Router>,
+    mut out: Vec<Outgoing<WrenMsg>>,
+) -> ServerStats {
+    let now = epoch.elapsed().as_micros() as u64;
+    while let Some(m) = rx.try_recv() {
+        match m {
+            RtMsg::Proto { src, msg } => server.handle(src, msg, now, &mut out),
+            RtMsg::Shutdown => {}
+            RtMsg::Kill => return server.stats(),
+        }
+    }
+    commit_and_dispatch(id, &mut server, router, &mut out);
+    server.seal_log().expect("wal seal failed");
+    server.stats()
 }

@@ -26,7 +26,17 @@
 //!   ([`ClusterBuilder::reactor_threads`]) — fabric threads are
 //!   O(reactor_threads + partitions), not O(connections);
 //!   [`ClusterBuilder::tcp_threaded`] keeps the two-threads-per-
-//!   connection fabric for comparison.
+//!   connection fabric for comparison;
+//! * [`ClusterBuilder::durable`] — per-partition write-ahead logging
+//!   and checkpoints: each engine logs its commits, replication applies
+//!   and stable-bound advances (group-committed per
+//!   [`FsyncPolicy`](ClusterBuilder::fsync) before any response leaves
+//!   the partition), rotates the log behind periodic checkpoints, and
+//!   recovers on boot by replaying the newest checkpoint + log tail.
+//!   [`Cluster::kill_partition`] / [`Cluster::restart_partition`]
+//!   exercise the crash path end to end: an abrupt kill loses exactly
+//!   what the fsync policy permits, and a restarted partition catches
+//!   up from its sibling replicas before serving as if it never left.
 //!
 //! # Example
 //!
@@ -60,3 +70,4 @@ mod tcp;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::RtError;
 pub use session::Session;
+pub use wren_core::FsyncPolicy;

@@ -465,7 +465,9 @@ pub(crate) fn legal_from_server(msg: &WrenMsg) -> bool {
         | WrenMsg::StableGossip { .. }
         | WrenMsg::GcGossip { .. }
         | WrenMsg::GossipUp { .. }
-        | WrenMsg::GossipDown { .. } => true,
+        | WrenMsg::GossipDown { .. }
+        | WrenMsg::CatchUpReq { .. }
+        | WrenMsg::CatchUpDone { .. } => true,
         WrenMsg::StartTxReq { .. }
         | WrenMsg::TxReadReq { .. }
         | WrenMsg::CommitReq { .. }

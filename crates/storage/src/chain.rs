@@ -144,6 +144,24 @@ impl<V: Versioned> VersionChain<V> {
         }
     }
 
+    /// Inserts a version only if no version with the same order key is
+    /// already present. Returns whether the insert happened.
+    ///
+    /// This is the **replay-idempotence** primitive: WAL recovery may
+    /// re-apply a replication batch the pre-crash process had already
+    /// applied (or a second crash may replay a record twice), and the
+    /// order key `(ct, origin DC, tx)` uniquely identifies a write, so
+    /// "same key ⇒ same version" makes re-application a no-op.
+    pub fn insert_if_new(&mut self, v: V) -> bool {
+        let key = v.order_key();
+        let pos = self.entries.partition_point(|(k, _)| *k < key);
+        if self.entries.get(pos).is_some_and(|(k, _)| *k == key) {
+            return false;
+        }
+        self.entries.insert(pos, (key, v));
+        true
+    }
+
     /// The newest version inside `bound`, i.e. the version a transaction
     /// with that snapshot must read under last-writer-wins.
     ///
@@ -325,6 +343,18 @@ mod tests {
         c.insert(v(10, "only"));
         assert_eq!(c.collect(&SnapshotBound::all()), 0);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn insert_if_new_deduplicates_on_order_key() {
+        let mut c = VersionChain::new();
+        assert!(c.insert_if_new(V { ct: 10, sr: 1, tx: 3, tag: "first" }));
+        assert!(!c.insert_if_new(V { ct: 10, sr: 1, tx: 3, tag: "dup" }));
+        assert!(c.insert_if_new(V { ct: 10, sr: 1, tx: 4, tag: "other-tx" }));
+        assert!(c.insert_if_new(V { ct: 5, sr: 0, tx: 0, tag: "older" }));
+        assert_eq!(c.len(), 3);
+        let tags: Vec<_> = c.iter().map(|x| x.tag).collect();
+        assert_eq!(tags, vec!["other-tx", "first", "older"]);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Checkpoint files: atomically-written snapshots that bound WAL
+//! replay.
+//!
+//! Sits between the byte-level [`wal`](crate::wal) and the typed
+//! durability layer in `wren-core`: a checkpoint here is an opaque
+//! payload (the core layer encodes the full server state into it) with
+//! enough framing to make two things true:
+//!
+//! 1. **A checkpoint is valid or invisible.** The file is written to a
+//!    temp name, CRC'd, end-marked, fsynced, then renamed into place
+//!    (and the directory fsynced), so a crash mid-write leaves either
+//!    the old generation or a complete new one — never a half file.
+//! 2. **A corrupt checkpoint falls back, not forward.** Loading scans
+//!    generations newest-first and takes the first one that passes the
+//!    magic/CRC/end-marker checks; [`prune_generations`] therefore
+//!    always keeps one older generation around as the fallback.
+//!
+//! File layout (little-endian):
+//! `[magic u32][seq u64][payload_len u64][crc u32][payload][end magic u32]`.
+//!
+//! Generations pair with WAL files by sequence number: `ckpt.N`
+//! captures all state up to the moment `wal.N` began, so recovery is
+//! "load newest valid `ckpt.N`, replay `wal.N`" (plus any newer log
+//! whose checkpoint never completed).
+
+use crate::wal::{crc32, MAX_RECORD_LEN};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// First bytes of a checkpoint file.
+const MAGIC: u32 = 0x57C4_0001; // "Wren Checkpoint v1"
+/// Trailing marker proving the payload was written to the end.
+const END_MAGIC: u32 = 0x57C4_EE0F;
+/// Fixed header bytes ahead of the payload.
+const HEADER_LEN: usize = 4 + 8 + 8 + 4;
+
+/// Name of checkpoint generation `seq` inside a durability directory.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt.{seq}"))
+}
+
+/// Name of WAL generation `seq` inside a durability directory.
+pub fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal.{seq}"))
+}
+
+/// Atomically writes checkpoint generation `seq` with the given opaque
+/// payload: temp file + CRC + end marker + fsync + rename + directory
+/// fsync.
+pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("ckpt.{seq}.tmp"));
+    let final_path = checkpoint_path(dir, seq);
+    {
+        let mut f = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.extend_from_slice(&seq.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(payload).to_le_bytes());
+        f.write_all(&header)?;
+        f.write_all(payload)?;
+        f.write_all(&END_MAGIC.to_le_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &final_path)?;
+    // Make the rename itself durable.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads checkpoint generation `seq`, returning its payload — or `None`
+/// if the file is missing, truncated, oversized, mis-CRC'd or lacks the
+/// end marker. Total: corruption is a `None`, never a panic.
+pub fn read_checkpoint(dir: &Path, seq: u64) -> Option<Vec<u8>> {
+    let mut f = File::open(checkpoint_path(dir, seq)).ok()?;
+    let file_len = f.metadata().ok()?.len();
+    if file_len < (HEADER_LEN + 4) as u64 {
+        return None;
+    }
+    let mut header = [0u8; HEADER_LEN];
+    f.read_exact(&mut header).ok()?;
+    if u32::from_le_bytes(header[..4].try_into().unwrap()) != MAGIC {
+        return None;
+    }
+    if u64::from_le_bytes(header[4..12].try_into().unwrap()) != seq {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(header[12..20].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[20..24].try_into().unwrap());
+    // Checkpoints hold a whole store, so allow a larger budget than one
+    // WAL record — but still bounded, and checked against the actual
+    // file length before allocating.
+    if payload_len > 64 * MAX_RECORD_LEN as u64
+        || (HEADER_LEN as u64 + payload_len + 4) != file_len
+    {
+        return None;
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    f.read_exact(&mut payload).ok()?;
+    let mut end = [0u8; 4];
+    f.read_exact(&mut end).ok()?;
+    if u32::from_le_bytes(end) != END_MAGIC || crc32(&payload) != crc {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Lists the checkpoint generation numbers present in `dir`, ascending.
+pub fn list_generations(dir: &Path) -> Vec<u64> {
+    let mut seqs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else { return seqs };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name.strip_prefix("ckpt.") {
+            if let Ok(seq) = seq.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    seqs
+}
+
+/// Loads the newest *valid* checkpoint in `dir`: scans generations
+/// newest-first, skipping any that fail validation. Returns
+/// `(seq, payload)`.
+pub fn load_latest(dir: &Path) -> Option<(u64, Vec<u8>)> {
+    for seq in list_generations(dir).into_iter().rev() {
+        if let Some(payload) = read_checkpoint(dir, seq) {
+            return Some((seq, payload));
+        }
+    }
+    None
+}
+
+/// Deletes checkpoint + WAL generations older than `keep_from` (i.e.
+/// everything with `seq < keep_from`). Callers pass `latest - 1` so the
+/// previous generation survives as the corruption fallback.
+pub fn prune_generations(dir: &Path, keep_from: u64) {
+    for seq in list_generations(dir) {
+        if seq < keep_from {
+            std::fs::remove_file(checkpoint_path(dir, seq)).ok();
+            std::fs::remove_file(wal_path(dir, seq)).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wren-ckpt-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmp_dir("round-trip");
+        write_checkpoint(&dir, 3, b"snapshot-bytes").unwrap();
+        assert_eq!(read_checkpoint(&dir, 3).unwrap(), b"snapshot-bytes");
+        assert_eq!(load_latest(&dir).unwrap(), (3, b"snapshot-bytes".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        write_checkpoint(&dir, 1, b"old-but-good").unwrap();
+        write_checkpoint(&dir, 2, b"new-and-doomed").unwrap();
+        // Flip a payload byte in generation 2.
+        let p = checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[HEADER_LEN + 2] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        assert_eq!(read_checkpoint(&dir, 2), None);
+        assert_eq!(load_latest(&dir).unwrap(), (1, b"old-but-good".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_invisible() {
+        let dir = tmp_dir("truncated");
+        write_checkpoint(&dir, 7, &[9u8; 4096]).unwrap();
+        let p = checkpoint_path(&dir, 7);
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(read_checkpoint(&dir, 7), None);
+        assert_eq!(load_latest(&dir), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_fallback_generation() {
+        let dir = tmp_dir("prune");
+        for seq in 1..=4u64 {
+            write_checkpoint(&dir, seq, &[seq as u8]).unwrap();
+            std::fs::write(wal_path(&dir, seq), b"").unwrap();
+        }
+        prune_generations(&dir, 3); // keep 3 and 4 (+ their WALs)
+        assert_eq!(list_generations(&dir), vec![3, 4]);
+        assert!(!wal_path(&dir, 2).exists());
+        assert!(wal_path(&dir, 3).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -176,6 +176,15 @@ impl<K: Eq + Hash + Clone, V: Versioned + Clone> ConcurrentShardedStore<K, V> {
         self.stripes[s].write().insert(key, version);
     }
 
+    /// Inserts a version of `key` only if no version with the same LWW
+    /// order key exists ([`MvStore::insert_if_new`]). Returns whether
+    /// the insert happened. WAL replay and post-restart catch-up use
+    /// this so re-delivered writes are no-ops.
+    pub fn insert_if_new(&self, key: K, version: V) -> bool {
+        let s = self.stripe_of(&key);
+        self.stripes[s].write().insert_if_new(key, version)
+    }
+
     /// The newest version of `key` inside the snapshot `bound`, cloned
     /// out under the stripe's read lock.
     pub fn latest_visible(&self, key: &K, bound: &SnapshotBound<'_>) -> Option<V> {

@@ -29,7 +29,13 @@
 //!   timestamps published through atomics. This is what the protocol
 //!   servers run on: one writer thread applies the protocol while a pool
 //!   of read workers serves slices concurrently (see its type docs for
-//!   the safety argument).
+//!   the safety argument);
+//! * [`wal`] and [`checkpoint`] — the byte-level durability substrate: an
+//!   append-only CRC-framed record log with group-commit fsync policies
+//!   and a total (never-panicking) valid-prefix reader, plus atomically
+//!   written snapshot files that bound replay. The typed record set and
+//!   the replay logic live above, in `wren-core`'s durability module —
+//!   the same sans-io layering the network stack uses.
 //!
 //! # Stripe layout
 //!
@@ -110,11 +116,13 @@
 #![warn(missing_docs)]
 
 mod chain;
+pub mod checkpoint;
 mod concurrent;
 mod fx;
 mod sharded;
 mod snapshot;
 mod store;
+pub mod wal;
 
 pub use chain::{OrderKey, VersionChain, Versioned};
 pub use concurrent::ConcurrentShardedStore;
@@ -122,3 +130,4 @@ pub use fx::{FxBuildHasher, FxHasher};
 pub use sharded::ShardedStore;
 pub use snapshot::SnapshotBound;
 pub use store::{MvStore, StoreStats};
+pub use wal::{FsyncPolicy, RecoveredLog, Wal, MAX_RECORD_LEN};

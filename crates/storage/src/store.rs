@@ -102,6 +102,18 @@ impl<K: Eq + Hash + Clone, V: Versioned> MvStore<K, V> {
         applied
     }
 
+    /// Inserts a version of `key` only if no version with the same LWW
+    /// order key exists ([`VersionChain::insert_if_new`]). Returns
+    /// whether the insert happened. Used by WAL replay, which may
+    /// re-apply already-applied replication records.
+    pub fn insert_if_new(&mut self, key: K, version: V) -> bool {
+        let inserted = self.chains.entry(key).or_default().insert_if_new(version);
+        if inserted {
+            self.versions += 1;
+        }
+        inserted
+    }
+
     /// The newest version of `key` inside the snapshot `bound`, or `None`
     /// if the key has no visible version.
     pub fn latest_visible(&self, key: &K, bound: &SnapshotBound<'_>) -> Option<&V> {

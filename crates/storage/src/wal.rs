@@ -1,0 +1,388 @@
+//! Write-ahead log: CRC-framed, length-prefixed records on disk.
+//!
+//! This module is the bottom layer of the durability stack, and it is
+//! deliberately **byte-oriented**: it knows nothing about the Wren
+//! protocol. The layering mirrors `wren-net`'s sans-io split:
+//!
+//! * **`wal` (here)** — append-only record files. Each record is
+//!   `[u32 len][u32 crc32][payload]`, little-endian, with the CRC taken
+//!   over the payload alone. Reading is *total*: a torn tail, a bad
+//!   length, garbage bytes or a flipped bit never panic — the reader
+//!   returns the longest prefix of valid records plus the offset where
+//!   validity ended, and [`Wal::open_for_append`] truncates the tail so
+//!   the next append continues from a clean boundary.
+//! * **[`checkpoint`](crate::checkpoint)** — atomically-written
+//!   snapshot files that bound how much log must be replayed.
+//! * **`wren-core::durability`** — the typed record set (commits,
+//!   replication batches, stable advances) encoded with the protocol
+//!   codec, plus replay that rebuilds a server atop the newest
+//!   checkpoint.
+//!
+//! Group commit is expressed through [`Wal::commit_point`]: appends
+//! accumulate in a user-space buffer and a commit point makes them
+//! durable according to the [`FsyncPolicy`] — every point, every nth
+//! point, or only at [`Wal::seal`]. Dropping a `Wal` without sealing
+//! deliberately does **not** flush: that is exactly the abrupt-kill
+//! semantics crash tests rely on.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Hard ceiling on one WAL record's payload (and, via the alias in
+/// `wren_protocol::frame::MAX_FRAME_LEN`, on one wire frame). A length
+/// prefix above this is rejected *before* any buffering, so a corrupt
+/// or hostile length field can never drive an allocation.
+pub const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes of record header: `u32` length + `u32` CRC.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Soft cap on the user-space buffer under [`FsyncPolicy::Off`]: past
+/// this, a commit point writes the buffer to the OS (without syncing)
+/// so an idle-fsync log cannot grow memory without bound.
+const BUFFER_CAP: usize = 8 * 1024 * 1024;
+
+/// When a batch of appends becomes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Write + fsync at every commit point. No acknowledged record is
+    /// ever lost to an abrupt kill.
+    Always,
+    /// Write + fsync at every `n`th commit point (group commit): up to
+    /// `n - 1` acknowledged commit points may be lost on a kill.
+    EveryN(u32),
+    /// Only seal/rotation flushes. Fastest; a kill loses everything
+    /// since the last seal or checkpoint.
+    Off,
+}
+
+/// An append-only record log backed by one file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Records appended but not yet handed to the OS.
+    buf: Vec<u8>,
+    /// Commit points since the last flush (for [`FsyncPolicy::EveryN`]).
+    points: u32,
+    /// Durable log length in bytes (what a reader would recover).
+    synced_len: u64,
+}
+
+/// CRC-32 (IEEE 802.3, the `crc32` of zlib/gzip) over `bytes`.
+/// Hand-rolled table-driven implementation — no dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = build_crc_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path`, truncating any existing
+    /// file.
+    pub fn create(path: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<Wal> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal { file, path, policy, buf: Vec::new(), points: 0, synced_len: 0 })
+    }
+
+    /// Opens an existing log for appending, first scanning it with
+    /// [`read_records`] and **truncating the torn tail** (anything after
+    /// the last valid record) so appends resume from a clean boundary.
+    ///
+    /// Returns the recovered record payloads along with the log.
+    pub fn open_for_append(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<(Wal, Vec<Vec<u8>>)> {
+        let path = path.into();
+        let recovered = read_records(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .read(true)
+            .truncate(false) // set_len below trims exactly the torn tail
+            .open(&path)?;
+        file.set_len(recovered.valid_len)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        let synced_len = recovered.valid_len;
+        Ok((
+            Wal { file, path, policy, buf: Vec::new(), points: 0, synced_len },
+            recovered.records,
+        ))
+    }
+
+    /// Appends one record (buffered; durable only after a commit point
+    /// under the policy, or [`Wal::seal`]).
+    ///
+    /// Panics if `payload` exceeds [`MAX_RECORD_LEN`] — the typed layer
+    /// above chunks its batches well below the ceiling.
+    pub fn append(&mut self, payload: &[u8]) {
+        assert!(
+            payload.len() <= MAX_RECORD_LEN,
+            "WAL record of {} bytes exceeds MAX_RECORD_LEN ({MAX_RECORD_LEN})",
+            payload.len()
+        );
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Marks a commit point: everything appended so far is eligible to
+    /// become durable, per the fsync policy.
+    pub fn commit_point(&mut self) -> std::io::Result<()> {
+        match self.policy {
+            FsyncPolicy::Always => self.flush(true),
+            FsyncPolicy::EveryN(n) => {
+                self.points += 1;
+                if self.points >= n.max(1) {
+                    self.points = 0;
+                    self.flush(true)
+                } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Off => {
+                if self.buf.len() > BUFFER_CAP {
+                    self.flush(false)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Writes the buffer to the OS; `sync` additionally fsyncs.
+    fn flush(&mut self, sync: bool) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        if sync {
+            self.file.sync_data()?;
+            self.synced_len = self.file.stream_position()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs everything buffered, regardless of policy.
+    /// A sealed log loses nothing; this is the graceful-stop path.
+    pub fn seal(&mut self) -> std::io::Result<()> {
+        self.points = 0;
+        self.flush(true)
+    }
+
+    /// Bytes known durable (fsynced). What an abrupt kill preserves.
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Bytes sitting in the user-space buffer — lost on an abrupt kill.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Outcome of scanning a log file: the valid-prefix records and where
+/// the prefix ends.
+pub struct RecoveredLog {
+    /// Payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset at which validity ended (`file length` iff the log
+    /// is wholly intact).
+    pub valid_len: u64,
+    /// True if bytes past `valid_len` existed (torn tail / corruption).
+    pub torn: bool,
+}
+
+/// Reads every valid record from the file at `path`. **Total**: any
+/// corruption — truncated header, truncated payload, length above
+/// [`MAX_RECORD_LEN`], CRC mismatch, trailing garbage — terminates the
+/// scan at the last valid record instead of failing. A missing file
+/// reads as an empty log.
+pub fn read_records(path: impl AsRef<Path>) -> std::io::Result<RecoveredLog> {
+    let mut file = match File::open(path.as_ref()) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(RecoveredLog { records: Vec::new(), valid_len: 0, torn: false })
+        }
+        Err(e) => return Err(e),
+    };
+    let file_len = file.metadata()?.len();
+    let mut records = Vec::new();
+    let mut offset = 0u64;
+    let mut header = [0u8; RECORD_HEADER_LEN];
+    loop {
+        if offset + RECORD_HEADER_LEN as u64 > file_len {
+            break;
+        }
+        file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        // Oversized length ⇒ reject before allocating or reading the
+        // payload (shared guard with the frame decoder).
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        if offset + (RECORD_HEADER_LEN + len) as u64 > file_len {
+            break;
+        }
+        let mut payload = vec![0u8; len];
+        file.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            break;
+        }
+        offset += (RECORD_HEADER_LEN + len) as u64;
+        records.push(payload);
+    }
+    Ok(RecoveredLog { records, valid_len: offset, torn: offset != file_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wren-wal-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_seal_read_round_trip() {
+        let path = tmp("round-trip");
+        let mut wal = Wal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"alpha");
+        wal.append(b"");
+        wal.append(&[7u8; 1000]);
+        wal.commit_point().unwrap();
+        wal.seal().unwrap();
+        let log = read_records(&path).unwrap();
+        assert!(!log.torn);
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.records[0], b"alpha");
+        assert_eq!(log.records[1], b"");
+        assert_eq!(log.records[2], vec![7u8; 1000]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsealed_buffer_is_lost_under_off() {
+        let path = tmp("lost-buffer");
+        let mut wal = Wal::create(&path, FsyncPolicy::Off).unwrap();
+        wal.append(b"volatile");
+        wal.commit_point().unwrap();
+        drop(wal); // abrupt kill: no seal
+        let log = read_records(&path).unwrap();
+        assert!(log.records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn always_policy_survives_drop() {
+        let path = tmp("always");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(b"durable");
+        wal.commit_point().unwrap();
+        assert_eq!(wal.buffered_len(), 0);
+        drop(wal);
+        let log = read_records(&path).unwrap();
+        assert_eq!(log.records, vec![b"durable".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_n_groups_commits() {
+        let path = tmp("every-n");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i]);
+            wal.commit_point().unwrap();
+        }
+        drop(wal); // points 0..2 flushed at the 3rd commit point; 3..4 lost
+        let log = read_records(&path).unwrap();
+        assert_eq!(log.records.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_reopen() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        wal.append(b"keep-me");
+        wal.commit_point().unwrap();
+        drop(wal);
+        // Simulate a torn append: half a header.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        drop(f);
+
+        let (mut wal, recovered) = Wal::open_for_append(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered, vec![b"keep-me".to_vec()]);
+        wal.append(b"and-me");
+        wal.commit_point().unwrap();
+        drop(wal);
+        let log = read_records(&path).unwrap();
+        assert!(!log.torn);
+        assert_eq!(log.records, vec![b"keep-me".to_vec(), b"and-me".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_buffering() {
+        let path = tmp("oversize");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes()); // absurd len
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let log = read_records(&path).unwrap();
+        assert!(log.records.is_empty());
+        assert!(log.torn);
+        assert_eq!(log.valid_len, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let log = read_records(tmp("never-created")).unwrap();
+        assert!(log.records.is_empty());
+        assert!(!log.torn);
+    }
+}
