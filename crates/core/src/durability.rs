@@ -316,13 +316,20 @@ impl DurableLog {
     /// Opens (or creates) the durability directory: loads the newest
     /// valid checkpoint, replays every WAL generation after it, and
     /// opens the newest generation for appending (truncating any torn
-    /// tail).
+    /// tail). Recovery also sweeps crash leftovers — `ckpt.N.tmp` files
+    /// from an interrupted checkpoint write and generations older than
+    /// the fallback — with the same retention [`DurableLog::rotate`]
+    /// enforces.
     pub fn open(dir: impl Into<PathBuf>, policy: FsyncPolicy) -> std::io::Result<DurableBoot> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let ckpt = checkpoint::load_latest(&dir);
         let base = ckpt.as_ref().map(|(seq, _)| *seq).unwrap_or(0);
         let newest_wal = wal_generations(&dir).into_iter().max().unwrap_or(base).max(base);
+        // Replay only needs [base, newest]; everything before the
+        // fallback generation (base - 1) is dead, as are any tmp files a
+        // crash mid-`write_checkpoint` left behind.
+        checkpoint::prune_generations(&dir, base.saturating_sub(1));
 
         let mut ops = Vec::new();
         // Replay sealed generations [base, newest) read-only…
@@ -594,6 +601,29 @@ mod tests {
         assert_eq!(boot.checkpoint.as_deref(), Some(&b"state-at-gen-1"[..]));
         // Only the post-checkpoint op replays.
         assert_eq!(boot.ops, vec![sample_ops()[4].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_sweeps_crash_leftovers() {
+        let dir = tmp_dir("sweep");
+        let mut boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        boot.log.rotate(b"gen1").unwrap();
+        boot.log.rotate(b"gen2").unwrap();
+        boot.log.rotate(b"gen3").unwrap();
+        boot.log.seal().unwrap();
+        drop(boot);
+        // Simulate crash debris: an interrupted checkpoint write plus an
+        // ancient WAL generation that escaped the runtime prune.
+        std::fs::write(dir.join("ckpt.4.tmp"), b"half").unwrap();
+        std::fs::write(checkpoint::wal_path(&dir, 0), b"stale").unwrap();
+
+        let boot = DurableLog::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(boot.checkpoint.as_deref(), Some(&b"gen3"[..]));
+        assert!(!dir.join("ckpt.4.tmp").exists(), "tmp swept on recovery");
+        assert!(!checkpoint::wal_path(&dir, 0).exists(), "orphan wal swept");
+        // The fallback generation survives recovery's sweep.
+        assert!(checkpoint::checkpoint_path(&dir, 2).exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

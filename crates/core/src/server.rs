@@ -144,6 +144,9 @@ struct TxCtx {
     /// Cohorts whose network vote already arrived, so a recovered
     /// cohort's periodic re-send cannot double-count.
     responded: Vec<PartitionId>,
+    /// When the context last entered a server-driven phase (start, or
+    /// the 2PC fan-out), for the coordinator's in-doubt abort timer.
+    since: u64,
 }
 
 /// A prepared transaction awaiting its commit message (the paper's
@@ -237,7 +240,19 @@ pub struct WrenServer {
     /// The last `(lst, rst)` written to the WAL, so stable advances are
     /// logged only when they change.
     last_logged_stable: (Timestamp, Timestamp),
+    /// How long a coordinator waits on missing prepare votes before
+    /// aborting the transaction (see [`WrenServer::set_tx_abort_timeout`]).
+    tx_abort_timeout_micros: u64,
+    /// Per-DC time the last `CatchUpReq` was sent, so an open catch-up
+    /// window whose request died on a broken or parked link is re-asked
+    /// periodically instead of freezing the lane forever.
+    catchup_sent: Vec<u64>,
 }
+
+/// Default coordinator in-doubt abort timeout: long enough that no
+/// healthy 2PC round (microseconds on loopback) ever trips it, short
+/// enough that a cohort crash does not pin the DC's LST for long.
+const DEFAULT_TX_ABORT_TIMEOUT_MICROS: u64 = 3_000_000;
 
 impl WrenServer {
     /// Creates the replica of partition `id.partition` in DC `id.dc`.
@@ -286,6 +301,8 @@ impl WrenServer {
             decided: HashMap::new(),
             awaiting: vec![false; cfg.n_dcs as usize],
             last_logged_stable: (Timestamp::ZERO, Timestamp::ZERO),
+            tx_abort_timeout_micros: DEFAULT_TX_ABORT_TIMEOUT_MICROS,
+            catchup_sent: vec![0; cfg.n_dcs as usize],
         }
     }
 
@@ -552,6 +569,7 @@ impl WrenServer {
                 max_pt: Timestamp::ZERO,
                 cohorts: Vec::new(),
                 responded: Vec::new(),
+                since: now_micros,
             },
         );
         out.push(Outgoing::to_client(
@@ -723,6 +741,11 @@ impl WrenServer {
             ctx.cohorts = cohorts;
             ctx.max_pt = Timestamp::ZERO;
             ctx.responded.clear();
+            // The abort timer runs from the fan-out, not the start: an
+            // interactive transaction may legitimately sit idle between
+            // operations, but once the prepares are out the client is
+            // blocked and votes either arrive or are gone for good.
+            ctx.since = now_micros;
         }
 
         let mut local_writes = Vec::new();
@@ -1491,18 +1514,56 @@ impl WrenServer {
     /// Begins post-restart catch-up: asks every sibling to re-ship its
     /// local transactions above our recovered version-vector entry, and
     /// freezes that entry (heartbeats included) until the sibling's
-    /// `CatchUpDone` closes the window.
-    pub fn begin_rejoin(&mut self, out: &mut Vec<Outgoing<WrenMsg>>) {
+    /// `CatchUpDone` closes the window. The request is re-sent from
+    /// [`durability_tick`] while the window stays open, so a sibling
+    /// that is itself down (or reachable only through a parked link)
+    /// still gets asked once it returns.
+    pub fn begin_rejoin(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
         for i in 0..self.siblings.len() {
             let sib = self.siblings[i];
-            self.awaiting[sib.dc.index()] = true;
-            out.push(Outgoing::to_server(
-                sib,
-                WrenMsg::CatchUpReq {
-                    from: self.vv.get(sib.dc.index()),
-                },
-            ));
+            self.open_catch_up_window(sib, now_micros, out);
         }
+    }
+
+    /// Reacts to a broken live TCP link carrying traffic *from* `peer`:
+    /// frames in flight on it — replication batches and heartbeats from
+    /// a sibling — died with the connection, and silently resuming on a
+    /// fresh connection would let a later heartbeat vouch for versions
+    /// this server never received. For a sibling replica the lane is
+    /// therefore frozen and re-asked exactly as a restart does
+    /// ([`begin_rejoin`](Self::begin_rejoin)); links from same-DC peers
+    /// need no reaction — 2PC votes are re-sent periodically, slices
+    /// are retried by the client, and gossip/GC are refreshed every
+    /// tick, so nothing on them is load-bearing once lost.
+    pub fn on_peer_link_lost(
+        &mut self,
+        peer: ServerId,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        if peer.dc == self.id.dc || peer.partition != self.id.partition {
+            return;
+        }
+        self.open_catch_up_window(peer, now_micros, out);
+    }
+
+    /// Freezes `sibling`'s replication lane and asks it to re-ship
+    /// everything above our version-vector entry.
+    fn open_catch_up_window(
+        &mut self,
+        sibling: ServerId,
+        now_micros: u64,
+        out: &mut Vec<Outgoing<WrenMsg>>,
+    ) {
+        let i = sibling.dc.index();
+        self.awaiting[i] = true;
+        self.catchup_sent[i] = now_micros;
+        out.push(Outgoing::to_server(
+            sibling,
+            WrenMsg::CatchUpReq {
+                from: self.vv.get(i),
+            },
+        ));
     }
 
     /// Serves a restarted sibling's catch-up: re-ship every local-origin
@@ -1591,17 +1652,55 @@ impl WrenServer {
         self.vv.raise(src.index(), t);
     }
 
-    /// Durable-mode periodic work, run at every gossip tick: prune the
-    /// decision map below the LST, re-send votes for transactions
-    /// prepared but undecided for too long (their coordinator — or the
-    /// vote itself — may have died in a crash), and log stable advances.
+    /// Overrides the coordinator's in-doubt abort timeout (default 3 s):
+    /// how long a 2PC fan-out may wait on missing prepare votes before
+    /// the coordinator aborts the transaction. Chaos/failover tests
+    /// shrink it so a cohort crash resolves within the test's patience;
+    /// production-shaped drivers leave the default.
+    pub fn set_tx_abort_timeout(&mut self, micros: u64) {
+        self.tx_abort_timeout_micros = micros;
+    }
+
+    /// Crash-resolution periodic work, run at every gossip tick: prune
+    /// the decision map below the LST, re-ask open catch-up windows,
+    /// re-send votes for transactions prepared but undecided for too
+    /// long (their coordinator — or the vote itself — may have died),
+    /// abort 2PC rounds whose missing votes are past the in-doubt
+    /// timeout, and log stable advances (durable mode).
+    ///
+    /// Everything except the stable logging runs with or without a log
+    /// attached: on a TCP fabric, links break and lose messages whether
+    /// or not the partition is durable.
     fn durability_tick(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
         let lst = self.store.lst();
         self.decided.retain(|_, ct| *ct > lst);
-        if self.log.is_none() {
-            return;
-        }
+
         const RESEND_AFTER_MICROS: u64 = 100_000;
+
+        // Re-ask open catch-up windows: the CatchUpReq may have been
+        // sent at a peer that was down (or through a link that severed
+        // again), and the frozen vector entry only unfreezes when some
+        // request gets through to a CatchUpDone.
+        for i in 0..self.awaiting.len() {
+            if self.awaiting[i]
+                && now_micros.saturating_sub(self.catchup_sent[i]) > RESEND_AFTER_MICROS
+            {
+                self.catchup_sent[i] = now_micros;
+                out.push(Outgoing::to_server(
+                    ServerId {
+                        dc: DcId(i as u8),
+                        partition: self.id.partition,
+                    },
+                    WrenMsg::CatchUpReq {
+                        from: self.vv.get(i),
+                    },
+                ));
+            }
+        }
+
+        // Cohort-side vote re-send: a prepared transaction whose commit
+        // verdict is overdue re-offers its vote; the coordinator (or
+        // its decision map) answers with the fixed outcome.
         let own = self.id;
         let mut resend: Vec<(TxId, Timestamp)> = Vec::new();
         for (tx, p) in self.prepared.iter_mut() {
@@ -1619,6 +1718,44 @@ impl WrenServer {
                 },
                 WrenMsg::PrepareResp { tx, pt },
             ));
+        }
+
+        // Coordinator-side in-doubt abort: a fan-out still missing votes
+        // past the timeout means a cohort crashed before durably
+        // preparing (its restart cannot re-vote what it never logged).
+        // Abort: remove the context *without* a decision record —
+        // absence is the abort verdict a re-asking cohort reads — and
+        // release every prepared cohort so the DC's LST unpins. The
+        // client gets no response; its commit surfaces as a timeout,
+        // matching every 2PC's in-doubt window.
+        let timeout = self.tx_abort_timeout_micros;
+        let doomed: Vec<TxId> = self
+            .tx_ctx
+            .iter()
+            .filter(|(_, c)| {
+                c.pending_prepares > 0 && now_micros.saturating_sub(c.since) > timeout
+            })
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in doomed {
+            let ctx = self.tx_ctx.remove(&tx).expect("collected above");
+            for partition in ctx.cohorts {
+                if partition == self.id.partition {
+                    self.commit(tx, Timestamp::ZERO, now_micros);
+                } else {
+                    out.push(Outgoing::to_server(
+                        self.server(partition),
+                        WrenMsg::Commit {
+                            tx,
+                            ct: Timestamp::ZERO,
+                        },
+                    ));
+                }
+            }
+        }
+
+        if self.log.is_none() {
+            return;
         }
         let stable = self.store.stable();
         if stable != self.last_logged_stable {

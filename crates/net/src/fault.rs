@@ -1,0 +1,442 @@
+//! Deterministic network fault injection at the frame boundary.
+//!
+//! A [`FaultPlan`] is a cloneable handle both TCP fabrics consult on
+//! every **server-to-server** frame and dial. It turns a healthy
+//! loopback network into an adversarial one — frames are dropped,
+//! duplicated, delayed behind later frames (reordering), whole links
+//! severed, dials refused, peer sets partitioned — while staying
+//! **replayable**: every per-link decision comes from a [`SmallRng`]
+//! seeded from the plan seed and the link endpoints, so the same seed
+//! yields the same fault sequence on every run.
+//!
+//! Two deliberate semantic choices, both forced by TCP:
+//!
+//! * **A dropped frame severs its link.** TCP cannot lose one frame
+//!   mid-stream and deliver the next — the stream either carries every
+//!   byte in order or it breaks. Silently skipping a frame would also
+//!   be *wrong* at the protocol layer: a lost `Replicate` followed by a
+//!   delivered `Heartbeat` would advance the receiver's version vector
+//!   past versions it never saw. Severing instead forces the receiver
+//!   down its link-loss path (catch-up, see `wren-rt`), which is
+//!   exactly what a real broken socket does.
+//! * **Delay is hold-and-release, not a timer.** A delayed frame is
+//!   held inside the plan and released behind the next frame(s) on the
+//!   same link (bounded by [`HOLD_CAP`] and a [`HOLD_MAX_AGE`] age
+//!   flush), so delay and reordering need no extra threads and stay
+//!   deterministic in *sequence* even though wall-clock release times
+//!   vary.
+//!
+//! The plan keeps its own [`FaultStats`]; fabric-level
+//! `dropped_frames` counters intentionally do **not** count injected
+//! faults, so the existing "zero frames dropped on a healthy run"
+//! oracles keep their meaning.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use wren_protocol::ServerId;
+
+/// Most frames a link may hold back for delay/reorder before a forced
+/// flush.
+pub const HOLD_CAP: usize = 4;
+
+/// Oldest a held frame may get before the next send on its link
+/// flushes it regardless of the dice.
+pub const HOLD_MAX_AGE: Duration = Duration::from_millis(5);
+
+/// What a fabric must do with one outbound frame.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// No fault: transmit the frame as handed in.
+    Pass,
+    /// Replace the frame with `frames` (possibly empty — held for
+    /// later; possibly several — duplicates and/or released earlier
+    /// holds), then sever the link if `sever` is set.
+    Mutate {
+        /// The frames to actually transmit, in order.
+        frames: Vec<Vec<u8>>,
+        /// Tear the connection down after transmitting `frames`.
+        sever: bool,
+    },
+}
+
+/// Snapshot of the plan's injection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames dropped (each also severed its link).
+    pub dropped: u64,
+    /// Frames transmitted twice.
+    pub duplicated: u64,
+    /// Frames held back to be released behind later traffic.
+    pub delayed: u64,
+    /// Links severed by [`FaultPlan::sever_link`] or a partition rule
+    /// (drop-induced severs count under `dropped`).
+    pub severed: u64,
+    /// Dial attempts refused.
+    pub dials_refused: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected — the chaos oracle asserts this is
+    /// non-zero, proving the run actually exercised the machinery.
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.severed + self.dials_refused
+    }
+}
+
+/// Mutable fault rules, adjustable mid-run from the driving test.
+#[derive(Debug, Default)]
+struct Rules {
+    /// Per-frame probability of drop-and-sever.
+    drop: f64,
+    /// Per-frame probability of duplication.
+    duplicate: f64,
+    /// Per-frame probability of hold-for-reorder.
+    delay: f64,
+    /// Refuse every dial while set.
+    refuse_dials: bool,
+    /// One-shot sever orders, consumed by the next send on the link.
+    severed: HashSet<(ServerId, ServerId)>,
+    /// While `Some`, frames and dials crossing the group boundary are
+    /// refused/severed.
+    island: Option<HashSet<ServerId>>,
+}
+
+/// Per-link state: the seeded decision stream plus any held frames.
+struct LinkState {
+    rng: SmallRng,
+    held: Vec<(Instant, Vec<u8>)>,
+}
+
+struct Inner {
+    seed: u64,
+    rules: Mutex<Rules>,
+    links: Mutex<HashMap<(ServerId, ServerId), LinkState>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    severed: AtomicU64,
+    dials_refused: AtomicU64,
+}
+
+/// A seeded, shared fault-injection plan (see the module docs).
+///
+/// Clones share state: the driving test keeps one handle to flip rules
+/// mid-run while the fabrics consult another.
+#[derive(Clone)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.inner.seed)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finalizer: decorrelates link ids from the plan seed.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn endpoint_bits(s: ServerId) -> u64 {
+    ((s.dc.0 as u64) << 16) | s.partition.0 as u64
+}
+
+impl FaultPlan {
+    /// A plan with no active faults, replayable from `seed` once rules
+    /// are enabled.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(Inner {
+                seed,
+                rules: Mutex::new(Rules::default()),
+                links: Mutex::new(HashMap::new()),
+                dropped: AtomicU64::new(0),
+                duplicated: AtomicU64::new(0),
+                delayed: AtomicU64::new(0),
+                severed: AtomicU64::new(0),
+                dials_refused: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The seed the plan was built from (printed by chaos drivers so a
+    /// red run is replayable).
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Sets the per-frame fault probabilities (each in `[0, 1]`;
+    /// evaluated in drop → duplicate → delay order from one roll).
+    pub fn set_rates(&self, drop: f64, duplicate: f64, delay: f64) {
+        let mut rules = self.inner.rules.lock().expect("fault rules poisoned");
+        rules.drop = drop;
+        rules.duplicate = duplicate;
+        rules.delay = delay;
+    }
+
+    /// Refuse (or stop refusing) every dial.
+    pub fn refuse_dials(&self, on: bool) {
+        self.inner.rules.lock().expect("fault rules poisoned").refuse_dials = on;
+    }
+
+    /// Orders the next send on `a → b` and `b → a` to sever its link.
+    pub fn sever_link(&self, a: ServerId, b: ServerId) {
+        let mut rules = self.inner.rules.lock().expect("fault rules poisoned");
+        rules.severed.insert((a, b));
+        rules.severed.insert((b, a));
+    }
+
+    /// Partitions the network: servers inside `group` cannot exchange
+    /// frames with, or dial, servers outside it (and vice versa) until
+    /// [`heal`](FaultPlan::heal).
+    pub fn partition(&self, group: &[ServerId]) {
+        let mut rules = self.inner.rules.lock().expect("fault rules poisoned");
+        rules.island = Some(group.iter().copied().collect());
+    }
+
+    /// Removes the partition rule.
+    pub fn heal(&self) {
+        self.inner.rules.lock().expect("fault rules poisoned").island = None;
+    }
+
+    /// Whether a dial `from → to` may proceed right now.
+    pub fn allow_dial(&self, from: ServerId, to: ServerId) -> bool {
+        let rules = self.inner.rules.lock().expect("fault rules poisoned");
+        let refused = rules.refuse_dials || crosses(&rules.island, from, to);
+        if refused {
+            self.inner.dials_refused.fetch_add(1, Ordering::Relaxed);
+        }
+        !refused
+    }
+
+    /// Judges one outbound frame on the link `from → to`.
+    ///
+    /// The common healthy path returns [`SendVerdict::Pass`] without
+    /// copying the frame; any fault (or a pending held frame) returns
+    /// the exact replacement sequence.
+    pub fn on_send(&self, from: ServerId, to: ServerId, frame: &[u8]) -> SendVerdict {
+        let (roll, ordered_sever, blocked) = {
+            let mut rules = self.inner.rules.lock().expect("fault rules poisoned");
+            // One-shot sever orders are consumed here.
+            let ordered = rules.severed.remove(&(from, to));
+            (
+                (rules.drop, rules.duplicate, rules.delay),
+                ordered,
+                crosses(&rules.island, from, to),
+            )
+        };
+
+        let mut links = self.inner.links.lock().expect("fault links poisoned");
+        let link = links.entry((from, to)).or_insert_with(|| LinkState {
+            rng: SmallRng::seed_from_u64(mix(
+                self.inner.seed ^ (endpoint_bits(from) << 20) ^ endpoint_bits(to),
+            )),
+            held: Vec::new(),
+        });
+
+        if ordered_sever || blocked {
+            // The frame and anything held die with the connection.
+            link.held.clear();
+            self.inner.severed.fetch_add(1, Ordering::Relaxed);
+            return SendVerdict::Mutate { frames: Vec::new(), sever: true };
+        }
+
+        let (p_drop, p_dup, p_delay) = roll;
+        let r: f64 = link.rng.gen();
+        if r < p_drop {
+            link.held.clear();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return SendVerdict::Mutate { frames: Vec::new(), sever: true };
+        }
+
+        let now = Instant::now();
+        if r < p_drop + p_dup {
+            self.inner.duplicated.fetch_add(1, Ordering::Relaxed);
+            let mut frames = Vec::with_capacity(2 + link.held.len());
+            frames.push(frame.to_vec());
+            frames.push(frame.to_vec());
+            frames.extend(link.held.drain(..).map(|(_, f)| f));
+            return SendVerdict::Mutate { frames, sever: false };
+        }
+        if r < p_drop + p_dup + p_delay && link.held.len() < HOLD_CAP {
+            self.inner.delayed.fetch_add(1, Ordering::Relaxed);
+            link.held.push((now, frame.to_vec()));
+            // Aged holds still flush so a quiet fault window cannot
+            // park frames forever.
+            let frames = drain_aged(&mut link.held, now);
+            return SendVerdict::Mutate { frames, sever: false };
+        }
+
+        if link.held.is_empty() {
+            return SendVerdict::Pass;
+        }
+        // Healthy roll with holds pending: the current frame overtakes
+        // every held one — this is where the reordering lands.
+        let mut frames = Vec::with_capacity(1 + link.held.len());
+        frames.push(frame.to_vec());
+        frames.extend(link.held.drain(..).map(|(_, f)| f));
+        SendVerdict::Mutate { frames, sever: false }
+    }
+
+    /// Current injection counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            duplicated: self.inner.duplicated.load(Ordering::Relaxed),
+            delayed: self.inner.delayed.load(Ordering::Relaxed),
+            severed: self.inner.severed.load(Ordering::Relaxed),
+            dials_refused: self.inner.dials_refused.load(Ordering::Relaxed),
+        }
+    }
+
+}
+
+/// True when `(from, to)` crosses the partition boundary.
+fn crosses(island: &Option<HashSet<ServerId>>, from: ServerId, to: ServerId) -> bool {
+    match island {
+        Some(group) => group.contains(&from) != group.contains(&to),
+        None => false,
+    }
+}
+
+/// Removes and returns every held frame at or past the age flush.
+fn drain_aged(held: &mut Vec<(Instant, Vec<u8>)>, now: Instant) -> Vec<Vec<u8>> {
+    if held.first().is_none_or(|(t, _)| now.duration_since(*t) < HOLD_MAX_AGE) {
+        return Vec::new();
+    }
+    // Holds are appended in time order, so aging splits at a prefix.
+    let split = held
+        .iter()
+        .position(|(t, _)| now.duration_since(*t) < HOLD_MAX_AGE)
+        .unwrap_or(held.len());
+    held.drain(..split).map(|(_, f)| f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(dc: u8, p: u16) -> ServerId {
+        ServerId::new(dc, p)
+    }
+
+    #[test]
+    fn healthy_plan_passes_everything() {
+        let plan = FaultPlan::seeded(7);
+        for i in 0..100u8 {
+            assert_eq!(plan.on_send(sid(0, 0), sid(1, 0), &[i]), SendVerdict::Pass);
+        }
+        assert!(plan.allow_dial(sid(0, 0), sid(1, 0)));
+        assert_eq!(plan.stats().injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_fault_sequence() {
+        let mk = || {
+            let plan = FaultPlan::seeded(42);
+            plan.set_rates(0.2, 0.2, 0.2);
+            let mut trace = Vec::new();
+            for i in 0..200u8 {
+                trace.push(plan.on_send(sid(0, 1), sid(1, 1), &[i]));
+            }
+            trace
+        };
+        assert_eq!(mk(), mk());
+        // A different seed diverges (with overwhelming probability).
+        let other = FaultPlan::seeded(43);
+        other.set_rates(0.2, 0.2, 0.2);
+        let diverged = (0..200u8)
+            .map(|i| other.on_send(sid(0, 1), sid(1, 1), &[i]))
+            .collect::<Vec<_>>();
+        assert_ne!(mk(), diverged);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_mutations() {
+        let plan = FaultPlan::seeded(3);
+        // Force a hold, then a healthy frame: the healthy one must
+        // overtake the held one.
+        plan.set_rates(0.0, 0.0, 1.0);
+        assert_eq!(
+            plan.on_send(sid(0, 0), sid(1, 0), b"first"),
+            SendVerdict::Mutate { frames: vec![], sever: false }
+        );
+        plan.set_rates(0.0, 0.0, 0.0);
+        match plan.on_send(sid(0, 0), sid(1, 0), b"second") {
+            SendVerdict::Mutate { frames, sever: false } => {
+                assert_eq!(frames, vec![b"second".to_vec(), b"first".to_vec()]);
+            }
+            v => panic!("expected reorder release, got {v:?}"),
+        }
+        // Duplication emits the frame twice.
+        plan.set_rates(0.0, 1.0, 0.0);
+        match plan.on_send(sid(0, 0), sid(1, 0), b"twice") {
+            SendVerdict::Mutate { frames, sever: false } => {
+                assert_eq!(frames, vec![b"twice".to_vec(), b"twice".to_vec()]);
+            }
+            v => panic!("expected duplication, got {v:?}"),
+        }
+        let stats = plan.stats();
+        assert_eq!((stats.delayed, stats.duplicated), (1, 1));
+    }
+
+    #[test]
+    fn drop_severs_and_discards_holds() {
+        let plan = FaultPlan::seeded(5);
+        plan.set_rates(0.0, 0.0, 1.0);
+        let _ = plan.on_send(sid(0, 0), sid(1, 0), b"held");
+        plan.set_rates(1.0, 0.0, 0.0);
+        assert_eq!(
+            plan.on_send(sid(0, 0), sid(1, 0), b"doomed"),
+            SendVerdict::Mutate { frames: vec![], sever: true }
+        );
+        // The held frame died with the link: a later healthy send
+        // carries nothing extra.
+        plan.set_rates(0.0, 0.0, 0.0);
+        assert_eq!(plan.on_send(sid(0, 0), sid(1, 0), b"x"), SendVerdict::Pass);
+        assert_eq!(plan.stats().dropped, 1);
+    }
+
+    #[test]
+    fn partition_blocks_both_frames_and_dials() {
+        let plan = FaultPlan::seeded(9);
+        plan.partition(&[sid(0, 0), sid(0, 1)]);
+        // Crossing the island boundary: severed and refused.
+        assert_eq!(
+            plan.on_send(sid(0, 0), sid(1, 0), b"x"),
+            SendVerdict::Mutate { frames: vec![], sever: true }
+        );
+        assert!(!plan.allow_dial(sid(1, 0), sid(0, 0)));
+        // Inside the island: untouched.
+        assert_eq!(plan.on_send(sid(0, 0), sid(0, 1), b"x"), SendVerdict::Pass);
+        assert!(plan.allow_dial(sid(0, 0), sid(0, 1)));
+        plan.heal();
+        assert_eq!(plan.on_send(sid(0, 0), sid(1, 0), b"x"), SendVerdict::Pass);
+        assert!(plan.allow_dial(sid(1, 0), sid(0, 0)));
+    }
+
+    #[test]
+    fn sever_link_is_one_shot_and_bidirectional() {
+        let plan = FaultPlan::seeded(11);
+        plan.sever_link(sid(0, 0), sid(1, 0));
+        for (a, b) in [(sid(0, 0), sid(1, 0)), (sid(1, 0), sid(0, 0))] {
+            assert_eq!(
+                plan.on_send(a, b, b"x"),
+                SendVerdict::Mutate { frames: vec![], sever: true }
+            );
+            // Consumed: the next send passes.
+            assert_eq!(plan.on_send(a, b, b"x"), SendVerdict::Pass);
+        }
+        assert_eq!(plan.stats().severed, 2);
+    }
+}

@@ -35,12 +35,23 @@
 //!   reassembling length-prefixed frames from arbitrary chunk
 //!   boundaries via [`wren_protocol::frame::FrameDecoder`];
 //! * [`poll`] — a minimal safe wrapper over raw `epoll` + `eventfd`
-//!   (direct FFI; the build has no registry access for `mio`);
+//!   (direct FFI; the build has no registry access for `mio`),
+//!   including the `SO_REUSEADDR` listener bind that lets a killed
+//!   partition rebind its exact address immediately on restart;
 //! * [`reactor`] — the fixed-thread-pool event loop: [`Reactor`] owns
 //!   every connection fd, feeds readable bytes through per-connection
 //!   `FrameDecoder`s into a [`ReactorHandler`], and drains each
 //!   connection's queue on writable readiness with partial-write
 //!   state, preserving the outbox's bounded-overflow semantics.
+//!   Listeners registered with [`Reactor::add_listener`] return a
+//!   [`ListenerHandle`] so a single partition's accept path can be
+//!   torn down (fd reaped by the owning reactor thread) without
+//!   stopping the pool;
+//! * [`fault`] — a seeded, deterministic [`FaultPlan`] both fabrics
+//!   consult at the frame boundary: drop-and-sever, duplicate,
+//!   delay/reorder, refused dials, link severs and peer partitions,
+//!   all replayable from one seed (see the module docs for why a
+//!   dropped frame must sever its TCP link).
 //!
 //! The crate is deliberately runtime-agnostic: it knows sockets and
 //! frames, not engines or routers. `wren-rt` wires these pieces to its
@@ -53,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 mod hello;
 mod outbox;
 pub mod poll;
@@ -60,7 +72,8 @@ pub mod reactor;
 mod reader;
 
 pub use error::NetError;
+pub use fault::{FaultPlan, FaultStats, SendVerdict};
 pub use hello::Hello;
 pub use outbox::{Outbox, DEFAULT_OUTBOX_BYTES};
-pub use reactor::{ConnHandle, Reactor, ReactorHandler};
+pub use reactor::{ConnHandle, ListenerHandle, Reactor, ReactorHandler};
 pub use reader::FramedReader;

@@ -51,6 +51,22 @@ mod sys {
         pub data: u64,
     }
 
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    /// `struct sockaddr_in` (IPv4 only — the fabrics bind loopback).
+    #[repr(C)]
+    #[derive(Clone, Copy, Default)]
+    pub struct SockAddrIn {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
     extern "C" {
         fn epoll_create1(flags: i32) -> i32;
         fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
@@ -58,6 +74,55 @@ mod sys {
         fn eventfd(initval: u32, flags: i32) -> i32;
         fn read(fd: i32, buf: *mut core::ffi::c_void, count: usize) -> isize;
         fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const core::ffi::c_void, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, addrlen: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+
+    /// Creates an IPv4 TCP listener bound to `(addr, port)` with
+    /// `SO_REUSEADDR` set *before* the bind, so a restarted partition
+    /// can rebind an address whose previous sockets linger in
+    /// `TIME_WAIT`. `std::net::TcpListener::bind` offers no way to set
+    /// the option pre-bind, which makes restart-in-place flaky.
+    pub fn listener_reuseaddr(addr: [u8; 4], port: u16) -> io::Result<OwnedFd> {
+        // SAFETY: plain syscall; a non-negative return is a fresh fd we
+        // immediately take unique ownership of.
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+        let one: i32 = 1;
+        // SAFETY: valid pointer + exact length of the option value.
+        if unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                (&one as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        } < 0
+        {
+            return Err(io::Error::last_os_error());
+        }
+        let sa = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: u32::from_ne_bytes(addr),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` lives on the stack for the duration of the call;
+        // the kernel copies it out.
+        if unsafe { bind(fd, &sa, std::mem::size_of::<SockAddrIn>() as u32) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: plain syscall on the fd we own.
+        if unsafe { listen(fd, 128) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(owned)
     }
 
     pub fn create_epoll() -> io::Result<OwnedFd> {
@@ -314,11 +379,28 @@ impl Waker {
     }
 }
 
+/// Binds an IPv4 TCP listener with `SO_REUSEADDR` set before the bind.
+///
+/// A killed partition leaves its accepted sockets in `TIME_WAIT`; a
+/// plain `TcpListener::bind` of the same address then fails with
+/// `EADDRINUSE` for up to a minute, which would make restart-in-place
+/// flaky. Std offers no pre-bind socket options without external
+/// crates, so this goes through the [`sys`] FFI (`socket` →
+/// `setsockopt` → `bind` → `listen`) and hands the fd to std.
+///
+/// # Errors
+///
+/// The raw error of whichever syscall failed.
+pub fn bind_reusable(addr: std::net::SocketAddrV4) -> io::Result<std::net::TcpListener> {
+    let fd = sys::listener_reuseaddr(addr.ip().octets(), addr.port())?;
+    Ok(std::net::TcpListener::from(fd))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::Write;
-    use std::net::{TcpListener, TcpStream};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
 
     #[test]
     fn waker_wakes_a_blocking_wait() {
@@ -373,5 +455,26 @@ mod tests {
         poller.remove(&accepted).unwrap();
         let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
         assert_eq!(n, 0, "removed fd must stop reporting");
+    }
+
+    #[test]
+    fn reusable_bind_accepts_and_rebinds_same_port() {
+        use std::net::{Ipv4Addr, SocketAddrV4};
+        let first = bind_reusable(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = first.local_addr().unwrap();
+        // A live connection through the bound listener works end to end.
+        let mut dial = TcpStream::connect(addr).unwrap();
+        let (mut accepted, _) = first.accept().unwrap();
+        dial.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        std::io::Read::read_exact(&mut accepted, &mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        // Drop the listener with the accepted conn still open (its
+        // teardown leaves TIME_WAIT state behind) and rebind the exact
+        // same port immediately — the whole point of SO_REUSEADDR.
+        drop(first);
+        let SocketAddr::V4(v4) = addr else { panic!("loopback is v4") };
+        let second = bind_reusable(v4).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
     }
 }

@@ -229,6 +229,25 @@ impl ConnHandle {
     }
 }
 
+/// Handle to one reactor-registered listener, so a single partition's
+/// accept path can be torn down (fd closed and reaped by the owning
+/// reactor thread) without stopping the pool — the failover primitive
+/// `wren-rt` uses to kill a partition over the reactor fabric.
+#[derive(Clone)]
+pub struct ListenerHandle {
+    token: u64,
+    thread: Arc<ThreadShared>,
+}
+
+impl ListenerHandle {
+    /// Closes the listener: the owning reactor thread drops the fd
+    /// (removing it from the interest list) and stops accepting.
+    /// Connections it already accepted are unaffected. Idempotent.
+    pub fn close(&self) {
+        self.thread.push(Cmd::Sever(self.token));
+    }
+}
+
 /// A connection that exists but is not yet installed in its reactor
 /// thread's entry map.
 struct NewConn<C> {
@@ -378,18 +397,20 @@ impl<H: ReactorHandler> Reactor<H> {
     /// Registers a listening socket. Accepted connections get a send
     /// queue capped at `conn_max_bytes` and are distributed round-robin
     /// across the pool; `ctx` is echoed to
-    /// [`ReactorHandler::on_accept`].
+    /// [`ReactorHandler::on_accept`]. The returned [`ListenerHandle`]
+    /// closes just this listener, leaving the pool (and its accepted
+    /// connections) running.
     ///
     /// # Errors
     ///
     /// Socket configuration errors; a listener registered during
-    /// shutdown is silently dropped.
+    /// shutdown is silently dropped (its handle is inert).
     pub fn add_listener(
         &self,
         listener: TcpListener,
         ctx: u64,
         conn_max_bytes: usize,
-    ) -> io::Result<()> {
+    ) -> io::Result<ListenerHandle> {
         listener.set_nonblocking(true)?;
         let token = self.shared.token();
         let ti = self.shared.pick_thread();
@@ -404,7 +425,10 @@ impl<H: ReactorHandler> Reactor<H> {
         ) {
             self.shared.discard_pending(ti, retracted);
         }
-        Ok(())
+        Ok(ListenerHandle {
+            token,
+            thread: Arc::clone(&self.shared.threads[ti].shared),
+        })
     }
 
     /// Registers an already-connected (e.g. freshly dialed) socket with
@@ -578,7 +602,21 @@ fn reactor_loop<H: ReactorHandler>(shared: Arc<Shared<H>>, idx: usize, poller: P
         for cmd in cmds {
             match cmd {
                 Cmd::Flush(token) => flush_conn(&shared, me, &poller, &mut entries, token),
-                Cmd::Sever(token) => close_conn(&shared, me, &mut entries, token),
+                Cmd::Sever(token) => {
+                    close_conn(&shared, me, &mut entries, token);
+                    // The target may still sit in the pending queue (a
+                    // listener closed right after registration): retract
+                    // it so it cannot install after its own sever.
+                    let retracted = {
+                        let mut q = me.pending.lock().unwrap_or_else(|e| e.into_inner());
+                        q.iter()
+                            .position(|p| p.token() == token)
+                            .map(|pos| q.remove(pos))
+                    };
+                    if let Some(p) = retracted {
+                        shared.discard_pending(idx, p);
+                    }
+                }
             }
         }
 
@@ -872,9 +910,10 @@ fn flush_conn<H: ReactorHandler>(
     }
 }
 
-/// Removes and closes connection `token`, running the handler's
-/// `on_close`. Dropping the stream closes the fd, which also removes it
-/// from the epoll interest list.
+/// Removes and closes the entry under `token` — a connection (running
+/// the handler's `on_close`) or a listener (no callback; it has no
+/// protocol state). Dropping the socket closes the fd, which also
+/// removes it from the epoll interest list.
 fn close_conn<H: ReactorHandler>(
     shared: &Arc<Shared<H>>,
     me: &ThreadState<H::Conn>,
@@ -1056,6 +1095,56 @@ mod tests {
         let mut reader = FramedReader::new(stream);
         let payload = reader.next_frame().unwrap().expect("frame");
         assert_eq!(WrenMsg::decode(&payload).unwrap(), msg);
+        reactor.shutdown();
+        reactor.join();
+    }
+
+    #[test]
+    fn closing_a_listener_stops_accepts_but_keeps_live_conns() {
+        let reactor = Reactor::start(1, Echo::new()).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let lh = reactor.add_listener(listener, 0, 1024 * 1024).unwrap();
+
+        // A connection accepted before the close keeps echoing after it.
+        let mut alive = connect(addr);
+        let msg = WrenMsg::Heartbeat {
+            t: Timestamp::from_micros(1),
+        };
+        alive.write_all(&frame_wren(&msg)).unwrap();
+        let mut reader = FramedReader::new(alive.try_clone().unwrap());
+        assert!(reader.next_frame().unwrap().is_some());
+
+        lh.close();
+        lh.close(); // idempotent
+
+        // The listener fd is gone: new dials are refused (or accepted
+        // by the kernel backlog and immediately dead). Poll until the
+        // close has taken effect on the reactor thread.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpStream::connect(addr) {
+                Err(_) => break,
+                Ok(s) => {
+                    // Backlog raced the close: the conn must die rather
+                    // than get served.
+                    let mut r = FramedReader::new(s.try_clone().unwrap());
+                    let mut w = s;
+                    let _ = w.write_all(&frame_wren(&msg));
+                    match r.next_frame() {
+                        Ok(None) | Err(_) => break,
+                        Ok(Some(_)) => {
+                            assert!(Instant::now() < deadline, "listener never closed");
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+            }
+        }
+
+        // The pre-close connection still works.
+        alive.write_all(&frame_wren(&msg)).unwrap();
+        assert!(reader.next_frame().unwrap().is_some());
         reactor.shutdown();
         reactor.join();
     }

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wren_core::{ServerStats, WrenConfig};
+use wren_net::FaultPlan;
 use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
 use wren_core::FsyncPolicy;
 
@@ -30,6 +31,16 @@ pub(crate) enum RtMsg {
     /// messages, undispatched responses and unflushed WAL bytes — the
     /// in-process stand-in for `kill -9`.
     Kill,
+    /// The TCP connection that carried `peer`-origin traffic into this
+    /// partition died (EOF or error on the accepted socket). Only the
+    /// TCP fabrics emit this; the channel transport has no links to
+    /// lose. The engine reacts when the peer is a sibling replica —
+    /// replication from it may have been cut mid-stream, so a catch-up
+    /// window opens until the peer re-ships what was in flight.
+    PeerLinkLost {
+        /// The peer whose outbound link to this server went away.
+        peer: ServerId,
+    },
 }
 
 /// Which thread topology serves the TCP sockets.
@@ -83,6 +94,18 @@ impl Fabric {
         match self {
             Fabric::Threaded(f) => f.dropped_frames(),
             Fabric::Reactor(f) => f.dropped_frames(),
+        }
+    }
+
+    /// Tears down one server's network presence abruptly: its listener
+    /// closes (the address frees for a restart rebind), every
+    /// established connection it owns is severed mid-stream, and peer
+    /// links to or from it are dropped. Peers observe EOF — exactly
+    /// what `kill -9` on the server's process would produce.
+    pub(crate) fn kill_server(&self, id: ServerId) {
+        match self {
+            Fabric::Threaded(f) => f.kill_server(id),
+            Fabric::Reactor(f) => f.kill_server(id),
         }
     }
 }
@@ -203,6 +226,15 @@ impl Router {
     pub(crate) fn unregister_client(&self, id: ClientId) {
         self.clients.write().remove(&id);
     }
+
+    /// Tells the engine at `at` that the inbound connection carrying
+    /// `peer`-origin traffic died. Called from connection-teardown paths
+    /// in both TCP fabrics; a failed send means the local engine is
+    /// down too, which needs no reaction.
+    pub(crate) fn notify_link_lost(&self, at: ServerId, peer: ServerId) {
+        let idx = self.index_of(at);
+        let _ = self.server_txs[idx].send(RtMsg::PeerLinkLost { peer });
+    }
 }
 
 /// Configuration for an in-process Wren cluster.
@@ -222,6 +254,9 @@ pub struct ClusterBuilder {
     durable_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
     checkpoint_interval: Duration,
+    fault_plan: Option<FaultPlan>,
+    dial_retry_budget: Duration,
+    tx_abort_timeout: Duration,
 }
 
 impl Default for ClusterBuilder {
@@ -241,6 +276,9 @@ impl Default for ClusterBuilder {
             durable_dir: None,
             fsync: FsyncPolicy::Always,
             checkpoint_interval: Duration::from_millis(500),
+            fault_plan: None,
+            dial_retry_budget: Duration::from_millis(100),
+            tx_abort_timeout: Duration::from_secs(3),
         }
     }
 }
@@ -382,6 +420,40 @@ impl ClusterBuilder {
     /// ever-growing log generation). Ignored without [`Self::durable`].
     pub fn checkpoint_interval(mut self, d: Duration) -> Self {
         self.checkpoint_interval = d;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan underneath the TCP
+    /// fabric: every server-to-server frame and every peer dial consults
+    /// it, so a seeded [`FaultPlan`] can drop, duplicate, delay or
+    /// reorder inter-server traffic, refuse dials, or partition peers —
+    /// replayably, from one seed. Client↔server sockets are unaffected
+    /// (sessions model a co-located client). Ignored in channel mode.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Total time a TCP session keeps retrying a refused dial (with
+    /// jittered exponential backoff) before reporting the server
+    /// unreachable (default 100 ms). Small budgets make sessions fail
+    /// fast and lean on their own retry loop; large ones ride out a
+    /// restart inside a single dial. Ignored in channel mode.
+    pub fn dial_retry_budget(mut self, d: Duration) -> Self {
+        self.dial_retry_budget = d;
+        self
+    }
+
+    /// How long a coordinator lets a transaction that has started its
+    /// 2PC fan-out sit without a full set of votes before unilaterally
+    /// aborting it (default 3 s). This is the crash-failover backstop:
+    /// when a cohort dies mid-prepare and recovers without the prepare,
+    /// the coordinator eventually aborts rather than pinning the
+    /// transaction's locks and GC watermark forever. Idle *interactive*
+    /// transactions (between start and commit) are never aborted — the
+    /// timer arms at the commit fan-out.
+    pub fn tx_abort_timeout(mut self, d: Duration) -> Self {
+        self.tx_abort_timeout = d;
         self
     }
 
@@ -528,6 +600,7 @@ impl Cluster {
                     addrs.as_ref().clone(),
                     cfg.n_partitions,
                     cfg.tcp_client_outbox_bytes,
+                    cfg.fault_plan.clone(),
                 )),
                 FabricKind::Reactor => Fabric::Reactor(ReactorFabric::start(
                     addrs.as_ref().clone(),
@@ -536,6 +609,7 @@ impl Cluster {
                     cfg.reactor_threads,
                     listeners.take().expect("TCP mode binds listeners"),
                     weak.clone(),
+                    cfg.fault_plan.clone(),
                 )),
             }),
         });
@@ -569,6 +643,7 @@ impl Cluster {
                     Arc::clone(&router),
                     ticks_of(&cfg),
                     durability_of(&cfg, id, false),
+                    cfg.tx_abort_timeout,
                 )));
             }
         }
@@ -637,6 +712,7 @@ impl Cluster {
                 Arc::clone(&self.addrs),
                 self.cfg.n_partitions,
                 self.cfg.session_timeout,
+                self.cfg.dial_retry_budget,
             );
         }
         let rx = self.router.register_client(id);
@@ -657,23 +733,30 @@ impl Cluster {
     /// are lost, exactly as a crash would lose them. Read workers are
     /// stopped too (reads are stateless, so nothing is lost there).
     ///
+    /// In TCP mode the kill extends to the partition's sockets: its
+    /// listener closes (freeing the address for the restart rebind) and
+    /// every established connection it owns — accepted sessions, dialed
+    /// peer links — is severed mid-stream, exactly as the OS would reap
+    /// a dead process's fds. Peers observe EOF, park their links and
+    /// re-dial with backoff until the partition returns.
+    ///
     /// Only meaningful on a [durable](ClusterBuilder::durable) cluster
     /// — a killed non-durable partition has nothing to recover from —
-    /// but allowed on any channel-mode cluster for testing.
+    /// but allowed on any cluster for testing.
     ///
     /// # Panics
     ///
-    /// Panics in TCP mode (socket teardown for a single partition is
-    /// not modelled), if `dc`/`p` are out of range, or if the partition
-    /// is already down.
+    /// Panics if `dc`/`p` are out of range, or if the partition is
+    /// already down.
     pub fn kill_partition(&mut self, dc: u8, p: u16) -> ServerStats {
-        assert!(
-            self.cfg.tcp.is_none(),
-            "kill/restart is supported on the channel transport only"
-        );
         let id = ServerId::new(dc, p);
         let idx = id.dc_major_index(self.cfg.n_partitions);
         let engine = self.engines[idx].take().expect("partition already down");
+        // Sockets first, so in-flight frames die with the process and
+        // nothing new lands in the inbox behind the kill pill.
+        if let Some(fabric) = self.router.tcp() {
+            fabric.kill_server(id);
+        }
         let _ = self.router.server_txs[idx].send(RtMsg::Kill);
         if !self.router.read_txs.is_empty() {
             for _ in 0..self.cfg.read_workers {
@@ -693,15 +776,17 @@ impl Cluster {
     /// lost, and recovering them from the channel would let the test
     /// pass without the WAL working.
     ///
+    /// In TCP mode the partition also rebinds its original listen
+    /// address (`SO_REUSEADDR` makes the exact address reusable
+    /// immediately) before the engine relaunches: parked peer links
+    /// re-dial it with backoff and replication resumes; sessions that
+    /// kept retrying reconnect as if the server had merely been slow.
+    ///
     /// # Panics
     ///
-    /// Panics if the partition is still running, if the cluster is not
-    /// [durable](ClusterBuilder::durable), or in TCP mode.
+    /// Panics if the partition is still running or if the cluster is
+    /// not [durable](ClusterBuilder::durable).
     pub fn restart_partition(&mut self, dc: u8, p: u16) {
-        assert!(
-            self.cfg.tcp.is_none(),
-            "kill/restart is supported on the channel transport only"
-        );
         assert!(
             self.cfg.durable_dir.is_some(),
             "restart requires a durable cluster"
@@ -714,6 +799,22 @@ impl Cluster {
         if let Some(rrx) = &self.read_rxs[idx] {
             while rrx.try_recv().is_some() {}
         }
+        // Network back first: frames accepted between rebind and engine
+        // launch just queue in the (freshly drained) inbox.
+        if let Some(fabric) = self.router.tcp() {
+            let SocketAddr::V4(v4) = self.addrs[idx] else {
+                unreachable!("listeners bind IPv4 loopback")
+            };
+            let listener =
+                wren_net::poll::bind_reusable(v4).expect("rebind the partition's address");
+            match fabric {
+                Fabric::Threaded(f) => {
+                    f.revive_server(id);
+                    spawn_acceptors(&self.router, vec![(id, listener)]);
+                }
+                Fabric::Reactor(f) => f.restart_server(id, listener),
+            }
+        }
         self.engines[idx] = Some(PartitionEngine::launch(
             id,
             self.wren_cfg,
@@ -725,6 +826,7 @@ impl Cluster {
             Arc::clone(&self.router),
             ticks_of(&self.cfg),
             durability_of(&self.cfg, id, true),
+            self.cfg.tx_abort_timeout,
         ));
     }
 

@@ -118,17 +118,19 @@ impl PartitionEngine {
         router: Arc<Router>,
         ticks: Ticks,
         durable: Option<Durability>,
+        tx_abort_timeout: Duration,
     ) -> PartitionEngine {
         // Built on the spawning thread so reader handles can be taken
         // before the state machine moves into the writer thread — and so
         // recovery (checkpoint load + WAL replay) completes before any
         // traffic can reach the partition.
         let rejoin = durable.as_ref().is_some_and(|d| d.rejoin);
-        let server = match &durable {
+        let mut server = match &durable {
             Some(d) => WrenServer::recover(id, cfg, SkewedClock::perfect(), &d.dir, d.policy)
                 .expect("durable partition recovery"),
             None => WrenServer::new(id, cfg, SkewedClock::perfect()),
         };
+        server.set_tx_abort_timeout(tx_abort_timeout.as_micros() as u64);
         let reader = server.reader();
         let mut workers = Vec::new();
         if let Some((read_rx, n_workers)) = read_pool {
@@ -245,7 +247,7 @@ pub(crate) fn server_loop(
         // First thing on the wire after a restart: ask every sibling
         // replica to re-ship what was lost with the dead process's
         // inbox, before any new traffic interleaves.
-        server.begin_rejoin(&mut out);
+        server.begin_rejoin(epoch.elapsed().as_micros() as u64, &mut out);
         commit_and_dispatch(id, &mut server, &router, &mut out);
     }
 
@@ -270,6 +272,9 @@ pub(crate) fn server_loop(
                         Some(RtMsg::Proto { src, msg }) => {
                             server.handle(src, msg, now, &mut out);
                         }
+                        Some(RtMsg::PeerLinkLost { peer }) => {
+                            server.on_peer_link_lost(peer, now, &mut out);
+                        }
                         Some(RtMsg::Shutdown) => {
                             return finish(id, server, epoch, &rx, &router, out);
                         }
@@ -277,6 +282,11 @@ pub(crate) fn server_loop(
                         None => break,
                     }
                 }
+                commit_and_dispatch(id, &mut server, &router, &mut out);
+            }
+            Ok(RtMsg::PeerLinkLost { peer }) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                server.on_peer_link_lost(peer, now, &mut out);
                 commit_and_dispatch(id, &mut server, &router, &mut out);
             }
             Ok(RtMsg::Shutdown) => return finish(id, server, epoch, &rx, &router, out),
@@ -345,6 +355,7 @@ fn finish(
     while let Some(m) = rx.try_recv() {
         match m {
             RtMsg::Proto { src, msg } => server.handle(src, msg, now, &mut out),
+            RtMsg::PeerLinkLost { peer } => server.on_peer_link_lost(peer, now, &mut out),
             RtMsg::Shutdown => {}
             RtMsg::Kill => return server.stats(),
         }

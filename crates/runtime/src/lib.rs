@@ -37,6 +37,16 @@
 //!   exercise the crash path end to end: an abrupt kill loses exactly
 //!   what the fsync policy permits, and a restarted partition catches
 //!   up from its sibling replicas before serving as if it never left.
+//!   Over TCP the kill is real: the victim's listener closes and every
+//!   one of its sockets is torn down, peers park the dead link behind
+//!   jittered exponential backoff and re-dial on demand, and sessions
+//!   transparently reconnect and retry idempotent operations
+//!   (commits are never re-sent);
+//! * [`ClusterBuilder::fault_plan`] — a seeded, replayable
+//!   [`FaultPlan`] underneath either TCP fabric: drop / duplicate /
+//!   delay / reorder server-to-server frames, refuse dials, sever
+//!   links or partition the peer set — the substrate for the chaos
+//!   failover oracle.
 //!
 //! # Example
 //!
@@ -71,3 +81,4 @@ pub use cluster::{Cluster, ClusterBuilder};
 pub use error::RtError;
 pub use session::Session;
 pub use wren_core::FsyncPolicy;
+pub use wren_net::fault::{FaultPlan, FaultStats};

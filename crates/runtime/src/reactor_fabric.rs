@@ -29,21 +29,33 @@
 //! accept/dial/register-vs-sweep races close the same way as in the
 //! threaded fabric: re-check the closing flag *after* publishing, so
 //! exactly one side severs.
+//!
+//! **Failover and fault injection** follow the threaded fabric's model
+//! (see [`crate::tcp`]'s module docs for the full lifecycle): a killed
+//! server's [`ListenerHandle`] closes (its reactor thread reaps the fd,
+//! freeing the address for the restart rebind), every connection it
+//! owns is severed, peer links toward it park behind the shared
+//! jittered dial backoff, a lost inbound peer link is reported via
+//! [`Router::notify_link_lost`] (from [`ReactorHandler::on_close`], the
+//! reactor's exactly-once teardown callback), and every server→server
+//! frame and dial consults the optional [`FaultPlan`].
 
 use crate::cluster::{Fabric, Router};
-use crate::tcp::{legal_from_client, legal_from_server, SERVER_OUTBOX_BYTES};
+use crate::tcp::{legal_from_client, legal_from_server, PeerLink, SERVER_OUTBOX_BYTES};
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use wren_net::{ConnHandle, Hello, Reactor, ReactorHandler};
+use wren_net::{ConnHandle, FaultPlan, Hello, ListenerHandle, Reactor, ReactorHandler, SendVerdict};
 use wren_protocol::frame::try_frame_wren;
 use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
 
 /// One outbound link's slot: serializes dial + enqueue for its
-/// (engine, peer) pair only, exactly like the threaded fabric's.
-type PeerSlot = Arc<Mutex<Option<ConnHandle>>>;
+/// (engine, peer) pair only, exactly like the threaded fabric's, with
+/// the same park-on-refused-dial gate ([`PeerLink`]).
+type PeerSlot = Arc<Mutex<PeerLink<ConnHandle>>>;
 
 /// Per-process reactor-fabric state: listener addresses, live link and
 /// client registries, and the reactor itself.
@@ -51,14 +63,30 @@ pub(crate) struct ReactorFabric {
     /// All servers' listen addresses, DC-major partition order.
     addrs: Vec<SocketAddr>,
     n_partitions: u16,
+    /// The client-connection outbox cap, kept for restart re-binds.
+    client_outbox_bytes: usize,
     /// Outbound links, one slot per (local engine, remote server) pair.
     peers: RwLock<HashMap<(ServerId, ServerId), PeerSlot>>,
     /// Response sinks for connected clients, registered at hello time.
     clients: RwLock<HashMap<ClientId, ConnHandle>>,
+    /// Per-server listener handles, DC-major order: `None` while a
+    /// server is killed (its handle was closed) until its restart
+    /// registers a fresh listener.
+    listeners: Mutex<Vec<Option<ListenerHandle>>>,
+    /// Accepted connections keyed by fabric-assigned id and tagged with
+    /// the accepting server, so [`Self::kill_server`] can sever exactly
+    /// the victim's; entries are reaped in `on_close`.
+    conns: Mutex<HashMap<u64, (ServerId, ConnHandle)>>,
+    next_conn: AtomicU64,
     /// Server→server messages refused for exceeding the frame ceiling —
     /// 0 on any healthy run (see [`crate::tcp::TcpFabric::send_server`]
-    /// for why splitting would be unsound).
+    /// for why splitting would be unsound). Injected faults are counted
+    /// by the [`FaultPlan`] itself, not here.
     dropped_frames: AtomicU64,
+    /// Per-server kill flags, DC-major order (see the threaded twin).
+    down: Vec<AtomicBool>,
+    /// The deterministic fault plan, when the cluster injects faults.
+    faults: Option<FaultPlan>,
     closing: AtomicBool,
     reactor: Reactor<RtHandler>,
 }
@@ -76,6 +104,7 @@ impl ReactorFabric {
         reactor_threads: usize,
         listeners: Vec<(ServerId, TcpListener)>,
         router: Weak<Router>,
+        faults: Option<FaultPlan>,
     ) -> ReactorFabric {
         let handler = RtHandler {
             router,
@@ -83,21 +112,29 @@ impl ReactorFabric {
             n_servers: addrs.len(),
         };
         let reactor = Reactor::start(reactor_threads, handler).expect("start reactor pool");
+        let mut handles: Vec<Option<ListenerHandle>> = Vec::new();
+        handles.resize_with(addrs.len(), || None);
         for (me, listener) in listeners {
-            reactor
-                .add_listener(
-                    listener,
-                    me.dc_major_index(n_partitions) as u64,
-                    client_outbox_bytes,
-                )
-                .expect("register listener with reactor");
+            let idx = me.dc_major_index(n_partitions);
+            handles[idx] = Some(
+                reactor
+                    .add_listener(listener, idx as u64, client_outbox_bytes)
+                    .expect("register listener with reactor"),
+            );
         }
+        let down = addrs.iter().map(|_| AtomicBool::new(false)).collect();
         ReactorFabric {
             addrs,
             n_partitions,
+            client_outbox_bytes,
             peers: RwLock::new(HashMap::new()),
             clients: RwLock::new(HashMap::new()),
+            listeners: Mutex::new(handles),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
             dropped_frames: AtomicU64::new(0),
+            down,
+            faults,
             closing: AtomicBool::new(false),
             reactor,
         }
@@ -105,14 +142,30 @@ impl ReactorFabric {
 
     /// Ships one engine-originated message to a peer server over the
     /// (lazily dialed) outbound link; drops it during shutdown, like a
-    /// channel send to a stopped cluster.
+    /// channel send to a stopped cluster, and while the link is parked
+    /// behind its dial backoff — packets to a dead host.
     pub(crate) fn send_server(&self, src: ServerId, to: ServerId, msg: &WrenMsg) {
+        // A killed process sends nothing and receives nothing.
+        if self.down[src.dc_major_index(self.n_partitions)].load(Ordering::SeqCst)
+            || self.down[to.dc_major_index(self.n_partitions)].load(Ordering::SeqCst)
+        {
+            return;
+        }
         let Some(frame) = try_frame_wren(msg) else {
             // Unframeable server→server message: dropping beats a torn
             // half-applied batch (see the threaded fabric's comment).
             self.dropped_frames.fetch_add(1, Ordering::Relaxed);
             return;
         };
+        // The fault plan's verdict may multiply the frame (duplicate,
+        // released delays), erase it (drop), or sever the link after.
+        let (frames, sever_after): (Vec<Bytes>, bool) =
+            match self.faults.as_ref().map(|f| f.on_send(src, to, &frame)) {
+                None | Some(SendVerdict::Pass) => (vec![frame], false),
+                Some(SendVerdict::Mutate { frames, sever }) => {
+                    (frames.into_iter().map(Bytes::from).collect(), sever)
+                }
+            };
         let key = (src, to);
         let existing = self.peers.read().get(&key).map(Arc::clone);
         let slot: PeerSlot = match existing {
@@ -120,29 +173,52 @@ impl ReactorFabric {
             None => Arc::clone(self.peers.write().entry(key).or_default()),
         };
         let mut link = slot.lock();
-        if let Some(conn) = link.as_ref() {
-            if conn.enqueue(frame.clone()) {
-                return;
+        'transmit: {
+            if frames.is_empty() {
+                break 'transmit; // the plan dropped it: nothing to carry
             }
-            // The link died (peer gone / overflow); redial once below.
-            *link = None;
+            if let Some(conn) = link.out.as_ref() {
+                if frames.iter().all(|f| conn.enqueue(f.clone())) {
+                    break 'transmit;
+                }
+                // The link died (peer gone / overflow); redial below.
+                link.out = None;
+            }
+            if self.closing.load(Ordering::SeqCst) || !link.may_dial() {
+                break 'transmit;
+            }
+            match self.dial(src, to) {
+                Ok(conn) => {
+                    link.unpark();
+                    for f in frames {
+                        conn.enqueue(f);
+                    }
+                    // Shutdown may have drained the peers map while we
+                    // dialed; re-checking ensures the new link cannot
+                    // escape severing.
+                    if self.closing.load(Ordering::SeqCst) {
+                        conn.sever();
+                        break 'transmit;
+                    }
+                    link.out = Some(conn);
+                }
+                // Refused: park and drop the frames, like a dead host.
+                Err(_) => link.dial_failed(),
+            }
         }
-        if self.closing.load(Ordering::SeqCst) {
-            return;
-        }
-        if let Ok(conn) = self.dial(src, to) {
-            conn.enqueue(frame);
-            // Shutdown may have drained the peers map while we dialed;
-            // re-checking ensures the new link cannot escape severing.
-            if self.closing.load(Ordering::SeqCst) {
+        if sever_after {
+            if let Some(conn) = link.out.take() {
                 conn.sever();
-                return;
             }
-            *link = Some(conn);
         }
     }
 
     fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<ConnHandle> {
+        if let Some(f) = &self.faults {
+            if !f.allow_dial(src, to) {
+                return Err(std::io::ErrorKind::ConnectionRefused.into());
+            }
+        }
         let stream = TcpStream::connect(self.addrs[to.dc_major_index(self.n_partitions)])?;
         stream.set_nodelay(true)?;
         let conn = self.reactor.add_conn(
@@ -150,6 +226,7 @@ impl ReactorFabric {
             RtConn {
                 me: src,
                 identity: RtIdentity::Dialed,
+                conn_id: None,
             },
             SERVER_OUTBOX_BYTES,
         )?;
@@ -180,13 +257,65 @@ impl ReactorFabric {
         // created but not yet (or no longer) known to the reactor.
         self.reactor.shutdown();
         for (_, slot) in self.peers.write().drain() {
-            if let Some(conn) = slot.lock().take() {
+            if let Some(conn) = slot.lock().out.take() {
                 conn.sever();
             }
         }
         for (_, conn) in self.clients.write().drain() {
             conn.sever();
         }
+        for (_, (_, conn)) in self.conns.lock().drain() {
+            conn.sever();
+        }
+    }
+
+    /// Abruptly takes one server off the network: down flag, listener
+    /// close (the owning reactor thread reaps the fd, freeing the
+    /// address for the restart rebind), and a hard sever of every link
+    /// and accepted connection the victim owns. Peers and sessions
+    /// observe EOF mid-stream, exactly like `kill -9`.
+    pub(crate) fn kill_server(&self, id: ServerId) {
+        let idx = id.dc_major_index(self.n_partitions);
+        self.down[idx].store(true, Ordering::SeqCst);
+        if let Some(handle) = self.listeners.lock()[idx].take() {
+            handle.close();
+        }
+        // Outbound links from the victim (its process died) and toward
+        // it (its end of those sockets died).
+        for (&(from, to), slot) in self.peers.read().iter() {
+            if from == id || to == id {
+                if let Some(conn) = slot.lock().out.take() {
+                    conn.sever();
+                }
+            }
+        }
+        // Accepted connections the victim owned: inbound peer links and
+        // client sessions get EOF; `on_close` reaps the entries.
+        for (owner, conn) in self.conns.lock().values() {
+            if *owner == id {
+                conn.sever();
+            }
+        }
+    }
+
+    /// Puts a restarted server back on the network: clears the down
+    /// flag, unparks every peer link toward it (so the first
+    /// post-restart send re-dials immediately) and registers the fresh
+    /// listener — bound by the caller on the original address — with
+    /// the reactor pool.
+    pub(crate) fn restart_server(&self, id: ServerId, listener: TcpListener) {
+        let idx = id.dc_major_index(self.n_partitions);
+        self.down[idx].store(false, Ordering::SeqCst);
+        for (&(_, to), slot) in self.peers.read().iter() {
+            if to == id {
+                slot.lock().unpark();
+            }
+        }
+        let handle = self
+            .reactor
+            .add_listener(listener, idx as u64, self.client_outbox_bytes)
+            .expect("re-register restarted listener with reactor");
+        self.listeners.lock()[idx] = Some(handle);
     }
 
     /// Server→server messages refused for exceeding the frame ceiling
@@ -242,6 +371,9 @@ struct RtConn {
     /// connection.
     me: ServerId,
     identity: RtIdentity,
+    /// This connection's entry in the fabric's accepted-conn registry
+    /// (`None` for dialed links, which live in peer slots instead).
+    conn_id: Option<u64>,
 }
 
 /// Routes reactor events into the cluster: hellos establish identity,
@@ -267,13 +399,32 @@ impl RtHandler {
 impl ReactorHandler for RtHandler {
     type Conn = RtConn;
 
-    fn on_accept(&self, listener_ctx: u64, _handle: &ConnHandle) -> Option<RtConn> {
+    fn on_accept(&self, listener_ctx: u64, handle: &ConnHandle) -> Option<RtConn> {
         let idx = listener_ctx as usize;
         let dc = (idx / self.n_partitions as usize) as u8;
         let p = (idx % self.n_partitions as usize) as u16;
+        let me = ServerId::new(dc, p);
+        // Register for per-server severing; refuse while the server is
+        // down (a listener-close can race one last accept through).
+        let conn_id = self.with_fabric(|_, fabric| {
+            if fabric.down[idx].load(Ordering::SeqCst) {
+                return None;
+            }
+            let conn_id = fabric.next_conn.fetch_add(1, Ordering::Relaxed);
+            fabric.conns.lock().insert(conn_id, (me, handle.clone()));
+            // Re-check after publishing: kill_server stores its flag
+            // before sweeping `conns`, so exactly one side severs a
+            // connection accepted during the race.
+            if fabric.down[idx].load(Ordering::SeqCst) {
+                fabric.conns.lock().remove(&conn_id);
+                return None;
+            }
+            Some(conn_id)
+        })??;
         Some(RtConn {
-            me: ServerId::new(dc, p),
+            me,
             identity: RtIdentity::AwaitingHello,
+            conn_id: Some(conn_id),
         })
     }
 
@@ -321,8 +472,25 @@ impl ReactorHandler for RtHandler {
     }
 
     fn on_close(&self, conn: &mut RtConn, handle: &ConnHandle) {
-        if let RtIdentity::Client(id) = conn.identity {
-            self.with_fabric(|_, fabric| fabric.unregister_client(id, handle));
-        }
+        self.with_fabric(|router, fabric| {
+            if let Some(id) = conn.conn_id {
+                fabric.conns.lock().remove(&id);
+            }
+            match conn.identity {
+                RtIdentity::Client(id) => fabric.unregister_client(id, handle),
+                // The conn that carried `src`-origin traffic died. Tell
+                // the engine, so a sibling's death opens a catch-up
+                // window — unless the loss is our own teardown.
+                RtIdentity::Peer(src) => {
+                    let me_idx = conn.me.dc_major_index(self.n_partitions);
+                    if !fabric.closing.load(Ordering::SeqCst)
+                        && !fabric.down[me_idx].load(Ordering::SeqCst)
+                    {
+                        router.notify_link_lost(conn.me, src);
+                    }
+                }
+                RtIdentity::AwaitingHello | RtIdentity::Dialed => {}
+            }
+        });
     }
 }

@@ -4,10 +4,21 @@ use crate::RtError;
 use crossbeam_channel::Receiver;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wren_clock::Timestamp;
 use wren_core::{ClientStats, WrenClient};
 use wren_protocol::{ClientId, Dest, Key, ServerId, Value, WrenMsg};
+
+/// Dial-retry budget for sessions created without a cluster handle
+/// ([`Session::connect_tcp`]); in-cluster sessions inherit the
+/// [`ClusterBuilder::dial_retry_budget`](crate::ClusterBuilder::dial_retry_budget)
+/// knob instead.
+const DEFAULT_DIAL_BUDGET: Duration = Duration::from_millis(100);
+
+/// Pause between failover retries of one operation, letting a killed
+/// coordinator's restart make progress instead of spinning on refused
+/// dials.
+const RETRY_PAUSE: Duration = Duration::from_millis(2);
 
 /// The transport a session speaks: in-process channels (through the
 /// cluster's router) or framed TCP to the coordinators' listeners.
@@ -65,10 +76,11 @@ impl Session {
         addrs: Arc<Vec<SocketAddr>>,
         n_partitions: u16,
         timeout: Duration,
+        dial_budget: Duration,
     ) -> Self {
         Session {
             client: WrenClient::new(id, coordinator),
-            link: Link::Tcp(TcpLink::new(id, addrs, n_partitions, timeout)),
+            link: Link::Tcp(TcpLink::new(id, addrs, n_partitions, timeout, dial_budget)),
         }
     }
 
@@ -94,7 +106,14 @@ impl Session {
             !addrs.is_empty() && addrs.len().is_multiple_of(n_partitions as usize),
             "need every server's address, DC-major partition order"
         );
-        Session::tcp(id, coordinator, Arc::new(addrs), n_partitions, timeout)
+        Session::tcp(
+            id,
+            coordinator,
+            Arc::new(addrs),
+            n_partitions,
+            timeout,
+            DEFAULT_DIAL_BUDGET,
+        )
     }
 
     /// This session's client id.
@@ -137,20 +156,91 @@ impl Session {
         self.recv()
     }
 
+    fn timeout(&self) -> Duration {
+        match &self.link {
+            Link::Channel { timeout, .. } => *timeout,
+            Link::Tcp(link) => link.timeout(),
+        }
+    }
+
+    /// Whether an error is worth retrying over a fresh connection: the
+    /// TCP fabrics surface a killed (or restarting) coordinator as
+    /// `Shutdown` (severed socket) or `Unreachable` (dials refused past
+    /// their budget). `Timeout` is final — a silent server may have
+    /// processed the request, so only idempotent requests may be
+    /// re-sent, and those go through [`Self::retry_round_trip`]'s
+    /// deadline instead.
+    fn retryable(e: &RtError) -> bool {
+        matches!(e, RtError::Shutdown | RtError::Unreachable(_))
+    }
+
+    /// One request with failover retries: on a severed connection or
+    /// exhausted dials the *same* message is re-sent over a fresh
+    /// socket until the session timeout drains. Only for idempotent
+    /// requests (start, read — the coordinator answers them without
+    /// side effects a duplicate would compound); commits must NOT come
+    /// through here. `expects` tag-matches the response so a stale
+    /// reply to an earlier, timed-out request can never be paired with
+    /// this one (a mismatch resets the link and retries).
+    fn retry_round_trip(
+        &mut self,
+        msg: WrenMsg,
+        expects: impl Fn(&WrenMsg) -> bool,
+    ) -> Result<WrenMsg, RtError> {
+        let deadline = Instant::now() + self.timeout();
+        loop {
+            match self.round_trip(msg.clone()) {
+                Ok(resp) if expects(&resp) => return Ok(resp),
+                Ok(_) if Instant::now() < deadline => self.reset_link(),
+                Ok(_) => return Err(RtError::Timeout),
+                Err(e) if Self::retryable(&e) && Instant::now() < deadline => {
+                    self.reset_link();
+                    std::thread::sleep(RETRY_PAUSE);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drops cached TCP connections so the next operation redials
+    /// (no-op on the channel transport, which cannot lose links).
+    fn reset_link(&mut self) {
+        if let Link::Tcp(link) = &mut self.link {
+            link.reset();
+        }
+    }
+
+    /// Abandons the active transaction after a failed operation and
+    /// kills the connection it ran on, so a late response to the failed
+    /// request dies with the socket instead of surfacing as a stale
+    /// reply to the session's next operation.
+    fn fail_op(&mut self, e: RtError) -> RtError {
+        self.client.abort();
+        self.reset_link();
+        e
+    }
+
     /// Starts an interactive transaction (the paper's `START`).
+    ///
+    /// Over TCP this retries transparently across coordinator failover:
+    /// a severed connection or refused dial re-sends the same request
+    /// on a fresh socket until the session timeout drains.
     ///
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
     /// [`RtError::Shutdown`] if the connection failed; over TCP, a
-    /// coordinator address that refuses connections beyond the dial's
-    /// bounded retries surfaces as [`RtError::Unreachable`] naming the
-    /// address.
+    /// coordinator that stays unreachable past the session timeout
+    /// surfaces as [`RtError::Unreachable`] naming the address.
     pub fn begin(&mut self) -> Result<(), RtError> {
         let msg = self.client.start();
-        let resp = self.round_trip(msg)?;
-        self.client.on_start_resp(resp);
-        Ok(())
+        match self.retry_round_trip(msg, |m| matches!(m, WrenMsg::StartTxResp { .. })) {
+            Ok(resp) => {
+                self.client.on_start_resp(resp);
+                Ok(())
+            }
+            Err(e) => Err(self.fail_op(e)),
+        }
     }
 
     /// Reads a set of keys within the active transaction (the paper's
@@ -159,12 +249,19 @@ impl Session {
     ///
     /// # Errors
     ///
+    /// Over TCP this retries transparently across coordinator failover
+    /// (reads are idempotent — see [`Self::begin`]); the response is
+    /// tag-matched to the transaction, so a stale reply from an earlier
+    /// request can never be adopted.
+    ///
+    /// # Errors
+    ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
     /// [`RtError::Shutdown`] if the connection failed. Over TCP,
-    /// [`RtError::Unreachable`] if the coordinator's address refused
-    /// connections beyond the dial's bounded retries, and
-    /// [`RtError::TooLarge`] if more than 512 keys need a server fetch
-    /// in one call (the transport bounds response sizes).
+    /// [`RtError::Unreachable`] if the coordinator stayed unreachable
+    /// past the session timeout, and [`RtError::TooLarge`] if more than
+    /// 512 keys need a server fetch in one call (the transport bounds
+    /// response sizes).
     ///
     /// # Panics
     ///
@@ -173,7 +270,16 @@ impl Session {
         let outcome = self.client.read(keys);
         let mut results = outcome.local;
         if let Some(req) = outcome.request {
-            let resp = self.round_trip(req)?;
+            let WrenMsg::TxReadReq { tx, .. } = &req else {
+                unreachable!("WrenClient::read requests with TxReadReq");
+            };
+            let tx = *tx;
+            let resp = self
+                .retry_round_trip(
+                    req,
+                    move |m| matches!(m, WrenMsg::TxReadResp { tx: rt, .. } if *rt == tx),
+                )
+                .map_err(|e| self.fail_op(e))?;
             results.extend(self.client.on_read_resp(resp));
         }
         // Return in the caller's key order.
@@ -269,12 +375,18 @@ impl Session {
     /// Commits the transaction, returning its commit timestamp (zero for
     /// a read-only transaction).
     ///
+    /// Commits are **never retried**: a commit is not idempotent, and a
+    /// request that died with its coordinator may or may not have been
+    /// applied. An error here means the outcome is unknown — the
+    /// transaction is abandoned client-side and the caller decides
+    /// whether to re-issue it as a new transaction.
+    ///
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
     /// [`RtError::Shutdown`] if the connection failed; over TCP, a
     /// coordinator address that refuses connections beyond the dial's
-    /// bounded retries surfaces as [`RtError::Unreachable`] naming the
+    /// retry budget surfaces as [`RtError::Unreachable`] naming the
     /// address.
     ///
     /// # Panics
@@ -282,8 +394,20 @@ impl Session {
     /// Panics if no transaction is active.
     pub fn commit(&mut self) -> Result<Timestamp, RtError> {
         let msg = self.client.commit();
-        let resp = self.round_trip(msg)?;
-        Ok(self.client.on_commit_resp(resp))
+        let WrenMsg::CommitReq { tx, .. } = &msg else {
+            unreachable!("WrenClient::commit requests with CommitReq");
+        };
+        let tx = *tx;
+        match self.round_trip(msg) {
+            Ok(WrenMsg::CommitResp { tx: rt, ct }) if rt == tx => {
+                Ok(self.client.on_commit_resp(WrenMsg::CommitResp { tx: rt, ct }))
+            }
+            // A response that is not ours (stale from a timed-out
+            // earlier request): the pairing is lost, same as a dead
+            // connection.
+            Ok(_) => Err(self.fail_op(RtError::Shutdown)),
+            Err(e) => Err(self.fail_op(e)),
+        }
     }
 }
 

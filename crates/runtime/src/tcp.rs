@@ -47,16 +47,43 @@
 //! socket (waking reader threads and any blocked writes), closes every
 //! outbox, and [`TcpFabric::join_threads`] then joins acceptors,
 //! readers and outbox writers — no fabric thread outlives the cluster.
+//!
+//! **Failover.** A single partition can die and return without the rest
+//! of the fabric noticing more than a dead host would show:
+//! [`TcpFabric::kill_server`] marks the victim down, makes its acceptor
+//! exit (dropping the listener, so the address frees for the restart
+//! rebind) and severs every connection it owns — peers and sessions see
+//! EOF mid-stream, exactly like `kill -9`. A peer link that then fails
+//! to dial **parks**: the slot records a jittered, exponentially-
+//! doubling next-attempt time ([`DIAL_BACKOFF_MIN`] →
+//! [`DIAL_BACKOFF_MAX`]) and frames sent meanwhile are dropped
+//! silently, as packets to a dead host are. When the accepted side of a
+//! server link dies, the reader thread reports the loss to its engine
+//! ([`Router::notify_link_lost`]) so a sibling replica can open a
+//! catch-up window for whatever replication died in flight.
+//! [`TcpFabric::revive_server`] clears the down flag and unparks every
+//! link toward the reborn server; a fresh listener (bound with
+//! `SO_REUSEADDR` on the original address) is handed back to
+//! [`spawn_acceptors`].
+//!
+//! **Fault injection.** When the cluster was built with a
+//! [`FaultPlan`], every server→server frame consults it just after
+//! framing ([`wren_net::fault`] has the verdict semantics: drop-and-
+//! sever, duplicate, delay/reorder) and every peer dial consults
+//! [`FaultPlan::allow_dial`]; a refused dial parks the link exactly
+//! like a dead host. Client↔server sockets never consult the plan —
+//! sessions model the paper's co-located client.
 
 use crate::cluster::Router;
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-use wren_net::{FramedReader, Hello, Outbox};
+use std::time::{Duration, Instant};
+use wren_net::{FaultPlan, FramedReader, Hello, Outbox, SendVerdict};
 use wren_protocol::frame::{frame_wren, try_frame_wren};
 use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
 
@@ -72,13 +99,33 @@ pub(crate) const SERVER_OUTBOX_BYTES: usize = usize::MAX;
 /// acceptor thread.
 const WAKE_TIMEOUT: Duration = Duration::from_millis(500);
 
-/// Dial attempts a session makes against a refusing listener before
-/// reporting [`RtError::Unreachable`](crate::RtError::Unreachable).
-/// With the 1 ms starting backoff doubling each round, the budget is
-/// ~31 ms of retrying — enough to absorb a startup race (a listener
-/// binds in microseconds), short enough that a genuinely dead
-/// partition fails fast.
-const DIAL_ATTEMPTS: u32 = 6;
+/// First-retry backoff after a refused dial; doubles (with jitter, see
+/// [`jittered`]) up to [`DIAL_BACKOFF_MAX`]. Shared by session dials
+/// (inside their [`dial_retry_budget`]) and parked peer links.
+///
+/// [`dial_retry_budget`]: crate::ClusterBuilder::dial_retry_budget
+pub(crate) const DIAL_BACKOFF_MIN: Duration = Duration::from_millis(1);
+
+/// Backoff ceiling for refused dials: a parked peer link probes a dead
+/// server's address at least every ~75 ms (50 ms × the jitter's 1.5×
+/// bound), so a restarted partition is rediscovered within one such
+/// round trip without a fleet of peers hammering it in lockstep.
+pub(crate) const DIAL_BACKOFF_MAX: Duration = Duration::from_millis(50);
+
+/// Multiplies `d` by a pseudo-random factor in `[0.5, 1.5)`, so links
+/// parked by the same kill don't re-dial in lockstep. Deliberately
+/// seedless (backoff *timing* is not part of the deterministic fault
+/// plan — only frame fates are): a SplitMix64 finalizer over a
+/// process-wide Weyl counter, so no RNG dependency and no shared lock.
+pub(crate) fn jittered(d: Duration) -> Duration {
+    static STATE: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+    let mut x = STATE.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let factor = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64;
+    d.mul_f64(factor)
+}
 
 /// Ceiling on one client *request*: the frame limit minus headroom for
 /// protocol amplification, so every server-side message derived from a
@@ -100,13 +147,58 @@ const CLIENT_REQ_MAX: usize = wren_protocol::frame::MAX_FRAME_LEN - 1024;
 /// both `TxReadReq` (client conns) and `SliceReq` (server conns).
 const MAX_READ_KEYS: usize = 512;
 
+/// One outbound server→server link: the live write handle (if any) plus
+/// the dial gate that parks the link between failed attempts. Generic
+/// over the handle type because both fabrics keep the same link
+/// taxonomy — [`Outbox`] here, `ConnHandle` in the reactor fabric.
+pub(crate) struct PeerLink<T> {
+    /// The live link, `None` while disconnected or parked.
+    pub(crate) out: Option<T>,
+    /// Earliest next dial; `None` means dial freely.
+    next_attempt: Option<Instant>,
+    /// Backoff the *next* failure will park for (jittered).
+    backoff: Duration,
+}
+
+impl<T> Default for PeerLink<T> {
+    fn default() -> Self {
+        PeerLink {
+            out: None,
+            next_attempt: None,
+            backoff: DIAL_BACKOFF_MIN,
+        }
+    }
+}
+
+impl<T> PeerLink<T> {
+    /// Whether a dial may be attempted now. While parked, callers drop
+    /// their frame instead — packets to a dead host.
+    pub(crate) fn may_dial(&self) -> bool {
+        self.next_attempt.is_none_or(|at| Instant::now() >= at)
+    }
+
+    /// Records a refused dial: parks the link for the current backoff
+    /// (jittered) and doubles it toward [`DIAL_BACKOFF_MAX`].
+    pub(crate) fn dial_failed(&mut self) {
+        self.next_attempt = Some(Instant::now() + jittered(self.backoff));
+        self.backoff = (self.backoff * 2).min(DIAL_BACKOFF_MAX);
+    }
+
+    /// Resets the gate after a successful dial — or eagerly, when the
+    /// peer's restart makes an immediate re-dial worthwhile.
+    pub(crate) fn unpark(&mut self) {
+        self.next_attempt = None;
+        self.backoff = DIAL_BACKOFF_MIN;
+    }
+}
+
 /// One outbound link's slot. The per-slot mutex serializes dial +
 /// enqueue for that (engine, peer) pair only — it preserves the pair's
 /// FIFO order (one connection at a time) without making unrelated pairs
 /// (or the read workers' concurrent `SliceResp`s) queue on a global
 /// lock, and without ever holding the fabric-wide map lock across a
 /// blocking `connect`.
-type PeerSlot = Arc<Mutex<Option<Outbox>>>;
+type PeerSlot = Arc<Mutex<PeerLink<Outbox>>>;
 
 /// Per-process TCP state: listener addresses, live connections, and
 /// every thread the fabric has spawned.
@@ -123,17 +215,27 @@ pub(crate) struct TcpFabric {
     peers: RwLock<HashMap<(ServerId, ServerId), PeerSlot>>,
     /// Response sinks for connected clients, registered at hello time.
     clients: RwLock<HashMap<ClientId, Outbox>>,
-    /// Clones of every *live* accepted stream, for shutdown severing;
-    /// each connection's entry is reaped when its reader exits, so a
-    /// long-running cluster with session churn does not accumulate fds.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_conn: std::sync::atomic::AtomicU64,
+    /// Clones of every *live* accepted stream, keyed by connection id
+    /// and tagged with the server that accepted it, for shutdown (and
+    /// per-server kill) severing; each connection's entry is reaped
+    /// when its reader exits, so a long-running cluster with session
+    /// churn does not accumulate fds.
+    conns: Mutex<HashMap<u64, (ServerId, TcpStream)>>,
+    next_conn: AtomicU64,
     /// Acceptors, connection readers and outbox writers. Finished
     /// handles are swept opportunistically on accept.
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Server→server messages refused because they exceeded the frame
-    /// ceiling — 0 on any healthy run (see `send_server`).
-    dropped_frames: std::sync::atomic::AtomicU64,
+    /// ceiling — 0 on any healthy run (see `send_server`). Injected
+    /// faults are *not* counted here; the [`FaultPlan`] keeps its own
+    /// stats.
+    dropped_frames: AtomicU64,
+    /// Per-server kill flags, DC-major order: a down server sends
+    /// nothing, receives nothing and accepts nothing until
+    /// [`Self::revive_server`].
+    down: Vec<AtomicBool>,
+    /// The deterministic fault plan, when the cluster injects faults.
+    faults: Option<FaultPlan>,
     closing: AtomicBool,
 }
 
@@ -142,7 +244,9 @@ impl TcpFabric {
         addrs: Vec<SocketAddr>,
         n_partitions: u16,
         client_outbox_bytes: usize,
+        faults: Option<FaultPlan>,
     ) -> TcpFabric {
+        let down = addrs.iter().map(|_| AtomicBool::new(false)).collect();
         TcpFabric {
             addrs,
             n_partitions,
@@ -150,17 +254,28 @@ impl TcpFabric {
             peers: RwLock::new(HashMap::new()),
             clients: RwLock::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
-            next_conn: std::sync::atomic::AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
-            dropped_frames: std::sync::atomic::AtomicU64::new(0),
+            dropped_frames: AtomicU64::new(0),
+            down,
+            faults,
             closing: AtomicBool::new(false),
         }
     }
 
     /// Ships one engine-originated message to a peer server over the
     /// (lazily dialed) outbound link. Failures degrade exactly like a
-    /// channel send during shutdown: the message is dropped.
+    /// channel send during shutdown: the message is dropped. A parked
+    /// link (peer down, dials refused) drops silently too — packets to
+    /// a dead host.
     pub(crate) fn send_server(&self, src: ServerId, to: ServerId, msg: &WrenMsg) {
+        // A killed process sends nothing; frames *to* a killed server
+        // would only die against its closed listener.
+        if self.down[src.dc_major_index(self.n_partitions)].load(Ordering::SeqCst)
+            || self.down[to.dc_major_index(self.n_partitions)].load(Ordering::SeqCst)
+        {
+            return;
+        }
         let Some(frame) = try_frame_wren(msg) else {
             // Beyond the frame ceiling, which legitimate traffic cannot
             // reach: client requests are capped with amplification
@@ -173,10 +288,19 @@ impl TcpFabric {
             // to `ct` after each message, so a half-applied batch could
             // become visible as a stable — and torn — snapshot. Drop
             // instead, and make it observable.
-            self.dropped_frames
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dropped_frames.fetch_add(1, Ordering::Relaxed);
             return;
         };
+        // The fault plan speaks at the frame boundary: the verdict may
+        // multiply the frame (duplicate, released delays) or erase it
+        // (drop), and may order the link severed afterwards.
+        let (frames, sever_after): (Vec<Bytes>, bool) =
+            match self.faults.as_ref().map(|f| f.on_send(src, to, &frame)) {
+                None | Some(SendVerdict::Pass) => (vec![frame], false),
+                Some(SendVerdict::Mutate { frames, sever }) => {
+                    (frames.into_iter().map(Bytes::from).collect(), sever)
+                }
+            };
         // Shared map lock only long enough to fetch (or, first time,
         // create) the slot; the (blocking) dial happens under the
         // slot's own lock, never the map's.
@@ -190,30 +314,53 @@ impl TcpFabric {
             None => Arc::clone(self.peers.write().entry(key).or_default()),
         };
         let mut link = slot.lock();
-        if let Some(out) = link.as_ref() {
-            if out.enqueue(frame.clone()) {
-                return;
+        'transmit: {
+            if frames.is_empty() {
+                break 'transmit; // the plan dropped it: nothing to carry
             }
-            // The link died (peer gone / overflow); redial once below.
-            *link = None;
+            if let Some(out) = link.out.as_ref() {
+                if frames.iter().all(|f| out.enqueue(f.clone())) {
+                    break 'transmit;
+                }
+                // The link died (peer gone / overflow); redial below.
+                link.out = None;
+            }
+            if self.closing.load(Ordering::SeqCst) || !link.may_dial() {
+                break 'transmit;
+            }
+            match self.dial(src, to) {
+                Ok(out) => {
+                    link.unpark();
+                    for f in frames {
+                        out.enqueue(f);
+                    }
+                    // Shutdown may have drained the peers map while we
+                    // dialed (our slot Arc would then no longer be
+                    // reachable from it); the re-check ensures the new
+                    // link cannot escape severing.
+                    if self.closing.load(Ordering::SeqCst) {
+                        out.shutdown();
+                        break 'transmit;
+                    }
+                    link.out = Some(out);
+                }
+                // Refused: park and drop the frames, like a dead host.
+                Err(_) => link.dial_failed(),
+            }
         }
-        if self.closing.load(Ordering::SeqCst) {
-            return;
-        }
-        if let Ok(out) = self.dial(src, to) {
-            out.enqueue(frame);
-            // Shutdown may have drained the peers map while we dialed
-            // (our slot Arc would then no longer be reachable from it);
-            // the re-check ensures the new link cannot escape severing.
-            if self.closing.load(Ordering::SeqCst) {
+        if sever_after {
+            if let Some(out) = link.out.take() {
                 out.shutdown();
-                return;
             }
-            *link = Some(out);
         }
     }
 
     fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<Outbox> {
+        if let Some(f) = &self.faults {
+            if !f.allow_dial(src, to) {
+                return Err(std::io::ErrorKind::ConnectionRefused.into());
+            }
+        }
         let stream = TcpStream::connect(self.addrs[to.dc_major_index(self.n_partitions)])?;
         stream.set_nodelay(true)?;
         let (outbox, writer) = Outbox::spawn(stream, SERVER_OUTBOX_BYTES)?;
@@ -251,15 +398,59 @@ impl TcpFabric {
             let _ = TcpStream::connect_timeout(addr, WAKE_TIMEOUT);
         }
         for (_, slot) in self.peers.write().drain() {
-            if let Some(out) = slot.lock().take() {
+            if let Some(out) = slot.lock().out.take() {
                 out.shutdown();
             }
         }
         for (_, out) in self.clients.write().drain() {
             out.shutdown();
         }
-        for (_, conn) in self.conns.lock().drain() {
+        for (_, (_, conn)) in self.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Abruptly takes one server off the network (see the module docs):
+    /// down flag, acceptor wake-and-exit (dropping the listener, so the
+    /// address frees), and a hard sever of every link and connection the
+    /// victim owns. Peers and sessions observe EOF mid-stream.
+    pub(crate) fn kill_server(&self, id: ServerId) {
+        let idx = id.dc_major_index(self.n_partitions);
+        self.down[idx].store(true, Ordering::SeqCst);
+        // Wake the victim's acceptor blocked in accept(); it observes
+        // the down flag and exits, releasing the listening socket.
+        let _ = TcpStream::connect_timeout(&self.addrs[idx], WAKE_TIMEOUT);
+        // Outbound links from the victim (its process died) and toward
+        // it (its end of those sockets died).
+        for (&(from, to), slot) in self.peers.read().iter() {
+            if from == id || to == id {
+                if let Some(out) = slot.lock().out.take() {
+                    out.shutdown();
+                }
+            }
+        }
+        // Accepted connections the victim owned: inbound peer links and
+        // client sessions get EOF, their reader threads exit and reap
+        // the registry entries.
+        for (owner, conn) in self.conns.lock().values() {
+            if *owner == id {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Puts a restarted server back on the network: clears the down
+    /// flag and unparks every peer link toward it, so the first
+    /// post-restart send re-dials immediately instead of waiting out a
+    /// backoff window. The caller re-arms the accept path by handing a
+    /// fresh listener to [`spawn_acceptors`].
+    pub(crate) fn revive_server(&self, id: ServerId) {
+        let idx = id.dc_major_index(self.n_partitions);
+        self.down[idx].store(false, Ordering::SeqCst);
+        for (&(_, to), slot) in self.peers.read().iter() {
+            if to == id {
+                slot.lock().unpark();
+            }
         }
     }
 
@@ -320,8 +511,11 @@ pub(crate) fn spawn_acceptors(router: &Arc<Router>, listeners: Vec<(ServerId, Tc
 
 fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
     let fabric = router.tcp_threaded().expect("threaded TCP fabric");
+    let me_idx = me.dc_major_index(fabric.n_partitions);
     loop {
-        if fabric.closing.load(Ordering::SeqCst) {
+        // Exiting drops the listener — on a kill that is the point: the
+        // address frees for the restart's `SO_REUSEADDR` rebind.
+        if fabric.closing.load(Ordering::SeqCst) || fabric.down[me_idx].load(Ordering::SeqCst) {
             return;
         }
         let stream = match listener.accept() {
@@ -337,25 +531,23 @@ fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
         // even a connection still dribbling its hello is severable. A
         // conn we cannot register we must not serve: its reader thread
         // would be un-severable and hang join_threads at shutdown.
-        let conn_id = fabric
-            .next_conn
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let conn_id = fabric.next_conn.fetch_add(1, Ordering::Relaxed);
         match stream.try_clone() {
             Ok(clone) => {
-                fabric.conns.lock().insert(conn_id, clone);
+                fabric.conns.lock().insert(conn_id, (me, clone));
             }
             Err(_) => {
                 let _ = stream.shutdown(Shutdown::Both);
                 continue;
             }
         }
-        // Re-check AFTER registering: shutdown stores the closing flag
-        // before sweeping `conns`, so a connection accepted during the
-        // race is severed by exactly one side — the sweep (if the push
-        // won) or this branch (if it lost). Without the ordering, a
-        // conn accepted mid-shutdown could escape severing and leave
-        // its reader thread blocking `join_threads` forever.
-        if fabric.closing.load(Ordering::SeqCst) {
+        // Re-check AFTER registering: shutdown (and kill_server) store
+        // their flag before sweeping `conns`, so a connection accepted
+        // during the race is severed by exactly one side — the sweep
+        // (if the push won) or this branch (if it lost). Without the
+        // ordering, a conn accepted mid-shutdown could escape severing
+        // and leave its reader thread blocking `join_threads` forever.
+        if fabric.closing.load(Ordering::SeqCst) || fabric.down[me_idx].load(Ordering::SeqCst) {
             let _ = stream.shutdown(Shutdown::Both);
             fabric.conns.lock().remove(&conn_id);
             return;
@@ -392,6 +584,16 @@ fn serve_conn(me: ServerId, conn_id: u64, stream: TcpStream, router: Arc<Router>
                 read_frames(&mut reader, legal_from_server, |msg| {
                     router.deliver_local(Dest::Server(src), me, msg);
                 });
+                // The conn that carried `src`-origin traffic died (EOF,
+                // error, or a sever). Tell the engine, so a sibling's
+                // death opens a catch-up window — unless the loss is
+                // our own teardown, which needs no reaction.
+                let me_idx = me.dc_major_index(fabric.n_partitions);
+                if !fabric.closing.load(Ordering::SeqCst)
+                    && !fabric.down[me_idx].load(Ordering::SeqCst)
+                {
+                    router.notify_link_lost(me, src);
+                }
             }
             Hello::Server(_) => {}
             Hello::Client(id) => serve_client_conn(me, id, &mut reader, &router, fabric),
@@ -538,6 +740,11 @@ pub(crate) struct TcpLink {
     addrs: Arc<Vec<SocketAddr>>,
     n_partitions: u16,
     timeout: Duration,
+    /// Total time `connect` keeps retrying refused dials before
+    /// reporting the address unreachable (a [`ClusterBuilder`] knob).
+    ///
+    /// [`ClusterBuilder`]: crate::ClusterBuilder::dial_retry_budget
+    dial_budget: Duration,
     conns: HashMap<ServerId, PeerIo>,
     /// The server the last request went to (whose link `recv` reads).
     active: Option<ServerId>,
@@ -549,12 +756,14 @@ impl TcpLink {
         addrs: Arc<Vec<SocketAddr>>,
         n_partitions: u16,
         timeout: Duration,
+        dial_budget: Duration,
     ) -> TcpLink {
         TcpLink {
             id,
             addrs,
             n_partitions,
             timeout,
+            dial_budget,
             conns: HashMap::new(),
             active: None,
         }
@@ -575,35 +784,35 @@ impl TcpLink {
         self.active = None;
     }
 
-    /// Dials `to`'s listener, retrying a bounded number of times on
-    /// `ECONNREFUSED` with exponential backoff. During cluster startup
-    /// a session can legitimately race the listener into existence
-    /// (separate processes especially: addresses are exchanged before
-    /// every partition is up); a refused dial inside the retry window
-    /// is a race, beyond it the partition is genuinely down and the
-    /// error names its address ([`RtError::Unreachable`]).
+    /// Dials `to`'s listener, retrying on `ECONNREFUSED` with jittered
+    /// exponential backoff until the dial budget drains. During cluster
+    /// startup a session can legitimately race the listener into
+    /// existence (separate processes especially: addresses are
+    /// exchanged before every partition is up), and during a failover a
+    /// generous budget rides out a kill-to-restart window entirely; a
+    /// refused dial beyond the budget means the partition is genuinely
+    /// down and the error names its address ([`RtError::Unreachable`]).
+    ///
+    /// [`RtError::Unreachable`]: crate::RtError::Unreachable
     fn connect(&mut self, to: ServerId) -> Result<(), crate::RtError> {
         use std::io::Write;
         let addr = self.addrs[to.dc_major_index(self.n_partitions)];
-        let mut backoff = Duration::from_millis(1);
-        let mut stream = None;
-        for attempt in 0..DIAL_ATTEMPTS {
+        let deadline = Instant::now() + self.dial_budget;
+        let mut backoff = DIAL_BACKOFF_MIN;
+        let mut stream = loop {
             match TcpStream::connect_timeout(&addr, self.timeout) {
-                Ok(s) => {
-                    stream = Some(s);
-                    break;
-                }
+                Ok(s) => break s,
                 Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
-                    if attempt + 1 == DIAL_ATTEMPTS {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(crate::RtError::Unreachable(addr));
                     }
-                    std::thread::sleep(backoff);
-                    backoff *= 2;
+                    std::thread::sleep(jittered(backoff).min(deadline - now));
+                    backoff = (backoff * 2).min(DIAL_BACKOFF_MAX);
                 }
                 Err(_) => return Err(crate::RtError::Shutdown),
             }
-        }
-        let mut stream = stream.expect("loop returns or breaks with a stream");
+        };
         let io = (|| -> std::io::Result<PeerIo> {
             stream.set_nodelay(true)?;
             stream.set_read_timeout(Some(self.timeout))?;

@@ -138,11 +138,36 @@ pub fn load_latest(dir: &Path) -> Option<(u64, Vec<u8>)> {
 /// Deletes checkpoint + WAL generations older than `keep_from` (i.e.
 /// everything with `seq < keep_from`). Callers pass `latest - 1` so the
 /// previous generation survives as the corruption fallback.
+///
+/// The sweep walks the directory listing itself rather than the
+/// checkpoint index, so it also reclaims what a checkpoint-driven scan
+/// would orphan forever:
+///
+/// * **WAL generations whose checkpoint never existed** (the initial
+///   `wal.0`, or a `wal.N` whose `ckpt.N` crashed before the rename) —
+///   once `keep_from` passes them, their contents are fully covered by
+///   a newer checkpoint, so they are dead weight;
+/// * **leftover `ckpt.N.tmp` files** from a crash mid-write: never
+///   renamed into place, invisible to recovery, referenced by nothing.
+///   (A live tmp can't be caught: [`write_checkpoint`] renames its tmp
+///   away before any caller prunes, and a durability directory has one
+///   writer.)
 pub fn prune_generations(dir: &Path, keep_from: u64) {
-    for seq in list_generations(dir) {
-        if seq < keep_from {
-            std::fs::remove_file(checkpoint_path(dir, seq)).ok();
-            std::fs::remove_file(wal_path(dir, seq)).ok();
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let dead = if name.starts_with("ckpt.") && name.ends_with(".tmp") {
+            true
+        } else if let Some(seq) = name.strip_prefix("ckpt.").and_then(|s| s.parse::<u64>().ok()) {
+            seq < keep_from
+        } else if let Some(seq) = name.strip_prefix("wal.").and_then(|s| s.parse::<u64>().ok()) {
+            seq < keep_from
+        } else {
+            false
+        };
+        if dead {
+            std::fs::remove_file(entry.path()).ok();
         }
     }
 }
@@ -191,6 +216,30 @@ mod tests {
         std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
         assert_eq!(read_checkpoint(&dir, 7), None);
         assert_eq!(load_latest(&dir), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_sweeps_orphan_wals_and_leftover_tmps() {
+        let dir = tmp_dir("orphans");
+        // Generation 0 never had a checkpoint (the initial WAL), and a
+        // crash mid-write of generation 2 left its tmp behind.
+        std::fs::write(wal_path(&dir, 0), b"orphan").unwrap();
+        write_checkpoint(&dir, 1, b"one").unwrap();
+        std::fs::write(wal_path(&dir, 1), b"").unwrap();
+        std::fs::write(dir.join("ckpt.2.tmp"), b"half-written").unwrap();
+        write_checkpoint(&dir, 2, b"two").unwrap();
+        std::fs::write(wal_path(&dir, 2), b"").unwrap();
+        // Unrelated files survive the sweep untouched.
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+
+        prune_generations(&dir, 1); // keep 1 (fallback) and 2
+        assert!(!wal_path(&dir, 0).exists(), "orphan wal.0 must be swept");
+        assert!(!dir.join("ckpt.2.tmp").exists(), "leftover tmp must be swept");
+        assert_eq!(list_generations(&dir), vec![1, 2]);
+        assert!(wal_path(&dir, 1).exists());
+        assert!(wal_path(&dir, 2).exists());
+        assert!(dir.join("notes.txt").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 
