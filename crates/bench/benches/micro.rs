@@ -506,6 +506,57 @@ fn bench_wal(c: &mut Criterion) {
     });
 }
 
+fn bench_obs(c: &mut Criterion) {
+    use wren_obs::Registry;
+
+    // The per-sample cost the instrumentation adds to every hot path it
+    // sits on (commit stages, WAL fsyncs, read slices): one branch-free
+    // bucket index plus three relaxed atomics. The acceptance budget is
+    // ~30 ns; anything near that is invisible next to a syscall.
+    c.bench_function("hist_record", |b| {
+        let registry = Registry::new();
+        let hist = registry.histogram("bench_latency_micros");
+        let mut v = 1u64;
+        b.iter(|| {
+            // Vary the value so records land across buckets, not on one
+            // cache-hot counter.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box(v >> 40));
+        });
+    });
+
+    // Scraping cost: snapshotting a registry shaped like one partition
+    // engine's (a dozen histograms plus counters/gauges). This runs per
+    // scrape interval, not per operation, so milliseconds would be fine
+    // — it comes in far under that.
+    c.bench_function("registry_snapshot", |b| {
+        let registry = Registry::new();
+        for name in [
+            "commit_prepare_micros",
+            "commit_decide_micros",
+            "commit_apply_micros",
+            "read_slice_micros",
+            "wal_fsync_micros",
+            "wal_append_bytes",
+            "checkpoint_micros",
+            "replication_batch_txs",
+            "replication_lag_micros",
+            "visibility_lag_local_micros",
+            "visibility_lag_remote_micros",
+        ] {
+            let h = registry.histogram(name);
+            for i in 0..1_000u64 {
+                h.record(i * 37 % 10_000);
+            }
+        }
+        for name in ["slices_served", "keys_read", "tx_aborts_indoubt"] {
+            registry.counter(name).add(12_345);
+        }
+        registry.gauge("visibility_lag_local_gauge_micros").set(42);
+        b.iter(|| black_box(registry.snapshot()));
+    });
+}
+
 criterion_group!(
     benches,
     bench_clocks,
@@ -517,6 +568,7 @@ criterion_group!(
     bench_transport,
     bench_workload,
     bench_server,
-    bench_wal
+    bench_wal,
+    bench_obs
 );
 criterion_main!(benches);

@@ -290,6 +290,9 @@ pub struct DurableLog {
     wal: Wal,
     /// Records appended over this log's lifetime (reporting).
     records: u64,
+    /// Instrumentation re-applied to each new WAL generation (see
+    /// [`DurableLog::instrument`]).
+    instruments: Option<(wren_obs::Histogram, wren_obs::Histogram)>,
 }
 
 impl std::fmt::Debug for DurableLog {
@@ -349,10 +352,23 @@ impl DurableLog {
                 seq: newest_wal,
                 wal,
                 records: 0,
+                instruments: None,
             },
             checkpoint: ckpt.map(|(_, payload)| payload),
             ops,
         })
+    }
+
+    /// Attaches WAL latency/size instrumentation (`fsync_micros` per
+    /// synchronous flush, `append_bytes` per record), carried across
+    /// generation rotations.
+    pub fn instrument(
+        &mut self,
+        fsync_micros: wren_obs::Histogram,
+        append_bytes: wren_obs::Histogram,
+    ) {
+        self.wal.instrument(fsync_micros.clone(), append_bytes.clone());
+        self.instruments = Some((fsync_micros, append_bytes));
     }
 
     /// Appends one typed record (buffered until the next commit point).
@@ -425,6 +441,9 @@ impl DurableLog {
         let next = self.seq + 1;
         checkpoint::write_checkpoint(&self.dir, next, payload)?;
         self.wal = Wal::create(checkpoint::wal_path(&self.dir, next), self.policy)?;
+        if let Some((fsync, append)) = &self.instruments {
+            self.wal.instrument(fsync.clone(), append.clone());
+        }
         self.seq = next;
         checkpoint::prune_generations(&self.dir, next.saturating_sub(1));
         Ok(())

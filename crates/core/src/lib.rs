@@ -56,12 +56,14 @@
 mod client;
 mod config;
 pub mod durability;
+pub mod metrics;
 mod server;
 mod visibility;
 
 pub use client::{ClientStats, ReadOutcome, WrenClient};
 pub use config::WrenConfig;
 pub use durability::{DurableBoot, DurableLog, WalOp};
+pub use metrics::{ServerMetrics, ServerTrace, TxEvent};
 pub use wren_storage::FsyncPolicy;
 pub use server::{ServerStats, SliceReader, WrenServer};
 pub use visibility::VisibilitySampler;

@@ -1,0 +1,171 @@
+//! Per-partition instrumentation: the server's metric handles and the
+//! tx-lifecycle trace ring.
+//!
+//! Every [`WrenServer`](crate::WrenServer) owns a private
+//! [`wren_obs::Registry`] and creates its handles once at construction,
+//! so the protocol hot paths record through pre-resolved lock-free
+//! handles (see the `wren-obs` crate docs for the record → snapshot →
+//! exposition layering). Metric names are unprefixed: a cluster merges
+//! the per-partition snapshots, so `commit_prepare_micros` in the
+//! merged view is the histogram across all partitions.
+
+use wren_clock::Timestamp;
+use wren_obs::{Counter, Gauge, Histogram, Registry, TraceRing};
+use wren_protocol::{ServerId, TxId};
+
+/// Capacity of each partition's trace ring: enough history to explain a
+/// failed chaos round without holding the whole run.
+pub const TRACE_RING_EVENTS: usize = 512;
+
+/// One entry in a partition's tx-lifecycle trace ring. Timestamps are
+/// HLC values (or true-time micros for infrastructure events), so a
+/// merged dump across partitions interleaves meaningfully.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxEvent {
+    /// A coordinator assigned a snapshot to a new transaction.
+    TxBegin {
+        /// The transaction.
+        tx: TxId,
+        /// The local-stable snapshot time handed to the client.
+        lt: Timestamp,
+    },
+    /// A cohort voted: the transaction is in its prepared list.
+    Prepared {
+        /// The transaction.
+        tx: TxId,
+        /// The proposed commit (prepare) timestamp.
+        pt: Timestamp,
+    },
+    /// The coordinator fixed the commit outcome.
+    Decided {
+        /// The transaction.
+        tx: TxId,
+        /// The commit timestamp (max over votes).
+        ct: Timestamp,
+    },
+    /// The coordinator aborted an in-doubt 2PC round (missing votes past
+    /// the abort timeout) and told the client.
+    AbortedInDoubt {
+        /// The transaction.
+        tx: TxId,
+    },
+    /// A replication tick installed committed transactions locally.
+    Applied {
+        /// Upper bound the version clock advanced to.
+        ub: Timestamp,
+        /// Transactions applied by this tick.
+        txs: u64,
+    },
+    /// The partition's stable cut (LST/RST) advanced.
+    Stable {
+        /// New local stable time.
+        lst: Timestamp,
+        /// New remote stable time.
+        rst: Timestamp,
+    },
+    /// The cluster driver killed this partition (crash injection).
+    KillPartition {
+        /// The killed replica.
+        server: ServerId,
+    },
+    /// The cluster driver restarted this partition from its log.
+    Restart {
+        /// The restarted replica.
+        server: ServerId,
+    },
+    /// The restarted partition opened catch-up windows to its siblings.
+    Rejoin {
+        /// The rejoining replica.
+        server: ServerId,
+    },
+    /// A live link carrying traffic from `peer` broke.
+    LinkLost {
+        /// The peer whose frames died with the connection.
+        peer: ServerId,
+    },
+    /// A previously-lost link came back (catch-up window closed).
+    LinkHealed {
+        /// The peer the lane is re-open to.
+        peer: ServerId,
+    },
+}
+
+/// Pre-resolved metric handles for one partition server. All handles
+/// alias the server's [`Registry`]; recording is lock-free.
+#[derive(Debug, Clone)]
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Commit stage 1 — prepare fan-out to last vote, in µs.
+    pub commit_prepare_micros: Histogram,
+    /// Commit stage 2 — cohort vote sent to commit verdict applied, µs.
+    pub commit_decide_micros: Histogram,
+    /// Commit stage 3 — commit verdict to replication-tick install, µs.
+    pub commit_apply_micros: Histogram,
+    /// Read-slice service time in µs (writer path and read workers).
+    pub read_slice_micros: Histogram,
+    /// Synchronous WAL flush (write + fsync) in µs.
+    pub wal_fsync_micros: Histogram,
+    /// WAL record payload sizes in bytes.
+    pub wal_append_bytes: Histogram,
+    /// Checkpoint encode + rotate duration in µs.
+    pub checkpoint_micros: Histogram,
+    /// Transactions per shipped replication batch.
+    pub replication_batch_txs: Histogram,
+    /// Remote batch age at apply (now − batch ct) in µs.
+    pub replication_lag_micros: Histogram,
+    /// Local visibility lag (now − LST) in µs, sampled at stable raises.
+    pub visibility_lag_local_micros: Histogram,
+    /// Remote visibility lag (now − RST) in µs.
+    pub visibility_lag_remote_micros: Histogram,
+    /// Latest local visibility lag (gauge twin of the histogram).
+    pub visibility_lag_local_gauge: Gauge,
+    /// Latest remote visibility lag.
+    pub visibility_lag_remote_gauge: Gauge,
+    /// In-doubt 2PC rounds the coordinator aborted (and reported to the
+    /// client; see the chaos oracle's exactness argument).
+    pub tx_aborts_indoubt: Counter,
+    /// Slice requests served (shared with `SliceReader` handles).
+    pub slices_served: Counter,
+    /// Individual keys read.
+    pub keys_read: Counter,
+}
+
+impl ServerMetrics {
+    /// Creates every handle against a fresh registry.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        ServerMetrics {
+            commit_prepare_micros: registry.histogram("commit_prepare_micros"),
+            commit_decide_micros: registry.histogram("commit_decide_micros"),
+            commit_apply_micros: registry.histogram("commit_apply_micros"),
+            read_slice_micros: registry.histogram("read_slice_micros"),
+            wal_fsync_micros: registry.histogram("wal_fsync_micros"),
+            wal_append_bytes: registry.histogram("wal_append_bytes"),
+            checkpoint_micros: registry.histogram("checkpoint_micros"),
+            replication_batch_txs: registry.histogram("replication_batch_txs"),
+            replication_lag_micros: registry.histogram("replication_lag_micros"),
+            visibility_lag_local_micros: registry.histogram("visibility_lag_local_micros"),
+            visibility_lag_remote_micros: registry.histogram("visibility_lag_remote_micros"),
+            visibility_lag_local_gauge: registry.gauge("visibility_lag_local"),
+            visibility_lag_remote_gauge: registry.gauge("visibility_lag_remote"),
+            tx_aborts_indoubt: registry.counter("tx_aborts_indoubt"),
+            slices_served: registry.counter("slices_served"),
+            keys_read: registry.counter("keys_read"),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles (snapshot/merge at cluster level).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+/// A partition's trace ring type (events are [`TxEvent`]s).
+pub type ServerTrace = TraceRing<TxEvent>;

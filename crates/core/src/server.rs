@@ -1,8 +1,8 @@
 use crate::durability::{get_writes, put_writes, DurableLog, WalOp};
+use crate::metrics::{ServerMetrics, ServerTrace, TxEvent, TRACE_RING_EVENTS};
 use crate::{VisibilitySampler, WrenConfig};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
 use wren_protocol::codec::{CodecError, Dec, Enc};
@@ -39,17 +39,20 @@ pub struct ServerStats {
     pub checkpoints_written: u64,
 }
 
-/// The read-only slice path's counters, shared between the server and its
-/// [`SliceReader`] handles.
+/// The read-only slice path's instrumentation, shared between the server
+/// and its [`SliceReader`] handles.
 ///
-/// Atomics rather than plain fields so the slice path needs no `&mut`:
-/// with a parallel read engine, several workers bump them concurrently
-/// while the writer thread owns the rest of [`ServerStats`]. Relaxed
-/// ordering suffices — they are monotone counters, not synchronization.
-#[derive(Debug, Default)]
+/// Registry metrics (lock-free atomics underneath) rather than plain
+/// fields so the slice path needs no `&mut`: with a parallel read
+/// engine, several workers bump them concurrently while the writer
+/// thread owns the rest of [`ServerStats`]. The handles alias the
+/// server's registry, so engine-served reads show up in the partition's
+/// merged snapshot.
+#[derive(Debug)]
 struct ReadPathStats {
-    slices_served: AtomicU64,
-    keys_read: AtomicU64,
+    slices_served: wren_obs::Counter,
+    keys_read: wren_obs::Counter,
+    read_slice_micros: wren_obs::Histogram,
 }
 
 /// A cheap, cloneable handle answering read slices **straight from
@@ -89,16 +92,18 @@ impl SliceReader {
         lt: Timestamp,
         rt: Timestamp,
     ) -> Vec<(Key, Option<WrenVersion>)> {
+        let start = std::time::Instant::now();
         self.store.publish_stable(lt, rt);
-        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
-        self.read_stats
-            .keys_read
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        self.read_stats.slices_served.inc();
+        self.read_stats.keys_read.add(keys.len() as u64);
         let bound = SnapshotBound::bist(self.dc, lt, rt);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
             items.push((k, self.store.latest_visible(&k, &bound)));
         }
+        self.read_stats
+            .read_slice_micros
+            .record(start.elapsed().as_micros() as u64);
         items
     }
 
@@ -118,12 +123,12 @@ impl SliceReader {
     /// Slice requests served so far through the shared counters (all
     /// readers and the writer path combined).
     pub fn slices_served(&self) -> u64 {
-        self.read_stats.slices_served.load(Ordering::Relaxed)
+        self.read_stats.slices_served.get()
     }
 
     /// Keys read so far through the shared counters.
     pub fn keys_read(&self) -> u64 {
-        self.read_stats.keys_read.load(Ordering::Relaxed)
+        self.read_stats.keys_read.get()
     }
 }
 
@@ -167,6 +172,9 @@ struct PreparedTx {
 struct CommittedTx {
     rst: Timestamp,
     writes: Vec<(Key, Value)>,
+    /// True time the commit verdict arrived here (0 after a replay —
+    /// recovered entries skip the apply-stage histogram).
+    committed_at: u64,
 }
 
 /// A Wren partition server: the state machine of Algorithms 2–4.
@@ -247,6 +255,13 @@ pub struct WrenServer {
     /// window whose request died on a broken or parked link is re-asked
     /// periodically instead of freezing the lane forever.
     catchup_sent: Vec<u64>,
+    /// Pre-resolved lock-free metric handles (see [`crate::metrics`]).
+    metrics: ServerMetrics,
+    /// Tx-lifecycle trace ring, dumped by failing chaos oracles.
+    trace: ServerTrace,
+    /// The last `(lst, rst)` traced/sampled, so visibility-lag metrics
+    /// and `Stable` trace events fire once per advance, not per tick.
+    last_traced_stable: (Timestamp, Timestamp),
 }
 
 /// Default coordinator in-doubt abort timeout: long enough that no
@@ -275,6 +290,12 @@ impl WrenServer {
             })
             .collect();
         let children = Self::compute_tree_children(id, &cfg);
+        let metrics = ServerMetrics::new();
+        let read_stats = Arc::new(ReadPathStats {
+            slices_served: metrics.slices_served.clone(),
+            keys_read: metrics.keys_read.clone(),
+            read_slice_micros: metrics.read_slice_micros.clone(),
+        });
         WrenServer {
             id,
             cfg,
@@ -282,7 +303,7 @@ impl WrenServer {
             hlc: HybridClock::new(),
             vv: VersionVector::new(cfg.n_dcs as usize),
             store: Arc::new(ConcurrentShardedStore::new()),
-            read_stats: Arc::new(ReadPathStats::default()),
+            read_stats,
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -303,6 +324,9 @@ impl WrenServer {
             last_logged_stable: (Timestamp::ZERO, Timestamp::ZERO),
             tx_abort_timeout_micros: DEFAULT_TX_ABORT_TIMEOUT_MICROS,
             catchup_sent: vec![0; cfg.n_dcs as usize],
+            metrics,
+            trace: ServerTrace::new(TRACE_RING_EVENTS),
+            last_traced_stable: (Timestamp::ZERO, Timestamp::ZERO),
         }
     }
 
@@ -349,10 +373,27 @@ impl WrenServer {
     /// shared atomics, so reads served by engine workers are included.
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.stats;
-        stats.slices_served = self.read_stats.slices_served.load(Ordering::Relaxed);
-        stats.keys_read = self.read_stats.keys_read.load(Ordering::Relaxed);
+        stats.slices_served = self.read_stats.slices_served.get();
+        stats.keys_read = self.read_stats.keys_read.get();
         stats.wal_records_logged = self.log.as_ref().map_or(0, |l| l.records_logged());
         stats
+    }
+
+    /// This partition's live metric registry (cheap clone; the cluster
+    /// merges per-partition snapshots into [`wren_obs::MetricsSnapshot`]).
+    pub fn registry(&self) -> wren_obs::Registry {
+        self.metrics.registry().clone()
+    }
+
+    /// The pre-resolved metric handles (drivers record session-adjacent
+    /// quantities through the same registry).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// This partition's tx-lifecycle trace ring (cheap clone).
+    pub fn trace(&self) -> ServerTrace {
+        self.trace.clone()
     }
 
     /// A cheap handle serving read slices from any thread, straight from
@@ -468,7 +509,7 @@ impl WrenServer {
                     debug_assert!(false, "Replicate must come from a server");
                     return;
                 };
-                self.on_replicate(sibling, batch);
+                self.on_replicate(sibling, batch, now_micros);
             }
             WrenMsg::Heartbeat { t } => {
                 let Dest::Server(sibling) = from else {
@@ -572,6 +613,7 @@ impl WrenServer {
                 since: now_micros,
             },
         );
+        self.trace.push(TxEvent::TxBegin { tx, lt });
         out.push(Outgoing::to_client(
             client,
             WrenMsg::StartTxResp { tx, lst: lt, rst: rt },
@@ -675,15 +717,17 @@ impl WrenServer {
         lt: Timestamp,
         rt: Timestamp,
     ) -> Vec<(Key, Option<WrenVersion>)> {
-        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
-        self.read_stats
-            .keys_read
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        self.read_stats.slices_served.inc();
+        self.read_stats.keys_read.add(keys.len() as u64);
         let bound = SnapshotBound::bist(self.id.dc.0, lt, rt);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
             items.push((k, self.store.latest_visible(&k, &bound)));
         }
+        self.read_stats
+            .read_slice_micros
+            .record(start.elapsed().as_micros() as u64);
         items
     }
 
@@ -806,6 +850,7 @@ impl WrenServer {
                 since: now_micros,
             },
         );
+        self.trace.push(TxEvent::Prepared { tx, pt });
         pt
     }
 
@@ -849,10 +894,17 @@ impl WrenServer {
         let ct = ctx.max_pt;
         let client = ctx.client;
         let cohorts = std::mem::take(&mut ctx.cohorts);
+        // Stage 1 of the commit path: fan-out to last vote. Measured
+        // from the timer the in-doubt abort also runs on, so no extra
+        // clock read.
+        self.metrics
+            .commit_prepare_micros
+            .record(now_micros.saturating_sub(ctx.since));
         self.tx_ctx.remove(&tx);
         // Fix the outcome before any Commit message leaves, so a cohort
         // that asks again always gets the same answer.
         self.decided.insert(tx, ct);
+        self.trace.push(TxEvent::Decided { tx, ct });
         if let Some(log) = &mut self.log {
             log.append(&WalOp::Decided { tx, ct });
         }
@@ -898,11 +950,16 @@ impl WrenServer {
         if let Some(log) = &mut self.log {
             log.append(&WalOp::Commit { tx, ct });
         }
+        // Stage 2: vote sent (or re-sent) to verdict applied here.
+        self.metrics
+            .commit_decide_micros
+            .record(now_micros.saturating_sub(prepared.since));
         self.committed.insert(
             (ct, tx),
             CommittedTx {
                 rst: prepared.rst,
                 writes: prepared.writes,
+                committed_at: now_micros,
             },
         );
         self.stats.txs_cohort_committed += 1;
@@ -915,9 +972,14 @@ impl WrenServer {
     /// the store's batched splice ([`ShardedStore::apply_batch`]): the
     /// writes are flattened into a reusable scratch buffer and each key's
     /// run pays a single chain search instead of one per version.
-    fn on_replicate(&mut self, sibling: ServerId, batch: ReplicateBatch) {
+    fn on_replicate(&mut self, sibling: ServerId, batch: ReplicateBatch, now_micros: u64) {
         let src = sibling.dc;
         let ct = batch.ct;
+        // Replication lag: age of the batch's commit timestamp at apply.
+        // Saturating — sibling clocks may run ahead of ours.
+        self.metrics
+            .replication_lag_micros
+            .record(now_micros.saturating_sub(ct.physical_micros()));
         let catching_up = self.awaiting[src.index()];
         if let Some(log) = &mut self.log {
             log.log_remote_batch(src.0, !catching_up, ct, &batch.txs);
@@ -1017,11 +1079,20 @@ impl WrenServer {
 
         let mut batch: Vec<RepTx> = Vec::new();
         let mut batch_ct = Timestamp::ZERO;
+        let mut txs_applied = 0u64;
         for ((ct, tx), ctx) in ready {
             if ct != batch_ct && !batch.is_empty() {
                 self.ship_batch(batch_ct, std::mem::take(&mut batch), out);
             }
             batch_ct = ct;
+            // Stage 3: commit verdict to local install (skipped for
+            // entries re-built by recovery, which have no verdict time).
+            if ctx.committed_at != 0 {
+                self.metrics
+                    .commit_apply_micros
+                    .record(now_micros.saturating_sub(ctx.committed_at));
+            }
+            txs_applied += 1;
             for (k, v) in &ctx.writes {
                 self.store.insert(
                     *k,
@@ -1047,6 +1118,7 @@ impl WrenServer {
             self.ship_batch(batch_ct, batch, out);
         }
         self.vv.set(self.dc_index(), ub);
+        self.trace.push(TxEvent::Applied { ub, txs: txs_applied });
         // One Applied record per data-bearing tick: replay re-installs
         // the covered transactions and re-raises the version clock. The
         // heartbeat path above intentionally logs nothing — its ub
@@ -1058,6 +1130,7 @@ impl WrenServer {
     }
 
     fn ship_batch(&mut self, ct: Timestamp, mut txs: Vec<RepTx>, out: &mut Vec<Outgoing<WrenMsg>>) {
+        self.metrics.replication_batch_txs.record(txs.len() as u64);
         // The last sibling takes ownership of the batch; only the others
         // pay for a deep clone of the transaction list.
         let n = self.siblings.len();
@@ -1275,7 +1348,12 @@ impl WrenServer {
         // handed out and lost — the margin jumps past them.
         s.next_seq = max_own_seq + (1 << 20);
         s.last_logged_stable = s.store.stable();
-        s.log = Some(boot.log);
+        let mut log = boot.log;
+        log.instrument(
+            s.metrics.wal_fsync_micros.clone(),
+            s.metrics.wal_append_bytes.clone(),
+        );
+        s.log = Some(log);
         Ok(s)
     }
 
@@ -1313,6 +1391,7 @@ impl WrenServer {
                         CommittedTx {
                             rst: p.rst,
                             writes: p.writes,
+                            committed_at: 0,
                         },
                     );
                 }
@@ -1451,7 +1530,8 @@ impl WrenServer {
             let tx = d.get_tx()?;
             let c_rst = d.get_ts()?;
             let writes = get_writes(&mut d)?;
-            self.committed.insert((ct, tx), CommittedTx { rst: c_rst, writes });
+            self.committed
+                .insert((ct, tx), CommittedTx { rst: c_rst, writes, committed_at: 0 });
         }
         for _ in 0..d.get_u32()? {
             let tx = d.get_tx()?;
@@ -1480,9 +1560,13 @@ impl WrenServer {
         if self.log.is_none() {
             return Ok(());
         }
+        let start = std::time::Instant::now();
         let payload = self.encode_checkpoint();
         self.log.as_mut().expect("checked").rotate(&payload)?;
         self.stats.checkpoints_written += 1;
+        self.metrics
+            .checkpoint_micros
+            .record(start.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -1519,6 +1603,7 @@ impl WrenServer {
     /// that is itself down (or reachable only through a parked link)
     /// still gets asked once it returns.
     pub fn begin_rejoin(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
+        self.trace.push(TxEvent::Rejoin { server: self.id });
         for i in 0..self.siblings.len() {
             let sib = self.siblings[i];
             self.open_catch_up_window(sib, now_micros, out);
@@ -1544,6 +1629,7 @@ impl WrenServer {
         if peer.dc == self.id.dc || peer.partition != self.id.partition {
             return;
         }
+        self.trace.push(TxEvent::LinkLost { peer });
         self.open_catch_up_window(peer, now_micros, out);
     }
 
@@ -1645,6 +1731,7 @@ impl WrenServer {
         let src = sibling.dc;
         if self.awaiting[src.index()] {
             self.awaiting[src.index()] = false;
+            self.trace.push(TxEvent::LinkHealed { peer: sibling });
             if let Some(log) = &mut self.log {
                 log.append(&WalOp::CatchUpDone { src: src.0, t });
             }
@@ -1674,6 +1761,26 @@ impl WrenServer {
     fn durability_tick(&mut self, now_micros: u64, out: &mut Vec<Outgoing<WrenMsg>>) {
         let lst = self.store.lst();
         self.decided.retain(|_, ct| *ct > lst);
+
+        // Visibility lag (freshness): how far the stable cut trails true
+        // time. Sampled once per advance — not per raise — so the gossip
+        // hot path stays clean and the histogram measures distinct cuts.
+        let stable = self.store.stable();
+        if stable != self.last_traced_stable {
+            self.last_traced_stable = stable;
+            let (lst, rst) = stable;
+            if !lst.is_zero() {
+                let lag = now_micros.saturating_sub(lst.physical_micros());
+                self.metrics.visibility_lag_local_micros.record(lag);
+                self.metrics.visibility_lag_local_gauge.set(lag);
+            }
+            if !rst.is_zero() {
+                let lag = now_micros.saturating_sub(rst.physical_micros());
+                self.metrics.visibility_lag_remote_micros.record(lag);
+                self.metrics.visibility_lag_remote_gauge.set(lag);
+            }
+            self.trace.push(TxEvent::Stable { lst, rst });
+        }
 
         const RESEND_AFTER_MICROS: u64 = 100_000;
 
@@ -1726,8 +1833,11 @@ impl WrenServer {
         // Abort: remove the context *without* a decision record —
         // absence is the abort verdict a re-asking cohort reads — and
         // release every prepared cohort so the DC's LST unpins. The
-        // client gets no response; its commit surfaces as a timeout,
-        // matching every 2PC's in-doubt window.
+        // client is told explicitly (zero `ct` on a write transaction is
+        // the abort verdict), so its stall is `tx_abort_timeout`, not
+        // the session timeout. The outcome was fixed the moment the
+        // context died — the reply only shortens how long the client
+        // waits to learn it.
         let timeout = self.tx_abort_timeout_micros;
         let doomed: Vec<TxId> = self
             .tx_ctx
@@ -1752,6 +1862,15 @@ impl WrenServer {
                     ));
                 }
             }
+            self.metrics.tx_aborts_indoubt.inc();
+            self.trace.push(TxEvent::AbortedInDoubt { tx });
+            out.push(Outgoing::to_client(
+                ctx.client,
+                WrenMsg::CommitResp {
+                    tx,
+                    ct: Timestamp::ZERO,
+                },
+            ));
         }
 
         if self.log.is_none() {

@@ -57,5 +57,5 @@ mod visibility;
 
 pub use client::{CureClient, CureClientStats, CureReadOutcome};
 pub use config::CureConfig;
-pub use server::{CureServer, CureServerStats};
+pub use server::{CureMetrics, CureServer, CureServerStats};
 pub use visibility::CureVisibilitySampler;

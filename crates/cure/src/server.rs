@@ -1,6 +1,5 @@
 use crate::{CureConfig, CureVisibilitySampler};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wren_clock::{HybridClock, PhysicalClock, SkewedClock, Timestamp, VersionVector};
 use wren_protocol::{
@@ -36,13 +35,59 @@ pub struct CureServerStats {
     pub gc_versions_removed: u64,
 }
 
-/// Read-only slice-path counters, mirroring `wren-core`'s split so the
-/// baseline pays the same atomic-counter costs on its read path as Wren
-/// does (a fair comparison — see `WrenServer`'s `ReadPathStats`).
-#[derive(Debug, Default)]
+/// Read-only slice-path instrumentation, mirroring `wren-core`'s split so
+/// the baseline pays the same metric-recording costs on its read path as
+/// Wren does (a fair comparison — see `WrenServer`'s `ReadPathStats`).
+#[derive(Debug)]
 struct ReadPathStats {
-    slices_served: AtomicU64,
-    keys_read: AtomicU64,
+    slices_served: wren_obs::Counter,
+    keys_read: wren_obs::Counter,
+    read_slice_micros: wren_obs::Histogram,
+}
+
+/// Pre-resolved metric handles for a Cure server. Deliberately the same
+/// subset `wren-core` records on its hot paths (commit stages, read
+/// slices), so throughput/latency comparisons between the protocols are
+/// not skewed by one side carrying instrumentation the other lacks.
+#[derive(Debug, Clone)]
+pub struct CureMetrics {
+    registry: wren_obs::Registry,
+    /// Commit stage 1 — prepare fan-out to last vote, in µs.
+    pub commit_prepare_micros: wren_obs::Histogram,
+    /// Commit stage 2 — cohort vote to commit verdict applied, in µs.
+    pub commit_decide_micros: wren_obs::Histogram,
+    /// Read-slice service time in µs.
+    pub read_slice_micros: wren_obs::Histogram,
+    /// Slice requests served.
+    pub slices_served: wren_obs::Counter,
+    /// Individual keys read.
+    pub keys_read: wren_obs::Counter,
+}
+
+impl CureMetrics {
+    /// Creates every handle against a fresh registry.
+    pub fn new() -> Self {
+        let registry = wren_obs::Registry::new();
+        CureMetrics {
+            commit_prepare_micros: registry.histogram("commit_prepare_micros"),
+            commit_decide_micros: registry.histogram("commit_decide_micros"),
+            read_slice_micros: registry.histogram("read_slice_micros"),
+            slices_served: registry.counter("slices_served"),
+            keys_read: registry.counter("keys_read"),
+            registry,
+        }
+    }
+
+    /// The registry behind the handles.
+    pub fn registry(&self) -> &wren_obs::Registry {
+        &self.registry
+    }
+}
+
+impl Default for CureMetrics {
+    fn default() -> Self {
+        CureMetrics::new()
+    }
 }
 
 #[derive(Debug)]
@@ -54,6 +99,8 @@ struct TxCtx {
     pending_prepares: usize,
     max_pt: Timestamp,
     cohorts: Vec<PartitionId>,
+    /// True-time micros when the commit fan-out started (stage timing).
+    since: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -61,6 +108,8 @@ struct PreparedTx {
     pt: Timestamp,
     snapshot: VersionVector,
     writes: Vec<(Key, Value)>,
+    /// True-time micros when this cohort voted (stage timing).
+    since: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -110,6 +159,8 @@ pub struct CureServer {
     store: Arc<ConcurrentShardedStore<Key, CureVersion>>,
     /// Slice-path counters (the `&self` read path's half of the stats).
     read_stats: Arc<ReadPathStats>,
+    /// Lock-free metric handles (same hot-path subset as `wren-core`).
+    metrics: CureMetrics,
     prepared: HashMap<TxId, PreparedTx>,
     committed: BTreeMap<(Timestamp, TxId), CommittedTx>,
     next_seq: u64,
@@ -158,6 +209,12 @@ impl CureServer {
             })
             .collect();
         let children = Self::compute_tree_children(id, &cfg);
+        let metrics = CureMetrics::new();
+        let read_stats = Arc::new(ReadPathStats {
+            slices_served: metrics.slices_served.clone(),
+            keys_read: metrics.keys_read.clone(),
+            read_slice_micros: metrics.read_slice_micros.clone(),
+        });
         CureServer {
             id,
             cfg,
@@ -166,7 +223,8 @@ impl CureServer {
             vv: VersionVector::new(m),
             gss: VersionVector::new(m),
             store: Arc::new(ConcurrentShardedStore::new()),
-            read_stats: Arc::new(ReadPathStats::default()),
+            read_stats,
+            metrics,
             prepared: HashMap::new(),
             committed: BTreeMap::new(),
             next_seq: 1,
@@ -224,9 +282,19 @@ impl CureServer {
     /// atomics (the `&self` read path's half of the split).
     pub fn stats(&self) -> CureServerStats {
         let mut stats = self.stats;
-        stats.slices_served = self.read_stats.slices_served.load(Ordering::Relaxed);
-        stats.keys_read = self.read_stats.keys_read.load(Ordering::Relaxed);
+        stats.slices_served = self.read_stats.slices_served.get();
+        stats.keys_read = self.read_stats.keys_read.get();
         stats
+    }
+
+    /// The lock-free metric handles (commit-stage and read histograms).
+    pub fn metrics(&self) -> &CureMetrics {
+        &self.metrics
+    }
+
+    /// The metric registry (snapshot/merge at cluster level).
+    pub fn registry(&self) -> wren_obs::Registry {
+        self.metrics.registry.clone()
     }
 
     /// Reads currently blocked waiting for a snapshot.
@@ -411,6 +479,7 @@ impl CureServer {
                 pending_prepares: 0,
                 max_pt: Timestamp::ZERO,
                 cohorts: Vec::new(),
+                since: 0,
             },
         );
         out.push(Outgoing::to_client(client, CureMsg::StartTxResp { tx, snapshot }));
@@ -585,15 +654,17 @@ impl CureServer {
         keys: &[Key],
         snapshot: &VersionVector,
     ) -> Vec<(Key, Option<CureVersion>)> {
-        self.read_stats.slices_served.fetch_add(1, Ordering::Relaxed);
-        self.read_stats
-            .keys_read
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let start = std::time::Instant::now();
+        self.read_stats.slices_served.inc();
+        self.read_stats.keys_read.add(keys.len() as u64);
         let bound = SnapshotBound::vector(snapshot);
         let mut items = Vec::with_capacity(keys.len());
         for &k in keys {
             items.push((k, self.store.latest_visible(&k, &bound)));
         }
+        self.read_stats
+            .read_slice_micros
+            .record(start.elapsed().as_micros() as u64);
         items
     }
 
@@ -663,6 +734,7 @@ impl CureServer {
             ctx.pending_prepares = cohorts.len();
             ctx.cohorts = cohorts;
             ctx.max_pt = Timestamp::ZERO;
+            ctx.since = now_micros;
         }
 
         let mut local_writes = Vec::new();
@@ -709,6 +781,7 @@ impl CureServer {
                 pt,
                 snapshot,
                 writes,
+                since: now_micros,
             },
         );
         pt
@@ -733,10 +806,14 @@ impl CureServer {
         }
         let ct = ctx.max_pt;
         let client = ctx.client;
+        let since = ctx.since;
         let mut commit_vec = ctx.snapshot.clone();
         commit_vec.set(m, ct);
         let cohorts = std::mem::take(&mut ctx.cohorts);
         self.tx_ctx.remove(&tx);
+        self.metrics
+            .commit_prepare_micros
+            .record(now_micros.saturating_sub(since));
         for partition in cohorts {
             if partition == self.id.partition {
                 self.commit(tx, ct, now_micros);
@@ -758,6 +835,9 @@ impl CureServer {
             debug_assert!(false, "commit for unprepared transaction");
             return;
         };
+        self.metrics
+            .commit_decide_micros
+            .record(now_micros.saturating_sub(prepared.since));
         self.committed.insert(
             (ct, tx),
             CommittedTx {

@@ -89,8 +89,13 @@ pub struct RtRunResult {
     pub throughput: f64,
     /// Mean transaction latency in milliseconds.
     pub mean_latency_ms: f64,
+    /// Median transaction latency in milliseconds.
+    pub p50_latency_ms: f64,
     /// 99th-percentile transaction latency in milliseconds.
     pub p99_latency_ms: f64,
+    /// 99.9th-percentile transaction latency in milliseconds — the tail
+    /// the mean hides; transport comparisons live or die here.
+    pub p999_latency_ms: f64,
 }
 
 /// Runs `spec` to completion and reports throughput/latency.
@@ -154,15 +159,21 @@ pub fn run_rt(spec: &RtSpec) -> RtRunResult {
     } else {
         latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
     };
-    let p99_us = if latencies.is_empty() {
-        0
-    } else {
-        latencies[((latencies.len() - 1) * 99) / 100]
+    // Nearest-rank on the sorted samples; per-mille precision so the
+    // p999 is a real observation, not an interpolation.
+    let pct = |per_mille: usize| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() - 1) * per_mille) / 1_000]
+        }
     };
     RtRunResult {
         txs,
         throughput: txs as f64 / elapsed.as_secs_f64(),
         mean_latency_ms: mean_us / 1_000.0,
-        p99_latency_ms: p99_us as f64 / 1_000.0,
+        p50_latency_ms: pct(500) as f64 / 1_000.0,
+        p99_latency_ms: pct(990) as f64 / 1_000.0,
+        p999_latency_ms: pct(999) as f64 / 1_000.0,
     }
 }

@@ -34,7 +34,6 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wren_protocol::ServerId;
@@ -115,11 +114,15 @@ struct Inner {
     seed: u64,
     rules: Mutex<Rules>,
     links: Mutex<HashMap<(ServerId, ServerId), LinkState>>,
-    dropped: AtomicU64,
-    duplicated: AtomicU64,
-    delayed: AtomicU64,
-    severed: AtomicU64,
-    dials_refused: AtomicU64,
+    /// The counters live in a `wren-obs` registry so a cluster can fold
+    /// fault stats into its merged metrics snapshot; [`FaultPlan::stats`]
+    /// stays as a thin shim over the same counters.
+    registry: wren_obs::Registry,
+    dropped: wren_obs::Counter,
+    duplicated: wren_obs::Counter,
+    delayed: wren_obs::Counter,
+    severed: wren_obs::Counter,
+    dials_refused: wren_obs::Counter,
 }
 
 /// A seeded, shared fault-injection plan (see the module docs).
@@ -155,18 +158,26 @@ impl FaultPlan {
     /// A plan with no active faults, replayable from `seed` once rules
     /// are enabled.
     pub fn seeded(seed: u64) -> FaultPlan {
+        let registry = wren_obs::Registry::new();
         FaultPlan {
             inner: Arc::new(Inner {
                 seed,
                 rules: Mutex::new(Rules::default()),
                 links: Mutex::new(HashMap::new()),
-                dropped: AtomicU64::new(0),
-                duplicated: AtomicU64::new(0),
-                delayed: AtomicU64::new(0),
-                severed: AtomicU64::new(0),
-                dials_refused: AtomicU64::new(0),
+                dropped: registry.counter("fault_frames_dropped"),
+                duplicated: registry.counter("fault_frames_duplicated"),
+                delayed: registry.counter("fault_frames_delayed"),
+                severed: registry.counter("fault_links_severed"),
+                dials_refused: registry.counter("fault_dials_refused"),
+                registry,
             }),
         }
+    }
+
+    /// The registry holding the injection counters, for folding into a
+    /// cluster-wide metrics snapshot.
+    pub fn registry(&self) -> wren_obs::Registry {
+        self.inner.registry.clone()
     }
 
     /// The seed the plan was built from (printed by chaos drivers so a
@@ -214,7 +225,7 @@ impl FaultPlan {
         let rules = self.inner.rules.lock().expect("fault rules poisoned");
         let refused = rules.refuse_dials || crosses(&rules.island, from, to);
         if refused {
-            self.inner.dials_refused.fetch_add(1, Ordering::Relaxed);
+            self.inner.dials_refused.inc();
         }
         !refused
     }
@@ -247,7 +258,7 @@ impl FaultPlan {
         if ordered_sever || blocked {
             // The frame and anything held die with the connection.
             link.held.clear();
-            self.inner.severed.fetch_add(1, Ordering::Relaxed);
+            self.inner.severed.inc();
             return SendVerdict::Mutate { frames: Vec::new(), sever: true };
         }
 
@@ -255,13 +266,13 @@ impl FaultPlan {
         let r: f64 = link.rng.gen();
         if r < p_drop {
             link.held.clear();
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.dropped.inc();
             return SendVerdict::Mutate { frames: Vec::new(), sever: true };
         }
 
         let now = Instant::now();
         if r < p_drop + p_dup {
-            self.inner.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.inner.duplicated.inc();
             let mut frames = Vec::with_capacity(2 + link.held.len());
             frames.push(frame.to_vec());
             frames.push(frame.to_vec());
@@ -269,7 +280,7 @@ impl FaultPlan {
             return SendVerdict::Mutate { frames, sever: false };
         }
         if r < p_drop + p_dup + p_delay && link.held.len() < HOLD_CAP {
-            self.inner.delayed.fetch_add(1, Ordering::Relaxed);
+            self.inner.delayed.inc();
             link.held.push((now, frame.to_vec()));
             // Aged holds still flush so a quiet fault window cannot
             // park frames forever.
@@ -291,11 +302,11 @@ impl FaultPlan {
     /// Current injection counters.
     pub fn stats(&self) -> FaultStats {
         FaultStats {
-            dropped: self.inner.dropped.load(Ordering::Relaxed),
-            duplicated: self.inner.duplicated.load(Ordering::Relaxed),
-            delayed: self.inner.delayed.load(Ordering::Relaxed),
-            severed: self.inner.severed.load(Ordering::Relaxed),
-            dials_refused: self.inner.dials_refused.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.get(),
+            duplicated: self.inner.duplicated.get(),
+            delayed: self.inner.delayed.get(),
+            severed: self.inner.severed.get(),
+            dials_refused: self.inner.dials_refused.get(),
         }
     }
 

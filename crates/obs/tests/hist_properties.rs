@@ -1,0 +1,139 @@
+//! Property tests for the log-linear histogram core, checked against an
+//! exact sorted-values oracle:
+//!
+//! * every reported quantile lands within one bucket width of the exact
+//!   order statistic (≤ 1/64 relative above 64, exact below);
+//! * merging snapshots is associative and commutative and equals
+//!   recording the concatenated streams into one histogram;
+//! * concurrent recording from many threads equals a serial replay of
+//!   the same values (the PR 3 storage-oracle style: atomics must not
+//!   lose updates).
+
+use proptest::prelude::*;
+use wren_obs::{Histogram, HistogramSnapshot};
+
+/// The exact q-quantile of `sorted` by the same rank rule the histogram
+/// uses (⌈q·n⌉-th smallest, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// The bucket width at `v`: 1 below 64, else 2^(msb−6).
+fn bucket_width(v: u64) -> u64 {
+    if v < 64 {
+        1
+    } else {
+        1u64 << ((63 - v.leading_zeros()) - 6)
+    }
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Values spanning the interesting octaves: exact range, a mid octave,
+/// and huge values near the top of the table.
+fn arb_values(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..4096,
+            4096u64..1_000_000,
+            1_000_000u64..u64::MAX / 2,
+        ],
+        1..max_len,
+    )
+}
+
+proptest! {
+    /// Recorded-values-vs-exact-percentile oracle: for every quantile
+    /// the histogram reports a value `>= exact` (upper bucket bound)
+    /// and within one bucket width of it.
+    #[test]
+    fn quantile_error_is_at_most_one_bucket(values in arb_values(300)) {
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = snap.quantile(q);
+            prop_assert!(got >= exact, "q{}: {} < exact {}", q, got, exact);
+            prop_assert!(
+                got - exact <= bucket_width(exact),
+                "q{}: {} overshoots exact {} by more than one bucket ({})",
+                q, got, exact, bucket_width(exact)
+            );
+        }
+    }
+
+    /// Merge is commutative, associative, and agrees with recording the
+    /// concatenation into a single histogram.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in arb_values(80),
+        b in arb_values(80),
+        c in arb_values(80),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "merge not commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge not associative");
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        prop_assert_eq!(ab_c, record_all(&concat), "merge ≠ concatenated recording");
+    }
+}
+
+/// Multi-thread record-vs-serial-replay stress: 4 threads hammer one
+/// shared histogram with disjoint slices of a value script; the result
+/// must equal a serial replay of the whole script (relaxed atomics may
+/// reorder, but must not lose or duplicate observations).
+#[test]
+fn concurrent_record_equals_serial_replay() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = if cfg!(debug_assertions) { 20_000 } else { 200_000 };
+
+    // A deterministic value stream covering all octave shapes.
+    let script: Vec<u64> = (0..THREADS * PER_THREAD)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x >> (x % 57) // values from full-range down to tiny
+        })
+        .collect();
+
+    let shared = Histogram::new();
+    std::thread::scope(|s| {
+        for chunk in script.chunks(PER_THREAD) {
+            let h = shared.clone();
+            s.spawn(move || {
+                for &v in chunk {
+                    h.record(v);
+                }
+            });
+        }
+    });
+
+    let serial = record_all(&script);
+    assert_eq!(shared.snapshot(), serial);
+}

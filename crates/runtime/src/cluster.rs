@@ -1,17 +1,21 @@
 use crate::engine::{Durability, PartitionEngine, ReadJob};
+use crate::metrics::SessionMetrics;
 use crate::reactor_fabric::ReactorFabric;
 use crate::tcp::{bind_listeners, spawn_acceptors, TcpFabric};
 use crate::Session;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wren_core::{ServerStats, WrenConfig};
+use wren_core::{ServerStats, ServerTrace, TxEvent, WrenConfig};
 use wren_net::FaultPlan;
+use wren_obs::{MetricsSnapshot, Registry};
 use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
 use wren_core::FsyncPolicy;
 
@@ -94,6 +98,16 @@ impl Fabric {
         match self {
             Fabric::Threaded(f) => f.dropped_frames(),
             Fabric::Reactor(f) => f.dropped_frames(),
+        }
+    }
+
+    /// The fabric's socket-boundary metric registry. Both fabrics use
+    /// identical metric names, so a threaded-vs-reactor comparison is a
+    /// diff of two cluster snapshots.
+    pub(crate) fn registry(&self) -> Registry {
+        match self {
+            Fabric::Threaded(f) => f.registry(),
+            Fabric::Reactor(f) => f.registry(),
         }
     }
 
@@ -257,6 +271,7 @@ pub struct ClusterBuilder {
     fault_plan: Option<FaultPlan>,
     dial_retry_budget: Duration,
     tx_abort_timeout: Duration,
+    metrics_every: Option<Duration>,
 }
 
 impl Default for ClusterBuilder {
@@ -279,6 +294,7 @@ impl Default for ClusterBuilder {
             fault_plan: None,
             dial_retry_budget: Duration::from_millis(100),
             tx_abort_timeout: Duration::from_secs(3),
+            metrics_every: None,
         }
     }
 }
@@ -457,6 +473,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Periodically logs what changed in the cluster's merged metrics:
+    /// every `d`, a background thread snapshots
+    /// [`Cluster::metrics`], diffs it against the previous snapshot and
+    /// prints one compact line to stderr — non-zero counter deltas and
+    /// histogram deltas with their interval p50/p99. Zero disables
+    /// (the default: no logger thread at all).
+    pub fn metrics_every(mut self, d: Duration) -> Self {
+        self.metrics_every = (!d.is_zero()).then_some(d);
+        self
+    }
+
     /// Spawns the server threads and returns the running cluster.
     pub fn build(self) -> Cluster {
         Cluster::start(self)
@@ -490,6 +517,61 @@ fn durability_of(cfg: &ClusterBuilder, id: ServerId, rejoin: bool) -> Option<Dur
         policy: cfg.fsync,
         rejoin,
     })
+}
+
+/// Everything the cluster's merged metrics snapshot draws from, shared
+/// between [`Cluster::metrics`] and the optional metrics-logger thread
+/// ([`ClusterBuilder::metrics_every`]).
+struct ObsHub {
+    /// Per-partition live handles (registry + trace ring), DC-major
+    /// order. A restart replaces the slot — the new process starts with
+    /// fresh metrics, exactly as a real restarted server would.
+    partitions: Mutex<Vec<(Registry, ServerTrace)>>,
+    /// The non-partition registries folded into the merged view:
+    /// session ops, the TCP fabric (if any), the fault plan (if any).
+    extras: Vec<Registry>,
+}
+
+impl ObsHub {
+    /// The merged cluster-wide snapshot: partition registries use
+    /// unprefixed metric names, so merging them yields cross-partition
+    /// aggregates (`commit_prepare_micros` = the histogram over every
+    /// partition's commits).
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (registry, _) in self.partitions.lock().iter() {
+            snap.merge(&registry.snapshot());
+        }
+        for registry in &self.extras {
+            snap.merge(&registry.snapshot());
+        }
+        snap
+    }
+}
+
+/// One interval's worth of metric movement, as a single stderr line:
+/// non-zero counter deltas, then histogram deltas with their interval
+/// count/p50/p99. Gauges are skipped (they are point-in-time values,
+/// visible in a full [`Cluster::metrics`] snapshot).
+fn log_metrics_delta(at: Duration, delta: &MetricsSnapshot) {
+    let mut line = format!("[wren metrics +{:.1}s]", at.as_secs_f64());
+    for (name, v) in &delta.counters {
+        if *v != 0 {
+            let _ = write!(line, " {name}={v}");
+        }
+    }
+    for (name, h) in &delta.histograms {
+        if h.count != 0 {
+            let _ = write!(
+                line,
+                " {name}[n={} p50={} p99={}]",
+                h.count,
+                h.p50(),
+                h.p99()
+            );
+        }
+    }
+    eprintln!("{line}");
 }
 
 /// An in-process Wren cluster: one partition **engine** per partition —
@@ -543,6 +625,14 @@ pub struct Cluster {
     next_client: AtomicU32,
     next_coordinator: AtomicU32,
     shut_down: std::sync::atomic::AtomicBool,
+    /// The observability hub behind [`Cluster::metrics`] /
+    /// [`Cluster::dump_traces`], shared with the logger thread.
+    obs: Arc<ObsHub>,
+    /// Session-op metric handles, cloned into every session.
+    session_metrics: SessionMetrics,
+    /// The metrics-logger thread ([`ClusterBuilder::metrics_every`]):
+    /// stop sender + join handle, taken at stop/drop.
+    metrics_logger: Option<(Sender<()>, JoinHandle<()>)>,
 }
 
 impl Cluster {
@@ -648,6 +738,52 @@ impl Cluster {
             }
         }
 
+        // Observability: collect every engine's registry + trace ring,
+        // add the session / fabric / fault registries, and (optionally)
+        // start the delta-logging thread.
+        let session_metrics = SessionMetrics::new();
+        let mut extras = vec![session_metrics.registry()];
+        if let Some(fabric) = router.tcp() {
+            extras.push(fabric.registry());
+        }
+        if let Some(plan) = &cfg.fault_plan {
+            extras.push(plan.registry());
+        }
+        let obs = Arc::new(ObsHub {
+            partitions: Mutex::new(
+                engines
+                    .iter()
+                    .map(|e| {
+                        let e = e.as_ref().expect("all engines live at start");
+                        (e.registry(), e.trace())
+                    })
+                    .collect(),
+            ),
+            extras,
+        });
+        let metrics_logger = cfg.metrics_every.map(|every| {
+            let obs = Arc::clone(&obs);
+            let (stop_tx, stop_rx) = unbounded::<()>();
+            let handle = std::thread::spawn(move || {
+                let mut prev = obs.snapshot();
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    match stop_rx.recv_timeout(every) {
+                        Err(RecvTimeoutError::Timeout) => {
+                            elapsed += every;
+                            let cur = obs.snapshot();
+                            log_metrics_delta(elapsed, &cur.diff(&prev));
+                            prev = cur;
+                        }
+                        // A stop signal or a dropped sender ends the
+                        // logger either way.
+                        Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            });
+            (stop_tx, handle)
+        });
+
         Cluster {
             cfg,
             router,
@@ -660,6 +796,9 @@ impl Cluster {
             next_client: AtomicU32::new(0),
             next_coordinator: AtomicU32::new(0),
             shut_down: std::sync::atomic::AtomicBool::new(false),
+            obs,
+            session_metrics,
+            metrics_logger,
         }
     }
 
@@ -678,6 +817,39 @@ impl Cluster {
     /// transport must be loss-free while the invariants are checked.
     pub fn tcp_dropped_frames(&self) -> u64 {
         self.router.tcp().map_or(0, |f| f.dropped_frames())
+    }
+
+    /// The cluster's merged metrics snapshot: every live partition's
+    /// registry (commit-stage, read-slice, WAL, replication and
+    /// visibility-lag histograms — unprefixed names, so the merge is the
+    /// cross-partition aggregate), the session-op histograms, and — in
+    /// TCP mode — the fabric's socket-boundary counters plus the fault
+    /// plan's injection counters, all folded into one diffable
+    /// [`MetricsSnapshot`]. Render it with
+    /// [`MetricsSnapshot::render_prometheus`] or diff two calls to see
+    /// an interval's movement.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Dumps every partition's tx-lifecycle trace ring (oldest event
+    /// first), tagged with the owning server, DC-major partition order.
+    /// This is the chaos-debugging view: a failed oracle run prints it
+    /// to show the last ~512 protocol events — begins, prepares,
+    /// decisions, in-doubt aborts, applies, stable raises, crashes,
+    /// restarts, link losses — each partition saw before the failure.
+    pub fn dump_traces(&self) -> Vec<(ServerId, Vec<TxEvent>)> {
+        self.obs
+            .partitions
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(idx, (_, trace))| {
+                let dc = (idx / self.cfg.n_partitions as usize) as u8;
+                let p = (idx % self.cfg.n_partitions as usize) as u16;
+                (ServerId::new(dc, p), trace.dump())
+            })
+            .collect()
     }
 
     /// Number of DCs in the cluster.
@@ -713,6 +885,7 @@ impl Cluster {
                 self.cfg.n_partitions,
                 self.cfg.session_timeout,
                 self.cfg.dial_retry_budget,
+                Some(self.session_metrics.clone()),
             );
         }
         let rx = self.router.register_client(id);
@@ -722,6 +895,7 @@ impl Cluster {
             Arc::clone(&self.router),
             rx,
             self.cfg.session_timeout,
+            Some(self.session_metrics.clone()),
         )
     }
 
@@ -752,6 +926,11 @@ impl Cluster {
         let id = ServerId::new(dc, p);
         let idx = id.dc_major_index(self.cfg.n_partitions);
         let engine = self.engines[idx].take().expect("partition already down");
+        // Mark the crash in the victim's trace ring — the post-mortem
+        // dump should show the kill between the events it interrupted.
+        self.obs.partitions.lock()[idx]
+            .1
+            .push(TxEvent::KillPartition { server: id });
         // Sockets first, so in-flight frames die with the process and
         // nothing new lands in the inbox behind the kill pill.
         if let Some(fabric) = self.router.tcp() {
@@ -815,7 +994,7 @@ impl Cluster {
                 Fabric::Reactor(f) => f.restart_server(id, listener),
             }
         }
-        self.engines[idx] = Some(PartitionEngine::launch(
+        let engine = PartitionEngine::launch(
             id,
             self.wren_cfg,
             self.epoch,
@@ -827,7 +1006,15 @@ impl Cluster {
             ticks_of(&self.cfg),
             durability_of(&self.cfg, id, true),
             self.cfg.tx_abort_timeout,
-        ));
+        );
+        // The new process gets a fresh registry and trace ring (its
+        // pre-crash metrics died with it, as on a real host); the
+        // restart event is the new trace's first entry, so a dump reads
+        // "restarted here, then caught up".
+        let trace = engine.trace();
+        trace.push(TxEvent::Restart { server: id });
+        self.obs.partitions.lock()[idx] = (engine.registry(), trace);
+        self.engines[idx] = Some(engine);
     }
 
     /// Asks every engine to stop: a shutdown message to each writer
@@ -862,6 +1049,7 @@ impl Cluster {
     /// thread outlives the call.
     pub fn stop(mut self) -> Vec<ServerStats> {
         self.shutdown();
+        self.stop_metrics_logger();
         let stats = self
             .engines
             .drain(..)
@@ -872,11 +1060,21 @@ impl Cluster {
         }
         stats
     }
+
+    /// Stops and joins the metrics-logger thread, if one runs.
+    /// Idempotent (the handle is taken on first call).
+    fn stop_metrics_logger(&mut self) {
+        if let Some((stop, handle)) = self.metrics_logger.take() {
+            let _ = stop.send(());
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
+        self.stop_metrics_logger();
         // Deterministic teardown, workers before writer per engine: no
         // detached read worker survives the cluster.
         for engine in self.engines.drain(..).flatten() {

@@ -79,11 +79,16 @@ pub(crate) enum ReadJob {
 
 /// One partition's running engine: the writer thread handle, the read
 /// worker handles, and a reader handle kept so [`join`](Self::join) can
-/// take the slice counters *after* every worker has finished.
+/// take the slice counters *after* every worker has finished. The
+/// metric registry and trace ring are cloned out before the state
+/// machine moves into the writer thread, so the cluster can snapshot a
+/// live partition (and dump its trace post-mortem) without touching it.
 pub(crate) struct PartitionEngine {
     writer: JoinHandle<ServerStats>,
     workers: Vec<JoinHandle<()>>,
     reader: SliceReader,
+    registry: wren_obs::Registry,
+    trace: wren_core::ServerTrace,
 }
 
 /// Tick intervals for a writer loop: replication, gossip, optional GC,
@@ -131,6 +136,8 @@ impl PartitionEngine {
             None => WrenServer::new(id, cfg, SkewedClock::perfect()),
         };
         server.set_tx_abort_timeout(tx_abort_timeout.as_micros() as u64);
+        let registry = server.registry();
+        let trace = server.trace();
         let reader = server.reader();
         let mut workers = Vec::new();
         if let Some((read_rx, n_workers)) = read_pool {
@@ -150,7 +157,19 @@ impl PartitionEngine {
             writer,
             workers,
             reader,
+            registry,
+            trace,
         }
+    }
+
+    /// The partition's metric registry (live — snapshot any time).
+    pub(crate) fn registry(&self) -> wren_obs::Registry {
+        self.registry.clone()
+    }
+
+    /// The partition's tx-lifecycle trace ring (live handle).
+    pub(crate) fn trace(&self) -> wren_core::ServerTrace {
+        self.trace.clone()
     }
 
     /// Joins the engine's threads deterministically — workers first

@@ -17,6 +17,13 @@ pub enum RtError {
     /// misconfigured or half-started cluster is diagnosable from the
     /// error alone.
     Unreachable(std::net::SocketAddr),
+    /// The coordinator explicitly aborted the commit: its 2PC round was
+    /// left in doubt (a cohort died mid-prepare) past the cluster's
+    /// [`tx_abort_timeout`](crate::ClusterBuilder::tx_abort_timeout).
+    /// Unlike [`Timeout`](Self::Timeout), the outcome is *known* —
+    /// nothing was applied — so the caller may safely re-issue the
+    /// transaction.
+    Aborted,
 }
 
 impl fmt::Display for RtError {
@@ -27,6 +34,9 @@ impl fmt::Display for RtError {
             RtError::TooLarge => write!(f, "request exceeds the transport's frame limit"),
             RtError::Unreachable(addr) => {
                 write!(f, "partition server {addr} refused connections (after retries)")
+            }
+            RtError::Aborted => {
+                write!(f, "coordinator aborted the in-doubt transaction (nothing applied)")
             }
         }
     }

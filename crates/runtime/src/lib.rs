@@ -46,7 +46,16 @@
 //!   [`FaultPlan`] underneath either TCP fabric: drop / duplicate /
 //!   delay / reorder server-to-server frames, refuse dials, sever
 //!   links or partition the peer set — the substrate for the chaos
-//!   failover oracle.
+//!   failover oracle;
+//! * [`Cluster::metrics`] — the whole stack is instrumented with
+//!   `wren-obs` (lock-free counters and mergeable log-linear
+//!   histograms): commit-stage / WAL / read-slice / replication /
+//!   visibility-lag latencies per partition engine, socket-boundary
+//!   counters in both TCP fabrics, and session-op latencies, merged
+//!   into one [`MetricsSnapshot`] (diffable, Prometheus-renderable;
+//!   [`ClusterBuilder::metrics_every`] logs interval deltas). Each
+//!   partition also keeps a tx-lifecycle trace ring
+//!   ([`Cluster::dump_traces`]) — the post-mortem for chaos runs.
 //!
 //! # Example
 //!
@@ -73,6 +82,7 @@
 mod cluster;
 mod engine;
 mod error;
+mod metrics;
 mod reactor_fabric;
 mod session;
 mod tcp;
@@ -80,5 +90,6 @@ mod tcp;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::RtError;
 pub use session::Session;
-pub use wren_core::FsyncPolicy;
+pub use wren_core::{FsyncPolicy, ServerTrace, TxEvent};
 pub use wren_net::fault::{FaultPlan, FaultStats};
+pub use wren_obs::MetricsSnapshot;

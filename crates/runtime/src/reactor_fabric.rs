@@ -41,6 +41,7 @@
 //! frame and dial consults the optional [`FaultPlan`].
 
 use crate::cluster::{Fabric, Router};
+use crate::metrics::FabricMetrics;
 use crate::tcp::{legal_from_client, legal_from_server, PeerLink, SERVER_OUTBOX_BYTES};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -78,11 +79,13 @@ pub(crate) struct ReactorFabric {
     /// the victim's; entries are reaped in `on_close`.
     conns: Mutex<HashMap<u64, (ServerId, ConnHandle)>>,
     next_conn: AtomicU64,
-    /// Server→server messages refused for exceeding the frame ceiling —
-    /// 0 on any healthy run (see [`crate::tcp::TcpFabric::send_server`]
-    /// for why splitting would be unsound). Injected faults are counted
-    /// by the [`FaultPlan`] itself, not here.
-    dropped_frames: AtomicU64,
+    /// Socket-boundary metric handles — same metric names as the
+    /// threaded fabric's, so the two topologies diff cleanly. The
+    /// frame-ceiling drop counter is 0 on any healthy run (see
+    /// [`crate::tcp::TcpFabric::send_server`] for why splitting would
+    /// be unsound); injected faults are counted by the [`FaultPlan`]
+    /// itself, not here.
+    metrics: FabricMetrics,
     /// Per-server kill flags, DC-major order (see the threaded twin).
     down: Vec<AtomicBool>,
     /// The deterministic fault plan, when the cluster injects faults.
@@ -132,7 +135,7 @@ impl ReactorFabric {
             listeners: Mutex::new(handles),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
-            dropped_frames: AtomicU64::new(0),
+            metrics: FabricMetrics::new(),
             down,
             faults,
             closing: AtomicBool::new(false),
@@ -154,7 +157,7 @@ impl ReactorFabric {
         let Some(frame) = try_frame_wren(msg) else {
             // Unframeable server→server message: dropping beats a torn
             // half-applied batch (see the threaded fabric's comment).
-            self.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            self.metrics.dropped_frames.inc();
             return;
         };
         // The fault plan's verdict may multiply the frame (duplicate,
@@ -179,6 +182,7 @@ impl ReactorFabric {
             }
             if let Some(conn) = link.out.as_ref() {
                 if frames.iter().all(|f| conn.enqueue(f.clone())) {
+                    self.note_sent(&frames, conn.queued_bytes());
                     break 'transmit;
                 }
                 // The link died (peer gone / overflow); redial below.
@@ -190,9 +194,10 @@ impl ReactorFabric {
             match self.dial(src, to) {
                 Ok(conn) => {
                     link.unpark();
-                    for f in frames {
-                        conn.enqueue(f);
+                    for f in &frames {
+                        conn.enqueue(f.clone());
                     }
+                    self.note_sent(&frames, conn.queued_bytes());
                     // Shutdown may have drained the peers map while we
                     // dialed; re-checking ensures the new link cannot
                     // escape severing.
@@ -203,7 +208,10 @@ impl ReactorFabric {
                     link.out = Some(conn);
                 }
                 // Refused: park and drop the frames, like a dead host.
-                Err(_) => link.dial_failed(),
+                Err(_) => {
+                    link.dial_failed();
+                    self.metrics.dial_backoff_parks.inc();
+                }
             }
         }
         if sever_after {
@@ -211,6 +219,16 @@ impl ReactorFabric {
                 conn.sever();
             }
         }
+    }
+
+    /// Records outbound frames (count, bytes) and the link's queued-
+    /// depth high-water mark after an enqueue.
+    fn note_sent(&self, frames: &[Bytes], queued: usize) {
+        self.metrics.frames_out.add(frames.len() as u64);
+        self.metrics
+            .bytes_out
+            .add(frames.iter().map(|f| f.len() as u64).sum());
+        self.metrics.outbox_depth_bytes.record_max(queued as u64);
     }
 
     fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<ConnHandle> {
@@ -240,7 +258,12 @@ impl ReactorFabric {
         if let Some(conn) = self.clients.read().get(&to) {
             match try_frame_wren(msg) {
                 Some(frame) => {
+                    self.metrics.frames_out.inc();
+                    self.metrics.bytes_out.add(frame.len() as u64);
                     conn.enqueue(frame);
+                    self.metrics
+                        .outbox_depth_bytes
+                        .record_max(conn.queued_bytes() as u64);
                 }
                 // Undeliverable response: sever so the client fails
                 // fast instead of waiting out its timeout.
@@ -320,8 +343,14 @@ impl ReactorFabric {
 
     /// Server→server messages refused for exceeding the frame ceiling
     /// (0 on any healthy run; the loopback oracle suite asserts it).
+    /// Thin shim over the registry counter of the same name.
     pub(crate) fn dropped_frames(&self) -> u64 {
-        self.dropped_frames.load(Ordering::Relaxed)
+        self.metrics.dropped_frames.get()
+    }
+
+    /// The fabric's metric registry (folded into the cluster snapshot).
+    pub(crate) fn registry(&self) -> wren_obs::Registry {
+        self.metrics.registry()
     }
 
     /// Joins the reactor threads (after [`shutdown`](Self::shutdown)).
@@ -419,6 +448,7 @@ impl ReactorHandler for RtHandler {
                 fabric.conns.lock().remove(&conn_id);
                 return None;
             }
+            fabric.metrics.conns_accepted.inc();
             Some(conn_id)
         })??;
         Some(RtConn {
@@ -451,7 +481,9 @@ impl ReactorHandler for RtHandler {
             },
             RtIdentity::Client(id) => match WrenMsg::decode(&payload) {
                 Ok(msg) if legal_from_client(&msg) => self
-                    .with_fabric(|router, _| {
+                    .with_fabric(|router, fabric| {
+                        fabric.metrics.frames_in.inc();
+                        fabric.metrics.bytes_in.add(payload.len() as u64);
                         router.deliver_local(Dest::Client(id), conn.me, msg);
                     })
                     .is_some(),
@@ -460,7 +492,9 @@ impl ReactorHandler for RtHandler {
             },
             RtIdentity::Peer(src) => match WrenMsg::decode(&payload) {
                 Ok(msg) if legal_from_server(&msg) => self
-                    .with_fabric(|router, _| {
+                    .with_fabric(|router, fabric| {
+                        fabric.metrics.frames_in.inc();
+                        fabric.metrics.bytes_in.add(payload.len() as u64);
                         router.deliver_local(Dest::Server(src), conn.me, msg);
                     })
                     .is_some(),
@@ -475,6 +509,7 @@ impl ReactorHandler for RtHandler {
         self.with_fabric(|router, fabric| {
             if let Some(id) = conn.conn_id {
                 fabric.conns.lock().remove(&id);
+                fabric.metrics.conns_severed.inc();
             }
             match conn.identity {
                 RtIdentity::Client(id) => fabric.unregister_client(id, handle),

@@ -1,4 +1,5 @@
 use crate::cluster::Router;
+use crate::metrics::SessionMetrics;
 use crate::tcp::TcpLink;
 use crate::RtError;
 use crossbeam_channel::Receiver;
@@ -50,6 +51,10 @@ enum Link {
 pub struct Session {
     client: WrenClient,
     link: Link,
+    /// The cluster's shared session-op metric handles; `None` for
+    /// sessions joined from outside ([`Session::connect_tcp`]), which
+    /// have no cluster registry to record into.
+    metrics: Option<SessionMetrics>,
 }
 
 impl Session {
@@ -59,6 +64,7 @@ impl Session {
         router: Arc<Router>,
         rx: Receiver<WrenMsg>,
         timeout: Duration,
+        metrics: Option<SessionMetrics>,
     ) -> Self {
         Session {
             client: WrenClient::new(id, coordinator),
@@ -67,6 +73,7 @@ impl Session {
                 rx,
                 timeout,
             },
+            metrics,
         }
     }
 
@@ -77,10 +84,12 @@ impl Session {
         n_partitions: u16,
         timeout: Duration,
         dial_budget: Duration,
+        metrics: Option<SessionMetrics>,
     ) -> Self {
         Session {
             client: WrenClient::new(id, coordinator),
             link: Link::Tcp(TcpLink::new(id, addrs, n_partitions, timeout, dial_budget)),
+            metrics,
         }
     }
 
@@ -113,6 +122,7 @@ impl Session {
             n_partitions,
             timeout,
             DEFAULT_DIAL_BUDGET,
+            None,
         )
     }
 
@@ -233,10 +243,14 @@ impl Session {
     /// coordinator that stays unreachable past the session timeout
     /// surfaces as [`RtError::Unreachable`] naming the address.
     pub fn begin(&mut self) -> Result<(), RtError> {
+        let started = Instant::now();
         let msg = self.client.start();
         match self.retry_round_trip(msg, |m| matches!(m, WrenMsg::StartTxResp { .. })) {
             Ok(resp) => {
                 self.client.on_start_resp(resp);
+                if let Some(m) = &self.metrics {
+                    m.begin_micros.record(started.elapsed().as_micros() as u64);
+                }
                 Ok(())
             }
             Err(e) => Err(self.fail_op(e)),
@@ -267,6 +281,7 @@ impl Session {
     ///
     /// Panics if no transaction is active.
     pub fn read(&mut self, keys: &[Key]) -> Result<Vec<(Key, Option<Value>)>, RtError> {
+        let started = Instant::now();
         let outcome = self.client.read(keys);
         let mut results = outcome.local;
         if let Some(req) = outcome.request {
@@ -281,6 +296,9 @@ impl Session {
                 )
                 .map_err(|e| self.fail_op(e))?;
             results.extend(self.client.on_read_resp(resp));
+        }
+        if let Some(m) = &self.metrics {
+            m.read_micros.record(started.elapsed().as_micros() as u64);
         }
         // Return in the caller's key order.
         let mut ordered = Vec::with_capacity(keys.len());
@@ -379,28 +397,51 @@ impl Session {
     /// request that died with its coordinator may or may not have been
     /// applied. An error here means the outcome is unknown — the
     /// transaction is abandoned client-side and the caller decides
-    /// whether to re-issue it as a new transaction.
+    /// whether to re-issue it as a new transaction. The one exception is
+    /// [`RtError::Aborted`]: the coordinator replied with an explicit
+    /// abort verdict (its 2PC round was left in doubt by a cohort
+    /// crash), so the outcome is *known* — nothing was applied — and the
+    /// caller may safely re-issue the transaction.
     ///
     /// # Errors
     ///
     /// [`RtError::Timeout`] if the coordinator does not reply in time,
-    /// [`RtError::Shutdown`] if the connection failed; over TCP, a
-    /// coordinator address that refuses connections beyond the dial's
-    /// retry budget surfaces as [`RtError::Unreachable`] naming the
-    /// address.
+    /// [`RtError::Shutdown`] if the connection failed,
+    /// [`RtError::Aborted`] if the coordinator explicitly aborted the
+    /// in-doubt transaction; over TCP, a coordinator address that
+    /// refuses connections beyond the dial's retry budget surfaces as
+    /// [`RtError::Unreachable`] naming the address.
     ///
     /// # Panics
     ///
     /// Panics if no transaction is active.
     pub fn commit(&mut self) -> Result<Timestamp, RtError> {
+        let started = Instant::now();
         let msg = self.client.commit();
-        let WrenMsg::CommitReq { tx, .. } = &msg else {
+        let WrenMsg::CommitReq { tx, writes, .. } = &msg else {
             unreachable!("WrenClient::commit requests with CommitReq");
         };
         let tx = *tx;
+        // A zero commit timestamp is normal for a read-only transaction
+        // but is the coordinator's explicit abort verdict for one that
+        // shipped writes — remember which we sent.
+        let wrote = !writes.is_empty();
         match self.round_trip(msg) {
             Ok(WrenMsg::CommitResp { tx: rt, ct }) if rt == tx => {
-                Ok(self.client.on_commit_resp(WrenMsg::CommitResp { tx: rt, ct }))
+                if wrote && ct == Timestamp::ZERO {
+                    // The coordinator aborted the in-doubt round and said
+                    // so; the transaction is over, the link is fine.
+                    self.client.abort();
+                    if let Some(m) = &self.metrics {
+                        m.tx_aborted.inc();
+                    }
+                    return Err(RtError::Aborted);
+                }
+                let ct = self.client.on_commit_resp(WrenMsg::CommitResp { tx: rt, ct });
+                if let Some(m) = &self.metrics {
+                    m.commit_micros.record(started.elapsed().as_micros() as u64);
+                }
+                Ok(ct)
             }
             // A response that is not ours (stale from a timed-out
             // earlier request): the pairing is lost, same as a dead

@@ -75,6 +75,7 @@
 //! sessions model the paper's co-located client.
 
 use crate::cluster::Router;
+use crate::metrics::FabricMetrics;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -225,11 +226,12 @@ pub(crate) struct TcpFabric {
     /// Acceptors, connection readers and outbox writers. Finished
     /// handles are swept opportunistically on accept.
     threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Server→server messages refused because they exceeded the frame
-    /// ceiling — 0 on any healthy run (see `send_server`). Injected
-    /// faults are *not* counted here; the [`FaultPlan`] keeps its own
+    /// Socket-boundary metric handles (frames/bytes in and out,
+    /// connection churn, dial parks, the frame-ceiling drop counter —
+    /// 0 on any healthy run, see `send_server`). Injected faults are
+    /// *not* counted under drops; the [`FaultPlan`] keeps its own
     /// stats.
-    dropped_frames: AtomicU64,
+    metrics: FabricMetrics,
     /// Per-server kill flags, DC-major order: a down server sends
     /// nothing, receives nothing and accepts nothing until
     /// [`Self::revive_server`].
@@ -256,7 +258,7 @@ impl TcpFabric {
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             threads: Mutex::new(Vec::new()),
-            dropped_frames: AtomicU64::new(0),
+            metrics: FabricMetrics::new(),
             down,
             faults,
             closing: AtomicBool::new(false),
@@ -288,7 +290,7 @@ impl TcpFabric {
             // to `ct` after each message, so a half-applied batch could
             // become visible as a stable — and torn — snapshot. Drop
             // instead, and make it observable.
-            self.dropped_frames.fetch_add(1, Ordering::Relaxed);
+            self.metrics.dropped_frames.inc();
             return;
         };
         // The fault plan speaks at the frame boundary: the verdict may
@@ -320,6 +322,7 @@ impl TcpFabric {
             }
             if let Some(out) = link.out.as_ref() {
                 if frames.iter().all(|f| out.enqueue(f.clone())) {
+                    self.note_sent(&frames, out.queued_bytes());
                     break 'transmit;
                 }
                 // The link died (peer gone / overflow); redial below.
@@ -331,9 +334,10 @@ impl TcpFabric {
             match self.dial(src, to) {
                 Ok(out) => {
                     link.unpark();
-                    for f in frames {
-                        out.enqueue(f);
+                    for f in &frames {
+                        out.enqueue(f.clone());
                     }
+                    self.note_sent(&frames, out.queued_bytes());
                     // Shutdown may have drained the peers map while we
                     // dialed (our slot Arc would then no longer be
                     // reachable from it); the re-check ensures the new
@@ -345,7 +349,10 @@ impl TcpFabric {
                     link.out = Some(out);
                 }
                 // Refused: park and drop the frames, like a dead host.
-                Err(_) => link.dial_failed(),
+                Err(_) => {
+                    link.dial_failed();
+                    self.metrics.dial_backoff_parks.inc();
+                }
             }
         }
         if sever_after {
@@ -353,6 +360,16 @@ impl TcpFabric {
                 out.shutdown();
             }
         }
+    }
+
+    /// Records outbound frames (count, bytes) and the link's queued-
+    /// depth high-water mark after an enqueue.
+    fn note_sent(&self, frames: &[Bytes], queued: usize) {
+        self.metrics.frames_out.add(frames.len() as u64);
+        self.metrics
+            .bytes_out
+            .add(frames.iter().map(|f| f.len() as u64).sum());
+        self.metrics.outbox_depth_bytes.record_max(queued as u64);
     }
 
     fn dial(&self, src: ServerId, to: ServerId) -> std::io::Result<Outbox> {
@@ -375,7 +392,12 @@ impl TcpFabric {
         if let Some(out) = self.clients.read().get(&to) {
             match try_frame_wren(msg) {
                 Some(frame) => {
+                    self.metrics.frames_out.inc();
+                    self.metrics.bytes_out.add(frame.len() as u64);
                     out.enqueue(frame);
+                    self.metrics
+                        .outbox_depth_bytes
+                        .record_max(out.queued_bytes() as u64);
                 }
                 // A response beyond the frame ceiling cannot be
                 // delivered; sever the connection so the client fails
@@ -456,9 +478,14 @@ impl TcpFabric {
 
     /// Server→server messages refused for exceeding the frame ceiling
     /// (0 on any healthy run; the loopback oracle suite asserts it).
+    /// Thin shim over the registry counter of the same name.
     pub(crate) fn dropped_frames(&self) -> u64 {
-        self.dropped_frames
-            .load(std::sync::atomic::Ordering::Relaxed)
+        self.metrics.dropped_frames.get()
+    }
+
+    /// The fabric's metric registry (folded into the cluster snapshot).
+    pub(crate) fn registry(&self) -> wren_obs::Registry {
+        self.metrics.registry()
     }
 
     /// Joins every fabric thread. Loops because connection threads can
@@ -552,6 +579,7 @@ fn accept_loop(me: ServerId, listener: TcpListener, router: Arc<Router>) {
             fabric.conns.lock().remove(&conn_id);
             return;
         }
+        fabric.metrics.conns_accepted.inc();
         let _ = stream.set_nodelay(true);
         let router = Arc::clone(&router);
         let handle = std::thread::spawn(move || serve_conn(me, conn_id, stream, router));
@@ -581,7 +609,9 @@ fn serve_conn(me: ServerId, conn_id: u64, stream: TcpStream, router: Arc<Router>
             {
                 // Inbound server links are read-only: replies travel on
                 // the replier's own outbound link, so no outbox here.
-                read_frames(&mut reader, legal_from_server, |msg| {
+                read_frames(&mut reader, legal_from_server, |msg, n| {
+                    fabric.metrics.frames_in.inc();
+                    fabric.metrics.bytes_in.add(n as u64);
                     router.deliver_local(Dest::Server(src), me, msg);
                 });
                 // The conn that carried `src`-origin traffic died (EOF,
@@ -599,6 +629,7 @@ fn serve_conn(me: ServerId, conn_id: u64, stream: TcpStream, router: Arc<Router>
             Hello::Client(id) => serve_client_conn(me, id, &mut reader, &router, fabric),
         }
     }
+    fabric.metrics.conns_severed.inc();
     fabric.conns.lock().remove(&conn_id);
 }
 
@@ -619,7 +650,9 @@ fn serve_client_conn(
     };
     fabric.threads.lock().push(writer);
     fabric.register_client(id, outbox.clone());
-    read_frames(reader, legal_from_client, |msg| {
+    read_frames(reader, legal_from_client, |msg, n| {
+        fabric.metrics.frames_in.inc();
+        fabric.metrics.bytes_in.add(n as u64);
         router.deliver_local(Dest::Client(id), me, msg);
     });
     fabric.unregister_client(id, &outbox);
@@ -680,17 +713,18 @@ pub(crate) fn legal_from_server(msg: &WrenMsg) -> bool {
 }
 
 /// Reads frames until EOF/error, delivering each decoded message that
-/// passes the connection's legality filter; a corrupt or
+/// passes the connection's legality filter (along with its payload
+/// size, for the fabric's byte counters); a corrupt or
 /// protocol-illegal frame severs the connection instead.
 fn read_frames(
     reader: &mut FramedReader,
     legal: fn(&WrenMsg) -> bool,
-    mut deliver: impl FnMut(WrenMsg),
+    mut deliver: impl FnMut(WrenMsg, usize),
 ) {
     loop {
         match reader.next_frame() {
             Ok(Some(payload)) => match WrenMsg::decode(&payload) {
-                Ok(msg) if legal(&msg) => deliver(msg),
+                Ok(msg) if legal(&msg) => deliver(msg, payload.len()),
                 _ => return, // corrupt or protocol-illegal peer: sever
             },
             Ok(None) | Err(_) => return,

@@ -68,6 +68,9 @@ pub struct Wal {
     points: u32,
     /// Durable log length in bytes (what a reader would recover).
     synced_len: u64,
+    /// Optional instrumentation (see [`Wal::instrument`]).
+    fsync_micros: Option<wren_obs::Histogram>,
+    append_bytes: Option<wren_obs::Histogram>,
 }
 
 /// CRC-32 (IEEE 802.3, the `crc32` of zlib/gzip) over `bytes`.
@@ -107,7 +110,16 @@ impl Wal {
             .write(true)
             .truncate(true)
             .open(&path)?;
-        Ok(Wal { file, path, policy, buf: Vec::new(), points: 0, synced_len: 0 })
+        Ok(Wal {
+            file,
+            path,
+            policy,
+            buf: Vec::new(),
+            points: 0,
+            synced_len: 0,
+            fsync_micros: None,
+            append_bytes: None,
+        })
     }
 
     /// Opens an existing log for appending, first scanning it with
@@ -132,7 +144,16 @@ impl Wal {
         file.seek(SeekFrom::End(0))?;
         let synced_len = recovered.valid_len;
         Ok((
-            Wal { file, path, policy, buf: Vec::new(), points: 0, synced_len },
+            Wal {
+                file,
+                path,
+                policy,
+                buf: Vec::new(),
+                points: 0,
+                synced_len,
+                fsync_micros: None,
+                append_bytes: None,
+            },
             recovered.records,
         ))
     }
@@ -151,6 +172,18 @@ impl Wal {
         self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
         self.buf.extend_from_slice(payload);
+        if let Some(h) = &self.append_bytes {
+            h.record(payload.len() as u64);
+        }
+    }
+
+    /// Attaches latency/size instrumentation: `fsync_micros` records
+    /// each synchronous flush (write + fsync) in microseconds,
+    /// `append_bytes` each appended record's payload size. Recording is
+    /// lock-free and uninstrumented logs pay one `Option` branch.
+    pub fn instrument(&mut self, fsync_micros: wren_obs::Histogram, append_bytes: wren_obs::Histogram) {
+        self.fsync_micros = Some(fsync_micros);
+        self.append_bytes = Some(append_bytes);
     }
 
     /// Marks a commit point: everything appended so far is eligible to
@@ -179,6 +212,7 @@ impl Wal {
 
     /// Writes the buffer to the OS; `sync` additionally fsyncs.
     fn flush(&mut self, sync: bool) -> std::io::Result<()> {
+        let start = self.fsync_micros.is_some().then(std::time::Instant::now);
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.buf.clear();
@@ -186,6 +220,9 @@ impl Wal {
         if sync {
             self.file.sync_data()?;
             self.synced_len = self.file.stream_position()?;
+            if let (Some(h), Some(t)) = (&self.fsync_micros, start) {
+                h.record(t.elapsed().as_micros() as u64);
+            }
         }
         Ok(())
     }

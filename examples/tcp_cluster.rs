@@ -19,13 +19,19 @@
 //! 3. **Transact over the wire**: read-your-writes through the client
 //!    cache, multi-partition snapshot reads fanned out to the read
 //!    workers, cross-session visibility once BiST stabilizes a write.
-//! 4. **Measure all three transports** (`wren_harness::run_rt`): the
+//! 4. **Read the metrics** (`Cluster::metrics`): one merged snapshot of
+//!    every layer the run just exercised — commit-stage and read-slice
+//!    histograms from the partition engines, socket-boundary counters
+//!    from the fabric, session-op latencies — with tail percentiles,
+//!    Prometheus rendering and per-partition trace rings.
+//! 5. **Measure all three transports** (`wren_harness::run_rt`): the
 //!    same closed-loop workload over channels, reactor TCP and
 //!    threaded TCP. Channel→TCP is the end-to-end price of
 //!    serialization plus kernel round-trips — the cost the paper's
 //!    cluster experiments pay on every operation; reactor→threaded is
-//!    the thread-topology difference at the same wire cost.
-//! 5. **Shut down deterministically**: listeners closed, in-flight
+//!    the thread-topology difference at the same wire cost, and it
+//!    lives in the tail (p99/p999), which the mean hides.
+//! 6. **Shut down deterministically**: listeners closed, in-flight
 //!    connections severed, every reactor thread joined. Run it twice;
 //!    `shutdown` is idempotent.
 //!
@@ -99,16 +105,49 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(1));
     }
+    // --- 4. Reading the metrics. `Cluster::metrics()` merges every
+    // layer into one snapshot: partition registries use unprefixed
+    // names (`commit_prepare_micros` below is the histogram across all
+    // four partitions), the fabric's counters are `tcp_*`, session-op
+    // latencies `session_*`. Quantiles come from log-linear buckets
+    // (~1% relative error) — cheap enough to leave on in production.
+    // For live monitoring, `ClusterBuilder::metrics_every(d)` logs the
+    // interval deltas to stderr, `MetricsSnapshot::render_prometheus()`
+    // feeds a scraper, and `Cluster::dump_traces()` explains a failure
+    // from each partition's last ~512 lifecycle events.
+    let snap = cluster.metrics();
+    println!("\nwhat the wire run cost, from the merged metrics snapshot:");
+    for name in ["session_commit_micros", "commit_prepare_micros", "read_slice_micros"] {
+        if let Some(h) = snap.histogram(name) {
+            println!(
+                "  {name}: n={} p50={}us p99={}us max={}us",
+                h.count,
+                h.p50(),
+                h.p99(),
+                h.max
+            );
+        }
+    }
+    println!(
+        "  frames on the wire: {} out / {} in ({} conns accepted, 0 dropped: {})",
+        snap.counter("tcp_frames_out"),
+        snap.counter("tcp_frames_in"),
+        snap.counter("tcp_conns_accepted"),
+        snap.counter("tcp_dropped_frames") == 0
+    );
     drop(observer);
     drop(session);
     cluster.shutdown();
     drop(cluster);
 
-    // --- 4. The transport bill: same closed-loop workload, all three
+    // --- 5. The transport bill: same closed-loop workload, all three
     // transports. (Loopback TCP still pays encode + frame + two syscall
     // crossings per hop; real NICs would add propagation on top.)
     println!("\nclosed-loop comparison (4 sessions x 300 tx, 1 DC x 4 partitions):");
-    println!("  {:<14} {:>12} {:>12} {:>12}", "transport", "tx/s", "mean ms", "p99 ms");
+    println!(
+        "  {:<14} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "transport", "tx/s", "mean ms", "p50 ms", "p99 ms", "p999 ms"
+    );
     for (name, transport) in [
         ("channel", RtTransport::Channel),
         ("tcp-reactor", RtTransport::Tcp),
@@ -126,12 +165,17 @@ fn main() {
             writes_per_tx: 2,
         });
         println!(
-            "  {:<14} {:>12.0} {:>12.3} {:>12.3}",
-            name, result.throughput, result.mean_latency_ms, result.p99_latency_ms
+            "  {:<14} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            result.throughput,
+            result.mean_latency_ms,
+            result.p50_latency_ms,
+            result.p99_latency_ms,
+            result.p999_latency_ms
         );
     }
 
-    // --- 5. Deterministic teardown already happened for the demo
+    // --- 6. Deterministic teardown already happened for the demo
     // cluster (shutdown + drop joined every thread); run_rt tears its
     // clusters down internally the same way.
     println!("\ndone: all listeners closed, every transport thread joined.");

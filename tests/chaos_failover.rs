@@ -69,10 +69,28 @@ fn try_put(session: &mut Session, oracle: &mut HashMap<Key, u64>, key: Key, valu
     }
 }
 
+/// On oracle failure, prints the tail of every partition's tx-lifecycle
+/// trace ring before panicking — the chaos post-mortem: what each
+/// partition last saw (begins, prepares, decisions, in-doubt aborts,
+/// applies, stable raises, kills, restarts, link churn) leading up to
+/// the divergence, without re-running the seed under a debugger.
+fn dump_traces(cluster: &Cluster, what: &str) {
+    const TAIL: usize = 40;
+    eprintln!("{what}: partition trace rings (oldest of the tail first):");
+    for (server, events) in cluster.dump_traces() {
+        let skip = events.len().saturating_sub(TAIL);
+        eprintln!("  {server}: {} events, showing {}", events.len(), events.len() - skip);
+        for ev in &events[skip..] {
+            eprintln!("    {ev:?}");
+        }
+    }
+}
+
 /// Polls until one snapshot serves every `(key, value)` pair in
 /// `expected`; transient read errors retry. Panics (with the seed in
-/// `what`) at the deadline.
+/// `what`, after dumping every partition's trace ring) at the deadline.
 fn expect_converges(
+    cluster: &Cluster,
     session: &mut Session,
     expected: &HashMap<Key, u64>,
     timeout: Duration,
@@ -99,11 +117,15 @@ fn expect_converges(
                 // ride out link churn (retried inside the session) but
                 // must never *block* — a timeout here is a failure of
                 // the paper's core claim, not a transient.
-                Err(RtError::Timeout) => panic!("{what}: a read blocked (timed out)"),
+                Err(RtError::Timeout) => {
+                    dump_traces(cluster, what);
+                    panic!("{what}: a read blocked (timed out)");
+                }
                 Err(_) => {}
             }
         }
         if Instant::now() >= deadline {
+            dump_traces(cluster, what);
             panic!("{what}: did not converge to the acknowledged write set; last {last:?}");
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -128,11 +150,12 @@ fn chaos_run(
         .replication_tick(Duration::from_millis(1))
         .gossip_tick(Duration::from_millis(2))
         // A commit whose cohort died mid-storm ends as the
-        // coordinator's in-doubt abort, which sends no client response:
-        // the session rides the full timeout. Keep it comfortably above
-        // `tx_abort_timeout` (the exactness argument needs the abort
-        // decided before the client gives up) but small, so those
-        // stalls don't dominate the run.
+        // coordinator's in-doubt abort, *reported* to the session as an
+        // explicit abort reply (`RtError::Aborted`) as soon as
+        // `tx_abort_timeout` fires — the stall is the abort timeout,
+        // not this session timeout. Keep the session timeout
+        // comfortably above it anyway: the exactness argument needs
+        // the abort decided before the client could give up on its own.
         .session_timeout(Duration::from_millis(1_200))
         .dial_retry_budget(Duration::from_millis(300))
         .tx_abort_timeout(Duration::from_millis(300))
@@ -206,6 +229,7 @@ fn chaos_run(
     for dc in 0..2u8 {
         let mut reader = cluster.session(dc);
         expect_converges(
+            &cluster,
             &mut reader,
             &oracle,
             Duration::from_secs(20),

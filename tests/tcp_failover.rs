@@ -201,6 +201,100 @@ fn session_rides_out_coordinator_restart() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A cohort dies mid-prepare: the coordinator's in-doubt abort must be
+/// **told** to the session — an explicit abort verdict (`RtError::
+/// Aborted`) arriving around `tx_abort_timeout` — instead of the
+/// session riding out its own much longer timeout in silence. The abort
+/// is also visible in the merged metrics, server-side
+/// (`tx_aborts_indoubt`) and client-side (`session_tx_aborted`), and
+/// because the outcome is *known* (nothing applied) the same session
+/// can immediately run its next transaction.
+#[test]
+fn indoubt_abort_replies_before_session_timeout() {
+    let root = tmp_root("indoubt");
+    let abort_after = Duration::from_millis(300);
+    let session_timeout = Duration::from_secs(10);
+    let mut cluster = ClusterBuilder::new()
+        .dcs(1)
+        .partitions(2)
+        .tcp()
+        .durable(&root)
+        .fsync(FsyncPolicy::Always)
+        .replication_tick(Duration::from_millis(1))
+        .gossip_tick(Duration::from_millis(2))
+        .session_timeout(session_timeout)
+        .tx_abort_timeout(abort_after)
+        .build();
+
+    // A key owned by partition 1, written through a partition-0
+    // coordinator: committing it needs a 2PC vote from partition 1.
+    let victim = ServerId::new(0, 1);
+    let remote_key = (0..u64::MAX)
+        .map(Key)
+        .find(|k| k.partition(2) == victim.partition)
+        .expect("some key lands on partition 1");
+    let mut s = session_at(&cluster, 0, 0);
+
+    s.begin().unwrap();
+    s.write(remote_key, bval(7));
+    // Kill the cohort before the commit fans out: its prepare dies with
+    // the sockets, the vote never arrives, the round is in doubt.
+    cluster.kill_partition(0, 1);
+    let started = Instant::now();
+    let err = s
+        .commit()
+        .expect_err("the cohort is dead; the 2PC round must abort");
+    let waited = started.elapsed();
+    assert_eq!(
+        err,
+        RtError::Aborted,
+        "the coordinator must report the abort explicitly"
+    );
+    assert!(
+        waited >= abort_after / 2,
+        "an abort verdict cannot precede the in-doubt timer; waited {waited:?}"
+    );
+    assert!(
+        waited < session_timeout / 2,
+        "the abort reply must arrive around tx_abort_timeout ({abort_after:?}), \
+         not the session timeout ({session_timeout:?}); waited {waited:?}"
+    );
+
+    let snap = cluster.metrics();
+    assert!(
+        snap.counter("tx_aborts_indoubt") >= 1,
+        "the coordinator must count the in-doubt abort: {:?}",
+        snap.counters
+    );
+    assert!(
+        snap.counter("session_tx_aborted") >= 1,
+        "the session must count the explicit abort: {:?}",
+        snap.counters
+    );
+
+    // Known outcome: nothing was applied, and the session is cleanly
+    // reusable. After the victim restarts, the aborted write must not
+    // have survived anywhere.
+    cluster.restart_partition(0, 1);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        s.begin().unwrap();
+        match s.read_one(remote_key) {
+            Ok(v) => {
+                let _ = s.commit();
+                assert_eq!(v, None, "the aborted write must not be visible");
+                break;
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("read after restart kept failing: {e}"),
+        }
+    }
+    cluster.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Cross-DC links severed by the fault plan (not a process death):
 /// writes acknowledged inside the isolated DC must flow out after the
 /// heal — EOF at the receiver opens the catch-up window, the sibling
