@@ -128,14 +128,29 @@ fn bench_storage(c: &mut Criterion) {
             black_box(store.latest_visible(&Key(k), &bound))
         });
     });
+    // Insert cost at a *fixed* store shape: a fresh pre-seeded store
+    // per iteration (off the clock), 256 inserts on it. The seed's
+    // `b.iter` version reused one store across the whole run, so every
+    // sample inserted into ever-deeper chains and the number measured
+    // how long the run had been going, not the operation.
     c.bench_function("store_insert", |b| {
-        let mut store: MvStore<Key, WrenVersion> = MvStore::new();
-        let mut ct = 0u64;
-        b.iter(|| {
-            ct += 1;
-            store.insert(Key(ct % 4_096), sample_version(ct));
-            black_box(store.stats().versions)
-        });
+        b.iter_batched(
+            || {
+                let mut store: MvStore<Key, WrenVersion> = MvStore::new();
+                for ct in 0..4_096u64 {
+                    store.insert(Key(ct % 1_024), sample_version(ct));
+                }
+                store
+            },
+            |mut store| {
+                for ct in 4_096..4_352u64 {
+                    store.insert(Key(ct % 1_024), sample_version(ct));
+                }
+                black_box(store.stats().versions);
+                store
+            },
+            BatchSize::SmallInput,
+        )
     });
 }
 
@@ -156,17 +171,29 @@ fn bench_sharded_store(c: &mut Criterion) {
             black_box(store.latest_visible(&Key(k), &bound))
         });
     });
+    // Mirrors `store_insert`'s fresh-store-per-iteration shape exactly
+    // (same seed, same 256 on-clock inserts) so sharded-vs-flat stays a
+    // like-for-like comparison instead of two differently-aged stores.
     c.bench_function("sharded_store_insert", |b| {
-        let mut store: ShardedStore<Key, WrenVersion> = ShardedStore::new();
-        let mut ct = 0u64;
-        b.iter(|| {
-            ct += 1;
-            store.insert(Key(ct % 4_096), sample_version(ct));
-            // O(1) observable, matching `store_insert`'s: a full
-            // `stats()` rollup would add an O(stripes) term to the loop
-            // and bias the sharded-vs-flat comparison.
-            black_box(store.stripe_stats(0).versions)
-        });
+        b.iter_batched(
+            || {
+                let mut store: ShardedStore<Key, WrenVersion> = ShardedStore::new();
+                for ct in 0..4_096u64 {
+                    store.insert(Key(ct % 1_024), sample_version(ct));
+                }
+                store
+            },
+            |mut store| {
+                for ct in 4_096..4_352u64 {
+                    store.insert(Key(ct % 1_024), sample_version(ct));
+                }
+                // O(1) observable: a full `stats()` rollup would add an
+                // O(stripes) term and bias the comparison.
+                black_box(store.stripe_stats(0).versions);
+                store
+            },
+            BatchSize::SmallInput,
+        )
     });
 }
 
@@ -426,6 +453,36 @@ fn bench_transport(c: &mut Criterion) {
         reactor.shutdown();
         reactor.join();
     });
+
+    // The batched counterpart: 32 requests written back-to-back, then
+    // all 32 echoes read. Where `reactor_roundtrip` serializes one
+    // wakeup per message, this shape lets the reactor decode a burst
+    // per readiness event and drain the outbox with vectored writes —
+    // (pipelined / 32) vs. roundtrip is the syscall-amortization win.
+    c.bench_function("reactor_roundtrip_pipelined", |b| {
+        const PIPELINE: usize = 32;
+        let reactor = Reactor::start(2, Echo).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.add_listener(listener, 0, 16 * 1024 * 1024).unwrap();
+        let mut write = TcpStream::connect(addr).unwrap();
+        write.set_nodelay(true).unwrap();
+        let mut reader = FramedReader::new(write.try_clone().unwrap());
+        let framed = frame_wren(&msg);
+        let mut burst = Vec::with_capacity(framed.len() * PIPELINE);
+        for _ in 0..PIPELINE {
+            burst.extend_from_slice(&framed);
+        }
+        b.iter(|| {
+            write.write_all(&burst).unwrap();
+            for _ in 0..PIPELINE {
+                let payload = reader.next_frame().unwrap().expect("echo");
+                black_box(WrenMsg::decode(&payload).unwrap());
+            }
+        });
+        reactor.shutdown();
+        reactor.join();
+    });
 }
 
 fn bench_workload(c: &mut Criterion) {
@@ -437,25 +494,35 @@ fn bench_workload(c: &mut Criterion) {
 }
 
 fn bench_server(c: &mut Criterion) {
+    // 64 tx starts on a fresh coordinator per iteration. Every
+    // StartTxReq leaves a live tx in the coordinator's table (the bench
+    // never commits), so the seed's single-server `b.iter` version
+    // measured lookups in a table that grew for the whole run.
     c.bench_function("wren_server_start_tx", |b| {
-        let cfg = WrenConfig::new(1, 1);
-        let mut server = WrenServer::new(ServerId::new(0, 0), cfg, SkewedClock::perfect());
-        let mut out = Vec::new();
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 10;
-            out.clear();
-            server.handle(
-                Dest::Client(ClientId(0)),
-                WrenMsg::StartTxReq {
-                    lst: Timestamp::ZERO,
-                    rst: Timestamp::ZERO,
-                },
-                now,
-                &mut out,
-            );
-            black_box(&out);
-        });
+        b.iter_batched(
+            || {
+                let cfg = WrenConfig::new(1, 1);
+                WrenServer::new(ServerId::new(0, 0), cfg, SkewedClock::perfect())
+            },
+            |mut server| {
+                let mut out = Vec::new();
+                for i in 1..=64u64 {
+                    out.clear();
+                    server.handle(
+                        Dest::Client(ClientId(0)),
+                        WrenMsg::StartTxReq {
+                            lst: Timestamp::ZERO,
+                            rst: Timestamp::ZERO,
+                        },
+                        i * 10,
+                        &mut out,
+                    );
+                    black_box(&out);
+                }
+                server
+            },
+            BatchSize::SmallInput,
+        )
     });
 }
 

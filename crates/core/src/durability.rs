@@ -292,7 +292,7 @@ pub struct DurableLog {
     records: u64,
     /// Instrumentation re-applied to each new WAL generation (see
     /// [`DurableLog::instrument`]).
-    instruments: Option<(wren_obs::Histogram, wren_obs::Histogram)>,
+    instruments: Option<(wren_obs::Histogram, wren_obs::Histogram, wren_obs::Histogram)>,
 }
 
 impl std::fmt::Debug for DurableLog {
@@ -360,15 +360,18 @@ impl DurableLog {
     }
 
     /// Attaches WAL latency/size instrumentation (`fsync_micros` per
-    /// synchronous flush, `append_bytes` per record), carried across
+    /// synchronous flush, `append_bytes` per record,
+    /// `group_commit_size` commit points per fsync), carried across
     /// generation rotations.
     pub fn instrument(
         &mut self,
         fsync_micros: wren_obs::Histogram,
         append_bytes: wren_obs::Histogram,
+        group_commit_size: wren_obs::Histogram,
     ) {
-        self.wal.instrument(fsync_micros.clone(), append_bytes.clone());
-        self.instruments = Some((fsync_micros, append_bytes));
+        self.wal
+            .instrument(fsync_micros.clone(), append_bytes.clone(), group_commit_size.clone());
+        self.instruments = Some((fsync_micros, append_bytes, group_commit_size));
     }
 
     /// Appends one typed record (buffered until the next commit point).
@@ -431,6 +434,19 @@ impl DurableLog {
         self.wal.seal()
     }
 
+    /// When the open group-commit window must close
+    /// ([`Wal::sync_deadline`]); `None` unless the policy is
+    /// [`FsyncPolicy::Window`] with unsynced commit points pending.
+    pub fn sync_deadline(&self) -> Option<std::time::Instant> {
+        self.wal.sync_deadline()
+    }
+
+    /// Fsyncs everything written so far, closing any open group-commit
+    /// window ([`Wal::sync_now`]).
+    pub fn sync_now(&mut self) -> std::io::Result<()> {
+        self.wal.sync_now()
+    }
+
     /// Writes checkpoint generation `seq + 1` with `payload`, rotates to
     /// a fresh `wal.{seq + 1}`, and prunes generations older than `seq`
     /// (the previous generation stays as the corruption fallback).
@@ -441,8 +457,8 @@ impl DurableLog {
         let next = self.seq + 1;
         checkpoint::write_checkpoint(&self.dir, next, payload)?;
         self.wal = Wal::create(checkpoint::wal_path(&self.dir, next), self.policy)?;
-        if let Some((fsync, append)) = &self.instruments {
-            self.wal.instrument(fsync.clone(), append.clone());
+        if let Some((fsync, append, group)) = &self.instruments {
+            self.wal.instrument(fsync.clone(), append.clone(), group.clone());
         }
         self.seq = next;
         checkpoint::prune_generations(&self.dir, next.saturating_sub(1));

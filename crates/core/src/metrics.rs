@@ -107,6 +107,9 @@ pub struct ServerMetrics {
     pub wal_fsync_micros: Histogram,
     /// WAL record payload sizes in bytes.
     pub wal_append_bytes: Histogram,
+    /// Commit points made durable per fsync (1 under `Always`, `n`
+    /// under `EveryN`, the window's take under `Window`).
+    pub wal_group_commit_size: Histogram,
     /// Checkpoint encode + rotate duration in µs.
     pub checkpoint_micros: Histogram,
     /// Transactions per shipped replication batch.
@@ -141,6 +144,7 @@ impl ServerMetrics {
             read_slice_micros: registry.histogram("read_slice_micros"),
             wal_fsync_micros: registry.histogram("wal_fsync_micros"),
             wal_append_bytes: registry.histogram("wal_append_bytes"),
+            wal_group_commit_size: registry.histogram("wal_group_commit_size"),
             checkpoint_micros: registry.histogram("checkpoint_micros"),
             replication_batch_txs: registry.histogram("replication_batch_txs"),
             replication_lag_micros: registry.histogram("replication_lag_micros"),

@@ -1352,6 +1352,7 @@ impl WrenServer {
         log.instrument(
             s.metrics.wal_fsync_micros.clone(),
             s.metrics.wal_append_bytes.clone(),
+            s.metrics.wal_group_commit_size.clone(),
         );
         s.log = Some(log);
         Ok(s)
@@ -1586,6 +1587,24 @@ impl WrenServer {
     pub fn seal_log(&mut self) -> std::io::Result<()> {
         match &mut self.log {
             Some(l) => l.seal(),
+            None => Ok(()),
+        }
+    }
+
+    /// When the WAL's open group-commit window must close — `None`
+    /// unless the policy is `FsyncPolicy::Window` with unsynced commit
+    /// points pending. While `Some`, the engine holds the responses
+    /// those commit points justify and joins the deadline into its tick
+    /// schedule.
+    pub fn log_sync_deadline(&self) -> Option<std::time::Instant> {
+        self.log.as_ref().and_then(|l| l.sync_deadline())
+    }
+
+    /// Fsyncs the WAL now, closing any open group-commit window (no-op
+    /// without a log).
+    pub fn sync_log(&mut self) -> std::io::Result<()> {
+        match &mut self.log {
+            Some(l) => l.sync_now(),
             None => Ok(()),
         }
     }

@@ -13,6 +13,10 @@
 //!   A bounded send queue per connection; protocol threads enqueue
 //!   in O(1) and never call write(2). A peer that stops reading
 //!   backs its queue past the cap and is severed.
+//! writev  (this crate)            how many frames per syscall.
+//!   Both drains batch queued frames into one writev(2) — the
+//!   gather/settle arithmetic (partial writes resuming mid-frame)
+//!   lives in its own socket-free module under property test.
 //! reactor (this crate)            which thread does the I/O.
 //!   Either one reader + one writer thread per connection
 //!   (Outbox/FramedReader, the threaded fabric) or a fixed pool of
@@ -70,6 +74,7 @@ mod outbox;
 pub mod poll;
 pub mod reactor;
 mod reader;
+mod writev;
 
 pub use error::NetError;
 pub use fault::{FaultPlan, FaultStats, SendVerdict};

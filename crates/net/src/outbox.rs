@@ -6,7 +6,10 @@
 //! partition. So nothing protocol-side ever calls `write(2)`: responses
 //! are enqueued on the connection's [`Outbox`] in O(1) and a dedicated
 //! writer thread drains the queue into the socket at whatever pace the
-//! peer sustains.
+//! peer sustains. The drain is **vectored**: the writer pops everything
+//! queued (iovec-capped) and ships it with `writev(2)` — one syscall
+//! per burst, not per frame — resuming partial writes mid-frame through
+//! the [`crate::writev`] arithmetic.
 //!
 //! The queue is **bounded by bytes**. A peer that stops reading backs
 //! its queue up to the cap, at which point the connection is declared
@@ -16,9 +19,10 @@
 //! session's requests time out client-side and the partition spends
 //! zero further resources on it.
 
+use crate::writev::{plan_batch, settle};
 use bytes::Bytes;
 use std::collections::VecDeque;
-use std::io::Write;
+use std::io::{IoSlice, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -53,6 +57,9 @@ struct Inner {
     /// Kept for `shutdown` (waking a writer blocked in `write(2)` and
     /// the connection's reader thread).
     stream: TcpStream,
+    /// Frames fully drained per `writev` call (see
+    /// [`Outbox::spawn_instrumented`]); `None` skips recording.
+    writev_frames: Option<wren_obs::Histogram>,
 }
 
 /// Handle to a connection's send queue. Cloneable; all clones feed the
@@ -71,6 +78,21 @@ impl Outbox {
     /// [`close`](Self::close) or [`shutdown`](Self::shutdown) for
     /// deterministic teardown.
     pub fn spawn(stream: TcpStream, max_bytes: usize) -> std::io::Result<(Outbox, JoinHandle<()>)> {
+        Self::spawn_instrumented(stream, max_bytes, None)
+    }
+
+    /// [`spawn`](Self::spawn), plus a histogram recording how many
+    /// frames each `writev(2)` fully drained — the live measure of the
+    /// vectored send path's syscall amortization.
+    ///
+    /// # Errors
+    ///
+    /// Stream-clone failures (fd exhaustion).
+    pub fn spawn_instrumented(
+        stream: TcpStream,
+        max_bytes: usize,
+        writev_frames: Option<wren_obs::Histogram>,
+    ) -> std::io::Result<(Outbox, JoinHandle<()>)> {
         let write_half = stream.try_clone()?;
         let inner = Arc::new(Inner {
             q: Mutex::new(Queue {
@@ -82,6 +104,7 @@ impl Outbox {
             ready: Condvar::new(),
             max_bytes,
             stream,
+            writev_frames,
         });
         let outbox = Outbox {
             inner: Arc::clone(&inner),
@@ -164,16 +187,27 @@ impl Outbox {
 }
 
 fn writer_loop(inner: Arc<Inner>, mut stream: TcpStream) {
+    let mut batch: Vec<Bytes> = Vec::new();
     loop {
-        let frame = {
+        batch.clear();
+        {
             let mut q = inner.q.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if q.discard {
                     return;
                 }
-                if let Some(f) = q.frames.pop_front() {
-                    q.queued_bytes -= f.len();
-                    break f;
+                if !q.frames.is_empty() {
+                    // Pop a whole batch (iovec-capped) under one lock
+                    // hold: everything queued leaves in as few writev
+                    // calls as the kernel allows, and popped bytes stop
+                    // counting against the cap exactly as before.
+                    let take = plan_batch(&q.frames, 0, usize::MAX);
+                    for _ in 0..take {
+                        let f = q.frames.pop_front().expect("planned frame");
+                        q.queued_bytes -= f.len();
+                        batch.push(f);
+                    }
+                    break;
                 }
                 if q.closed {
                     // Graceful drain complete: signal EOF to the peer.
@@ -184,8 +218,8 @@ fn writer_loop(inner: Arc<Inner>, mut stream: TcpStream) {
                 }
                 q = inner.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
-        };
-        if stream.write_all(&frame).is_err() {
+        }
+        if write_batch(&mut stream, &batch, inner.writev_frames.as_ref()).is_err() {
             // Peer is gone: discard the rest, sever the read half too
             // (so the connection's reader thread is not left waiting on
             // a half-dead socket), and stop.
@@ -194,6 +228,55 @@ fn writer_loop(inner: Arc<Inner>, mut stream: TcpStream) {
             return;
         }
     }
+}
+
+/// Writes every byte of `batch` (this writer may block — it has a
+/// thread to itself), vectored: each `writev` carries all still-
+/// unwritten frames, and a partial write resumes mid-frame via
+/// [`settle`] — the wire bytes are identical to a `write_all` per
+/// frame.
+fn write_batch(
+    stream: &mut TcpStream,
+    batch: &[Bytes],
+    writev_frames: Option<&wren_obs::Histogram>,
+) -> std::io::Result<()> {
+    let lens: Vec<usize> = batch.iter().map(Bytes::len).collect();
+    let mut first = 0usize; // first unfinished frame
+    let mut cursor = 0usize; // bytes of it already written
+    while first < batch.len() {
+        let offered: usize = lens[first..].iter().sum::<usize>() - cursor;
+        if offered == 0 {
+            // Only zero-length frames remain; nothing to write.
+            if let Some(h) = writev_frames {
+                h.record((batch.len() - first) as u64);
+            }
+            break;
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(batch.len() - first);
+        slices.push(IoSlice::new(&batch[first][cursor..]));
+        for f in &batch[first + 1..] {
+            slices.push(IoSlice::new(f));
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ))
+            }
+            Ok(n) => {
+                let (completed, new_cursor) = settle(&lens[first..], cursor, n);
+                first += completed;
+                cursor = new_cursor;
+                if let Some(h) = writev_frames {
+                    h.record(completed as u64);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -64,6 +64,21 @@ impl FramedReader {
         }
     }
 
+    /// The next complete frame already sitting in the decoder's buffer,
+    /// decoded **without touching the socket** — `Ok(None)` when more
+    /// bytes would be needed. One socket read often lands several
+    /// frames at once (a replication burst, a pipelined client); this
+    /// lets the caller drain them all and pay downstream delivery once
+    /// per burst instead of once per frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Frame`] on an oversized frame, as
+    /// [`next_frame`](Self::next_frame) would.
+    pub fn buffered_frame(&mut self) -> Result<Option<Bytes>, NetError> {
+        Ok(self.decoder.next_frame()?)
+    }
+
     /// Reads and decodes the connection's handshake (its first frame).
     ///
     /// # Errors

@@ -28,6 +28,18 @@ pub(crate) enum RtMsg {
         /// The message itself.
         msg: WrenMsg,
     },
+    /// Every message one connection's readiness event decoded, in wire
+    /// order, delivered as a single wake-up so the engine's drain loop
+    /// handles the whole burst before paying a commit point and a
+    /// dispatch. A burst has one sender by construction — it came off
+    /// one socket.
+    Batch {
+        /// The connection's peer (a server or a client).
+        src: Dest,
+        /// The decoded frames, oldest first (never empty, never 1 —
+        /// singleton bursts travel as [`RtMsg::Proto`]).
+        msgs: Vec<WrenMsg>,
+    },
     /// Stop the writer thread gracefully: drain the inbox, flush and
     /// seal the WAL, then exit.
     Shutdown,
@@ -210,6 +222,51 @@ impl Router {
         }
         // A send only fails during shutdown; drop the message then.
         let _ = self.server_txs[idx].send(RtMsg::Proto { src, msg });
+    }
+
+    /// Delivers one connection's decoded burst to a **local** engine in
+    /// a single inbox wake-up. Per message the routing matches
+    /// [`deliver_local`](Self::deliver_local) exactly — `SliceReq`s
+    /// peel off to the read workers in wire order, non-coordinator
+    /// `SliceReq`s drop — but everything bound for the writer thread
+    /// coalesces into one [`RtMsg::Batch`] (or a plain
+    /// [`RtMsg::Proto`] when only one message remains), so a pipelined
+    /// burst costs the engine one channel receive and one group-commit
+    /// point instead of one each per frame.
+    pub(crate) fn deliver_local_batch(&self, src: Dest, to: ServerId, msgs: Vec<WrenMsg>) {
+        let idx = self.index_of(to);
+        let mut engine_msgs = msgs;
+        if !self.read_txs.is_empty() {
+            engine_msgs.retain_mut(|msg| {
+                if let WrenMsg::SliceReq { tx, lt, rt, keys } = msg {
+                    if let Dest::Server(coordinator) = src {
+                        // A send only fails during shutdown; drop then.
+                        let _ = self.read_txs[idx].send(ReadJob::Slice {
+                            coordinator,
+                            tx: *tx,
+                            lt: *lt,
+                            rt: *rt,
+                            keys: std::mem::take(keys),
+                        });
+                    }
+                    // Diverted (or, from a non-coordinator, dropped —
+                    // same reasoning as `deliver_local`).
+                    return false;
+                }
+                true
+            });
+        }
+        // A send only fails during shutdown; drop the burst then.
+        match engine_msgs.len() {
+            0 => {}
+            1 => {
+                let msg = engine_msgs.pop().expect("len checked");
+                let _ = self.server_txs[idx].send(RtMsg::Proto { src, msg });
+            }
+            _ => {
+                let _ = self.server_txs[idx].send(RtMsg::Batch { src, msgs: engine_msgs });
+            }
+        }
     }
 
     fn send_to_client(&self, to: ClientId, msg: WrenMsg) {

@@ -236,7 +236,11 @@ const MAX_DRAIN: usize = 64;
 /// client, a replication batch to a sibling — the WAL records behind it
 /// are flushed as far as the fsync policy promises. Under
 /// `FsyncPolicy::Always` an acknowledged write is therefore on disk
-/// before the acknowledgement exists.
+/// before the acknowledgement exists; under `FsyncPolicy::Window` the
+/// same holds with one fsync amortized across the window — responses
+/// are *held* on this thread while the window is open and dispatched
+/// only after its fsync lands (the deadline joins the tick schedule, so
+/// a held response waits at most `max_delay`).
 ///
 /// Shutdown comes in two shapes, mirroring the crash model:
 /// * `RtMsg::Shutdown` is graceful — the remaining inbox is drained and
@@ -261,13 +265,18 @@ pub(crate) fn server_loop(
     let mut next_gc = gc.map(|d| epoch + d);
     let mut next_ckpt = ckpt.map(|d| Instant::now() + d);
     let mut out = Vec::new();
+    // Responses whose WAL records sit in an open group-commit window
+    // (`FsyncPolicy::Window`): held here until the window's fsync lands,
+    // dropped on `Kill` — which is correct, because unacknowledged is
+    // exactly what unsynced must remain.
+    let mut held = Vec::new();
 
     if rejoin {
         // First thing on the wire after a restart: ask every sibling
         // replica to re-ship what was lost with the dead process's
         // inbox, before any new traffic interleaves.
         server.begin_rejoin(epoch.elapsed().as_micros() as u64, &mut out);
-        commit_and_dispatch(id, &mut server, &router, &mut out);
+        commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
     }
 
     loop {
@@ -278,6 +287,11 @@ pub(crate) fn server_loop(
         }
         if let Some(c) = next_ckpt {
             next_tick = next_tick.min(c);
+        }
+        if let Some(d) = server.log_sync_deadline() {
+            // An open fsync window wakes the loop like any other tick:
+            // held responses must not outwait `max_delay`.
+            next_tick = next_tick.min(d);
         }
         let wait = next_tick.saturating_duration_since(now_inst);
 
@@ -291,24 +305,36 @@ pub(crate) fn server_loop(
                         Some(RtMsg::Proto { src, msg }) => {
                             server.handle(src, msg, now, &mut out);
                         }
+                        Some(RtMsg::Batch { src, msgs }) => {
+                            for msg in msgs {
+                                server.handle(src, msg, now, &mut out);
+                            }
+                        }
                         Some(RtMsg::PeerLinkLost { peer }) => {
                             server.on_peer_link_lost(peer, now, &mut out);
                         }
                         Some(RtMsg::Shutdown) => {
-                            return finish(id, server, epoch, &rx, &router, out);
+                            return finish(id, server, epoch, &rx, &router, out, held);
                         }
                         Some(RtMsg::Kill) => return server.stats(),
                         None => break,
                     }
                 }
-                commit_and_dispatch(id, &mut server, &router, &mut out);
+                commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
+            }
+            Ok(RtMsg::Batch { src, msgs }) => {
+                let now = epoch.elapsed().as_micros() as u64;
+                for msg in msgs {
+                    server.handle(src, msg, now, &mut out);
+                }
+                commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
             }
             Ok(RtMsg::PeerLinkLost { peer }) => {
                 let now = epoch.elapsed().as_micros() as u64;
                 server.on_peer_link_lost(peer, now, &mut out);
-                commit_and_dispatch(id, &mut server, &router, &mut out);
+                commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
             }
-            Ok(RtMsg::Shutdown) => return finish(id, server, epoch, &rx, &router, out),
+            Ok(RtMsg::Shutdown) => return finish(id, server, epoch, &rx, &router, out, held),
             Ok(RtMsg::Kill) => return server.stats(),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return server.stats(),
@@ -318,18 +344,18 @@ pub(crate) fn server_loop(
         let now = epoch.elapsed().as_micros() as u64;
         if now_inst >= next_repl {
             server.on_replication_tick(now, &mut out);
-            commit_and_dispatch(id, &mut server, &router, &mut out);
+            commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
             next_repl = now_inst + repl;
         }
         if now_inst >= next_gossip {
             server.on_gossip_tick(now, &mut out);
-            commit_and_dispatch(id, &mut server, &router, &mut out);
+            commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
             next_gossip = now_inst + gossip;
         }
         if let Some(g) = next_gc {
             if now_inst >= g {
                 server.on_gc_tick(now, &mut out);
-                commit_and_dispatch(id, &mut server, &router, &mut out);
+                commit_and_dispatch(id, &mut server, &router, &mut out, &mut held);
                 next_gc = Some(now_inst + gc.expect("gc enabled"));
             }
         }
@@ -341,27 +367,50 @@ pub(crate) fn server_loop(
                 next_ckpt = Some(now_inst + ckpt.expect("checkpoint enabled"));
             }
         }
+        if server.log_sync_deadline().is_some_and(|d| now_inst >= d) {
+            // The group-commit window expired: fsync now and release
+            // every response that was waiting on it.
+            server.sync_log().expect("wal window sync failed");
+            router.dispatch(id, std::mem::take(&mut held));
+        }
     }
 }
 
 /// Flush the WAL to the fsync policy's promise, then let the responses
 /// leave the thread. The order is the whole point: dispatch is the
 /// moment effects become observable, so the flush must come first.
+///
+/// Under `FsyncPolicy::Window` the commit point may leave an fsync
+/// *pending* (deadline open): the burst's responses then move to `held`
+/// instead of dispatching — they leave when the window closes, either
+/// because a later commit point crosses the byte threshold (the
+/// deadline reads `None` here and everything held goes out, oldest
+/// first) or because the engine's tick loop fires the deadline.
 fn commit_and_dispatch(
     id: ServerId,
     server: &mut WrenServer,
     router: &Arc<Router>,
     out: &mut Vec<Outgoing<WrenMsg>>,
+    held: &mut Vec<Outgoing<WrenMsg>>,
 ) {
     server.log_commit_point().expect("wal commit point failed");
-    router.dispatch(id, std::mem::take(out));
+    if server.log_sync_deadline().is_some() {
+        held.append(out);
+    } else if held.is_empty() {
+        router.dispatch(id, std::mem::take(out));
+    } else {
+        held.append(out);
+        router.dispatch(id, std::mem::take(held));
+    }
 }
 
 /// Graceful shutdown: handle everything still queued behind the poison
 /// pill (peers may have sent real traffic before they themselves were
 /// told to stop), flush, answer, and seal the log so the tail is on
-/// disk regardless of fsync policy. A `Kill` found while draining wins
-/// — abrupt beats graceful.
+/// disk regardless of fsync policy — the seal also closes any open
+/// group-commit window, so held responses dispatch here over a fully
+/// synced log. A `Kill` found while draining wins — abrupt beats
+/// graceful (held responses drop with everything else).
 fn finish(
     id: ServerId,
     mut server: WrenServer,
@@ -369,17 +418,25 @@ fn finish(
     rx: &Receiver<RtMsg>,
     router: &Arc<Router>,
     mut out: Vec<Outgoing<WrenMsg>>,
+    mut held: Vec<Outgoing<WrenMsg>>,
 ) -> ServerStats {
     let now = epoch.elapsed().as_micros() as u64;
     while let Some(m) = rx.try_recv() {
         match m {
             RtMsg::Proto { src, msg } => server.handle(src, msg, now, &mut out),
+            RtMsg::Batch { src, msgs } => {
+                for msg in msgs {
+                    server.handle(src, msg, now, &mut out);
+                }
+            }
             RtMsg::PeerLinkLost { peer } => server.on_peer_link_lost(peer, now, &mut out),
             RtMsg::Shutdown => {}
             RtMsg::Kill => return server.stats(),
         }
     }
-    commit_and_dispatch(id, &mut server, router, &mut out);
+    server.log_commit_point().expect("wal commit point failed");
     server.seal_log().expect("wal seal failed");
+    held.append(&mut out);
+    router.dispatch(id, held);
     server.stats()
 }

@@ -7,8 +7,9 @@
 //!
 //! * [`FabricMetrics`] — what the TCP fabrics see at the socket
 //!   boundary: frames and bytes in/out, connections accepted and
-//!   severed, dial-backoff parks, the outbox-depth high-water mark and
-//!   the frame-ceiling drop counter. Both fabrics (threaded and
+//!   severed, dial-backoff parks, the outbox-depth high-water mark,
+//!   the frame-ceiling drop counter and the frames-per-`writev`
+//!   histogram of the vectored drains. Both fabrics (threaded and
 //!   reactor) record into the same metric names, so comparing the two
 //!   topologies is a diff of two snapshots.
 //! * [`SessionMetrics`] — client-side operation latencies (begin /
@@ -44,6 +45,10 @@ pub(crate) struct FabricMetrics {
     pub dropped_frames: Counter,
     /// High-water mark of queued (unwritten) bytes across outboxes.
     pub outbox_depth_bytes: Gauge,
+    /// Frames retired per `writev` call by the vectored drains (both
+    /// fabrics); a mean above 1 under pipelined load is the syscall
+    /// batching working.
+    pub writev_frames_per_call: Histogram,
 }
 
 impl FabricMetrics {
@@ -59,6 +64,7 @@ impl FabricMetrics {
             dial_backoff_parks: registry.counter("tcp_dial_backoff_parks"),
             dropped_frames: registry.counter("tcp_dropped_frames"),
             outbox_depth_bytes: registry.gauge("tcp_outbox_depth_bytes"),
+            writev_frames_per_call: registry.histogram("fabric_writev_frames_per_call"),
             registry,
         }
     }

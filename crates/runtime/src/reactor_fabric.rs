@@ -13,9 +13,13 @@
 //! * **No acceptor threads.** Every partition's listener is registered
 //!   with the shared [`Reactor`]; accepts happen on readable readiness.
 //! * **No per-connection reader threads.** Readable bytes are fed
-//!   through the connection's `FrameDecoder` on a reactor thread, and
-//!   each decoded frame is delivered into the destination engine's
-//!   inbox (read slices divert to the read workers, as everywhere).
+//!   through the connection's `FrameDecoder` on a reactor thread; the
+//!   frames decoded by one readiness burst are buffered per connection
+//!   and delivered into the destination engine's inbox as **one**
+//!   coalesced wake-up (`RtMsg::Batch`) when the burst ends, so a
+//!   pipelined run of requests costs the engine one channel receive
+//!   and one group-commit point (read slices divert to the read
+//!   workers in wire order, as everywhere).
 //! * **No per-connection writer threads.** Responses are enqueued on
 //!   the connection's bounded queue ([`ConnHandle`]) and drained by the
 //!   reactor on writable readiness, with partial-write state per fd.
@@ -114,7 +118,13 @@ impl ReactorFabric {
             n_partitions,
             n_servers: addrs.len(),
         };
-        let reactor = Reactor::start(reactor_threads, handler).expect("start reactor pool");
+        let metrics = FabricMetrics::new();
+        let reactor = Reactor::start_instrumented(
+            reactor_threads,
+            handler,
+            Some(metrics.writev_frames_per_call.clone()),
+        )
+        .expect("start reactor pool");
         let mut handles: Vec<Option<ListenerHandle>> = Vec::new();
         handles.resize_with(addrs.len(), || None);
         for (me, listener) in listeners {
@@ -135,7 +145,7 @@ impl ReactorFabric {
             listeners: Mutex::new(handles),
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
-            metrics: FabricMetrics::new(),
+            metrics,
             down,
             faults,
             closing: AtomicBool::new(false),
@@ -245,6 +255,7 @@ impl ReactorFabric {
                 me: src,
                 identity: RtIdentity::Dialed,
                 conn_id: None,
+                pending: Vec::new(),
             },
             SERVER_OUTBOX_BYTES,
         )?;
@@ -403,6 +414,13 @@ struct RtConn {
     /// This connection's entry in the fabric's accepted-conn registry
     /// (`None` for dialed links, which live in peer slots instead).
     conn_id: Option<u64>,
+    /// Legality-checked messages decoded during the current readiness
+    /// burst, flushed to the engine as one [`RtMsg::Batch`] wake-up in
+    /// `on_burst_end` (the reactor fires it after every decode burst
+    /// and before `on_close`, so buffered frames are never lost).
+    ///
+    /// [`RtMsg::Batch`]: crate::cluster::RtMsg::Batch
+    pending: Vec<WrenMsg>,
 }
 
 /// Routes reactor events into the cluster: hellos establish identity,
@@ -455,6 +473,7 @@ impl ReactorHandler for RtHandler {
             me,
             identity: RtIdentity::AwaitingHello,
             conn_id: Some(conn_id),
+            pending: Vec::new(),
         })
     }
 
@@ -479,23 +498,26 @@ impl ReactorHandler for RtHandler {
                     .is_some()
                 }
             },
-            RtIdentity::Client(id) => match WrenMsg::decode(&payload) {
+            RtIdentity::Client(_) => match WrenMsg::decode(&payload) {
                 Ok(msg) if legal_from_client(&msg) => self
-                    .with_fabric(|router, fabric| {
+                    .with_fabric(|_, fabric| {
                         fabric.metrics.frames_in.inc();
                         fabric.metrics.bytes_in.add(payload.len() as u64);
-                        router.deliver_local(Dest::Client(id), conn.me, msg);
+                        // Buffered, not delivered: the whole readiness
+                        // burst flushes as one engine wake-up in
+                        // `on_burst_end`.
+                        conn.pending.push(msg);
                     })
                     .is_some(),
                 // Corrupt or protocol-illegal client: sever.
                 _ => false,
             },
-            RtIdentity::Peer(src) => match WrenMsg::decode(&payload) {
+            RtIdentity::Peer(_) => match WrenMsg::decode(&payload) {
                 Ok(msg) if legal_from_server(&msg) => self
-                    .with_fabric(|router, fabric| {
+                    .with_fabric(|_, fabric| {
                         fabric.metrics.frames_in.inc();
                         fabric.metrics.bytes_in.add(payload.len() as u64);
-                        router.deliver_local(Dest::Server(src), conn.me, msg);
+                        conn.pending.push(msg);
                     })
                     .is_some(),
                 _ => false,
@@ -503,6 +525,20 @@ impl ReactorHandler for RtHandler {
             // Nothing legitimate ever arrives on our outbound links.
             RtIdentity::Dialed => false,
         }
+    }
+
+    fn on_burst_end(&self, conn: &mut RtConn, _handle: &ConnHandle) {
+        if conn.pending.is_empty() {
+            return;
+        }
+        let src = match conn.identity {
+            RtIdentity::Client(id) => Dest::Client(id),
+            RtIdentity::Peer(s) => Dest::Server(s),
+            // `pending` is only filled under an established identity.
+            RtIdentity::AwaitingHello | RtIdentity::Dialed => return,
+        };
+        let msgs = std::mem::take(&mut conn.pending);
+        self.with_fabric(|router, _| router.deliver_local_batch(src, conn.me, msgs));
     }
 
     fn on_close(&self, conn: &mut RtConn, handle: &ConnHandle) {

@@ -20,14 +20,22 @@
 //!
 //! Group commit is expressed through [`Wal::commit_point`]: appends
 //! accumulate in a user-space buffer and a commit point makes them
-//! durable according to the [`FsyncPolicy`] — every point, every nth
-//! point, or only at [`Wal::seal`]. Dropping a `Wal` without sealing
-//! deliberately does **not** flush: that is exactly the abrupt-kill
-//! semantics crash tests rely on.
+//! durable according to the [`FsyncPolicy`] — every point
+//! (`Always`), every nth point (`EveryN`), within a time/byte window
+//! (`Window`), or only at [`Wal::seal`] (`Off`). Under `Window` the
+//! bytes go to the OS at each commit point but the fsync is *deferred*:
+//! the caller holds the acknowledgements, polls
+//! [`Wal::sync_deadline`], and closes the window with
+//! [`Wal::sync_now`] — one fsync amortized across every commit point
+//! the window collected (the count lands in the `group_commit_size`
+//! histogram, see [`Wal::instrument`]). Dropping a `Wal` without
+//! sealing deliberately does **not** flush: that is exactly the
+//! abrupt-kill semantics crash tests rely on.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Hard ceiling on one WAL record's payload (and, via the alias in
 /// `wren_protocol::frame::MAX_FRAME_LEN`, on one wire frame). A length
@@ -38,9 +46,11 @@ pub const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
 /// Bytes of record header: `u32` length + `u32` CRC.
 pub const RECORD_HEADER_LEN: usize = 8;
 
-/// Soft cap on the user-space buffer under [`FsyncPolicy::Off`]: past
-/// this, a commit point writes the buffer to the OS (without syncing)
-/// so an idle-fsync log cannot grow memory without bound.
+/// Soft cap on the user-space buffer between syncs (under
+/// [`FsyncPolicy::Off`] and between the group commits of
+/// [`FsyncPolicy::EveryN`]): past this, a commit point writes the
+/// buffer to the OS (without syncing) so a rarely-syncing log cannot
+/// grow memory without bound.
 const BUFFER_CAP: usize = 8 * 1024 * 1024;
 
 /// When a batch of appends becomes durable.
@@ -52,6 +62,21 @@ pub enum FsyncPolicy {
     /// Write + fsync at every `n`th commit point (group commit): up to
     /// `n - 1` acknowledged commit points may be lost on a kill.
     EveryN(u32),
+    /// Group commit by **window**: each commit point hands its bytes to
+    /// the OS immediately, but the fsync is deferred until either
+    /// `max_bytes` of unsynced records accumulate or `max_delay` passes
+    /// since the first unsynced commit point — whichever comes first.
+    /// The *caller* closes the time edge: it polls
+    /// [`Wal::sync_deadline`] and calls [`Wal::sync_now`] when the
+    /// deadline fires, holding acknowledgements until then. Nothing
+    /// acknowledged after a sync is lost to a kill, because nothing is
+    /// acknowledged before its sync.
+    Window {
+        /// Longest a commit point may wait for its fsync.
+        max_delay: Duration,
+        /// Unsynced bytes that force an immediate fsync.
+        max_bytes: usize,
+    },
     /// Only seal/rotation flushes. Fastest; a kill loses everything
     /// since the last seal or checkpoint.
     Off,
@@ -66,11 +91,20 @@ pub struct Wal {
     buf: Vec<u8>,
     /// Commit points since the last flush (for [`FsyncPolicy::EveryN`]).
     points: u32,
+    /// Commit points folded into the next fsync, across every policy —
+    /// the group-commit size recorded at each sync.
+    points_since_sync: u64,
+    /// Bytes handed to the OS (written, synced or not).
+    written_len: u64,
     /// Durable log length in bytes (what a reader would recover).
     synced_len: u64,
+    /// When the first unsynced commit point of the open window landed
+    /// (for [`FsyncPolicy::Window`]); `None` when no window is open.
+    window_since: Option<Instant>,
     /// Optional instrumentation (see [`Wal::instrument`]).
     fsync_micros: Option<wren_obs::Histogram>,
     append_bytes: Option<wren_obs::Histogram>,
+    group_commit_size: Option<wren_obs::Histogram>,
 }
 
 /// CRC-32 (IEEE 802.3, the `crc32` of zlib/gzip) over `bytes`.
@@ -116,9 +150,13 @@ impl Wal {
             policy,
             buf: Vec::new(),
             points: 0,
+            points_since_sync: 0,
+            written_len: 0,
             synced_len: 0,
+            window_since: None,
             fsync_micros: None,
             append_bytes: None,
+            group_commit_size: None,
         })
     }
 
@@ -150,9 +188,13 @@ impl Wal {
                 policy,
                 buf: Vec::new(),
                 points: 0,
+                points_since_sync: 0,
+                written_len: synced_len,
                 synced_len,
+                window_since: None,
                 fsync_micros: None,
                 append_bytes: None,
+                group_commit_size: None,
             },
             recovered.records,
         ))
@@ -179,16 +221,26 @@ impl Wal {
 
     /// Attaches latency/size instrumentation: `fsync_micros` records
     /// each synchronous flush (write + fsync) in microseconds,
-    /// `append_bytes` each appended record's payload size. Recording is
-    /// lock-free and uninstrumented logs pay one `Option` branch.
-    pub fn instrument(&mut self, fsync_micros: wren_obs::Histogram, append_bytes: wren_obs::Histogram) {
+    /// `append_bytes` each appended record's payload size, and
+    /// `group_commit_size` how many commit points each fsync made
+    /// durable at once (1 under `Always`, `n` under `EveryN`, variable
+    /// under `Window`). Recording is lock-free and uninstrumented logs
+    /// pay one `Option` branch.
+    pub fn instrument(
+        &mut self,
+        fsync_micros: wren_obs::Histogram,
+        append_bytes: wren_obs::Histogram,
+        group_commit_size: wren_obs::Histogram,
+    ) {
         self.fsync_micros = Some(fsync_micros);
         self.append_bytes = Some(append_bytes);
+        self.group_commit_size = Some(group_commit_size);
     }
 
     /// Marks a commit point: everything appended so far is eligible to
     /// become durable, per the fsync policy.
     pub fn commit_point(&mut self) -> std::io::Result<()> {
+        self.points_since_sync += 1;
         match self.policy {
             FsyncPolicy::Always => self.flush(true),
             FsyncPolicy::EveryN(n) => {
@@ -196,7 +248,25 @@ impl Wal {
                 if self.points >= n.max(1) {
                     self.points = 0;
                     self.flush(true)
+                } else if self.buf.len() > BUFFER_CAP {
+                    // Same memory backstop as `Off`: huge commit points
+                    // must not pile up in user space waiting for the
+                    // nth — hand them to the OS unsynced.
+                    self.flush(false)
                 } else {
+                    Ok(())
+                }
+            }
+            FsyncPolicy::Window { max_bytes, .. } => {
+                // Bytes reach the OS at every commit point; only the
+                // fsync is deferred.
+                self.flush(false)?;
+                if self.written_len - self.synced_len >= max_bytes as u64 {
+                    self.flush(true)
+                } else {
+                    if self.window_since.is_none() {
+                        self.window_since = Some(Instant::now());
+                    }
                     Ok(())
                 }
             }
@@ -210,18 +280,45 @@ impl Wal {
         }
     }
 
+    /// When the open group-commit window must be closed with
+    /// [`Wal::sync_now`] (only under [`FsyncPolicy::Window`]). `None`
+    /// when every acknowledged-to-be-committed byte is already synced.
+    pub fn sync_deadline(&self) -> Option<Instant> {
+        match self.policy {
+            FsyncPolicy::Window { max_delay, .. } => {
+                self.window_since.map(|since| since + max_delay)
+            }
+            _ => None,
+        }
+    }
+
+    /// Forces an fsync of everything written so far, closing any open
+    /// group-commit window. The policy is unchanged; this is the
+    /// deadline edge of [`FsyncPolicy::Window`].
+    pub fn sync_now(&mut self) -> std::io::Result<()> {
+        self.flush(true)
+    }
+
     /// Writes the buffer to the OS; `sync` additionally fsyncs.
     fn flush(&mut self, sync: bool) -> std::io::Result<()> {
         let start = self.fsync_micros.is_some().then(std::time::Instant::now);
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
+            self.written_len += self.buf.len() as u64;
             self.buf.clear();
         }
         if sync {
             self.file.sync_data()?;
             self.synced_len = self.file.stream_position()?;
+            self.window_since = None;
             if let (Some(h), Some(t)) = (&self.fsync_micros, start) {
                 h.record(t.elapsed().as_micros() as u64);
+            }
+            if self.points_since_sync > 0 {
+                if let Some(h) = &self.group_commit_size {
+                    h.record(self.points_since_sync);
+                }
+                self.points_since_sync = 0;
             }
         }
         Ok(())
@@ -230,13 +327,24 @@ impl Wal {
     /// Flushes and fsyncs everything buffered, regardless of policy.
     /// A sealed log loses nothing; this is the graceful-stop path.
     pub fn seal(&mut self) -> std::io::Result<()> {
+        // Flush first: if the sync fails, `points` still reflects the
+        // pending commit points so a retried seal (or a later EveryN
+        // commit point) does not silently stretch the group.
+        self.flush(true)?;
         self.points = 0;
-        self.flush(true)
+        Ok(())
     }
 
     /// Bytes known durable (fsynced). What an abrupt kill preserves.
     pub fn synced_len(&self) -> u64 {
         self.synced_len
+    }
+
+    /// Bytes handed to the OS but not yet fsynced — acknowledged under
+    /// `EveryN`, held-unacknowledged under `Window`; either way lost to
+    /// a power cut (though not to a mere process kill).
+    pub fn unsynced_len(&self) -> u64 {
+        self.written_len - self.synced_len
     }
 
     /// Bytes sitting in the user-space buffer — lost on an abrupt kill.
@@ -376,6 +484,103 @@ mod tests {
         drop(wal); // points 0..2 flushed at the 3rd commit point; 3..4 lost
         let log = read_records(&path).unwrap();
         assert_eq!(log.records.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn window_syncs_on_byte_threshold() {
+        let path = tmp("window-bytes");
+        let policy = FsyncPolicy::Window {
+            max_delay: Duration::from_secs(3600),
+            max_bytes: 64,
+        };
+        let mut wal = Wal::create(&path, policy).unwrap();
+        let hist = wren_obs::Histogram::default();
+        wal.instrument(
+            wren_obs::Histogram::default(),
+            wren_obs::Histogram::default(),
+            hist.clone(),
+        );
+        // 16-byte payload + 8-byte header = 24 bytes per commit point.
+        wal.append(&[1u8; 16]);
+        wal.commit_point().unwrap();
+        assert_eq!(wal.synced_len(), 0, "first point opens a window");
+        assert_eq!(wal.unsynced_len(), 24);
+        assert!(wal.sync_deadline().is_some());
+
+        wal.append(&[2u8; 16]);
+        wal.commit_point().unwrap();
+        assert_eq!(wal.unsynced_len(), 48, "still under max_bytes");
+
+        wal.append(&[3u8; 16]);
+        wal.commit_point().unwrap();
+        // 72 >= 64: the byte edge forces the fsync.
+        assert_eq!(wal.unsynced_len(), 0);
+        assert_eq!(wal.synced_len(), 72);
+        assert!(wal.sync_deadline().is_none(), "window closed");
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1, "one group commit");
+        assert_eq!(snap.sum, 3, "covering three commit points");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn window_deadline_closed_by_sync_now() {
+        let path = tmp("window-deadline");
+        let policy = FsyncPolicy::Window {
+            max_delay: Duration::from_millis(5),
+            max_bytes: usize::MAX,
+        };
+        let mut wal = Wal::create(&path, policy).unwrap();
+        wal.append(b"held");
+        wal.commit_point().unwrap();
+        let deadline = wal.sync_deadline().expect("open window");
+        assert!(deadline <= Instant::now() + Duration::from_millis(5));
+        wal.sync_now().unwrap();
+        assert!(wal.sync_deadline().is_none());
+        assert_eq!(wal.unsynced_len(), 0);
+        let log = read_records(&path).unwrap();
+        assert_eq!(log.records, vec![b"held".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_size_recorded_under_every_n() {
+        let path = tmp("group-size");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        let hist = wren_obs::Histogram::default();
+        wal.instrument(
+            wren_obs::Histogram::default(),
+            wren_obs::Histogram::default(),
+            hist.clone(),
+        );
+        for i in 0..5u8 {
+            wal.append(&[i]);
+            wal.commit_point().unwrap();
+        }
+        // Points 0..2 grouped into the 3rd-point fsync; 3..4 settle at
+        // the seal.
+        wal.seal().unwrap();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 5);
+        assert_eq!(snap.max, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_n_spills_oversized_buffer_without_sync() {
+        let path = tmp("every-n-spill");
+        let mut wal = Wal::create(&path, FsyncPolicy::EveryN(1_000_000)).unwrap();
+        // One commit point far past BUFFER_CAP must not sit in user
+        // space waiting for the millionth point.
+        wal.append(&vec![0u8; BUFFER_CAP + 1]);
+        wal.commit_point().unwrap();
+        wal.append(b"tiny");
+        wal.commit_point().unwrap();
+        assert_eq!(wal.buffered_len(), 12, "big record spilled to the OS");
+        assert_eq!(wal.synced_len(), 0, "spill is a write, not an fsync");
+        assert!(wal.unsynced_len() > BUFFER_CAP as u64);
         std::fs::remove_file(&path).ok();
     }
 

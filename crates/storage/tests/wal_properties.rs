@@ -152,4 +152,75 @@ proptest! {
         prop_assert!(!rec.torn, "reopen must leave no torn bytes behind");
         std::fs::remove_file(&path).ok();
     }
+
+    /// Power-cut oracle for the group-commit policies: append one
+    /// record per commit point under `EveryN(n)` or
+    /// `Window { max_bytes }`, then emulate the cut by truncating the
+    /// file to `synced_len` (an abrupt *process* kill keeps OS-buffered
+    /// bytes; losing power does not — only the fsynced prefix
+    /// survives). Recovery must yield exactly the records the policy
+    /// promised were durable: the commit points up to the last
+    /// policy-triggered fsync, computed independently here, and
+    /// `synced_len` must land on precisely that record boundary.
+    #[test]
+    fn power_cut_preserves_exactly_the_fsynced_prefix(
+        (payloads, pick, n, max_bytes) in (
+            arb_payloads(),
+            any::<bool>(),
+            2u32..5,
+            16usize..128,
+        )
+    ) {
+        let path = tmp("powercut", 4);
+        let policy = if pick {
+            FsyncPolicy::EveryN(n)
+        } else {
+            FsyncPolicy::Window {
+                max_delay: std::time::Duration::from_secs(3600),
+                max_bytes,
+            }
+        };
+        let mut wal = Wal::create(&path, policy).unwrap();
+        // Replay the policy's own promise alongside the appends.
+        let mut durable = 0usize; // records covered by the last fsync
+        let mut pending = 0usize; // commit points since it (EveryN)
+        let mut unsynced = 0usize; // bytes since it (Window)
+        for (i, p) in payloads.iter().enumerate() {
+            wal.append(p);
+            wal.commit_point().unwrap();
+            match policy {
+                FsyncPolicy::EveryN(n) => {
+                    pending += 1;
+                    if pending == n as usize {
+                        pending = 0;
+                        durable = i + 1;
+                    }
+                }
+                FsyncPolicy::Window { max_bytes, .. } => {
+                    unsynced += RECORD_HEADER_LEN + p.len();
+                    if unsynced >= max_bytes {
+                        unsynced = 0;
+                        durable = i + 1;
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let synced = wal.synced_len();
+        prop_assert_eq!(
+            synced as usize,
+            record_offset(&payloads, durable),
+            "fsync must land exactly on the policy's record boundary"
+        );
+        drop(wal); // kill -9: no seal, no flush
+        // The power cut: everything past the last fsync evaporates.
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(synced).unwrap();
+        drop(file);
+
+        let rec = read_records(&path).expect("total");
+        prop_assert_eq!(&rec.records, &payloads[..durable].to_vec());
+        prop_assert!(!rec.torn, "the fsynced prefix has no torn bytes");
+        std::fs::remove_file(&path).ok();
+    }
 }

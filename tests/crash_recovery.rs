@@ -162,6 +162,76 @@ fn kill_and_restart_preserves_acknowledged_writes() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The same kill-and-restart oracle under `FsyncPolicy::Window`: the
+/// WAL defers its fsync up to a few milliseconds / few KiB to amortize
+/// syscalls, but the engine *holds acknowledgements until the window's
+/// fsync lands* — so the policy's promise to the client is exactly
+/// `Always`'s, and an abrupt kill must still lose no acknowledged
+/// write. This is the end-to-end proof that held responses never
+/// outrun their group commit.
+#[test]
+fn kill_and_restart_preserves_acknowledged_writes_under_window() {
+    let root = tmp_root("window");
+    let mut cluster = ClusterBuilder::new()
+        .dcs(2)
+        .partitions(2)
+        .durable(&root)
+        .fsync(FsyncPolicy::Window {
+            max_delay: Duration::from_millis(2),
+            max_bytes: 8 * 1024,
+        })
+        .checkpoint_interval(Duration::from_millis(25))
+        .replication_tick(Duration::from_millis(1))
+        .gossip_tick(Duration::from_millis(2))
+        .session_timeout(Duration::from_secs(10))
+        .build();
+
+    let mut a = session_at(&cluster, 0, 0);
+    let mut b = session_at(&cluster, 1, 0);
+    let keys: Vec<Key> = (0..8u64).map(Key).collect();
+    let mut oracle = HashMap::new();
+
+    for round in 1..=10u64 {
+        for (ki, key) in keys.iter().enumerate() {
+            let v = round * 1_000 + ki as u64;
+            let s = if ki % 2 == 0 { &mut a } else { &mut b };
+            put(s, &mut oracle, *key, v);
+        }
+    }
+
+    // Kill the victim mid-stream; the survivors keep committing —
+    // every one of those acks rode a closed fsync window.
+    cluster.kill_partition(1, 1);
+    for round in 11..=18u64 {
+        for (ki, key) in keys.iter().enumerate() {
+            if ki % 2 == 0 {
+                put(&mut a, &mut oracle, *key, round * 1_000 + ki as u64);
+            }
+        }
+    }
+    cluster.restart_partition(1, 1);
+    for round in 19..=22u64 {
+        for (ki, key) in keys.iter().enumerate() {
+            if ki % 2 == 1 {
+                put(&mut b, &mut oracle, *key, round * 1_000 + ki as u64);
+            }
+        }
+    }
+
+    for dc in 0..2u8 {
+        let mut reader = cluster.session(dc);
+        expect_converges(
+            &mut reader,
+            &oracle,
+            Duration::from_secs(10),
+            &format!("DC {dc} after kill/restart under Window"),
+        );
+    }
+    assert_eq!(cluster.tcp_dropped_frames(), 0);
+    cluster.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Flips bytes inside the victim's newest WAL generation between kill
 /// and restart. Recovery must stay total — truncate at the damage, no
 /// panic — and since the victim's log held only *replicated* state (all

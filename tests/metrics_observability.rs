@@ -99,6 +99,14 @@ fn merged_snapshot_covers_every_layer_after_loopback_run() {
         "read_slice_micros",
         "wal_fsync_micros",
         "wal_append_bytes",
+        // Group-commit width: under `Always` every commit point syncs
+        // alone, so the histogram records a stream of 1s — present and
+        // non-empty is the contract here; width > 1 is the Window
+        // test's business.
+        "wal_group_commit_size",
+        // Vectored outbox drains: every writev records how many frames
+        // it completed.
+        "fabric_writev_frames_per_call",
         "replication_batch_txs",
         "visibility_lag_local_micros",
         "visibility_lag_remote_micros",
