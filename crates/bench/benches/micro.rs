@@ -483,6 +483,69 @@ fn bench_transport(c: &mut Criterion) {
         reactor.shutdown();
         reactor.join();
     });
+
+    // The same two shapes over the io_uring backend: identical handler,
+    // identical wire traffic, only the syscall interface changes —
+    // `uring_roundtrip` vs `reactor_roundtrip` is the per-event
+    // latency delta, `uring_roundtrip_pipelined` vs
+    // `reactor_roundtrip_pipelined` the amortized-throughput one
+    // (linked-send chains + one `io_uring_enter` per burst vs one
+    // writev per drain). Registered only when the kernel offers
+    // io_uring — benchmarking the epoll fallback under a uring name
+    // would poison baseline comparisons.
+    if !wren_net::uring::available() {
+        eprintln!("SKIP uring_roundtrip / uring_roundtrip_pipelined: io_uring unavailable");
+        return;
+    }
+    use wren_net::{Backend, ReactorOptions};
+    let uring_opts = || ReactorOptions {
+        backend: Backend::Uring,
+        ..ReactorOptions::default()
+    };
+
+    c.bench_function("uring_roundtrip", |b| {
+        let reactor = Reactor::with_options(2, Echo, uring_opts()).unwrap();
+        assert_eq!(reactor.backend(), Backend::Uring);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.add_listener(listener, 0, 16 * 1024 * 1024).unwrap();
+        let mut write = TcpStream::connect(addr).unwrap();
+        write.set_nodelay(true).unwrap();
+        let mut reader = FramedReader::new(write.try_clone().unwrap());
+        b.iter(|| {
+            write.write_all(&frame_wren(&msg)).unwrap();
+            let payload = reader.next_frame().unwrap().expect("echo");
+            black_box(WrenMsg::decode(&payload).unwrap())
+        });
+        reactor.shutdown();
+        reactor.join();
+    });
+
+    c.bench_function("uring_roundtrip_pipelined", |b| {
+        const PIPELINE: usize = 32;
+        let reactor = Reactor::with_options(2, Echo, uring_opts()).unwrap();
+        assert_eq!(reactor.backend(), Backend::Uring);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        reactor.add_listener(listener, 0, 16 * 1024 * 1024).unwrap();
+        let mut write = TcpStream::connect(addr).unwrap();
+        write.set_nodelay(true).unwrap();
+        let mut reader = FramedReader::new(write.try_clone().unwrap());
+        let framed = frame_wren(&msg);
+        let mut burst = Vec::with_capacity(framed.len() * PIPELINE);
+        for _ in 0..PIPELINE {
+            burst.extend_from_slice(&framed);
+        }
+        b.iter(|| {
+            write.write_all(&burst).unwrap();
+            for _ in 0..PIPELINE {
+                let payload = reader.next_frame().unwrap().expect("echo");
+                black_box(WrenMsg::decode(&payload).unwrap());
+            }
+        });
+        reactor.shutdown();
+        reactor.join();
+    });
 }
 
 fn bench_workload(c: &mut Criterion) {

@@ -44,6 +44,7 @@ mod wren_cluster;
 pub use cure_cluster::{CureClientNode, CureServerNode};
 pub use experiment::{run, ExperimentSpec, SystemKind};
 pub use rt_run::{run_rt, RtRunResult, RtSpec, RtTransport};
+pub use wren_rt::FsyncPolicy;
 pub use metrics::{cdf, BlockingSummary, BytesSummary, Histogram, LatencySummary, RunResult};
 pub use topology::{aws_latency_matrix, ServiceModel, Topology, AWS_REGIONS};
 pub use wren_cluster::{Ticks, WrenClientNode, WrenServerNode};

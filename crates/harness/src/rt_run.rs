@@ -15,7 +15,14 @@
 //! * [`RtTransport::TcpThreaded`] — the same wire protocol on the
 //!   two-threads-per-connection fabric, isolating what the thread
 //!   topology (context switches vs. event loops) costs at a given
-//!   connection count.
+//!   connection count;
+//! * [`RtTransport::TcpUring`] — the reactor fabric on the io_uring
+//!   backend, isolating what the syscall interface costs at the same
+//!   thread topology.
+//!
+//! [`RtSpec::fsync`] additionally puts a write-ahead log under every
+//! partition, so the same driver sweeps durability policies (the
+//! group-commit amortization curve) with the transport held fixed.
 //!
 //! Each session is one closed-loop thread (the paper's client model):
 //! begin → multi-key read → multi-key write → commit, repeated, with
@@ -26,7 +33,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 use wren_protocol::Key;
-use wren_rt::ClusterBuilder;
+use wren_rt::{Backend, ClusterBuilder, FsyncPolicy};
 
 /// Which transport the runtime cluster runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +46,10 @@ pub enum RtTransport {
     /// Loopback TCP on the threaded fabric (one reader + one writer
     /// thread per connection) — the reactor's baseline.
     TcpThreaded,
+    /// Loopback TCP on the reactor fabric's io_uring backend (falls
+    /// back to epoll where the kernel lacks it — check
+    /// `wren_net::uring::available()` before attributing numbers).
+    TcpUring,
 }
 
 /// A closed-loop workload against the threaded runtime.
@@ -62,6 +73,12 @@ pub struct RtSpec {
     pub reads_per_tx: usize,
     /// Keys written per transaction.
     pub writes_per_tx: usize,
+    /// When set, every partition logs to a write-ahead log under this
+    /// group-commit policy (in a per-run temp dir, removed afterward):
+    /// the measured commit path then includes WAL append + fsync
+    /// scheduling, so sweeping policies isolates what durability costs
+    /// and what group commit buys back.
+    pub fsync: Option<FsyncPolicy>,
 }
 
 impl Default for RtSpec {
@@ -76,6 +93,7 @@ impl Default for RtSpec {
             keys: 256,
             reads_per_tx: 3,
             writes_per_tx: 2,
+            fsync: None,
         }
     }
 }
@@ -112,6 +130,16 @@ pub fn run_rt(spec: &RtSpec) -> RtRunResult {
         RtTransport::Channel => {}
         RtTransport::Tcp => builder = builder.tcp(),
         RtTransport::TcpThreaded => builder = builder.tcp_threaded(),
+        RtTransport::TcpUring => builder = builder.tcp().backend(Backend::Uring),
+    }
+    let mut wal_dir = None;
+    if let Some(policy) = spec.fsync {
+        static RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let run = RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("wren-rt-wal-{}-{run}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        builder = builder.durable(&dir).fsync(policy);
+        wal_dir = Some(dir);
     }
     let cluster = std::sync::Arc::new(builder.build());
 
@@ -151,6 +179,9 @@ pub fn run_rt(spec: &RtSpec) -> RtRunResult {
     }
     let elapsed = started.elapsed();
     cluster.shutdown();
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     latencies.sort_unstable();
     let txs = latencies.len() as u64;

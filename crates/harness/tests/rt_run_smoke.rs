@@ -14,6 +14,7 @@ fn small(transport: RtTransport) -> RtSpec {
         keys: 64,
         reads_per_tx: 2,
         writes_per_tx: 1,
+        fsync: None,
     }
 }
 
@@ -40,4 +41,29 @@ fn rt_run_tcp_threaded_smoke() {
     assert_eq!(result.txs, 80);
     assert!(result.throughput > 0.0);
     assert!(result.mean_latency_ms > 0.0);
+}
+
+#[test]
+fn rt_run_tcp_uring_smoke() {
+    // On hosts without io_uring this exercises the epoll fallback —
+    // still a valid smoke of the spec plumbing.
+    let result = run_rt(&small(RtTransport::TcpUring));
+    assert_eq!(result.txs, 80);
+    assert!(result.throughput > 0.0);
+    assert!(result.mean_latency_ms > 0.0);
+}
+
+#[test]
+fn rt_run_durable_smoke() {
+    use wren_harness::{FsyncPolicy, RtSpec};
+    let spec = RtSpec {
+        fsync: Some(FsyncPolicy::Window {
+            max_delay: std::time::Duration::from_micros(200),
+            max_bytes: 1 << 20,
+        }),
+        ..small(RtTransport::Tcp)
+    };
+    let result = run_rt(&spec);
+    assert_eq!(result.txs, 80);
+    assert!(result.throughput > 0.0);
 }

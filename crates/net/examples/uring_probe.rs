@@ -1,0 +1,19 @@
+//! `uring_probe` — does this host offer the io_uring backend?
+//!
+//! Exit 0 when the probe passes (the reactor's `Backend::Uring` will
+//! run for real), 1 when it fails (the reactor falls back to epoll).
+//! CI uses this to label which backend its uring-tagged suites
+//! actually exercised; the suites themselves run either way.
+//!
+//! ```bash
+//! cargo run -p wren-net --example uring_probe
+//! ```
+
+fn main() {
+    if wren_net::uring::available() {
+        println!("io_uring: available (uring suites run on the real backend)");
+    } else {
+        println!("io_uring: unavailable (uring suites fall back to epoll)");
+        std::process::exit(1);
+    }
+}

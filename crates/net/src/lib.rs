@@ -20,9 +20,26 @@
 //! reactor (this crate)            which thread does the I/O.
 //!   Either one reader + one writer thread per connection
 //!   (Outbox/FramedReader, the threaded fabric) or a fixed pool of
-//!   epoll event loops serving every fd (Reactor) — same frames,
+//!   event loops serving every fd (Reactor) — same frames,
 //!   same outbox contract, different thread topology.
+//! backend (this crate)            which syscalls move the bytes.
+//!   The reactor's loop body is pluggable: readiness-driven epoll
+//!   (poll.rs: epoll_wait, then read/writev per ready fd) or
+//!   completion-driven io_uring (uring.rs: multishot accepts,
+//!   provided-buffer recvs and linked send chains resident in the
+//!   kernel, one io_uring_enter per batch). Selected per Reactor via
+//!   [`ReactorOptions`]; [`uring::available`] probes the kernel at
+//!   runtime and anything missing falls back to epoll silently.
 //! ```
+//!
+//! **When epoll vs uring:** epoll is the default and runs everywhere;
+//! its per-event syscall cost only matters once frame rates are high
+//! enough that `epoll_wait`+`read`+`writev` dominate over protocol
+//! work. Prefer `Backend::Uring` for high-throughput pipelined
+//! workloads on kernels ≥ 5.19 (multishot accept); keep epoll for
+//! portability, under seccomp policies that deny `io_uring_setup`
+//! (common in container sandboxes), or when debugging with strace —
+//! uring's one-visible-syscall profile hides the I/O from it.
 //!
 //! The pieces:
 //!
@@ -64,7 +81,9 @@
 //!
 //! [`TcpStream`]: std::net::TcpStream
 
-#![deny(unsafe_code)] // allowed only in poll::sys, the FFI boundary
+// unsafe is allowed only in poll::sys and uring::sys, the two FFI
+// boundaries (epoll/eventfd and io_uring respectively).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -74,11 +93,14 @@ mod outbox;
 pub mod poll;
 pub mod reactor;
 mod reader;
+pub mod uring;
 mod writev;
 
 pub use error::NetError;
 pub use fault::{FaultPlan, FaultStats, SendVerdict};
 pub use hello::Hello;
 pub use outbox::{Outbox, DEFAULT_OUTBOX_BYTES};
-pub use reactor::{ConnHandle, ListenerHandle, Reactor, ReactorHandler};
+pub use reactor::{
+    Backend, ConnHandle, ListenerHandle, Reactor, ReactorHandler, ReactorMetrics, ReactorOptions,
+};
 pub use reader::FramedReader;

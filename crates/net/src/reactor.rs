@@ -1,5 +1,5 @@
-//! The epoll reactor: every connection of a process served by a fixed
-//! thread pool.
+//! The reactor: every connection of a process served by a fixed
+//! thread pool, over a pluggable readiness [`Backend`].
 //!
 //! The threaded transport ([`Outbox`](crate::Outbox) +
 //! [`FramedReader`](crate::FramedReader)) spends two OS threads per
@@ -36,6 +36,19 @@
 //! [`ReactorHandler::on_burst_end`], so a handler can coalesce the
 //! burst's frames into a single downstream delivery. `wren-rt`
 //! implements the handler to route frames into its partition engines.
+//!
+//! **Backend dispatch.** Everything above this line — the handler
+//! contract, the handles, the send-queue accounting, the registration
+//! and command queues — is backend-neutral. What varies per
+//! [`Backend`] is only the event-loop body each thread runs:
+//! [`Backend::Epoll`] waits on a level-triggered [`Poller`] and pays
+//! one syscall per readiness event per fd; [`Backend::Uring`]
+//! ([`crate::uring`]) keeps multishot-accept, buffered-recv and
+//! linked-send submissions resident in kernel rings and pays one
+//! `io_uring_enter` per *batch* of completions. A request for
+//! `Uring` on a kernel (or container seccomp policy) that cannot
+//! serve it degrades to `Epoll` at [`Reactor::with_options`] time;
+//! [`Reactor::backend`] reports what actually runs.
 
 use crate::poll::{PollEvents, Poller, Waker};
 use crate::writev::{plan_batch, settle};
@@ -54,7 +67,7 @@ use wren_protocol::frame::FrameDecoder;
 const WAKER_TOKEN: u64 = u64::MAX;
 
 /// Read-side chunk size, matching [`crate::FramedReader`]'s.
-const READ_CHUNK: usize = 16 * 1024;
+pub(crate) const READ_CHUNK: usize = 16 * 1024;
 
 /// Per-readiness-event read budget: after this many bytes the loop
 /// yields to other connections; level-triggered readiness re-reports
@@ -68,7 +81,7 @@ const READ_BUDGET: usize = 256 * 1024;
 /// reactor thread forever. Past the budget the flush arms write
 /// interest and yields; the still-writable socket re-reports on the
 /// next wait, after every other fd got its turn.
-const WRITE_BUDGET: usize = 256 * 1024;
+pub(crate) const WRITE_BUDGET: usize = 256 * 1024;
 
 /// How the reactor reacts to connection events. One handler instance
 /// serves every connection; per-connection protocol state lives in
@@ -106,34 +119,34 @@ pub trait ReactorHandler: Send + Sync + 'static {
 
 /// The send-queue state behind one connection, shared between the
 /// enqueueing threads and the connection's reactor thread.
-struct SendState {
-    frames: VecDeque<Bytes>,
+pub(crate) struct SendState {
+    pub(crate) frames: VecDeque<Bytes>,
     /// Unwritten bytes across all queued frames (the front frame's
     /// already-written prefix is excluded — the partial-write cursor
     /// itself lives in the connection, owned by its reactor thread).
-    queued_bytes: usize,
+    pub(crate) queued_bytes: usize,
     /// No further enqueues succeed; the connection is (being) severed.
-    closed: bool,
+    pub(crate) closed: bool,
     /// A flush command is already queued with the reactor thread, so
     /// further enqueues need not send another.
-    kick_pending: bool,
+    pub(crate) kick_pending: bool,
 }
 
 impl SendState {
-    fn kill(&mut self) {
+    pub(crate) fn kill(&mut self) {
         self.closed = true;
         self.frames.clear();
         self.queued_bytes = 0;
     }
 }
 
-struct SendQueue {
+pub(crate) struct SendQueue {
     s: Mutex<SendState>,
     max_bytes: usize,
 }
 
 impl SendQueue {
-    fn new(max_bytes: usize) -> SendQueue {
+    pub(crate) fn new(max_bytes: usize) -> SendQueue {
         SendQueue {
             s: Mutex::new(SendState {
                 frames: VecDeque::new(),
@@ -145,7 +158,7 @@ impl SendQueue {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, SendState> {
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, SendState> {
         self.s.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -153,7 +166,7 @@ impl SendQueue {
 /// Cross-thread commands to a reactor thread. Registrations travel on a
 /// separate (handler-generic) queue; these are the non-generic ones a
 /// [`ConnHandle`] can issue.
-enum Cmd {
+pub(crate) enum Cmd {
     /// Try writing connection `token`'s queued frames now.
     Flush(u64),
     /// Close connection `token` (overflow or explicit sever).
@@ -161,13 +174,13 @@ enum Cmd {
 }
 
 /// The non-generic, handle-reachable part of one reactor thread.
-struct ThreadShared {
-    cmds: Mutex<Vec<Cmd>>,
-    waker: Waker,
+pub(crate) struct ThreadShared {
+    pub(crate) cmds: Mutex<Vec<Cmd>>,
+    pub(crate) waker: Waker,
 }
 
 impl ThreadShared {
-    fn push(&self, cmd: Cmd) {
+    pub(crate) fn push(&self, cmd: Cmd) {
         self.cmds.lock().unwrap_or_else(|e| e.into_inner()).push(cmd);
         self.waker.wake();
     }
@@ -182,9 +195,9 @@ impl ThreadShared {
 /// connection.
 #[derive(Clone)]
 pub struct ConnHandle {
-    token: u64,
-    out: Arc<SendQueue>,
-    thread: Arc<ThreadShared>,
+    pub(crate) token: u64,
+    pub(crate) out: Arc<SendQueue>,
+    pub(crate) thread: Arc<ThreadShared>,
 }
 
 impl ConnHandle {
@@ -271,16 +284,16 @@ impl ListenerHandle {
 
 /// A connection that exists but is not yet installed in its reactor
 /// thread's entry map.
-struct NewConn<C> {
-    stream: TcpStream,
-    state: C,
-    out: Arc<SendQueue>,
-    token: u64,
+pub(crate) struct NewConn<C> {
+    pub(crate) stream: TcpStream,
+    pub(crate) state: C,
+    pub(crate) out: Arc<SendQueue>,
+    pub(crate) token: u64,
 }
 
 /// A pending cross-thread registration (generic in the handler's
 /// per-connection state, so it travels on its own queue).
-enum Pending<C> {
+pub(crate) enum Pending<C> {
     Conn(NewConn<C>),
     Listener {
         listener: TcpListener,
@@ -291,7 +304,7 @@ enum Pending<C> {
 }
 
 impl<C> Pending<C> {
-    fn token(&self) -> u64 {
+    pub(crate) fn token(&self) -> u64 {
         match self {
             Pending::Conn(c) => c.token,
             Pending::Listener { token, .. } => *token,
@@ -300,28 +313,28 @@ impl<C> Pending<C> {
 }
 
 /// One reactor thread's shared-side state.
-struct ThreadState<C> {
-    shared: Arc<ThreadShared>,
-    pending: Mutex<Vec<Pending<C>>>,
+pub(crate) struct ThreadState<C> {
+    pub(crate) shared: Arc<ThreadShared>,
+    pub(crate) pending: Mutex<Vec<Pending<C>>>,
 }
 
-struct Shared<H: ReactorHandler> {
-    threads: Vec<ThreadState<H::Conn>>,
-    handler: H,
-    closing: AtomicBool,
+pub(crate) struct Shared<H: ReactorHandler> {
+    pub(crate) threads: Vec<ThreadState<H::Conn>>,
+    pub(crate) handler: H,
+    pub(crate) closing: AtomicBool,
     next_token: AtomicU64,
     next_thread: AtomicUsize,
-    /// Frames fully drained per `writev` call (see
-    /// [`Reactor::start_instrumented`]); `None` skips recording.
-    writev_frames: Option<wren_obs::Histogram>,
+    /// Optional instrumentation (see [`ReactorOptions::metrics`]);
+    /// unset histograms skip recording.
+    pub(crate) metrics: ReactorMetrics,
 }
 
 impl<H: ReactorHandler> Shared<H> {
-    fn token(&self) -> u64 {
+    pub(crate) fn token(&self) -> u64 {
         self.next_token.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn pick_thread(&self) -> usize {
+    pub(crate) fn pick_thread(&self) -> usize {
         self.next_thread.fetch_add(1, Ordering::Relaxed) % self.threads.len()
     }
 
@@ -332,7 +345,7 @@ impl<H: ReactorHandler> Shared<H> {
     /// [`discard_pending`](Self::discard_pending). Exactly one side
     /// ends up holding the entry — this retraction or the thread's
     /// closing sweep — so the cleanup (and `on_close`) runs once.
-    fn submit(&self, ti: usize, pending: Pending<H::Conn>) -> Option<Pending<H::Conn>> {
+    pub(crate) fn submit(&self, ti: usize, pending: Pending<H::Conn>) -> Option<Pending<H::Conn>> {
         let t = &self.threads[ti];
         let token = pending.token();
         t.pending.lock().unwrap_or_else(|e| e.into_inner()).push(pending);
@@ -352,7 +365,7 @@ impl<H: ReactorHandler> Shared<H> {
     /// its `on_close` — the handler may have registered the handle at
     /// accept time and must hear it is gone. Dropping the socket closes
     /// the fd.
-    fn discard_pending(&self, ti: usize, pending: Pending<H::Conn>) {
+    pub(crate) fn discard_pending(&self, ti: usize, pending: Pending<H::Conn>) {
         if let Pending::Conn(mut c) = pending {
             c.out.lock().kill();
             let handle = ConnHandle {
@@ -365,43 +378,121 @@ impl<H: ReactorHandler> Shared<H> {
     }
 }
 
-/// A fixed pool of epoll event-loop threads serving listeners and
-/// framed connections. See the [module docs](self) for the topology.
+/// Which readiness mechanism a reactor pool's event loops run on.
+/// See the [module docs](self) for what varies (the loop body) and
+/// what does not (everything a handler or handle can observe).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Level-triggered `epoll_wait` + `readv`/`writev` per readiness
+    /// event. Works on every Linux the repo targets.
+    #[default]
+    Epoll,
+    /// `io_uring` submission/completion rings: multishot accept,
+    /// provided-buffer recv and linked sends stay resident in the
+    /// kernel, one `io_uring_enter` per completion batch. Requested
+    /// but unavailable (old kernel, seccomp-denied syscall, missing
+    /// opcodes) degrades to [`Backend::Epoll`] silently — check
+    /// [`Reactor::backend`] for what actually runs.
+    Uring,
+}
+
+/// Optional per-pool instrumentation, recorded by whichever backend
+/// owns the measured path. Histograms come from the caller's registry
+/// so the fabric's snapshot merge sees them; unset ones cost nothing.
+#[derive(Clone, Default)]
+pub struct ReactorMetrics {
+    /// Frames fully drained per `writev(2)` (epoll send path) — the
+    /// live measure of vectored-send amortization (mean 1 means every
+    /// frame still pays its own syscall).
+    pub writev_frames: Option<wren_obs::Histogram>,
+    /// SQEs submitted per `io_uring_enter(2)` (uring backend) — the
+    /// same amortization measure one layer down: mean 1 means every
+    /// submission still pays its own kernel crossing.
+    pub sqe_per_enter: Option<wren_obs::Histogram>,
+}
+
+/// Construction options for [`Reactor::with_options`]: the one
+/// constructor behind every pool, so backends cannot fork setup paths.
+#[derive(Clone, Default)]
+pub struct ReactorOptions {
+    /// Requested backend; resolved against runtime support at start.
+    pub backend: Backend,
+    /// Instrumentation sinks (optional registry hookup).
+    pub metrics: ReactorMetrics,
+}
+
+/// A fixed pool of event-loop threads serving listeners and framed
+/// connections over a [`Backend`]. See the [module docs](self) for the
+/// topology.
 pub struct Reactor<H: ReactorHandler> {
     shared: Arc<Shared<H>>,
+    backend: Backend,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl<H: ReactorHandler> Reactor<H> {
-    /// Starts `threads` reactor threads (at least one) over `handler`.
+    /// Starts `threads` reactor threads (at least one) over `handler`
+    /// with default options (epoll, no instrumentation).
     ///
     /// # Errors
     ///
     /// Poller/eventfd creation errors (fd exhaustion).
     pub fn start(threads: usize, handler: H) -> io::Result<Reactor<H>> {
-        Self::start_instrumented(threads, handler, None)
+        Self::with_options(threads, handler, ReactorOptions::default())
     }
 
-    /// [`start`](Self::start), plus a histogram that records how many
-    /// frames each `writev(2)` fully drained — the live measure of how
-    /// well the vectored send path is amortizing the syscall bill
-    /// (mean 1 means every frame still pays its own syscall).
+    /// Starts `threads` reactor threads (at least one) over `handler`.
+    ///
+    /// The requested [`Backend`] is resolved here: `Uring` on a host
+    /// that cannot serve it (detection probe fails, or ring setup
+    /// fails at runtime — memlock limits, fd exhaustion) falls back to
+    /// `Epoll` rather than erroring, so a deployment knob can ask for
+    /// io_uring unconditionally. [`backend`](Self::backend) reports
+    /// the resolution.
     ///
     /// # Errors
     ///
     /// Poller/eventfd creation errors (fd exhaustion).
-    pub fn start_instrumented(
+    pub fn with_options(
         threads: usize,
         handler: H,
-        writev_frames: Option<wren_obs::Histogram>,
+        opts: ReactorOptions,
     ) -> io::Result<Reactor<H>> {
         let n = threads.max(1);
+        // Resolve the backend before any thread state exists: all rings
+        // are created up front so a mid-pool setup failure can still
+        // fall back to epoll cleanly (mixed-backend pools would be a
+        // debugging trap for zero benefit).
+        let mut rings = Vec::new();
+        let backend = if opts.backend == Backend::Uring && crate::uring::available() {
+            let mut ok = true;
+            for _ in 0..n {
+                match crate::uring::Ring::new() {
+                    Ok(r) => rings.push(r),
+                    Err(_) => {
+                        rings.clear();
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                Backend::Uring
+            } else {
+                Backend::Epoll
+            }
+        } else {
+            Backend::Epoll
+        };
         let mut thread_states = Vec::with_capacity(n);
         let mut pollers = Vec::with_capacity(n);
         for _ in 0..n {
-            let poller = Poller::new()?;
             let waker = Waker::new()?;
-            waker.register(&poller, WAKER_TOKEN)?;
+            if backend == Backend::Epoll {
+                let poller = Poller::new()?;
+                waker.register(&poller, WAKER_TOKEN)?;
+                pollers.push(poller);
+            }
             thread_states.push(ThreadState {
                 shared: Arc::new(ThreadShared {
                     cmds: Mutex::new(Vec::new()),
@@ -409,7 +500,6 @@ impl<H: ReactorHandler> Reactor<H> {
                 }),
                 pending: Mutex::new(Vec::new()),
             });
-            pollers.push(poller);
         }
         let shared = Arc::new(Shared {
             threads: thread_states,
@@ -417,22 +507,50 @@ impl<H: ReactorHandler> Reactor<H> {
             closing: AtomicBool::new(false),
             next_token: AtomicU64::new(0),
             next_thread: AtomicUsize::new(0),
-            writev_frames,
+            metrics: opts.metrics,
         });
         let mut handles = Vec::with_capacity(n);
-        for (i, poller) in pollers.into_iter().enumerate() {
-            let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("wren-reactor-{i}"))
-                    .spawn(move || reactor_loop(shared, i, poller))
-                    .expect("spawn reactor thread"),
-            );
+        match backend {
+            Backend::Epoll => {
+                for (i, poller) in pollers.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("wren-reactor-{i}"))
+                            .spawn(move || reactor_loop(shared, i, poller))
+                            .expect("spawn reactor thread"),
+                    );
+                }
+            }
+            Backend::Uring => {
+                for (i, ring) in rings.into_iter().enumerate() {
+                    let shared = Arc::clone(&shared);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("wren-uring-{i}"))
+                            .spawn(move || crate::uring::uring_loop(shared, i, ring))
+                            .expect("spawn reactor thread"),
+                    );
+                }
+            }
         }
         Ok(Reactor {
             shared,
+            backend,
             handles: Mutex::new(handles),
         })
+    }
+
+    /// The backend this pool actually runs on — [`Backend::Epoll`] when
+    /// a requested [`Backend::Uring`] was unavailable and fell back.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The handler driving this pool (counters, recorded state — the
+    /// pool owns the handler, so observing it goes through here).
+    pub fn handler(&self) -> &H {
+        &self.shared.handler
     }
 
     /// Registers a listening socket. Accepted connections get a send
@@ -684,7 +802,7 @@ fn reactor_loop<H: ReactorHandler>(shared: Arc<Shared<H>>, idx: usize, poller: P
                         after = read_ready(&shared, me, conn, &mut buf);
                     }
                     if after == After::KeepOpen && ev.writable {
-                        after = write_ready(&poller, conn, shared.writev_frames.as_ref());
+                        after = write_ready(&poller, conn, shared.metrics.writev_frames.as_ref());
                     }
                     if after == After::Close {
                         close_conn(&shared, me, &mut entries, ev.token);
@@ -986,7 +1104,7 @@ fn flush_conn<H: ReactorHandler>(
     token: u64,
 ) {
     if let Some(Entry::Conn(conn)) = entries.get_mut(&token) {
-        if write_ready(poller, conn, shared.writev_frames.as_ref()) == After::Close {
+        if write_ready(poller, conn, shared.metrics.writev_frames.as_ref()) == After::Close {
             close_conn(shared, me, entries, token);
         }
     }
@@ -1171,7 +1289,18 @@ mod tests {
         // the drain's final writev must then complete several frames in
         // one syscall, which the instrumentation histogram records.
         let hist = wren_obs::Histogram::new();
-        let reactor = Reactor::start_instrumented(1, Echo::new(), Some(hist.clone())).unwrap();
+        let reactor = Reactor::with_options(
+            1,
+            Echo::new(),
+            ReactorOptions {
+                metrics: ReactorMetrics {
+                    writev_frames: Some(hist.clone()),
+                    sqe_per_enter: None,
+                },
+                ..ReactorOptions::default()
+            },
+        )
+        .unwrap();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         reactor.add_listener(listener, 0, 256 * 1024 * 1024).unwrap();

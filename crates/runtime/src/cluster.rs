@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wren_core::{ServerStats, ServerTrace, TxEvent, WrenConfig};
-use wren_net::FaultPlan;
+use wren_net::{Backend, FaultPlan};
 use wren_obs::{MetricsSnapshot, Registry};
 use wren_protocol::{ClientId, Dest, Outgoing, ServerId, WrenMsg};
 use wren_core::FsyncPolicy;
@@ -322,6 +322,7 @@ pub struct ClusterBuilder {
     tcp: Option<FabricKind>,
     tcp_client_outbox_bytes: usize,
     reactor_threads: usize,
+    backend: Backend,
     durable_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
     checkpoint_interval: Duration,
@@ -345,6 +346,7 @@ impl Default for ClusterBuilder {
             tcp: None,
             tcp_client_outbox_bytes: wren_net::DEFAULT_OUTBOX_BYTES,
             reactor_threads: 2,
+            backend: Backend::default(),
             durable_dir: None,
             fsync: FsyncPolicy::Always,
             checkpoint_interval: Duration::from_millis(500),
@@ -455,6 +457,20 @@ impl ClusterBuilder {
     /// distributed round-robin and never migrate.
     pub fn reactor_threads(mut self, n: usize) -> Self {
         self.reactor_threads = n.max(1);
+        self
+    }
+
+    /// Which syscall backend the reactor fabric's event loops run on
+    /// (default [`Backend::Epoll`]). [`Backend::Uring`] moves accepts,
+    /// recvs and sends into io_uring submission queues — one
+    /// `io_uring_enter` per completion batch instead of per-event
+    /// `epoll_wait`/`read`/`writev` — and **falls back to epoll at
+    /// build time** when the kernel lacks io_uring (or a sandbox
+    /// denies the syscall), so it is safe to request unconditionally.
+    /// [`Cluster::tcp_backend`] reports the resolution. No effect on
+    /// the threaded fabric or channel mode.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -754,6 +770,7 @@ impl Cluster {
                     cfg.n_partitions,
                     cfg.tcp_client_outbox_bytes,
                     cfg.reactor_threads,
+                    cfg.backend,
                     listeners.take().expect("TCP mode binds listeners"),
                     weak.clone(),
                     cfg.fault_plan.clone(),
@@ -865,6 +882,17 @@ impl Cluster {
     /// over the network.
     pub fn server_addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The syscall backend the reactor fabric resolved to — `Epoll`
+    /// when a requested [`Backend::Uring`] was unavailable and fell
+    /// back. `None` in channel mode and for the threaded fabric (which
+    /// has no event loops to back).
+    pub fn tcp_backend(&self) -> Option<Backend> {
+        match self.router.tcp() {
+            Some(Fabric::Reactor(f)) => Some(f.backend()),
+            _ => None,
+        }
     }
 
     /// Inter-server messages the TCP fabric refused to frame (always 0

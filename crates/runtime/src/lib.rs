@@ -92,4 +92,5 @@ pub use error::RtError;
 pub use session::Session;
 pub use wren_core::{FsyncPolicy, ServerTrace, TxEvent};
 pub use wren_net::fault::{FaultPlan, FaultStats};
+pub use wren_net::Backend;
 pub use wren_obs::MetricsSnapshot;

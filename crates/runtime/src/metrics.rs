@@ -49,6 +49,10 @@ pub(crate) struct FabricMetrics {
     /// fabrics); a mean above 1 under pipelined load is the syscall
     /// batching working.
     pub writev_frames_per_call: Histogram,
+    /// SQEs submitted per `io_uring_enter` by the uring backend's
+    /// event loops; a mean above 1 under pipelined load is the
+    /// submission batching working. Empty on epoll clusters.
+    pub uring_sqe_per_enter: Histogram,
 }
 
 impl FabricMetrics {
@@ -65,6 +69,7 @@ impl FabricMetrics {
             dropped_frames: registry.counter("tcp_dropped_frames"),
             outbox_depth_bytes: registry.gauge("tcp_outbox_depth_bytes"),
             writev_frames_per_call: registry.histogram("fabric_writev_frames_per_call"),
+            uring_sqe_per_enter: registry.histogram("uring_sqe_per_enter"),
             registry,
         }
     }

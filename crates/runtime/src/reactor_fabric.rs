@@ -53,7 +53,10 @@ use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use wren_net::{ConnHandle, FaultPlan, Hello, ListenerHandle, Reactor, ReactorHandler, SendVerdict};
+use wren_net::{
+    Backend, ConnHandle, FaultPlan, Hello, ListenerHandle, Reactor, ReactorHandler, ReactorMetrics,
+    ReactorOptions, SendVerdict,
+};
 use wren_protocol::frame::try_frame_wren;
 use wren_protocol::{ClientId, Dest, ServerId, WrenMsg};
 
@@ -104,11 +107,13 @@ impl ReactorFabric {
     /// handler gets a `Weak` — frames arriving before the router Arc
     /// finishes construction (or after it drops) are simply dropped,
     /// like sends during shutdown.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn start(
         addrs: Vec<SocketAddr>,
         n_partitions: u16,
         client_outbox_bytes: usize,
         reactor_threads: usize,
+        backend: Backend,
         listeners: Vec<(ServerId, TcpListener)>,
         router: Weak<Router>,
         faults: Option<FaultPlan>,
@@ -119,10 +124,16 @@ impl ReactorFabric {
             n_servers: addrs.len(),
         };
         let metrics = FabricMetrics::new();
-        let reactor = Reactor::start_instrumented(
+        let reactor = Reactor::with_options(
             reactor_threads,
             handler,
-            Some(metrics.writev_frames_per_call.clone()),
+            ReactorOptions {
+                backend,
+                metrics: ReactorMetrics {
+                    writev_frames: Some(metrics.writev_frames_per_call.clone()),
+                    sqe_per_enter: Some(metrics.uring_sqe_per_enter.clone()),
+                },
+            },
         )
         .expect("start reactor pool");
         let mut handles: Vec<Option<ListenerHandle>> = Vec::new();
@@ -357,6 +368,12 @@ impl ReactorFabric {
     /// Thin shim over the registry counter of the same name.
     pub(crate) fn dropped_frames(&self) -> u64 {
         self.metrics.dropped_frames.get()
+    }
+
+    /// The syscall backend the pool resolved to (epoll fallback shows
+    /// here when a requested uring was unavailable).
+    pub(crate) fn backend(&self) -> Backend {
+        self.reactor.backend()
     }
 
     /// The fabric's metric registry (folded into the cluster snapshot).

@@ -4,11 +4,14 @@
 //! the slow reader is disconnected by its bounded outbox, and shutdown
 //! still joins every thread deterministically afterwards.
 //!
-//! Every scenario runs against **both socket fabrics** — the threaded
-//! one (reader + outbox-writer thread per connection) and the epoll
-//! reactor (fixed thread pool) — with identical assertions: the
-//! slow-client semantics are a contract of the transport, not of the
-//! thread topology serving it.
+//! Every scenario runs against **all socket fabrics** — the threaded
+//! one (reader + outbox-writer thread per connection), the epoll
+//! reactor (fixed thread pool), and the reactor on the io_uring
+//! backend where the kernel offers it — with identical assertions:
+//! the slow-client semantics are a contract of the transport, not of
+//! the thread topology (or syscall interface) serving it. On hosts
+//! without io_uring the uring leg falls back to epoll with a notice;
+//! the assertions still hold on the fallback.
 
 use bytes::Bytes;
 use std::io::{Read, Write};
@@ -18,17 +21,33 @@ use wren_clock::Timestamp;
 use wren_net::Hello;
 use wren_protocol::frame::{frame_wren, FrameDecoder};
 use wren_protocol::{ClientId, Key, WrenMsg};
-use wren_rt::ClusterBuilder;
+use wren_rt::{Backend, Cluster, ClusterBuilder};
 
 /// How a scenario turns a builder into a TCP-mode cluster: each fabric
 /// appears once, tagged for assertion messages.
 type FabricCfg = (&'static str, fn(ClusterBuilder) -> ClusterBuilder);
 
-fn fabrics() -> [FabricCfg; 2] {
+/// The reactor fabric over the io_uring backend (fn-pointer-shaped so
+/// it slots into [`FabricCfg`] next to the builder methods).
+fn tcp_uring(b: ClusterBuilder) -> ClusterBuilder {
+    b.tcp().backend(Backend::Uring)
+}
+
+fn fabrics() -> [FabricCfg; 3] {
     [
         ("threaded", ClusterBuilder::tcp_threaded),
         ("reactor", ClusterBuilder::tcp),
+        ("uring", tcp_uring),
     ]
+}
+
+/// Loud notice when the `uring` leg actually ran on the epoll fallback
+/// (io_uring unavailable): the scenario still holds — the slow-client
+/// contract is backend-independent — but it was not an io_uring run.
+fn note_uring_fallback(name: &str, cluster: &Cluster) {
+    if name == "uring" && cluster.tcp_backend() == Some(Backend::Epoll) {
+        eprintln!("SKIP [{name}]: io_uring unavailable, leg ran on the epoll fallback");
+    }
 }
 
 /// Joins a thread but panics (instead of hanging the suite) if it takes
@@ -67,6 +86,7 @@ fn read_one_msg(stream: &mut TcpStream) -> WrenMsg {
 fn dribbling_client_wedges_nothing_on(fabric: FabricCfg) {
     let (name, tcp) = fabric;
     let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
+    note_uring_fallback(name, &cluster);
     let addr = cluster.server_addrs()[0];
 
     let dribbler = std::thread::spawn(move || {
@@ -124,6 +144,7 @@ fn stalled_reader_is_disconnected_on(fabric: FabricCfg) {
         .partitions(2)
         .tcp_client_outbox_bytes(64 * 1024))
     .build();
+    note_uring_fallback(name, &cluster);
     let n_partitions = 2u16;
 
     // A key owned by partition 0, whose listener the stalled client
@@ -251,6 +272,7 @@ fn large_response_survives_tiny_cap_on(fabric: FabricCfg) {
         .partitions(2)
         .tcp_client_outbox_bytes(1024)) // far below the response size
     .build();
+    note_uring_fallback(name, &cluster);
     let big = Bytes::from(vec![0x5A; 32 * 1024]);
     let mut writer = cluster.session(0);
     writer.begin().unwrap();
@@ -291,6 +313,7 @@ fn large_response_to_prompt_reader_survives_tiny_outbox_cap() {
 fn over_wide_read_is_bounded_on(fabric: FabricCfg) {
     let (name, tcp) = fabric;
     let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
+    note_uring_fallback(name, &cluster);
 
     // Library side: > 512 uncached keys in one read errors cleanly.
     let mut session = cluster.session(0);
@@ -356,6 +379,7 @@ fn over_wide_read_is_bounded_at_both_ends() {
 fn truncated_request_is_severed_on(fabric: FabricCfg) {
     let (name, tcp) = fabric;
     let cluster = tcp(ClusterBuilder::new().dcs(1).partitions(2)).build();
+    note_uring_fallback(name, &cluster);
     let addr = cluster.server_addrs()[0];
     {
         let mut stream = TcpStream::connect(addr).unwrap();

@@ -152,6 +152,7 @@ fn main() {
         ("channel", RtTransport::Channel),
         ("tcp-reactor", RtTransport::Tcp),
         ("tcp-threaded", RtTransport::TcpThreaded),
+        ("tcp-uring", RtTransport::TcpUring),
     ] {
         let result = run_rt(&RtSpec {
             dcs: 1,
@@ -163,6 +164,7 @@ fn main() {
             keys: 256,
             reads_per_tx: 3,
             writes_per_tx: 2,
+            fsync: None,
         });
         println!(
             "  {:<14} {:>12.0} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",

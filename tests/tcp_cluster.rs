@@ -21,7 +21,27 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 use wren::protocol::Key;
-use wren::rt::{Cluster, ClusterBuilder, Session};
+use wren::rt::{Backend, Cluster, ClusterBuilder, Session};
+
+/// The reactor fabric over the io_uring backend. Builder-shaped so it
+/// can sit in the same fn-pointer tables as [`ClusterBuilder::tcp`];
+/// on hosts without io_uring the cluster falls back to epoll and
+/// [`uring_skipped`] lets callers notice.
+fn tcp_uring(b: ClusterBuilder) -> ClusterBuilder {
+    b.tcp().backend(Backend::Uring)
+}
+
+/// True (with a loud notice) when `cluster` was asked for io_uring but
+/// fell back — the run is still a valid epoll run, but it did not
+/// exercise the uring backend.
+fn uring_skipped(cluster: &Cluster, test: &str) -> bool {
+    if cluster.tcp_backend() == Some(Backend::Epoll) {
+        eprintln!("SKIP {test}: io_uring unavailable, uring leg ran on the epoll fallback");
+        true
+    } else {
+        false
+    }
+}
 
 /// Drives `txs` random transactions over live sessions (round-robin
 /// random interleaving, one in flight at a time so the oracle has a
@@ -90,16 +110,23 @@ fn random_live_history(cluster: &Cluster, seed: u64, sessions_per_dc: usize, txs
 
 /// The headline check: the full causal/session oracle against a
 /// TCP-backed loopback cluster, multi-DC, with zero blocked reads and
-/// a loss-free transport — over **both** socket fabrics (the epoll
-/// reactor behind [`ClusterBuilder::tcp`] and the per-connection-thread
-/// fabric behind [`ClusterBuilder::tcp_threaded`]).
+/// a loss-free transport — over **all** socket fabrics (the epoll
+/// reactor behind [`ClusterBuilder::tcp`], the per-connection-thread
+/// fabric behind [`ClusterBuilder::tcp_threaded`], and the reactor on
+/// the io_uring backend where the kernel offers it).
 #[test]
 fn tcp_loopback_cluster_passes_causal_oracle() {
     for (seed, fabric) in [
         (42u64, ClusterBuilder::tcp as fn(ClusterBuilder) -> ClusterBuilder),
         (43u64, ClusterBuilder::tcp_threaded),
+        (44u64, tcp_uring),
     ] {
         let cluster = fabric(ClusterBuilder::new().dcs(2).partitions(2)).build();
+        if seed == 44 {
+            // The uring leg: a fallback run is still a valid oracle
+            // pass, just not an io_uring one — say so.
+            let _ = uring_skipped(&cluster, "tcp_loopback_cluster_passes_causal_oracle");
+        }
         let reads = random_live_history(&cluster, seed, 2, 150);
         assert!(reads > 0);
         assert_eq!(
@@ -139,10 +166,10 @@ fn tcp_oracle_across_engine_configs() {
     }
 }
 
-/// The same seeded schedule against all three transports — in-process
-/// channels, threaded TCP, reactor TCP: the oracle holds on each, and
-/// the deterministic fragment (a session's own final reads after
-/// quiescence) is identical across the three.
+/// The same seeded schedule against all four transports — in-process
+/// channels, threaded TCP, epoll-reactor TCP, uring-reactor TCP: the
+/// oracle holds on each, and the deterministic fragment (a session's
+/// own final reads after quiescence) is identical across all of them.
 #[test]
 fn channel_and_tcp_agree_on_scripted_results() {
     fn scripted(cluster: &Cluster) -> Vec<(Key, Option<Vec<u8>>)> {
@@ -183,9 +210,12 @@ fn channel_and_tcp_agree_on_scripted_results() {
     let channel_cluster = ClusterBuilder::new().dcs(1).partitions(3).build();
     let threaded_cluster = ClusterBuilder::new().dcs(1).partitions(3).tcp_threaded().build();
     let reactor_cluster = ClusterBuilder::new().dcs(1).partitions(3).tcp().build();
+    let uring_cluster = tcp_uring(ClusterBuilder::new().dcs(1).partitions(3)).build();
+    let _ = uring_skipped(&uring_cluster, "channel_and_tcp_agree_on_scripted_results");
     let via_channel = scripted(&channel_cluster);
     let via_threaded = scripted(&threaded_cluster);
     let via_reactor = scripted(&reactor_cluster);
+    let via_uring = scripted(&uring_cluster);
     assert_eq!(
         via_channel, via_threaded,
         "the threaded fabric must not change what a quiesced cluster serves"
@@ -194,10 +224,16 @@ fn channel_and_tcp_agree_on_scripted_results() {
         via_channel, via_reactor,
         "the reactor fabric must not change what a quiesced cluster serves"
     );
+    assert_eq!(
+        via_channel, via_uring,
+        "the uring backend must not change what a quiesced cluster serves"
+    );
     assert_eq!(reactor_cluster.tcp_dropped_frames(), 0);
+    assert_eq!(uring_cluster.tcp_dropped_frames(), 0);
     channel_cluster.stop();
     threaded_cluster.stop();
     reactor_cluster.stop();
+    uring_cluster.stop();
 }
 
 /// The explicit session guarantees (`session_guarantees.rs` logic) over
